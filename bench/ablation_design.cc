@@ -1,0 +1,98 @@
+// Ablation study of SOFIA's design choices on a corrupted seasonal stream:
+//   1. full            — the algorithm as published (plus our step cap)
+//   2. no-reject       — outlier rejection (Eq. 21) disabled
+//   3. gelper-order    — error scale updated *before* rejection (the
+//                        ordering of Gelper et al. that Section V-C argues
+//                        against: huge outliers inflate the scale first)
+//   4. no-smooth       — λ1/λ2 temporal smoothness disabled everywhere
+//   5. raw-step        — the verbatim Eq. (24)/(25) gradient step without
+//                        the curvature cap (can oscillate on small slices)
+//   6. no-decay        — λ3 kept constant during initialization (d = 1)
+//
+// Usage: ablation_design [--seed=23] [--seasons=7]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/sofia_stream.hpp"
+#include "data/corruption.hpp"
+#include "data/dataset_sim.hpp"
+#include "eval/experiment.hpp"
+#include "eval/stream_runner.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace sofia {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 23));
+  const size_t seasons = static_cast<size_t>(flags.GetInt("seasons", 7));
+
+  Dataset dataset = MakeNetworkTraffic(DatasetScale::kSmall);
+  dataset.slices.resize(
+      std::min(dataset.slices.size(), seasons * dataset.period));
+  CorruptedStream stream = Corrupt(dataset.slices, {40.0, 15.0, 4.0}, seed);
+  const SofiaConfig base = MakeExperimentConfig(dataset, stream);
+
+  struct Variant {
+    std::string name;
+    SofiaConfig config;
+    SofiaAblation ablation;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"full", base, {}});
+  {
+    SofiaAblation a;
+    a.reject_outliers = false;
+    variants.push_back({"no-reject", base, a});
+  }
+  {
+    SofiaAblation a;
+    a.scale_before_reject = true;
+    variants.push_back({"gelper-order", base, a});
+  }
+  {
+    SofiaConfig c = base;
+    c.lambda1 = 0.0;
+    c.lambda2 = 0.0;
+    SofiaAblation a;
+    a.temporal_smoothness = false;
+    variants.push_back({"no-smooth", c, a});
+  }
+  {
+    SofiaConfig c = base;
+    c.normalized_step = false;
+    variants.push_back({"raw-step", c, {}});
+  }
+  {
+    SofiaConfig c = base;
+    c.lambda3_decay = 1.0;
+    variants.push_back({"no-decay", c, {}});
+  }
+
+  std::printf("Ablation — %s, setting (40,15,4), %zu steps\n\n",
+              dataset.name.c_str(), dataset.slices.size());
+  Table table({"variant", "RAE", "RAE post-init", "vs full"});
+  double full_rae = 0.0;
+  for (const Variant& v : variants) {
+    SofiaStream method(v.config, v.ablation, "SOFIA(" + v.name + ")");
+    StreamRunResult res = RunImputation(&method, stream, dataset.slices);
+    if (v.name == "full") full_rae = res.rae;
+    table.AddRow({v.name, Table::Num(res.rae), Table::Num(res.rae_post_init),
+                  full_rae > 0 ? Table::Num(res.rae / full_rae, 3) + "x"
+                               : "-"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Expected ordering: every ablation is at or above the full "
+              "algorithm's error; no-reject and no-smooth degrade most "
+              "under this corruption level.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace sofia
+
+int main(int argc, char** argv) { return sofia::Main(argc, argv); }

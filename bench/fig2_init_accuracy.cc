@@ -1,0 +1,120 @@
+// Reproduces Fig. 2: initialization accuracy of SOFIA_ALS vs vanilla ALS on
+// a synthetic 30x30x90 rank-3 tensor with sinusoidal temporal factors under
+// the extremely harsh (90, 20, 7) setting. The paper shows the smooth
+// initialization recovering the temporal patterns while vanilla ALS
+// diverges (factor magnitudes exploding into the thousands).
+//
+// Usage: fig2_init_accuracy [--outer=40] [--seed=7] [--csv=path]
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/sofia_als.hpp"
+#include "core/sofia_init.hpp"
+#include "data/corruption.hpp"
+#include "data/synthetic.hpp"
+#include "eval/metrics.hpp"
+#include "linalg/solve.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace sofia {
+namespace {
+
+/// NRE between the recovered and ground-truth temporal factor, after
+/// resolving the CP permutation/scale ambiguity: each true column is greedily
+/// matched to the best remaining estimated column with a least-squares scale.
+double TemporalFactorNre(const Matrix& estimate, const Matrix& truth) {
+  const size_t rank = truth.cols();
+  std::vector<bool> used(rank, false);
+  double err2 = 0.0, truth2 = 0.0;
+  for (size_t rt = 0; rt < rank; ++rt) {
+    std::vector<double> t = truth.ColVector(rt);
+    double best_resid = -1.0;
+    size_t best = 0;
+    double best_scale = 0.0;
+    for (size_t re = 0; re < rank; ++re) {
+      if (used[re]) continue;
+      std::vector<double> e = estimate.ColVector(re);
+      double ee = 0.0, et = 0.0;
+      for (size_t i = 0; i < e.size(); ++i) {
+        ee += e[i] * e[i];
+        et += e[i] * t[i];
+      }
+      const double scale = ee > 0.0 ? et / ee : 0.0;
+      double resid = 0.0;
+      for (size_t i = 0; i < e.size(); ++i) {
+        const double d = t[i] - scale * e[i];
+        resid += d * d;
+      }
+      if (best_resid < 0.0 || resid < best_resid) {
+        best_resid = resid;
+        best = re;
+        best_scale = scale;
+      }
+    }
+    used[best] = true;
+    (void)best_scale;
+    err2 += best_resid;
+    for (double v : t) truth2 += v * v;
+  }
+  return truth2 > 0.0 ? std::sqrt(err2 / truth2) : 0.0;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int max_outer = static_cast<int>(flags.GetInt("outer", 40));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+
+  // The paper's synthetic workload: 30x30x90, rank 3, period 30.
+  SyntheticTensor syn = MakeSinusoidTensor(30, 30, 90, 3, 30, seed);
+  std::vector<DenseTensor> truth_slices;
+  for (size_t t = 0; t < 90; ++t) {
+    truth_slices.push_back(syn.tensor.SliceLastMode(t));
+  }
+  CorruptedStream stream = Corrupt(truth_slices, {90.0, 20.0, 7.0}, seed + 1);
+  DenseTensor truth = syn.tensor;
+
+  SofiaConfig config;
+  config.rank = 3;
+  config.period = 30;
+  config.init_seasons = 3;
+  config.lambda1 = 0.5;
+  config.lambda2 = 0.5;
+  config.seed = seed;
+
+  std::printf("Fig. 2 — initialization accuracy, 30x30x90 rank-3, "
+              "(90,20,7)\n\n");
+  Table table({"outer iters", "vanilla tensor NRE", "vanilla temporal NRE",
+               "sofia tensor NRE", "sofia temporal NRE"});
+  for (int outer : {1, 2, 5, 10, 20, max_outer}) {
+    if (outer > max_outer) break;
+    config.max_init_iterations = outer;
+    SofiaInitResult vanilla = SofiaInitialize(stream.slices, stream.masks,
+                                              config,
+                                              /*smooth_temporal=*/false);
+    SofiaInitResult smooth = SofiaInitialize(stream.slices, stream.masks,
+                                             config,
+                                             /*smooth_temporal=*/true);
+    table.AddRow(
+        {std::to_string(outer),
+         Table::Num(NormalizedResidualError(vanilla.completed, truth)),
+         Table::Num(TemporalFactorNre(vanilla.factors.back(),
+                                      syn.factors.back())),
+         Table::Num(NormalizedResidualError(smooth.completed, truth)),
+         Table::Num(TemporalFactorNre(smooth.factors.back(),
+                                      syn.factors.back()))});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Paper's shape: vanilla ALS fails to recover the temporal "
+              "patterns (Fig. 2b) while SOFIA_ALS converges (Fig. 2c/2d).\n");
+  if (flags.Has("csv")) table.WriteCsv(flags.GetString("csv", ""));
+  return 0;
+}
+
+}  // namespace
+}  // namespace sofia
+
+int main(int argc, char** argv) { return sofia::Main(argc, argv); }

@@ -1,0 +1,82 @@
+// Reproduces Fig. 6: average forecasting error (AFE). SOFIA consumes
+// streams with X% missing entries for X in {0, 30, 50, 70} plus 20%
+// outliers of magnitude 5*max|X|; SMF and CPHW are evaluated on fully
+// observed streams with the same outliers (they cannot handle missing
+// values). Each method consumes T - tf subtensors and forecasts tf.
+//
+// Usage: fig6_forecasting [--scale=small|paper] [--seasons=7] [--seed=17]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/cphw.hpp"
+#include "baselines/smf.hpp"
+#include "core/sofia_stream.hpp"
+#include "data/corruption.hpp"
+#include "data/dataset_sim.hpp"
+#include "eval/experiment.hpp"
+#include "eval/stream_runner.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace sofia {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const DatasetScale scale = flags.GetString("scale", "small") == "paper"
+                                 ? DatasetScale::kPaper
+                                 : DatasetScale::kSmall;
+  const size_t seasons = static_cast<size_t>(flags.GetInt("seasons", 7));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
+
+  std::printf("Fig. 6 — average forecasting error (AFE)\n");
+  std::printf("SOFIA at (X,20,5) for X in {0,30,50,70}; SMF/CPHW at "
+              "(0,20,5).\n\n");
+
+  for (Dataset& dataset : MakeAllDatasets(scale)) {
+    if (scale == DatasetScale::kSmall) {
+      dataset.slices.resize(
+          std::min(dataset.slices.size(), seasons * dataset.period));
+    }
+    // Forecast horizon: paper uses 200 (100 for NYC); scaled runs use the
+    // dataset's scaled-down preset capped to leave enough training data.
+    const size_t horizon =
+        std::min(dataset.forecast_steps,
+                 dataset.slices.size() - 4 * dataset.period);
+
+    Table table({"method (X,Y,Z)", "AFE"});
+    for (double missing : {0.0, 30.0, 50.0, 70.0}) {
+      CorruptedStream stream =
+          Corrupt(dataset.slices, {missing, 20.0, 5.0}, seed);
+      SofiaStream method(MakeExperimentConfig(dataset, stream));
+      const double afe = RunForecast(&method, stream, dataset.slices, horizon);
+      char label[64];
+      std::snprintf(label, sizeof(label), "SOFIA (%g,20,5)", missing);
+      table.AddRow({label, Table::Num(afe)});
+    }
+    {
+      CorruptedStream stream = Corrupt(dataset.slices, {0.0, 20.0, 5.0}, seed);
+      Smf smf(SmfOptions{.rank = dataset.rank, .period = dataset.period});
+      table.AddRow({"SMF (0,20,5)",
+                    Table::Num(RunForecast(&smf, stream, dataset.slices,
+                                           horizon))});
+      Cphw cphw(CphwOptions{.rank = dataset.rank, .period = dataset.period});
+      table.AddRow({"CPHW (0,20,5)",
+                    Table::Num(RunForecast(&cphw, stream, dataset.slices,
+                                           horizon))});
+    }
+    std::printf("=== %s (tf=%zu) ===\n%s\n", dataset.name.c_str(), horizon,
+                table.ToString().c_str());
+  }
+  std::printf("Paper's shape: SOFIA is the most accurate forecaster on every "
+              "stream despite also facing missing data; SMF and CPHW are "
+              "dragged by the outliers they cannot reject.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace sofia
+
+int main(int argc, char** argv) { return sofia::Main(argc, argv); }

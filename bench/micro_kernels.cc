@@ -1,0 +1,124 @@
+// Microbenchmarks of the library's hot kernels, including empirical checks
+// of the complexity claims:
+//  - Lemma 1: one SOFIA_ALS sweep costs O(|Ω| N R (N + R)) — linear in the
+//    number of observed entries for fixed N, R.
+//  - Lemma 2: one dynamic update costs O(|Ω_t| N R) — linear in the number
+//    of observed entries per slice and *independent of the stream length*.
+// Run with --benchmark_filter=... to select kernels.
+
+#include <benchmark/benchmark.h>
+
+#include "core/sofia_als.hpp"
+#include "core/sofia_model.hpp"
+#include "data/corruption.hpp"
+#include "data/synthetic.hpp"
+#include "tensor/khatri_rao.hpp"
+#include "tensor/kruskal.hpp"
+#include "tensor/unfold.hpp"
+#include "timeseries/hw_fit.hpp"
+#include "util/rng.hpp"
+
+namespace sofia {
+namespace {
+
+void BM_KhatriRao(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a = Matrix::RandomNormal(n, 8, rng);
+  Matrix b = Matrix::RandomNormal(n, 8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KhatriRao(a, b));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n * n));
+}
+BENCHMARK(BM_KhatriRao)->Range(16, 256)->Complexity(benchmark::oN);
+
+void BM_Unfold(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  DenseTensor t = DenseTensor::RandomNormal(Shape({n, n, 8}), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unfold(t, 1));
+  }
+  state.SetComplexityN(static_cast<int64_t>(t.NumElements()));
+}
+BENCHMARK(BM_Unfold)->Range(16, 128)->Complexity(benchmark::oN);
+
+void BM_KruskalSlice(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<Matrix> factors = {Matrix::RandomNormal(n, 8, rng),
+                                 Matrix::RandomNormal(n, 8, rng)};
+  std::vector<double> w = rng.NormalVector(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KruskalSlice(factors, w));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n * n));
+}
+BENCHMARK(BM_KruskalSlice)->Range(16, 256)->Complexity(benchmark::oN);
+
+/// Lemma 1: ALS sweep cost scales linearly with |Ω| (fixed N, R).
+void BM_SofiaAlsSweep(benchmark::State& state) {
+  const size_t duration = static_cast<size_t>(state.range(0));
+  SyntheticTensor syn = MakeSinusoidTensor(24, 24, duration, 4, 12, 4);
+  Mask omega(syn.tensor.shape(), true);
+  DenseTensor o(syn.tensor.shape(), 0.0);
+  SofiaConfig config;
+  config.rank = 4;
+  config.period = 12;
+  config.max_als_iterations = 1;  // Exactly one sweep per iteration.
+  config.tolerance = 0.0;
+  Rng rng(5);
+  std::vector<Matrix> factors;
+  for (size_t n = 0; n < 3; ++n) {
+    factors.push_back(Matrix::Random(syn.tensor.dim(n), 4, rng, 0.0, 1.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SofiaAls(syn.tensor, omega, o, config, &factors));
+  }
+  state.SetComplexityN(static_cast<int64_t>(syn.tensor.NumElements()));
+}
+BENCHMARK(BM_SofiaAlsSweep)->RangeMultiplier(2)->Range(12, 96)
+    ->Complexity(benchmark::oN);
+
+/// Lemma 2: dynamic-update cost scales linearly with |Ω_t|.
+void BM_SofiaDynamicStep(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const size_t period = 8;
+  std::vector<DenseTensor> truth =
+      MakeScalabilityStream(rows, 64, 3 * period + 64, 4, period, 6);
+  CorruptedStream stream = Corrupt(truth, {0.0, 0.0, 0.0}, 7);
+  SofiaConfig config;
+  config.rank = 4;
+  config.period = period;
+  config.max_init_iterations = 2;
+  const size_t w = config.InitWindow();
+  std::vector<DenseTensor> init_slices(truth.begin(), truth.begin() + w);
+  std::vector<Mask> init_masks(stream.masks.begin(),
+                               stream.masks.begin() + w);
+  SofiaModel model =
+      SofiaModel::Initialize(init_slices, init_masks, config);
+  size_t t = w;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Step(stream.slices[t], stream.masks[t]));
+    t = w + (t + 1 - w) % (truth.size() - w);
+  }
+  state.SetComplexityN(static_cast<int64_t>(rows * 64));
+}
+BENCHMARK(BM_SofiaDynamicStep)->RangeMultiplier(2)->Range(16, 128)
+    ->Complexity(benchmark::oN);
+
+void BM_HoltWintersFit(benchmark::State& state) {
+  const size_t seasons = static_cast<size_t>(state.range(0));
+  std::vector<double> series =
+      MakeSeasonalSeries(seasons * 12, 12, 1.0, 0.05, 0.01, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitHoltWinters(series, 12));
+  }
+}
+BENCHMARK(BM_HoltWintersFit)->Arg(3)->Arg(6)->Arg(12);
+
+}  // namespace
+}  // namespace sofia
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// End-to-end workflow on file-based data: the path a user with a real
+// event log follows.
+//
+//   1. (Stand-in for real data) write a corrupted tensor stream to CSV in
+//      the record format `t,i,j,value` — one line per *observed* entry.
+//   2. Read it back with the stream loader.
+//   3. Detect the seasonal period from the slice-mean series (SOFIA's one
+//      required prior) using masked autocorrelation.
+//   4. Run SOFIA over the stream and report imputation quality.
+//
+// Usage: file_stream [--path=/tmp/sofia_demo_stream.csv]
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/sofia_stream.hpp"
+#include "data/corruption.hpp"
+#include "data/dataset_sim.hpp"
+#include "data/stream_io.hpp"
+#include "eval/experiment.hpp"
+#include "eval/stream_runner.hpp"
+#include "timeseries/period.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sofia;
+  Flags flags(argc, argv);
+  const std::string path =
+      flags.GetString("path", "/tmp/sofia_demo_stream.csv");
+
+  // 1. Simulate "real" data on disk: a network-traffic-like stream with
+  //    30% missing entries and 10% outliers.
+  Dataset traffic = MakeNetworkTraffic(DatasetScale::kSmall);
+  traffic.slices.resize(7 * traffic.period);
+  CorruptedStream corrupted = Corrupt(traffic.slices, {30.0, 10.0, 3.0}, 71);
+  if (!WriteStreamCsvFile(path, TensorStream{corrupted.slices,
+                                             corrupted.masks})) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu observed-entry records to %s\n",
+              [&] {
+                size_t n = 0;
+                for (const Mask& m : corrupted.masks) n += m.CountObserved();
+                return n;
+              }(),
+              path.c_str());
+
+  // 2. Load it back, as a real consumer would.
+  TensorStream loaded = ReadStreamCsvFile(path);
+  std::printf("loaded %zu slices of shape %s\n", loaded.slices.size(),
+              loaded.slices[0].shape().ToString().c_str());
+
+  // 3. Detect the seasonal period from the per-step *median* of observed
+  //    entries. The median shrugs off the injected outliers that would
+  //    dominate a plain mean, and the masked autocorrelation tolerates the
+  //    missing data.
+  std::vector<double> medians;
+  std::vector<bool> has_data;
+  for (size_t t = 0; t < loaded.slices.size(); ++t) {
+    std::vector<double> values;
+    for (size_t k = 0; k < loaded.slices[t].NumElements(); ++k) {
+      if (loaded.masks[t].Get(k)) values.push_back(loaded.slices[t][k]);
+    }
+    if (values.empty()) {
+      medians.push_back(0.0);
+      has_data.push_back(false);
+      continue;
+    }
+    auto mid = values.begin() + static_cast<long>(values.size() / 2);
+    std::nth_element(values.begin(), mid, values.end());
+    medians.push_back(*mid);
+    has_data.push_back(true);
+  }
+  const size_t period = EstimatePeriod(medians, 2, 3 * traffic.period,
+                                       &has_data);
+  std::printf("detected seasonal period m = %zu (generator used m = %zu)\n",
+              period, traffic.period);
+
+  // 4. Run SOFIA with the detected period.
+  Dataset as_loaded = traffic;  // Ground truth for scoring only.
+  SofiaConfig config = MakeExperimentConfig(as_loaded, corrupted);
+  config.period = period;
+  SofiaStream method(config);
+  CorruptedStream stream;
+  stream.slices = loaded.slices;
+  stream.masks = loaded.masks;
+  StreamRunResult res = RunImputation(&method, stream, traffic.slices);
+  std::printf("imputation RAE over the stream: %.4f (vs ~1.0 for "
+              "zero-filling the gaps)\n", res.rae);
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Sensor anomaly detection: SOFIA's outlier tensor O_t as a streaming
+// anomaly detector.
+//
+// An Intel-Lab-style deployment streams (position, sensor) readings every
+// tick. Besides random missingness, a burst of sensor faults injects
+// extreme readings. SOFIA is not told where the faults are — we check how
+// precisely the entries it routes into O_t (Eq. (21)) coincide with the
+// injected faults.
+//
+// Usage: sensor_anomaly [--fault_rate=10] [--magnitude=5]
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/sofia_stream.hpp"
+#include "data/corruption.hpp"
+#include "data/dataset_sim.hpp"
+#include "eval/experiment.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sofia;
+  Flags flags(argc, argv);
+  const double fault_rate = flags.GetDouble("fault_rate", 10.0);
+  const double magnitude = flags.GetDouble("magnitude", 5.0);
+
+  Dataset lab = MakeIntelLabSensor(DatasetScale::kSmall);
+  lab.slices.resize(6 * lab.period);
+  // 20% missing plus the fault injections we want to detect.
+  CorruptedStream stream =
+      Corrupt(lab.slices, {20.0, fault_rate, magnitude}, /*seed=*/11);
+
+  SofiaConfig config = MakeExperimentConfig(lab, stream);
+  const size_t window = config.InitWindow();
+  std::vector<DenseTensor> init_slices(stream.slices.begin(),
+                                       stream.slices.begin() + window);
+  std::vector<Mask> init_masks(stream.masks.begin(),
+                               stream.masks.begin() + window);
+  SofiaModel model = SofiaModel::Initialize(init_slices, init_masks, config);
+
+  size_t true_positive = 0, false_positive = 0, false_negative = 0;
+  for (size_t t = window; t < lab.slices.size(); ++t) {
+    SofiaStepResult out = model.Step(stream.slices[t], stream.masks[t]);
+    const Mask& injected = stream.outlier_positions[t];
+    for (size_t k = 0; k < out.outliers.NumElements(); ++k) {
+      if (!stream.masks[t].Get(k)) continue;  // Missing: nothing to detect.
+      // Flag entries whose rejected mass clearly exceeds the entry's own
+      // adaptive error scale (Eq. (22)); borderline soft-threshold residue
+      // is not an alarm.
+      const bool flagged =
+          std::fabs(out.outliers[k]) > 3.0 * model.error_scale()[k];
+      const bool faulty = injected.Get(k);
+      if (flagged && faulty) ++true_positive;
+      if (flagged && !faulty) ++false_positive;
+      if (!flagged && faulty) ++false_negative;
+    }
+  }
+
+  const double precision =
+      true_positive + false_positive > 0
+          ? static_cast<double>(true_positive) /
+                static_cast<double>(true_positive + false_positive)
+          : 0.0;
+  const double recall =
+      true_positive + false_negative > 0
+          ? static_cast<double>(true_positive) /
+                static_cast<double>(true_positive + false_negative)
+          : 0.0;
+
+  std::printf("Streaming fault detection on %zu x %zu sensor slices "
+              "(faults: %.0f%% at %.0fx max)\n\n",
+              lab.slices[0].dim(0), lab.slices[0].dim(1), fault_rate,
+              magnitude);
+  Table table({"metric", "value"});
+  table.AddRow({"flagged & faulty (TP)", std::to_string(true_positive)});
+  table.AddRow({"flagged & clean (FP)", std::to_string(false_positive)});
+  table.AddRow({"missed faults (FN)", std::to_string(false_negative)});
+  table.AddRow({"precision", Table::Num(precision, 3)});
+  table.AddRow({"recall", Table::Num(recall, 3)});
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("SOFIA detects faults as a side effect of robust streaming "
+              "factorization — no labels, thresholds tuned only through "
+              "the error-scale tensor (Eq. (22)).\n");
+  return 0;
+}

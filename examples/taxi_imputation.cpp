@@ -1,0 +1,75 @@
+// Taxi-trip imputation: the workload from the paper's introduction.
+//
+// A city collects hourly zone-to-zone trip counts as a (source, destination,
+// hour) tensor stream. Entries go missing (collection outages) and some are
+// corrupted (system errors). SOFIA recovers the missing counts in real time;
+// we compare it against a non-robust streaming factorization (OnlineSGD) to
+// show what the outlier/seasonality machinery buys.
+//
+// Usage: taxi_imputation [--missing=50] [--outliers=20] [--magnitude=4]
+
+#include <cstdio>
+
+#include "baselines/online_sgd.hpp"
+#include "core/sofia_stream.hpp"
+#include "data/corruption.hpp"
+#include "data/dataset_sim.hpp"
+#include "eval/experiment.hpp"
+#include "eval/stream_runner.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sofia;
+  Flags flags(argc, argv);
+  CorruptionSetting setting;
+  setting.missing_percent = flags.GetDouble("missing", 50.0);
+  setting.outlier_percent = flags.GetDouble("outliers", 20.0);
+  setting.magnitude = flags.GetDouble("magnitude", 4.0);
+
+  Dataset taxi = MakeChicagoTaxi(DatasetScale::kSmall);
+  taxi.slices.resize(6 * taxi.period);
+  CorruptedStream stream = Corrupt(taxi.slices, setting, /*seed=*/7);
+
+  std::printf("Chicago-style taxi stream: %s per slice, m=%zu, %zu steps, "
+              "setting %s\n\n",
+              taxi.slices[0].shape().ToString().c_str(), taxi.period,
+              taxi.slices.size(), setting.ToString().c_str());
+
+  SofiaStream sofia_method(MakeExperimentConfig(taxi, stream));
+  StreamRunResult sofia_res =
+      RunImputation(&sofia_method, stream, taxi.slices);
+
+  OnlineSgd sgd(OnlineSgdOptions{.rank = taxi.rank});
+  StreamRunResult sgd_res = RunImputation(&sgd, stream, taxi.slices);
+
+  Table table({"method", "RAE", "RAE post-init", "ART (s/subtensor)"});
+  table.AddRow({"SOFIA", Table::Num(sofia_res.rae),
+                Table::Num(sofia_res.rae_post_init),
+                Table::Num(sofia_res.art_seconds)});
+  table.AddRow({"OnlineSGD", Table::Num(sgd_res.rae),
+                Table::Num(sgd_res.rae_post_init),
+                Table::Num(sgd_res.art_seconds)});
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Show a few concrete recoveries: entries that were missing at the last
+  // step, with SOFIA's imputed value vs the ground truth the model never
+  // saw. (The adapter keeps the fitted model; reconstruct its final state.)
+  const size_t last = taxi.slices.size() - 1;
+  DenseTensor imputed = sofia_method.model().Reconstruct(
+      sofia_method.model().last_temporal_row());
+  std::printf("sample imputations at t=%zu (entries the model never saw):\n",
+              last);
+  size_t shown = 0;
+  for (size_t k = 0; k < taxi.slices[last].NumElements() && shown < 5; ++k) {
+    if (!stream.masks[last].Get(k)) {
+      std::printf("  entry %3zu: truth %8.2f   imputed %8.2f\n", k,
+                  taxi.slices[last][k], imputed[k]);
+      ++shown;
+    }
+  }
+  std::printf("\nSOFIA recovers the stream %0.1fx more accurately than the "
+              "non-robust baseline.\n",
+              sofia_res.rae > 0 ? sgd_res.rae / sofia_res.rae : 0.0);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Network traffic forecasting: predict next-day router-to-router volumes
+// from a corrupted history, and compare SOFIA's Holt-Winters-on-factors
+// forecasts against the seasonal matrix factorization baseline (SMF).
+//
+// SOFIA trains on a stream with missing data AND outliers; SMF gets the
+// easier fully observed stream (it cannot handle missing entries) with the
+// same outliers. The per-horizon table shows the forecast quality across
+// one full future season.
+//
+// Usage: traffic_forecast [--missing=30] [--seed=3]
+
+#include <cstdio>
+
+#include "baselines/smf.hpp"
+#include "core/sofia_stream.hpp"
+#include "data/corruption.hpp"
+#include "data/dataset_sim.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sofia;
+  Flags flags(argc, argv);
+  const double missing = flags.GetDouble("missing", 30.0);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 3));
+
+  Dataset traffic = MakeNetworkTraffic(DatasetScale::kSmall);
+  traffic.slices.resize(7 * traffic.period);
+  const size_t horizon = traffic.period;  // One full future season.
+  const size_t train = traffic.slices.size() - horizon;
+
+  CorruptedStream sofia_stream =
+      Corrupt(traffic.slices, {missing, 20.0, 5.0}, seed);
+  CorruptedStream smf_stream =
+      Corrupt(traffic.slices, {0.0, 20.0, 5.0}, seed + 1);
+
+  // Train SOFIA on the corrupted prefix.
+  SofiaConfig config = MakeExperimentConfig(traffic, sofia_stream);
+  const size_t window = config.InitWindow();
+  std::vector<DenseTensor> init_slices(sofia_stream.slices.begin(),
+                                       sofia_stream.slices.begin() + window);
+  std::vector<Mask> init_masks(sofia_stream.masks.begin(),
+                               sofia_stream.masks.begin() + window);
+  SofiaModel model = SofiaModel::Initialize(init_slices, init_masks, config);
+  for (size_t t = window; t < train; ++t) {
+    model.Step(sofia_stream.slices[t], sofia_stream.masks[t]);
+  }
+
+  // Train SMF on its fully observed prefix.
+  Smf smf(SmfOptions{.rank = traffic.rank, .period = traffic.period});
+  for (size_t t = 0; t < train; ++t) {
+    smf.Step(smf_stream.slices[t], smf_stream.masks[t]);
+  }
+
+  std::printf("Forecasting %zu steps of %s traffic (SOFIA trained with "
+              "%.0f%% missing + 20%% outliers; SMF fully observed + "
+              "outliers)\n\n",
+              horizon, traffic.slices[0].shape().ToString().c_str(), missing);
+  Table table({"h", "SOFIA NRE", "SMF NRE"});
+  double sofia_sum = 0.0, smf_sum = 0.0;
+  for (size_t h = 1; h <= horizon; ++h) {
+    const DenseTensor& truth = traffic.slices[train + h - 1];
+    const double sofia_nre =
+        NormalizedResidualError(model.Forecast(h), truth);
+    const double smf_nre = NormalizedResidualError(smf.Forecast(h), truth);
+    sofia_sum += sofia_nre;
+    smf_sum += smf_nre;
+    table.AddRow({std::to_string(h), Table::Num(sofia_nre),
+                  Table::Num(smf_nre)});
+  }
+  table.AddRow({"AFE", Table::Num(sofia_sum / horizon),
+                Table::Num(smf_sum / horizon)});
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("SOFIA's outlier rejection keeps the seasonal model clean, so "
+              "its forecasts hold up even with %.0f%% of the training data "
+              "missing.\n", missing);
+  return 0;
+}

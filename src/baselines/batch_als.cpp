@@ -1,0 +1,35 @@
+#include "baselines/batch_als.hpp"
+
+#include "core/sofia_als.hpp"
+#include "util/rng.hpp"
+
+namespace sofia {
+
+BatchAlsResult BatchAls(const DenseTensor& y, const Mask& omega,
+                        const BatchAlsOptions& options) {
+  Rng rng(options.seed);
+  std::vector<Matrix> factors;
+  factors.reserve(y.order());
+  for (size_t n = 0; n < y.order(); ++n) {
+    factors.push_back(Matrix::Random(y.dim(n), options.rank, rng, 0.0, 1.0));
+  }
+
+  // SOFIA_ALS with the smoothness penalties disabled *is* vanilla ALS for
+  // incomplete tensors; reuse the sweep engine instead of duplicating it.
+  SofiaConfig config;
+  config.rank = options.rank;
+  config.max_als_iterations = options.max_iterations;
+  config.tolerance = options.tolerance;
+  DenseTensor no_outliers(y.shape(), 0.0);
+  SofiaAlsResult als = SofiaAls(y, omega, no_outliers, config, &factors,
+                                /*smooth_temporal=*/false);
+
+  BatchAlsResult result;
+  result.factors = std::move(factors);
+  result.completed = std::move(als.completed);
+  result.fitness = als.fitness;
+  result.sweeps = als.sweeps;
+  return result;
+}
+
+}  // namespace sofia

@@ -1,0 +1,43 @@
+#ifndef SOFIA_BASELINES_BATCH_ALS_H_
+#define SOFIA_BASELINES_BATCH_ALS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/mask.hpp"
+
+/// \file batch_als.hpp
+/// \brief Vanilla batch ALS for incomplete tensors [43].
+///
+/// The classical alternating-least-squares CP factorization that only fits
+/// the observed entries — no smoothness, no outlier handling. It is the
+/// Fig. 2 initialization baseline and the factorization engine of CPHW.
+
+namespace sofia {
+
+/// Result of a batch ALS run.
+struct BatchAlsResult {
+  std::vector<Matrix> factors;  ///< One I_n x R matrix per mode.
+  DenseTensor completed;        ///< [[U^(1),...,U^(N)]].
+  double fitness = 0.0;
+  int sweeps = 0;
+};
+
+/// Options for BatchAls.
+struct BatchAlsOptions {
+  size_t rank = 5;
+  int max_iterations = 300;
+  double tolerance = 1e-4;
+  uint64_t seed = 29;
+};
+
+/// Factorizes the incomplete tensor `y` (any order; last mode temporal by
+/// convention) from a random start.
+BatchAlsResult BatchAls(const DenseTensor& y, const Mask& omega,
+                        const BatchAlsOptions& options);
+
+}  // namespace sofia
+
+#endif  // SOFIA_BASELINES_BATCH_ALS_H_

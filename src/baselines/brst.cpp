@@ -1,0 +1,151 @@
+#include "baselines/brst.hpp"
+
+#include <cmath>
+
+#include "baselines/common.hpp"
+#include "linalg/solve.hpp"
+#include "tensor/kruskal.hpp"
+
+namespace sofia {
+
+DenseTensor BrstLite::Step(const DenseTensor& y, const Mask& omega) {
+  const size_t rank = options_.rank;
+  if (factors_.empty()) {
+    factors_ = RandomNontemporalFactors(y.shape(), rank, options_.seed);
+    ard_precision_.assign(rank, 1.0);
+  }
+
+  // Temporal row with ARD-weighted ridge: strongly-pruned columns are
+  // pinned near zero.
+  const Shape& shape = y.shape();
+  Matrix b(rank, rank);
+  std::vector<double> c(rank, 0.0);
+  std::vector<size_t> idx(shape.order(), 0);
+  std::vector<double> h(rank);
+  for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
+    if (omega.Get(linear)) {
+      for (size_t r = 0; r < rank; ++r) {
+        double p = 1.0;
+        for (size_t l = 0; l < factors_.size(); ++l) {
+          p *= factors_[l](idx[l], r);
+        }
+        h[r] = p;
+      }
+      for (size_t r = 0; r < rank; ++r) {
+        c[r] += y[linear] * h[r];
+        double* brow = b.Row(r);
+        for (size_t q = 0; q < rank; ++q) brow[q] += h[r] * h[q];
+      }
+    }
+    shape.Next(&idx);
+  }
+  for (size_t r = 0; r < rank; ++r) {
+    b(r, r) += options_.ridge + noise_var_ * ard_precision_[r];
+  }
+  std::vector<double> w = SolveRidge(b, c);
+
+  // Student-t responsibility gating: heavy residuals get weight ~ nu/r².
+  const double nu = options_.student_nu;
+  std::vector<Matrix> grads;
+  grads.reserve(factors_.size());
+  for (const Matrix& f : factors_) grads.emplace_back(f.rows(), rank, 0.0);
+  double weighted_sq = 0.0, weight_sum = 0.0;
+  idx.assign(shape.order(), 0);
+  for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
+    if (omega.Get(linear)) {
+      double recon = 0.0;
+      for (size_t r = 0; r < rank; ++r) {
+        double p = w[r];
+        for (size_t l = 0; l < factors_.size(); ++l) {
+          p *= factors_[l](idx[l], r);
+        }
+        h[r] = p;  // h now holds per-rank contributions (w included).
+        recon += p;
+      }
+      const double resid = y[linear] - recon;
+      const double gate =
+          (nu + 1.0) / (nu + resid * resid / std::max(noise_var_, 1e-12));
+      weighted_sq += gate * resid * resid;
+      weight_sum += gate;
+      const double g = gate * resid;
+      for (size_t l = 0; l < factors_.size(); ++l) {
+        double* grow = grads[l].Row(idx[l]);
+        const double* frow = factors_[l].Row(idx[l]);
+        for (size_t r = 0; r < rank; ++r) {
+          // d recon / d u^(l)_r = h_r / u^(l)_r when the entry is nonzero;
+          // recompute the leave-one-out product otherwise.
+          double loo;
+          if (frow[r] != 0.0) {
+            loo = h[r] / frow[r];
+          } else {
+            loo = w[r];
+            for (size_t l2 = 0; l2 < factors_.size(); ++l2) {
+              if (l2 != l) loo *= factors_[l2](idx[l2], r);
+            }
+          }
+          grow[r] += g * loo;
+        }
+      }
+    }
+    shape.Next(&idx);
+  }
+  // MAP gradient step with the ARD Gaussian prior: besides the data term,
+  // each column r decays by its precision γ_r. Low-energy columns get a
+  // large γ, decay further, and spiral into pruning — the rank-collapse
+  // dynamic of variational robust factorization.
+  for (size_t l = 0; l < factors_.size(); ++l) {
+    grads[l] *= 2.0 * options_.learning_rate;
+    factors_[l] += grads[l];
+    for (size_t r = 0; r < rank; ++r) {
+      const double decay = std::max(
+          0.1, 1.0 - options_.learning_rate * noise_var_ *
+                         ard_precision_[r] /
+                         static_cast<double>(factors_[l].rows()));
+      for (size_t i = 0; i < factors_[l].rows(); ++i) {
+        factors_[l](i, r) *= decay;
+      }
+    }
+  }
+  if (weight_sum > 0.0) {
+    noise_var_ = 0.9 * noise_var_ + 0.1 * (weighted_sq / weight_sum);
+  }
+
+  // ARD update: precision inversely proportional to column energy. Columns
+  // with vanishing energy get an enormous precision, which pins their
+  // temporal weights to zero on the next step — the rank-collapse dynamic.
+  for (size_t r = 0; r < rank; ++r) {
+    double energy = w[r] * w[r];
+    size_t count = 1;
+    for (const Matrix& f : factors_) {
+      energy += f.ColNorm(r) * f.ColNorm(r);
+      count += f.rows();
+    }
+    ard_precision_[r] = options_.ard_strength * static_cast<double>(count) /
+                        std::max(energy, 1e-12);
+  }
+
+  // Zero out the temporal weight of pruned columns in the reconstruction.
+  for (size_t r = 0; r < rank; ++r) {
+    double energy = 0.0;
+    for (const Matrix& f : factors_) energy += f.ColNorm(r) * f.ColNorm(r);
+    if (energy < options_.prune_threshold) w[r] = 0.0;
+  }
+  return KruskalSlice(factors_, w);
+}
+
+size_t BrstLite::EffectiveRank() const {
+  if (factors_.empty()) return options_.rank;
+  size_t rank = 0;
+  for (size_t r = 0; r < options_.rank; ++r) {
+    // A column survives if every factor carries non-trivial energy in it
+    // *and* ARD has not pinned it (precision below the pin level).
+    double energy = 0.0;
+    for (const Matrix& f : factors_) energy += f.ColNorm(r) * f.ColNorm(r);
+    const bool pinned =
+        ard_precision_[r] * noise_var_ > 1.0 / options_.prune_threshold;
+    if (energy > options_.prune_threshold && !pinned) ++rank;
+  }
+  return rank;
+}
+
+}  // namespace sofia

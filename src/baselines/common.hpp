@@ -1,0 +1,63 @@
+#ifndef SOFIA_BASELINES_COMMON_H_
+#define SOFIA_BASELINES_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/mask.hpp"
+
+/// \file common.hpp
+/// \brief Shared kernels for the streaming baselines.
+///
+/// Every streaming CP method repeats the same two motifs on each incoming
+/// slice: (a) solve for the temporal row w_t given the non-temporal factors
+/// (a ridge-regularized R x R normal-equation solve over the observed
+/// entries), and (b) push the factors toward the residual (gradient or
+/// closed-form row updates). These helpers implement both motifs once, with
+/// leave-one-out factor products computed via prefix/suffix arrays.
+
+namespace sofia {
+
+/// Solves `min_w ||Ω ⊛ (Y - O - [[factors; w]])||^2 + ridge ||w||^2`.
+/// `subtract` may be null (treated as zero, the common case).
+std::vector<double> SolveTemporalRow(const DenseTensor& y, const Mask& omega,
+                                     const DenseTensor* subtract,
+                                     const std::vector<Matrix>& factors,
+                                     double ridge);
+
+/// Gradients of `0.5 ||Ω ⊛ (Y - O - [[factors; w]])||^2` w.r.t. each
+/// non-temporal factor, all evaluated at the *current* factors (so a caller
+/// can apply them simultaneously, as the papers' update rules prescribe).
+/// Returned matrices have the factor shapes. `subtract` may be null.
+/// If `row_traces` is non-null it receives, per mode and per row, the trace
+/// of the instantaneous Gauss-Newton Hessian of that row (sum of squared
+/// regressors) — callers use it to cap SGD steps inside the stability
+/// region, standing in for the per-dataset step grid search the paper
+/// performed for its baselines.
+std::vector<Matrix> FactorGradients(
+    const DenseTensor& y, const Mask& omega, const DenseTensor* subtract,
+    const std::vector<Matrix>& factors, const std::vector<double>& w,
+    std::vector<std::vector<double>>* row_traces = nullptr);
+
+/// Random U[0,1) factor matrices for the non-temporal modes of `slice_shape`.
+std::vector<Matrix> RandomNontemporalFactors(const Shape& slice_shape,
+                                             size_t rank, uint64_t seed);
+
+/// Per-row normal equations of a slice: for each row i of mode `mode`,
+/// B_i = Σ h h^T and c_i = Σ (y - o) h over observed entries with that row
+/// index, where h = w ⊛ (⊛_{l != mode} u^(l)_{i_l}).
+struct SliceRowSystems {
+  std::vector<Matrix> b;
+  std::vector<std::vector<double>> c;
+};
+SliceRowSystems BuildSliceRowSystems(const DenseTensor& y, const Mask& omega,
+                                     const DenseTensor* subtract,
+                                     const std::vector<Matrix>& factors,
+                                     const std::vector<double>& w,
+                                     size_t mode);
+
+}  // namespace sofia
+
+#endif  // SOFIA_BASELINES_COMMON_H_

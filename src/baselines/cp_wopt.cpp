@@ -1,0 +1,163 @@
+#include "baselines/cp_wopt.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "optim/lbfgsb.hpp"
+#include "tensor/kruskal.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sofia {
+
+namespace {
+
+/// Total number of scalar parameters across factors.
+size_t ParameterCount(const Shape& shape, size_t rank) {
+  size_t n = 0;
+  for (size_t mode = 0; mode < shape.order(); ++mode) {
+    n += shape.dim(mode) * rank;
+  }
+  return n;
+}
+
+/// Packs factor matrices into a flat parameter vector (mode-major).
+std::vector<double> Pack(const std::vector<Matrix>& factors) {
+  std::vector<double> x;
+  for (const Matrix& f : factors) {
+    x.insert(x.end(), f.data(), f.data() + f.size());
+  }
+  return x;
+}
+
+/// Unpacks a flat parameter vector into factor matrices of the given shape.
+std::vector<Matrix> Unpack(const std::vector<double>& x, const Shape& shape,
+                           size_t rank) {
+  std::vector<Matrix> factors;
+  size_t offset = 0;
+  for (size_t mode = 0; mode < shape.order(); ++mode) {
+    Matrix f(shape.dim(mode), rank);
+    std::copy(x.begin() + static_cast<long>(offset),
+              x.begin() + static_cast<long>(offset + f.size()), f.data());
+    offset += f.size();
+    factors.push_back(std::move(f));
+  }
+  return factors;
+}
+
+/// Objective adapter for the quasi-Newton solver with analytic gradients.
+class CpWoptObjective : public Objective {
+ public:
+  CpWoptObjective(const DenseTensor& y, const Mask& omega, size_t rank)
+      : y_(y), omega_(omega), rank_(rank) {}
+
+  double Value(const std::vector<double>& x) const override {
+    return CpWoptLoss(y_, omega_, Unpack(x, y_.shape(), rank_));
+  }
+
+  void Gradient(const std::vector<double>& x,
+                std::vector<double>* grad) const override {
+    std::vector<Matrix> g =
+        CpWoptGradient(y_, omega_, Unpack(x, y_.shape(), rank_));
+    *grad = Pack(g);
+  }
+
+ private:
+  const DenseTensor& y_;
+  const Mask& omega_;
+  size_t rank_;
+};
+
+}  // namespace
+
+double CpWoptLoss(const DenseTensor& y, const Mask& omega,
+                  const std::vector<Matrix>& factors) {
+  const Shape& shape = y.shape();
+  std::vector<size_t> idx(shape.order(), 0);
+  double loss = 0.0;
+  for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
+    if (omega.Get(linear)) {
+      const double r = y[linear] - KruskalEntry(factors, idx);
+      loss += 0.5 * r * r;
+    }
+    shape.Next(&idx);
+  }
+  return loss;
+}
+
+std::vector<Matrix> CpWoptGradient(const DenseTensor& y, const Mask& omega,
+                                   const std::vector<Matrix>& factors) {
+  const Shape& shape = y.shape();
+  const size_t rank = factors[0].cols();
+  const size_t num_modes = factors.size();
+  std::vector<Matrix> grads;
+  grads.reserve(num_modes);
+  for (const Matrix& f : factors) grads.emplace_back(f.rows(), rank, 0.0);
+
+  std::vector<size_t> idx(shape.order(), 0);
+  std::vector<double> prefix((num_modes + 1) * rank);
+  std::vector<double> suffix((num_modes + 1) * rank);
+  for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
+    if (omega.Get(linear)) {
+      for (size_t r = 0; r < rank; ++r) prefix[r] = 1.0;
+      for (size_t l = 0; l < num_modes; ++l) {
+        const double* row = factors[l].Row(idx[l]);
+        const double* cur = &prefix[l * rank];
+        double* nxt = &prefix[(l + 1) * rank];
+        for (size_t r = 0; r < rank; ++r) nxt[r] = cur[r] * row[r];
+      }
+      for (size_t r = 0; r < rank; ++r) suffix[num_modes * rank + r] = 1.0;
+      for (size_t l = num_modes; l-- > 0;) {
+        const double* row = factors[l].Row(idx[l]);
+        const double* cur = &suffix[(l + 1) * rank];
+        double* nxt = &suffix[l * rank];
+        for (size_t r = 0; r < rank; ++r) nxt[r] = cur[r] * row[r];
+      }
+      double recon = 0.0;
+      const double* full = &prefix[num_modes * rank];
+      for (size_t r = 0; r < rank; ++r) recon += full[r];
+      const double resid = y[linear] - recon;
+      // d loss / d U^(l)(i_l, r) = -resid * prod_{l' != l} U^(l')(i_{l'}, r).
+      for (size_t l = 0; l < num_modes; ++l) {
+        double* grow = grads[l].Row(idx[l]);
+        const double* pre = &prefix[l * rank];
+        const double* suf = &suffix[(l + 1) * rank];
+        for (size_t r = 0; r < rank; ++r) {
+          grow[r] -= resid * pre[r] * suf[r];
+        }
+      }
+    }
+    shape.Next(&idx);
+  }
+  return grads;
+}
+
+CpWoptResult CpWopt(const DenseTensor& y, const Mask& omega,
+                    const CpWoptOptions& options) {
+  SOFIA_CHECK(y.shape() == omega.shape());
+  Rng rng(options.seed);
+  std::vector<Matrix> init;
+  for (size_t mode = 0; mode < y.order(); ++mode) {
+    init.push_back(Matrix::Random(y.dim(mode), options.rank, rng, 0.0, 1.0));
+  }
+
+  CpWoptObjective objective(y, omega, options.rank);
+  const size_t n = ParameterCount(y.shape(), options.rank);
+  const std::vector<double> lower(n, -std::numeric_limits<double>::infinity());
+  const std::vector<double> upper(n, std::numeric_limits<double>::infinity());
+  LbfgsbOptions solver_options;
+  solver_options.max_iterations = options.max_iterations;
+  solver_options.gradient_tolerance = options.gradient_tolerance;
+  LbfgsbResult solved =
+      LbfgsbMinimize(objective, Pack(init), lower, upper, solver_options);
+
+  CpWoptResult result;
+  result.factors = Unpack(solved.x, y.shape(), options.rank);
+  result.completed = KruskalTensor(result.factors);
+  result.loss = solved.f;
+  result.iterations = solved.iterations;
+  result.converged = solved.converged;
+  return result;
+}
+
+}  // namespace sofia

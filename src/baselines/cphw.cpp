@@ -1,0 +1,52 @@
+#include "baselines/cphw.hpp"
+
+#include "baselines/batch_als.hpp"
+#include "tensor/kruskal.hpp"
+#include "util/check.hpp"
+
+namespace sofia {
+
+DenseTensor Cphw::Step(const DenseTensor& y, const Mask& omega) {
+  history_.push_back(y);
+  mask_history_.push_back(omega);
+  fitted_ = false;
+  return omega.Apply(y);
+}
+
+void Cphw::FitIfNeeded() const {
+  if (fitted_) return;
+  SOFIA_CHECK_GE(history_.size(), 2 * options_.period)
+      << "CPHW needs two full seasons of history";
+
+  DenseTensor batch = DenseTensor::StackSlices(history_);
+  Mask omega = Mask::StackSlices(mask_history_);
+  BatchAlsOptions als_options;
+  als_options.rank = options_.rank;
+  als_options.max_iterations = options_.max_iterations;
+  als_options.tolerance = options_.tolerance;
+  als_options.seed = options_.seed;
+  BatchAlsResult als = BatchAls(batch, omega, als_options);
+
+  Matrix temporal = als.factors.back();
+  als.factors.pop_back();
+  nontemporal_ = std::move(als.factors);
+  hw_fits_.clear();
+  hw_fits_.reserve(options_.rank);
+  for (size_t r = 0; r < options_.rank; ++r) {
+    hw_fits_.push_back(FitHoltWinters(temporal.ColVector(r), options_.period));
+  }
+  fitted_ = true;
+}
+
+DenseTensor Cphw::Forecast(size_t h) const {
+  SOFIA_CHECK_GE(h, 1u);
+  FitIfNeeded();
+  std::vector<double> row(options_.rank);
+  for (size_t r = 0; r < options_.rank; ++r) {
+    HoltWinters hw = ModelFromFit(hw_fits_[r], options_.period);
+    row[r] = hw.Forecast(h);
+  }
+  return KruskalSlice(nontemporal_, row);
+}
+
+}  // namespace sofia

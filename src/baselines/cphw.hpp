@@ -1,0 +1,61 @@
+#ifndef SOFIA_BASELINES_CPHW_H_
+#define SOFIA_BASELINES_CPHW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/streaming_method.hpp"
+#include "linalg/matrix.hpp"
+#include "timeseries/hw_fit.hpp"
+
+/// \file cphw.hpp
+/// \brief CPHW baseline (Dunlavy et al., TKDD 2011 [17]).
+///
+/// Batch CP factorization of the accumulated history followed by a
+/// Holt-Winters extrapolation of the temporal factor: the classic
+/// "factorize, then forecast the temporal mode" recipe. It is a batch
+/// method — the factorization is recomputed from scratch when a forecast is
+/// requested — and it has no missing-value or outlier handling beyond what
+/// ALS-on-observed-entries provides.
+
+namespace sofia {
+
+/// Options for Cphw.
+struct CphwOptions {
+  size_t rank = 5;
+  size_t period = 7;
+  int max_iterations = 100;
+  double tolerance = 1e-4;
+  uint64_t seed = 31;
+};
+
+/// CPHW method: accumulates slices, factorizes on demand, forecasts via HW.
+class Cphw : public StreamingMethod {
+ public:
+  explicit Cphw(CphwOptions options) : options_(options) {}
+
+  std::string name() const override { return "CPHW"; }
+
+  /// Stores the slice; the "estimate" is the observed data itself (CPHW is
+  /// a forecasting method, not an imputation competitor in the paper).
+  DenseTensor Step(const DenseTensor& y, const Mask& omega) override;
+
+  bool SupportsForecast() const override { return true; }
+  DenseTensor Forecast(size_t h) const override;
+
+ private:
+  void FitIfNeeded() const;
+
+  CphwOptions options_;
+  std::vector<DenseTensor> history_;
+  std::vector<Mask> mask_history_;
+
+  // Lazily-computed factorization + HW fits (invalidated by new data).
+  mutable bool fitted_ = false;
+  mutable std::vector<Matrix> nontemporal_;
+  mutable std::vector<HwFit> hw_fits_;
+};
+
+}  // namespace sofia
+
+#endif  // SOFIA_BASELINES_CPHW_H_

@@ -1,0 +1,43 @@
+#include "baselines/mast.hpp"
+
+#include "baselines/common.hpp"
+#include "linalg/solve.hpp"
+#include "tensor/kruskal.hpp"
+
+namespace sofia {
+
+DenseTensor Mast::Step(const DenseTensor& y, const Mask& omega) {
+  if (factors_.empty()) {
+    factors_ = RandomNontemporalFactors(y.shape(), options_.rank,
+                                        options_.seed);
+  }
+  const size_t rank = options_.rank;
+  const double mu = options_.prox_weight;
+  const std::vector<Matrix> previous = factors_;
+
+  std::vector<double> w(rank, 0.0);
+  for (int iter = 0; iter < options_.inner_iterations; ++iter) {
+    w = SolveTemporalRow(y, omega, nullptr, factors_, options_.ridge);
+    // Closed-form proximal row updates:
+    // u_i = (B_i + μI)^{-1} (c_i + μ u_i^{prev}).
+    for (size_t mode = 0; mode < factors_.size(); ++mode) {
+      SliceRowSystems sys =
+          BuildSliceRowSystems(y, omega, nullptr, factors_, w, mode);
+      Matrix& u = factors_[mode];
+      for (size_t i = 0; i < u.rows(); ++i) {
+        Matrix b = sys.b[i];
+        std::vector<double> c = sys.c[i];
+        const double* prev_row = previous[mode].Row(i);
+        for (size_t r = 0; r < rank; ++r) {
+          b(r, r) += mu;
+          c[r] += mu * prev_row[r];
+        }
+        u.SetRow(i, SolveRidge(b, c));
+      }
+    }
+  }
+  w = SolveTemporalRow(y, omega, nullptr, factors_, options_.ridge);
+  return KruskalSlice(factors_, w);
+}
+
+}  // namespace sofia

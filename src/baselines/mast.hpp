@@ -1,0 +1,48 @@
+#ifndef SOFIA_BASELINES_MAST_H_
+#define SOFIA_BASELINES_MAST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/streaming_method.hpp"
+#include "linalg/matrix.hpp"
+
+/// \file mast.hpp
+/// \brief MAST baseline (Song et al., KDD 2017 [13]), temporal-growth path.
+///
+/// MAST handles tensors that grow in multiple modes; the paper's streams
+/// grow only along time, so we implement that path (the one the paper's
+/// experiments exercise): at each step the new slice is completed by
+/// alternating closed-form row updates with a proximal pull toward the
+/// previous factors (the forgetting-weighted history surrogate of MAST's
+/// objective). No outlier handling, no seasonality.
+
+namespace sofia {
+
+/// Options for Mast.
+struct MastOptions {
+  size_t rank = 5;
+  double prox_weight = 1.0;  ///< μ: pull toward the previous factors.
+  double ridge = 1e-6;       ///< Tikhonov weight of the temporal solve.
+  int inner_iterations = 2;  ///< Alternating rounds per slice.
+  uint64_t seed = 13;
+};
+
+/// MAST streaming method (temporal growth only; no init window).
+class Mast : public StreamingMethod {
+ public:
+  explicit Mast(MastOptions options) : options_(options) {}
+
+  std::string name() const override { return "MAST"; }
+  DenseTensor Step(const DenseTensor& y, const Mask& omega) override;
+
+  const std::vector<Matrix>& factors() const { return factors_; }
+
+ private:
+  MastOptions options_;
+  std::vector<Matrix> factors_;
+};
+
+}  // namespace sofia
+
+#endif  // SOFIA_BASELINES_MAST_H_

@@ -1,0 +1,72 @@
+#include "baselines/olstec.hpp"
+
+#include "baselines/common.hpp"
+#include "linalg/vector_ops.hpp"
+#include "tensor/kruskal.hpp"
+#include "util/check.hpp"
+
+namespace sofia {
+
+DenseTensor Olstec::Step(const DenseTensor& y, const Mask& omega) {
+  const size_t rank = options_.rank;
+  if (factors_.empty()) {
+    factors_ = RandomNontemporalFactors(y.shape(), rank, options_.seed);
+    cov_.resize(factors_.size());
+    for (size_t l = 0; l < factors_.size(); ++l) {
+      cov_[l].assign(factors_[l].rows(), Matrix::Identity(rank) *
+                                             options_.delta);
+    }
+  }
+
+  std::vector<double> w =
+      SolveTemporalRow(y, omega, nullptr, factors_, options_.ridge);
+
+  // Row-wise RLS sweep over the observed entries: for each entry and each
+  // mode, the regressor is h = w ⊛ (⊛_{l != mode} u^(l)) and the target is
+  // the entry value; P and the row are updated with exponential forgetting.
+  const Shape& shape = y.shape();
+  const double lambda_f = options_.forgetting;
+  std::vector<size_t> idx(shape.order(), 0);
+  std::vector<double> h(rank), ph(rank);
+  for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
+    if (omega.Get(linear)) {
+      for (size_t mode = 0; mode < factors_.size(); ++mode) {
+        for (size_t r = 0; r < rank; ++r) {
+          double p = w[r];
+          for (size_t l = 0; l < factors_.size(); ++l) {
+            if (l != mode) p *= factors_[l](idx[l], r);
+          }
+          h[r] = p;
+        }
+        Matrix& p_mat = cov_[mode][idx[mode]];
+        // Gain k = P h / (λ_f + h^T P h); P <- (P - k h^T P) / λ_f.
+        for (size_t r = 0; r < rank; ++r) {
+          const double* prow = p_mat.Row(r);
+          double s = 0.0;
+          for (size_t q = 0; q < rank; ++q) s += prow[q] * h[q];
+          ph[r] = s;
+        }
+        const double denom = lambda_f + Dot(h, ph);
+        double* urow = factors_[mode].Row(idx[mode]);
+        double pred = 0.0;
+        for (size_t r = 0; r < rank; ++r) pred += urow[r] * h[r];
+        const double err = y[linear] - pred;
+        for (size_t r = 0; r < rank; ++r) {
+          const double gain = ph[r] / denom;
+          urow[r] += gain * err;
+          double* prow = p_mat.Row(r);
+          for (size_t q = 0; q < rank; ++q) {
+            prow[q] = (prow[q] - gain * ph[q]) / lambda_f;
+          }
+        }
+      }
+    }
+    shape.Next(&idx);
+  }
+
+  // Re-solve the temporal row against the refreshed factors.
+  w = SolveTemporalRow(y, omega, nullptr, factors_, options_.ridge);
+  return KruskalSlice(factors_, w);
+}
+
+}  // namespace sofia

@@ -1,0 +1,42 @@
+#include "baselines/online_sgd.hpp"
+
+#include <algorithm>
+
+#include "baselines/common.hpp"
+#include "tensor/kruskal.hpp"
+
+namespace sofia {
+
+DenseTensor OnlineSgd::Step(const DenseTensor& y, const Mask& omega) {
+  if (factors_.empty()) {
+    factors_ = RandomNontemporalFactors(y.shape(), options_.rank,
+                                        options_.seed);
+  }
+  // Temporal row: regularized LS on the observed entries.
+  std::vector<double> w =
+      SolveTemporalRow(y, omega, nullptr, factors_, options_.ridge);
+
+  // One SGD step on each non-temporal factor (all gradients at the current
+  // iterate, applied simultaneously). The step is capped at the per-row
+  // stability bound 0.5 / tr(H_row) — the paper tuned each baseline's step
+  // by grid search, and an uncapped 0.1 step diverges on small slices.
+  std::vector<std::vector<double>> traces;
+  std::vector<Matrix> grads =
+      FactorGradients(y, omega, nullptr, factors_, w, &traces);
+  for (size_t l = 0; l < factors_.size(); ++l) {
+    for (size_t i = 0; i < factors_[l].rows(); ++i) {
+      const double trace = traces[l][i];
+      const double mu =
+          trace > 0.0 ? std::min(options_.learning_rate, 0.5 / trace)
+                      : options_.learning_rate;
+      double* row = factors_[l].Row(i);
+      const double* grow = grads[l].Row(i);
+      for (size_t r = 0; r < options_.rank; ++r) {
+        row[r] += 2.0 * mu * grow[r];
+      }
+    }
+  }
+  return KruskalSlice(factors_, w);
+}
+
+}  // namespace sofia

@@ -1,0 +1,50 @@
+#ifndef SOFIA_BASELINES_OR_MSTC_H_
+#define SOFIA_BASELINES_OR_MSTC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/streaming_method.hpp"
+#include "linalg/matrix.hpp"
+
+/// \file or_mstc.hpp
+/// \brief OR-MSTC baseline (Najafi et al., IJCAI 2019 [15]).
+///
+/// Outlier-robust multi-aspect streaming completion, temporal-growth path:
+/// each slice is decomposed as low-rank + sparse by alternating (a) the
+/// temporal row solve on the outlier-cleaned slice, (b) proximal factor row
+/// updates, and (c) soft-thresholding the residual into the outlier slab.
+/// The method targets structured (mode-aligned) outliers, so its threshold
+/// is a global one — exactly why the paper finds it weaker on element-wise
+/// corruption (Section VI-C).
+
+namespace sofia {
+
+/// Options for OrMstc.
+struct OrMstcOptions {
+  size_t rank = 5;
+  double prox_weight = 1.0;     ///< μ: pull toward the previous factors.
+  double outlier_lambda = 1.0;  ///< Soft threshold for the sparse slab.
+  double ridge = 1e-6;
+  int inner_iterations = 3;
+  uint64_t seed = 17;
+};
+
+/// OR-MSTC streaming method (no init window).
+class OrMstc : public StreamingMethod {
+ public:
+  explicit OrMstc(OrMstcOptions options) : options_(options) {}
+
+  std::string name() const override { return "OR-MSTC"; }
+  DenseTensor Step(const DenseTensor& y, const Mask& omega) override;
+
+  const std::vector<Matrix>& factors() const { return factors_; }
+
+ private:
+  OrMstcOptions options_;
+  std::vector<Matrix> factors_;
+};
+
+}  // namespace sofia
+
+#endif  // SOFIA_BASELINES_OR_MSTC_H_

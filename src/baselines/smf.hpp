@@ -1,0 +1,58 @@
+#ifndef SOFIA_BASELINES_SMF_H_
+#define SOFIA_BASELINES_SMF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/streaming_method.hpp"
+#include "linalg/matrix.hpp"
+
+/// \file smf.hpp
+/// \brief SMF baseline (Hooi et al., SDM 2019 [16]).
+///
+/// Drift-aware streaming matrix factorization with seasonal patterns: each
+/// incoming subtensor is vectorized into a column of a matrix stream
+/// vec(Y_t) ≈ A w_t; the loading matrix A drifts via SGD and the latent
+/// weights w_t carry a level/trend/seasonal decomposition used for
+/// forecasting. SMF assumes fully-observed data and has no outlier
+/// rejection — the two Table I gaps the Fig. 6 experiment exposes.
+
+namespace sofia {
+
+/// Options for Smf.
+struct SmfOptions {
+  size_t rank = 5;
+  size_t period = 7;           ///< Seasonal period m.
+  double learning_rate = 0.1;  ///< SGD step on the loading matrix.
+  double ridge = 1e-6;
+  double level_alpha = 0.3;    ///< Level smoothing of the latent weights.
+  double trend_beta = 0.05;    ///< Trend smoothing.
+  double season_gamma = 0.3;   ///< Seasonal smoothing.
+  uint64_t seed = 23;
+};
+
+/// SMF streaming method (forecast-capable; no init window).
+class Smf : public StreamingMethod {
+ public:
+  explicit Smf(SmfOptions options) : options_(options) {}
+
+  std::string name() const override { return "SMF"; }
+  DenseTensor Step(const DenseTensor& y, const Mask& omega) override;
+
+  bool SupportsForecast() const override { return true; }
+  DenseTensor Forecast(size_t h) const override;
+
+ private:
+  SmfOptions options_;
+  Shape slice_shape_;
+  Matrix loadings_;  ///< A: (prod slice dims) x R.
+  // Level/trend/seasonal state of the latent weights (vector HW form).
+  std::vector<double> level_, trend_;
+  std::vector<std::vector<double>> season_;
+  size_t season_pos_ = 0;
+  size_t steps_seen_ = 0;
+};
+
+}  // namespace sofia
+
+#endif  // SOFIA_BASELINES_SMF_H_

@@ -1,0 +1,32 @@
+#ifndef SOFIA_CORE_SOFIA_H_
+#define SOFIA_CORE_SOFIA_H_
+
+/// \file sofia.hpp
+/// \brief Umbrella header for the SOFIA library.
+///
+/// SOFIA (Seasonality-aware Outlier-robust Factorization of Incomplete
+/// streAming tensors; Lee & Shin, ICDE 2021) factorizes a stream of
+/// (N-1)-way subtensors that may contain missing entries and outliers,
+/// imputes the missing values, and forecasts future subtensors.
+///
+/// Typical usage:
+/// \code
+///   sofia::SofiaConfig config;
+///   config.rank = 5;
+///   config.period = 24;
+///   // Feed the first 3 seasons to Initialize(), then stream.
+///   auto model = sofia::SofiaModel::Initialize(init_slices, init_masks,
+///                                              config);
+///   for (...) {
+///     sofia::SofiaStepResult out = model.Step(y_t, omega_t);
+///     // out.imputed recovers the missing entries of y_t.
+///   }
+///   sofia::DenseTensor tomorrow = model.Forecast(1);
+/// \endcode
+
+#include "core/sofia_als.hpp"     // IWYU pragma: export
+#include "core/sofia_config.hpp"  // IWYU pragma: export
+#include "core/sofia_init.hpp"    // IWYU pragma: export
+#include "core/sofia_model.hpp"   // IWYU pragma: export
+
+#endif  // SOFIA_CORE_SOFIA_H_

@@ -1,0 +1,274 @@
+#include "core/sofia_als.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/solve.hpp"
+#include "linalg/vector_ops.hpp"
+#include "tensor/kruskal.hpp"
+#include "util/check.hpp"
+
+namespace sofia {
+
+namespace {
+
+/// Per-mode accumulation of the normal equations of Theorem 1: for every row
+/// i_n of mode `mode`, B[i_n] += h h^T and c[i_n] += y* h where
+/// h = ⊛_{l != mode} u^(l)_{i_l}, summed over observed entries in that slice.
+struct RowSystems {
+  std::vector<Matrix> b;               // One R x R matrix per row.
+  std::vector<std::vector<double>> c;  // One R vector per row.
+};
+
+RowSystems AccumulateRowSystems(const DenseTensor& y, const Mask& omega,
+                                const DenseTensor& o,
+                                const std::vector<Matrix>& factors,
+                                size_t mode) {
+  const Shape& shape = y.shape();
+  const size_t rank = factors[0].cols();
+  const size_t rows = shape.dim(mode);
+
+  RowSystems sys;
+  sys.b.assign(rows, Matrix(rank, rank));
+  sys.c.assign(rows, std::vector<double>(rank, 0.0));
+
+  std::vector<size_t> idx(shape.order(), 0);
+  std::vector<double> h(rank);
+  for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
+    if (omega.Get(linear)) {
+      for (size_t r = 0; r < rank; ++r) {
+        double p = 1.0;
+        for (size_t l = 0; l < factors.size(); ++l) {
+          if (l != mode) p *= factors[l](idx[l], r);
+        }
+        h[r] = p;
+      }
+      const double ystar = y[linear] - o[linear];
+      Matrix& b = sys.b[idx[mode]];
+      std::vector<double>& c = sys.c[idx[mode]];
+      for (size_t r = 0; r < rank; ++r) {
+        const double hr = h[r];
+        c[r] += ystar * hr;
+        double* brow = b.Row(r);
+        for (size_t q = 0; q < rank; ++q) brow[q] += hr * h[q];
+      }
+    }
+    shape.Next(&idx);
+  }
+  return sys;
+}
+
+/// Masked residual norm ||Ω ⊛ (Y* - X̂)||_F without materializing X̂.
+double MaskedResidualNorm(const DenseTensor& y, const Mask& omega,
+                          const DenseTensor& o,
+                          const std::vector<Matrix>& factors) {
+  const Shape& shape = y.shape();
+  std::vector<size_t> idx(shape.order(), 0);
+  double s = 0.0;
+  for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
+    if (omega.Get(linear)) {
+      const double r = (y[linear] - o[linear]) - KruskalEntry(factors, idx);
+      s += r * r;
+    }
+    shape.Next(&idx);
+  }
+  return std::sqrt(s);
+}
+
+double MaskedDataNorm(const DenseTensor& y, const Mask& omega,
+                      const DenseTensor& o) {
+  double s = 0.0;
+  for (size_t linear = 0; linear < y.NumElements(); ++linear) {
+    if (omega.Get(linear)) {
+      const double v = y[linear] - o[linear];
+      s += v * v;
+    }
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+double SoftThreshold(double x, double threshold) {
+  const double mag = std::fabs(x) - threshold;
+  if (mag <= 0.0) return 0.0;
+  return x >= 0.0 ? mag : -mag;
+}
+
+SofiaAlsResult SofiaAls(const DenseTensor& y, const Mask& omega,
+                        const DenseTensor& o, const SofiaConfig& config,
+                        std::vector<Matrix>* factors, bool smooth_temporal) {
+  SOFIA_CHECK(y.shape() == omega.shape());
+  SOFIA_CHECK(y.shape() == o.shape());
+  SOFIA_CHECK_EQ(factors->size(), y.order());
+  const size_t num_modes = y.order();
+  const size_t temporal = num_modes - 1;
+  const size_t rank = (*factors)[0].cols();
+  const size_t duration = y.dim(temporal);
+  const double lambda1 = smooth_temporal ? config.lambda1 : 0.0;
+  const double lambda2 = smooth_temporal ? config.lambda2 : 0.0;
+  const long period = static_cast<long>(config.period);
+
+  const double data_norm = MaskedDataNorm(y, omega, o);
+  double fitness = 0.0;
+  bool have_fitness = false;
+
+  auto all_finite = [&]() {
+    // 1e100 as "sane" bound: entries beyond it would overflow the h·h^T
+    // accumulation of the next sweep even though they are still finite.
+    for (const Matrix& f : *factors) {
+      for (size_t k = 0; k < f.size(); ++k) {
+        if (!std::isfinite(f.data()[k]) || std::fabs(f.data()[k]) > 1e100) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  // True if the accumulated normal equations of a row are numerically sane.
+  auto system_finite = [](const Matrix& b, const std::vector<double>& c) {
+    for (size_t k = 0; k < b.size(); ++k) {
+      if (!std::isfinite(b.data()[k])) return false;
+    }
+    for (double v : c) {
+      if (!std::isfinite(v)) return false;
+    }
+    return true;
+  };
+
+  // Scale-aware Tikhonov ridge (see SofiaConfig::factor_ridge): shifts a
+  // row system by factor_ridge * tr(B)/R, damping degenerate directions
+  // without distorting well-conditioned solves by more than ~factor_ridge.
+  auto apply_ridge = [&](Matrix* b) {
+    if (config.factor_ridge <= 0.0) return;
+    double trace = 0.0;
+    for (size_t r = 0; r < rank; ++r) trace += (*b)(r, r);
+    const double shift = config.factor_ridge * trace / static_cast<double>(rank);
+    for (size_t r = 0; r < rank; ++r) (*b)(r, r) += shift;
+  };
+
+  SofiaAlsResult result;
+  std::vector<Matrix> last_finite = *factors;
+  for (int sweep = 0; sweep < config.max_als_iterations && !result.diverged;
+       ++sweep) {
+    result.sweeps = sweep + 1;
+    // --- Non-temporal modes: exact row minimizers (Theorem 1). ---
+    for (size_t n = 0; n < temporal && !result.diverged; ++n) {
+      RowSystems sys = AccumulateRowSystems(y, omega, o, *factors, n);
+      Matrix& u = (*factors)[n];
+      for (size_t i = 0; i < u.rows(); ++i) {
+        if (!system_finite(sys.b[i], sys.c[i])) {
+          result.diverged = true;
+          break;
+        }
+        apply_ridge(&sys.b[i]);
+        std::vector<double> row = SolveRidge(sys.b[i], sys.c[i]);
+        u.SetRow(i, row);
+      }
+      if (result.diverged) break;
+      // Fold the new column norms into the temporal factor and normalize
+      // (Algorithm 2 lines 7-9). Zero columns are left untouched.
+      Matrix& ut = (*factors)[temporal];
+      for (size_t r = 0; r < rank; ++r) {
+        const double norm = u.ColNorm(r);
+        if (norm <= 0.0) continue;
+        for (size_t t = 0; t < ut.rows(); ++t) ut(t, r) *= norm;
+        for (size_t i = 0; i < u.rows(); ++i) u(i, r) /= norm;
+      }
+    }
+
+    // --- Temporal mode: smoothness-coupled row solves (Eq. (17)). ---
+    if (!result.diverged) {
+      RowSystems sys = AccumulateRowSystems(y, omega, o, *factors, temporal);
+      Matrix& ut = (*factors)[temporal];
+      for (size_t i = 0; i < duration; ++i) {
+        if (!system_finite(sys.b[i], sys.c[i])) {
+          result.diverged = true;
+          break;
+        }
+        Matrix b = sys.b[i];
+        std::vector<double> c = sys.c[i];
+        apply_ridge(&b);
+        const long ii = static_cast<long>(i);
+        double diag = 0.0;
+        // λ1-coupling with in-range +-1 neighbours; λ2 with +-m. Rows are
+        // solved in order, so earlier neighbours already hold new values
+        // (Gauss-Seidel), matching the paper's row-by-row schedule.
+        for (long j : {ii - 1, ii + 1}) {
+          if (j < 0 || j >= static_cast<long>(duration)) continue;
+          diag += lambda1;
+          const double* nrow = ut.Row(static_cast<size_t>(j));
+          for (size_t r = 0; r < rank; ++r) c[r] += lambda1 * nrow[r];
+        }
+        for (long j : {ii - period, ii + period}) {
+          if (j < 0 || j >= static_cast<long>(duration)) continue;
+          diag += lambda2;
+          const double* nrow = ut.Row(static_cast<size_t>(j));
+          for (size_t r = 0; r < rank; ++r) c[r] += lambda2 * nrow[r];
+        }
+        for (size_t r = 0; r < rank; ++r) b(r, r) += diag;
+        std::vector<double> row = SolveRidge(b, c);
+        ut.SetRow(i, row);
+      }
+    }
+
+    // Divergence guard: under heavy corruption the unregularized fit can
+    // blow past double range within a few sweeps (the paper's Fig. 2(b)
+    // phenomenon). Roll back to the last finite state and stop.
+    if (result.diverged || !all_finite()) {
+      *factors = std::move(last_finite);
+      result.diverged = true;
+      break;
+    }
+    last_finite = *factors;
+
+    // --- Fitness-based convergence test (Algorithm 2 lines 13-15). ---
+    const double residual = MaskedResidualNorm(y, omega, o, *factors);
+    const double new_fitness =
+        data_norm > 0.0 ? 1.0 - residual / data_norm : 1.0;
+    if (have_fitness &&
+        std::fabs(new_fitness - fitness) < config.tolerance) {
+      fitness = new_fitness;
+      break;
+    }
+    fitness = new_fitness;
+    have_fitness = true;
+  }
+
+  result.fitness = fitness;
+  result.completed = KruskalTensor(*factors);
+  return result;
+}
+
+double SofiaObjective(const DenseTensor& y, const Mask& omega,
+                      const DenseTensor& o, const SofiaConfig& config,
+                      const std::vector<Matrix>& factors) {
+  const double residual = MaskedResidualNorm(y, omega, o, factors);
+  double obj = residual * residual;
+
+  const Matrix& ut = factors.back();
+  const size_t duration = ut.rows();
+  const size_t rank = ut.cols();
+  // ||L_1 U^(N)||_F^2 and ||L_m U^(N)||_F^2.
+  auto smoothness = [&](size_t gap) {
+    if (gap >= duration) return 0.0;
+    double s = 0.0;
+    for (size_t i = 0; i + gap < duration; ++i) {
+      for (size_t r = 0; r < rank; ++r) {
+        const double d = ut(i, r) - ut(i + gap, r);
+        s += d * d;
+      }
+    }
+    return s;
+  };
+  obj += config.lambda1 * smoothness(1);
+  obj += config.lambda2 * smoothness(config.period);
+
+  double l1 = 0.0;
+  for (size_t k = 0; k < o.NumElements(); ++k) l1 += std::fabs(o[k]);
+  obj += config.lambda3 * l1;
+  return obj;
+}
+
+}  // namespace sofia

@@ -1,0 +1,258 @@
+#include "core/sofia_model.hpp"
+
+#include <cmath>
+
+#include "tensor/kruskal.hpp"
+#include "timeseries/hw_fit.hpp"
+#include "timeseries/robust.hpp"
+#include "util/check.hpp"
+
+namespace sofia {
+
+SofiaModel SofiaModel::Initialize(const std::vector<DenseTensor>& slices,
+                                  const std::vector<Mask>& masks,
+                                  const SofiaConfig& config,
+                                  const SofiaAblation& ablation) {
+  SofiaModel model;
+  model.config_ = config;
+  model.ablation_ = ablation;
+
+  // Phase 1 (Algorithm 1): batch factorization of the start-up window.
+  SofiaInitResult init = SofiaInitialize(slices, masks, config,
+                                         ablation.temporal_smoothness);
+  const size_t num_modes = init.factors.size();
+  const size_t rank = config.rank;
+  const size_t m = config.period;
+  const size_t ti = config.InitWindow();
+  Matrix temporal = init.factors.back();
+  init.factors.pop_back();
+  model.factors_ = std::move(init.factors);
+  model.init_completed_ = std::move(init.completed);
+  SOFIA_CHECK_EQ(temporal.rows(), ti);
+  SOFIA_CHECK_EQ(num_modes - 1, model.factors_.size());
+
+  // Phase 2 (Section V-B): fit one additive HW model per factor column.
+  model.level_.resize(rank);
+  model.trend_.resize(rank);
+  model.season_.assign(m, std::vector<double>(rank, 0.0));
+  model.season_pos_ = 0;
+  model.hw_params_.resize(rank);
+  for (size_t r = 0; r < rank; ++r) {
+    HwFit fit = FitHoltWinters(temporal.ColVector(r), m);
+    model.hw_params_[r] = fit.params;
+    model.level_[r] = fit.level;
+    model.trend_[r] = fit.trend;
+    // fit.seasonal[j] is the component for time ti + 1 + j.
+    for (size_t j = 0; j < m; ++j) model.season_[j][r] = fit.seasonal[j];
+  }
+
+  // Temporal-row history u_{ti-m+1..ti}; oldest (u_{ti+1-m}) at slot 0.
+  model.row_history_.assign(m, std::vector<double>(rank, 0.0));
+  model.row_pos_ = 0;
+  for (size_t j = 0; j < m; ++j) {
+    model.row_history_[j] = temporal.RowVector(ti - m + j);
+  }
+  model.last_row_ = temporal.RowVector(ti - 1);
+
+  // Algorithm 3 line 1: Σ̂ seeded with λ3 / 100.
+  Shape slice_shape = slices[0].shape();
+  model.sigma_ = DenseTensor(slice_shape, config.lambda3 / 100.0);
+  return model;
+}
+
+SofiaStepResult SofiaModel::Step(const DenseTensor& y, const Mask& omega) {
+  SOFIA_CHECK(y.shape() == omega.shape());
+  SOFIA_CHECK(y.shape() == sigma_.shape());
+  const size_t rank = config_.rank;
+  const size_t m = config_.period;
+  const double k_huber = config_.huber_k;
+  const double ck = config_.biweight_ck;
+  const size_t num_nontemporal = factors_.size();
+
+  // Line 3: one-step-ahead HW forecast of the temporal row (Eq. (19)).
+  std::vector<double> u_hat(rank);
+  const std::vector<double>& s_prev = season_[season_pos_];  // s_{t-m}
+  for (size_t r = 0; r < rank; ++r) {
+    u_hat[r] = level_[r] + trend_[r] + s_prev[r];
+  }
+
+  // Line 4: predicted subtensor Ŷ_{t|t-1} (Eq. (20)).
+  DenseTensor forecast = KruskalSlice(factors_, u_hat);
+
+  // Lines 5-6: outlier estimation (Eq. (21)) and scale update (Eq. (22)).
+  // The paper rejects outliers *first* so extreme values cannot inflate the
+  // scale; the Gelper ordering is available as an ablation.
+  DenseTensor outliers(y.shape(), 0.0);
+  auto update_scale = [&]() {
+    for (size_t k = 0; k < y.NumElements(); ++k) {
+      if (!omega.Get(k)) continue;
+      sigma_[k] = UpdateErrorScale(y[k], forecast[k], sigma_[k], config_.phi,
+                                   k_huber, ck);
+    }
+  };
+  auto reject = [&]() {
+    if (!ablation_.reject_outliers) return;
+    for (size_t k = 0; k < y.NumElements(); ++k) {
+      if (!omega.Get(k)) continue;
+      const double resid = y[k] - forecast[k];
+      outliers[k] =
+          resid - HuberPsi(resid / sigma_[k], k_huber) * sigma_[k];
+    }
+  };
+  if (ablation_.scale_before_reject) {
+    update_scale();
+    reject();
+  } else {
+    reject();
+    update_scale();
+  }
+
+  // Residual subtensor R_t = Ω ⊛ (Y_t - O_t - Ŷ_{t|t-1}).
+  // A single pass over observed entries accumulates both the non-temporal
+  // factor gradients (Eq. (24)) and the temporal data gradient (Eq. (25));
+  // prefix/suffix products give every leave-one-out product in O(N R).
+  std::vector<Matrix> grads;
+  grads.reserve(num_nontemporal);
+  for (size_t n = 0; n < num_nontemporal; ++n) {
+    grads.emplace_back(factors_[n].rows(), rank, 0.0);
+  }
+  std::vector<double> temporal_grad(rank, 0.0);
+  // Curvature traces for the normalized-step cap: tr(H) of the temporal
+  // solve and of every non-temporal row block (rows decouple exactly in the
+  // Gauss-Newton approximation, so per-row caps are sound).
+  double temporal_trace = 0.0;
+  std::vector<std::vector<double>> row_trace(num_nontemporal);
+  for (size_t n = 0; n < num_nontemporal; ++n) {
+    row_trace[n].assign(factors_[n].rows(), 0.0);
+  }
+
+  const Shape& shape = y.shape();
+  std::vector<size_t> idx(shape.order(), 0);
+  std::vector<double> prefix((num_nontemporal + 1) * rank);
+  std::vector<double> suffix((num_nontemporal + 1) * rank);
+  for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
+    if (omega.Get(linear)) {
+      const double resid = y[linear] - outliers[linear] - forecast[linear];
+      // prefix[l] = prod_{l' < l} U^(l')(i_{l'}, r); suffix symmetric.
+      for (size_t r = 0; r < rank; ++r) prefix[r] = 1.0;
+      for (size_t l = 0; l < num_nontemporal; ++l) {
+        const double* row = factors_[l].Row(idx[l]);
+        double* cur = &prefix[l * rank];
+        double* nxt = &prefix[(l + 1) * rank];
+        for (size_t r = 0; r < rank; ++r) nxt[r] = cur[r] * row[r];
+      }
+      for (size_t r = 0; r < rank; ++r) {
+        suffix[num_nontemporal * rank + r] = 1.0;
+      }
+      for (size_t l = num_nontemporal; l-- > 0;) {
+        const double* row = factors_[l].Row(idx[l]);
+        double* cur = &suffix[(l + 1) * rank];
+        double* nxt = &suffix[l * rank];
+        for (size_t r = 0; r < rank; ++r) nxt[r] = cur[r] * row[r];
+      }
+      // Full product (all non-temporal modes) feeds the temporal gradient.
+      const double* full = &prefix[num_nontemporal * rank];
+      for (size_t r = 0; r < rank; ++r) {
+        temporal_trace += full[r] * full[r];
+        if (resid != 0.0) temporal_grad[r] += resid * full[r];
+      }
+      for (size_t l = 0; l < num_nontemporal; ++l) {
+        double* grow = grads[l].Row(idx[l]);
+        double& trace = row_trace[l][idx[l]];
+        const double* pre = &prefix[l * rank];
+        const double* suf = &suffix[(l + 1) * rank];
+        for (size_t r = 0; r < rank; ++r) {
+          const double reg = pre[r] * suf[r] * u_hat[r];
+          trace += reg * reg;
+          if (resid != 0.0) grow[r] += resid * reg;
+        }
+      }
+    }
+    shape.Next(&idx);
+  }
+
+  // Step-size cap: µ_row = min(µ, 0.5 / tr(H_row)) keeps every block update
+  // inside its stability region while matching the paper's raw step when
+  // the curvature is small. See SofiaConfig::normalized_step.
+  auto capped_mu = [&](double trace) {
+    if (!config_.normalized_step || trace <= 0.0) return config_.mu;
+    return std::min(config_.mu, 0.5 / trace);
+  };
+
+  // Lines 7-8: gradient step on the non-temporal factors (Eq. (24)).
+  for (size_t n = 0; n < num_nontemporal; ++n) {
+    Matrix& u = factors_[n];
+    const Matrix& g = grads[n];
+    for (size_t i = 0; i < u.rows(); ++i) {
+      const double step = 2.0 * capped_mu(row_trace[n][i]);
+      double* urow = u.Row(i);
+      const double* grow = g.Row(i);
+      for (size_t r = 0; r < rank; ++r) urow[r] += step * grow[r];
+    }
+  }
+
+  // Line 9: temporal row update (Eq. (25)).
+  const std::vector<double>& u_prev = last_row_;             // u_{t-1}
+  const std::vector<double>& u_season = row_history_[row_pos_];  // u_{t-m}
+  std::vector<double> u_new(rank);
+  const double lambda1 = ablation_.temporal_smoothness ? config_.lambda1 : 0.0;
+  const double lambda2 = ablation_.temporal_smoothness ? config_.lambda2 : 0.0;
+  const double temporal_step = 2.0 * capped_mu(temporal_trace);
+  for (size_t r = 0; r < rank; ++r) {
+    u_new[r] = u_hat[r] +
+               temporal_step * (temporal_grad[r] + lambda1 * u_prev[r] +
+                                lambda2 * u_season[r] -
+                                (lambda1 + lambda2) * u_hat[r]);
+  }
+
+  // Line 10: vector HW smoothing update (Eq. (26)).
+  std::vector<double> s_new(rank);
+  for (size_t r = 0; r < rank; ++r) {
+    const double alpha = hw_params_[r].alpha;
+    const double beta = hw_params_[r].beta;
+    const double gamma = hw_params_[r].gamma;
+    const double l_prev = level_[r];
+    const double b_prev = trend_[r];
+    const double s_old = s_prev[r];
+    const double l_new = alpha * (u_new[r] - s_old) +
+                         (1.0 - alpha) * (l_prev + b_prev);
+    const double b_new = beta * (l_new - l_prev) + (1.0 - beta) * b_prev;
+    s_new[r] = gamma * (u_new[r] - l_prev - b_prev) + (1.0 - gamma) * s_old;
+    level_[r] = l_new;
+    trend_[r] = b_new;
+  }
+  season_[season_pos_] = std::move(s_new);
+  season_pos_ = (season_pos_ + 1) % m;
+
+  row_history_[row_pos_] = u_new;
+  row_pos_ = (row_pos_ + 1) % m;
+  last_row_ = std::move(u_new);
+
+  // Line 11: reconstruction X̂_t (Eq. (27)).
+  SofiaStepResult result;
+  result.imputed = KruskalSlice(factors_, last_row_);
+  result.outliers = std::move(outliers);
+  result.forecast = std::move(forecast);
+  return result;
+}
+
+DenseTensor SofiaModel::Forecast(size_t h) const {
+  SOFIA_CHECK_GE(h, 1u);
+  const size_t rank = config_.rank;
+  const size_t m = config_.period;
+  // Eq. (6) applied element-wise: the seasonal slot wraps into the last
+  // observed season, exactly as the floor term of the paper prescribes.
+  std::vector<double> u_hat(rank);
+  const std::vector<double>& s = season_[(season_pos_ + (h - 1)) % m];
+  for (size_t r = 0; r < rank; ++r) {
+    u_hat[r] = level_[r] + static_cast<double>(h) * trend_[r] + s[r];
+  }
+  return KruskalSlice(factors_, u_hat);
+}
+
+DenseTensor SofiaModel::Reconstruct(
+    const std::vector<double>& temporal_row) const {
+  return KruskalSlice(factors_, temporal_row);
+}
+
+}  // namespace sofia

@@ -1,0 +1,103 @@
+#ifndef SOFIA_CORE_SOFIA_MODEL_H_
+#define SOFIA_CORE_SOFIA_MODEL_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/sofia_config.hpp"
+#include "core/sofia_init.hpp"
+#include "linalg/matrix.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/mask.hpp"
+#include "timeseries/holt_winters.hpp"
+
+/// \file sofia_model.hpp
+/// \brief The streaming SOFIA model: HW fitting (Section V-B), dynamic
+/// updates (Algorithm 3), and forecasting (Section V-D).
+
+namespace sofia {
+
+/// Per-step output of the dynamic update.
+struct SofiaStepResult {
+  DenseTensor imputed;   ///< X̂_t = [[{U^(n)_t}; u^(N)_t]] (Eq. (27)).
+  DenseTensor outliers;  ///< O_t estimated by Eq. (21) (0 where unobserved).
+  DenseTensor forecast;  ///< Ŷ_{t|t-1} (Eq. (20)), the pre-update prediction.
+};
+
+/// Options controlling which ingredients of the dynamic update run; the
+/// defaults are the full algorithm. Used by the ablation benches.
+struct SofiaAblation {
+  bool reject_outliers = true;  ///< Apply Eq. (21); off = O_t ≡ 0.
+  bool scale_before_reject = false;  ///< Gelper ordering (update Σ̂ first).
+  bool temporal_smoothness = true;   ///< λ1/λ2 terms in Eq. (25).
+};
+
+/// Streaming SOFIA. Construct via Initialize() on the first t_i slices,
+/// then call Step() for every incoming subtensor.
+class SofiaModel {
+ public:
+  /// Runs Algorithm 1 on the start-up slices, fits one Holt-Winters model
+  /// per temporal-factor column (Section V-B), and seeds the error-scale
+  /// tensor with λ3/100 (Algorithm 3 line 1).
+  static SofiaModel Initialize(const std::vector<DenseTensor>& slices,
+                               const std::vector<Mask>& masks,
+                               const SofiaConfig& config,
+                               const SofiaAblation& ablation = {});
+
+  /// Processes the subtensor Y_t with indicator Ω_t (Algorithm 3 lines 3-11).
+  SofiaStepResult Step(const DenseTensor& y, const Mask& omega);
+
+  /// h-step-ahead forecast Ŷ_{t+h|t} (Eq. (28)); h >= 1.
+  DenseTensor Forecast(size_t h) const;
+
+  /// Reconstruction [[{U^(n)}; u]] for the given temporal row (diagnostics).
+  DenseTensor Reconstruct(const std::vector<double>& temporal_row) const;
+
+  const SofiaConfig& config() const { return config_; }
+  const std::vector<Matrix>& nontemporal_factors() const { return factors_; }
+  /// Completed batch tensor from the initialization phase (X̂_init).
+  const DenseTensor& init_completed() const { return init_completed_; }
+  /// Level / trend vectors of the vector HW model (length R).
+  const std::vector<double>& level() const { return level_; }
+  const std::vector<double>& trend() const { return trend_; }
+  /// Most recent temporal row u^(N)_t.
+  const std::vector<double>& last_temporal_row() const { return last_row_; }
+  /// Error-scale tensor Σ̂_t.
+  const DenseTensor& error_scale() const { return sigma_; }
+  /// Fitted smoothing parameters per factor column.
+  const std::vector<HwParams>& hw_params() const { return hw_params_; }
+  /// Seasonal component that the next Step()/Forecast(1) will use (s_{t+1-m}).
+  const std::vector<double>& next_season() const { return season_[season_pos_]; }
+
+  /// Checkpoints the full streaming state (config, factors, HW components,
+  /// temporal-row history, error-scale tensor) to a text stream. Restoring
+  /// with Deserialize() resumes Step()/Forecast() bit-for-bit.
+  void Serialize(std::ostream& out) const;
+  static SofiaModel Deserialize(std::istream& in);
+
+ private:
+  SofiaModel() = default;
+
+  SofiaConfig config_;
+  SofiaAblation ablation_;
+  std::vector<Matrix> factors_;  ///< Non-temporal factor matrices.
+  DenseTensor init_completed_;
+
+  // Vector Holt-Winters state (Eq. (26)): one scalar model per column r.
+  std::vector<HwParams> hw_params_;
+  std::vector<double> level_;              ///< l_{t} (length R).
+  std::vector<double> trend_;              ///< b_{t}.
+  std::vector<std::vector<double>> season_;  ///< Ring of m seasonal vectors.
+  size_t season_pos_ = 0;                  ///< Slot of s_{t+1-m}.
+
+  // Temporal-row history: ring of the last m rows u^(N)_{t-m+1..t}.
+  std::vector<std::vector<double>> row_history_;
+  size_t row_pos_ = 0;  ///< Slot of the oldest row (u_{t-m+1}).
+  std::vector<double> last_row_;  ///< u^(N)_t.
+
+  DenseTensor sigma_;  ///< Error-scale tensor Σ̂_t (slice shape).
+};
+
+}  // namespace sofia
+
+#endif  // SOFIA_CORE_SOFIA_MODEL_H_

@@ -1,0 +1,155 @@
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "core/sofia_model.hpp"
+#include "util/check.hpp"
+
+/// \file sofia_serialize.cpp
+/// \brief Text checkpointing of SofiaModel (Serialize / Deserialize).
+///
+/// Format: a "sofia-model v1" header followed by whitespace-separated
+/// fields in a fixed order. Doubles round-trip via max_digits10 so the
+/// restored model continues the stream bit-for-bit.
+
+namespace sofia {
+
+namespace {
+
+void WriteVector(std::ostream& out, const std::vector<double>& v) {
+  out << v.size();
+  for (double x : v) out << ' ' << x;
+  out << '\n';
+}
+
+std::vector<double> ReadVector(std::istream& in) {
+  size_t n = 0;
+  SOFIA_CHECK(static_cast<bool>(in >> n)) << "corrupt checkpoint (vector)";
+  std::vector<double> v(n);
+  for (double& x : v) SOFIA_CHECK(static_cast<bool>(in >> x));
+  return v;
+}
+
+void WriteMatrix(std::ostream& out, const Matrix& m) {
+  out << m.rows() << ' ' << m.cols();
+  for (size_t k = 0; k < m.size(); ++k) out << ' ' << m.data()[k];
+  out << '\n';
+}
+
+Matrix ReadMatrix(std::istream& in) {
+  size_t rows = 0, cols = 0;
+  SOFIA_CHECK(static_cast<bool>(in >> rows >> cols))
+      << "corrupt checkpoint (matrix)";
+  Matrix m(rows, cols);
+  for (size_t k = 0; k < m.size(); ++k) {
+    SOFIA_CHECK(static_cast<bool>(in >> m.data()[k]));
+  }
+  return m;
+}
+
+void WriteTensor(std::ostream& out, const DenseTensor& t) {
+  out << t.order();
+  for (size_t n = 0; n < t.order(); ++n) out << ' ' << t.dim(n);
+  for (size_t k = 0; k < t.NumElements(); ++k) out << ' ' << t[k];
+  out << '\n';
+}
+
+DenseTensor ReadTensor(std::istream& in) {
+  size_t order = 0;
+  SOFIA_CHECK(static_cast<bool>(in >> order))
+      << "corrupt checkpoint (tensor)";
+  std::vector<size_t> dims(order);
+  for (size_t& d : dims) SOFIA_CHECK(static_cast<bool>(in >> d));
+  DenseTensor t((Shape(dims)));
+  for (size_t k = 0; k < t.NumElements(); ++k) {
+    SOFIA_CHECK(static_cast<bool>(in >> t[k]));
+  }
+  return t;
+}
+
+}  // namespace
+
+void SofiaModel::Serialize(std::ostream& out) const {
+  out << "sofia-model v1\n";
+  out << std::setprecision(17);
+  out << config_.rank << ' ' << config_.period << ' '
+      << config_.init_seasons << ' ' << config_.lambda1 << ' '
+      << config_.lambda2 << ' ' << config_.lambda3 << ' ' << config_.mu
+      << ' ' << config_.phi << ' ' << config_.factor_ridge << ' '
+      << (config_.normalized_step ? 1 : 0) << ' ' << config_.huber_k << ' '
+      << config_.biweight_ck << '\n';
+  out << (ablation_.reject_outliers ? 1 : 0) << ' '
+      << (ablation_.scale_before_reject ? 1 : 0) << ' '
+      << (ablation_.temporal_smoothness ? 1 : 0) << '\n';
+
+  out << factors_.size() << '\n';
+  for (const Matrix& f : factors_) WriteMatrix(out, f);
+
+  out << hw_params_.size() << '\n';
+  for (const HwParams& p : hw_params_) {
+    out << p.alpha << ' ' << p.beta << ' ' << p.gamma << '\n';
+  }
+  WriteVector(out, level_);
+  WriteVector(out, trend_);
+  out << season_.size() << ' ' << season_pos_ << '\n';
+  for (const auto& s : season_) WriteVector(out, s);
+  out << row_history_.size() << ' ' << row_pos_ << '\n';
+  for (const auto& r : row_history_) WriteVector(out, r);
+  WriteVector(out, last_row_);
+  WriteTensor(out, sigma_);
+}
+
+SofiaModel SofiaModel::Deserialize(std::istream& in) {
+  std::string tag, version;
+  SOFIA_CHECK(static_cast<bool>(in >> tag >> version) &&
+              tag == "sofia-model" && version == "v1")
+      << "not a sofia-model v1 checkpoint";
+
+  SofiaModel model;
+  int normalized = 0;
+  SOFIA_CHECK(static_cast<bool>(
+      in >> model.config_.rank >> model.config_.period >>
+      model.config_.init_seasons >> model.config_.lambda1 >>
+      model.config_.lambda2 >> model.config_.lambda3 >> model.config_.mu >>
+      model.config_.phi >> model.config_.factor_ridge >> normalized >>
+      model.config_.huber_k >> model.config_.biweight_ck));
+  model.config_.normalized_step = normalized != 0;
+  int reject = 1, scale_first = 0, smooth = 1;
+  SOFIA_CHECK(static_cast<bool>(in >> reject >> scale_first >> smooth));
+  model.ablation_.reject_outliers = reject != 0;
+  model.ablation_.scale_before_reject = scale_first != 0;
+  model.ablation_.temporal_smoothness = smooth != 0;
+
+  size_t num_factors = 0;
+  SOFIA_CHECK(static_cast<bool>(in >> num_factors));
+  for (size_t n = 0; n < num_factors; ++n) {
+    model.factors_.push_back(ReadMatrix(in));
+  }
+
+  size_t num_params = 0;
+  SOFIA_CHECK(static_cast<bool>(in >> num_params));
+  model.hw_params_.resize(num_params);
+  for (HwParams& p : model.hw_params_) {
+    SOFIA_CHECK(static_cast<bool>(in >> p.alpha >> p.beta >> p.gamma));
+  }
+  model.level_ = ReadVector(in);
+  model.trend_ = ReadVector(in);
+  size_t seasons = 0;
+  SOFIA_CHECK(static_cast<bool>(in >> seasons >> model.season_pos_));
+  model.season_.resize(seasons);
+  for (auto& s : model.season_) s = ReadVector(in);
+  size_t history = 0;
+  SOFIA_CHECK(static_cast<bool>(in >> history >> model.row_pos_));
+  model.row_history_.resize(history);
+  for (auto& r : model.row_history_) r = ReadVector(in);
+  model.last_row_ = ReadVector(in);
+  model.sigma_ = ReadTensor(in);
+
+  SOFIA_CHECK_EQ(model.season_.size(), model.config_.period);
+  SOFIA_CHECK_EQ(model.row_history_.size(), model.config_.period);
+  SOFIA_CHECK_EQ(model.level_.size(), model.config_.rank);
+  return model;
+}
+
+}  // namespace sofia

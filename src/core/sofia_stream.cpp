@@ -1,0 +1,35 @@
+#include "core/sofia_stream.hpp"
+
+#include "util/check.hpp"
+
+namespace sofia {
+
+std::vector<DenseTensor> SofiaStream::Initialize(
+    const std::vector<DenseTensor>& slices, const std::vector<Mask>& masks) {
+  model_ = std::make_unique<SofiaModel>(
+      SofiaModel::Initialize(slices, masks, config_, ablation_));
+  std::vector<DenseTensor> completed;
+  completed.reserve(slices.size());
+  const DenseTensor& batch = model_->init_completed();
+  for (size_t t = 0; t < slices.size(); ++t) {
+    completed.push_back(batch.SliceLastMode(t));
+  }
+  return completed;
+}
+
+DenseTensor SofiaStream::Step(const DenseTensor& y, const Mask& omega) {
+  SOFIA_CHECK(model_ != nullptr) << "SofiaStream::Initialize must run first";
+  return model_->Step(y, omega).imputed;
+}
+
+DenseTensor SofiaStream::Forecast(size_t h) const {
+  SOFIA_CHECK(model_ != nullptr) << "SofiaStream::Initialize must run first";
+  return model_->Forecast(h);
+}
+
+const SofiaModel& SofiaStream::model() const {
+  SOFIA_CHECK(model_ != nullptr) << "SofiaStream::Initialize must run first";
+  return *model_;
+}
+
+}  // namespace sofia

@@ -1,0 +1,50 @@
+#ifndef SOFIA_CORE_SOFIA_STREAM_H_
+#define SOFIA_CORE_SOFIA_STREAM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sofia_model.hpp"
+#include "eval/streaming_method.hpp"
+
+/// \file sofia_stream.hpp
+/// \brief StreamingMethod adapter for SOFIA (used by the experiment
+/// harness alongside the baselines).
+
+namespace sofia {
+
+/// Wraps SofiaModel behind the common streaming interface. Initialize()
+/// consumes the start-up window (t_i = 3m slices), then Step()/Forecast()
+/// delegate to the dynamic-update and HW-forecast phases.
+class SofiaStream : public StreamingMethod {
+ public:
+  explicit SofiaStream(SofiaConfig config, SofiaAblation ablation = {},
+                       std::string display_name = "SOFIA")
+      : config_(config), ablation_(ablation), name_(std::move(display_name)) {}
+
+  std::string name() const override { return name_; }
+  size_t init_window() const override { return config_.InitWindow(); }
+
+  std::vector<DenseTensor> Initialize(
+      const std::vector<DenseTensor>& slices,
+      const std::vector<Mask>& masks) override;
+
+  DenseTensor Step(const DenseTensor& y, const Mask& omega) override;
+
+  bool SupportsForecast() const override { return true; }
+  DenseTensor Forecast(size_t h) const override;
+
+  /// The underlying model (valid after Initialize()).
+  const SofiaModel& model() const;
+
+ private:
+  SofiaConfig config_;
+  SofiaAblation ablation_;
+  std::string name_;
+  std::unique_ptr<SofiaModel> model_;
+};
+
+}  // namespace sofia
+
+#endif  // SOFIA_CORE_SOFIA_STREAM_H_

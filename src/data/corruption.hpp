@@ -1,0 +1,65 @@
+#ifndef SOFIA_DATA_CORRUPTION_H_
+#define SOFIA_DATA_CORRUPTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/dense_tensor.hpp"
+#include "tensor/mask.hpp"
+
+/// \file corruption.hpp
+/// \brief The (X, Y, Z) missing/outlier injection protocol of Section VI-A.
+///
+/// X% of entries are dropped (treated as missing), Y% are corrupted by
+/// outliers of magnitude ±Z * max|X| (sign equiprobable), where max|X| is
+/// taken over the entire ground-truth stream. The two samples are drawn
+/// independently, as in the paper.
+
+namespace sofia {
+
+/// One experimental setting, e.g. {70, 20, 5} for the harshest grid point.
+struct CorruptionSetting {
+  double missing_percent = 0.0;  ///< X: percentage of missing entries.
+  double outlier_percent = 0.0;  ///< Y: percentage of outlier entries.
+  double magnitude = 0.0;        ///< Z: outlier size in units of max|X|.
+
+  /// "(X,Y,Z)" rendering used in figures.
+  std::string ToString() const;
+};
+
+/// The four settings of Figs. 3-5, mildest to harshest.
+std::vector<CorruptionSetting> PaperSettingGrid();
+
+/// A corrupted stream: observed values, indicator masks, and bookkeeping.
+struct CorruptedStream {
+  std::vector<DenseTensor> slices;      ///< Y_t (corrupted; missing as-is).
+  std::vector<Mask> masks;              ///< Ω_t.
+  std::vector<Mask> outlier_positions;  ///< Entries carrying injected outliers.
+  double max_abs = 0.0;                 ///< max|X| used for the magnitude.
+};
+
+/// Applies `setting` to a ground-truth stream.
+CorruptedStream Corrupt(const std::vector<DenseTensor>& truth,
+                        const CorruptionSetting& setting, uint64_t seed);
+
+/// Structured missingness on top of the element-wise protocol: sensor
+/// outages. At every step each mode-0 row (a sensor / network node / taxi
+/// zone) independently *starts* an outage with probability
+/// `outage_start_prob`; for the next `outage_length` steps every entry in
+/// that row is missing. This is the "network disconnection" pattern the
+/// paper's introduction motivates, as opposed to i.i.d. missingness.
+struct OutageSetting {
+  double outage_start_prob = 0.02;  ///< Per-row, per-step start probability.
+  size_t outage_length = 5;         ///< Steps a started outage lasts.
+};
+
+/// Applies element-wise corruption, then whole-row outages.
+CorruptedStream CorruptWithOutages(const std::vector<DenseTensor>& truth,
+                                   const CorruptionSetting& setting,
+                                   const OutageSetting& outages,
+                                   uint64_t seed);
+
+}  // namespace sofia
+
+#endif  // SOFIA_DATA_CORRUPTION_H_

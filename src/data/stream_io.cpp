@@ -1,0 +1,99 @@
+#include "data/stream_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace sofia {
+
+void WriteStreamCsv(std::ostream& out, const TensorStream& stream) {
+  SOFIA_CHECK(!stream.slices.empty());
+  SOFIA_CHECK_EQ(stream.slices.size(), stream.masks.size());
+  const Shape& slice_shape = stream.slices[0].shape();
+
+  out << "# shape";
+  for (size_t n = 0; n < slice_shape.order(); ++n) {
+    out << ' ' << slice_shape.dim(n);
+  }
+  out << ' ' << stream.slices.size() << '\n';
+  out.precision(17);
+
+  std::vector<size_t> idx(slice_shape.order(), 0);
+  for (size_t t = 0; t < stream.slices.size(); ++t) {
+    SOFIA_CHECK(stream.slices[t].shape() == slice_shape);
+    idx.assign(slice_shape.order(), 0);
+    for (size_t linear = 0; linear < slice_shape.NumElements(); ++linear) {
+      if (stream.masks[t].Get(linear)) {
+        out << t;
+        for (size_t n = 0; n < slice_shape.order(); ++n) out << ',' << idx[n];
+        out << ',' << stream.slices[t][linear] << '\n';
+      }
+      slice_shape.Next(&idx);
+    }
+  }
+}
+
+bool WriteStreamCsvFile(const std::string& path, const TensorStream& stream) {
+  std::ofstream f(path);
+  if (!f) return false;
+  WriteStreamCsv(f, stream);
+  return static_cast<bool>(f);
+}
+
+TensorStream ReadStreamCsv(std::istream& in) {
+  std::string line;
+  SOFIA_CHECK(static_cast<bool>(std::getline(in, line)))
+      << "empty stream file";
+  std::istringstream header(line);
+  std::string hash, word;
+  SOFIA_CHECK(static_cast<bool>(header >> hash >> word) && hash == "#" &&
+              word == "shape")
+      << "missing '# shape ...' header";
+  std::vector<size_t> dims;
+  size_t d = 0;
+  while (header >> d) dims.push_back(d);
+  SOFIA_CHECK_GE(dims.size(), 2u) << "header needs slice dims plus T";
+  const size_t duration = dims.back();
+  dims.pop_back();
+  Shape slice_shape(dims);
+
+  TensorStream stream;
+  stream.slices.assign(duration, DenseTensor(slice_shape, 0.0));
+  stream.masks.assign(duration, Mask(slice_shape, false));
+
+  std::vector<size_t> idx(slice_shape.order(), 0);
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream record(line);
+    std::string field;
+    SOFIA_CHECK(static_cast<bool>(std::getline(record, field, ',')))
+        << "bad record at line " << line_number;
+    const size_t t = static_cast<size_t>(std::stoull(field));
+    SOFIA_CHECK_LT(t, duration) << "time index out of range at line "
+                                << line_number;
+    for (size_t n = 0; n < slice_shape.order(); ++n) {
+      SOFIA_CHECK(static_cast<bool>(std::getline(record, field, ',')))
+          << "bad record at line " << line_number;
+      idx[n] = static_cast<size_t>(std::stoull(field));
+      SOFIA_CHECK_LT(idx[n], slice_shape.dim(n))
+          << "index out of range at line " << line_number;
+    }
+    SOFIA_CHECK(static_cast<bool>(std::getline(record, field)))
+        << "missing value at line " << line_number;
+    const size_t linear = slice_shape.Linearize(idx);
+    stream.slices[t][linear] = std::stod(field);
+    stream.masks[t].Set(linear, true);
+  }
+  return stream;
+}
+
+TensorStream ReadStreamCsvFile(const std::string& path) {
+  std::ifstream f(path);
+  SOFIA_CHECK(static_cast<bool>(f)) << "cannot open " << path;
+  return ReadStreamCsv(f);
+}
+
+}  // namespace sofia

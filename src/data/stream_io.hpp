@@ -1,0 +1,42 @@
+#ifndef SOFIA_DATA_STREAM_IO_H_
+#define SOFIA_DATA_STREAM_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tensor/dense_tensor.hpp"
+#include "tensor/mask.hpp"
+
+/// \file stream_io.hpp
+/// \brief CSV import/export of tensor streams.
+///
+/// Real deployments feed SOFIA from event logs shaped like the paper's
+/// datasets: one record per observed entry,
+///     t, i_1, ..., i_{N-1}, value
+/// (0-based indices; unobserved entries are simply absent). This module
+/// converts between that format and the in-memory slice/mask streams, so
+/// the experiment harness runs unchanged on real data.
+
+namespace sofia {
+
+/// A tensor stream with observation masks (what the CSV format encodes).
+struct TensorStream {
+  std::vector<DenseTensor> slices;
+  std::vector<Mask> masks;
+};
+
+/// Writes `stream` in the record format above. Only observed entries are
+/// emitted. The first line is a header: "# shape I1 ... I(N-1) T".
+void WriteStreamCsv(std::ostream& out, const TensorStream& stream);
+bool WriteStreamCsvFile(const std::string& path, const TensorStream& stream);
+
+/// Parses the record format. The shape header is required; records may
+/// arrive in any order; duplicate records keep the last value. Out-of-range
+/// indices CHECK-fail with the offending line number.
+TensorStream ReadStreamCsv(std::istream& in);
+TensorStream ReadStreamCsvFile(const std::string& path);
+
+}  // namespace sofia
+
+#endif  // SOFIA_DATA_STREAM_IO_H_

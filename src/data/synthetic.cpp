@@ -1,0 +1,88 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+
+#include "tensor/kruskal.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sofia {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}  // namespace
+
+SyntheticTensor MakeSinusoidTensor(size_t i1, size_t i2, size_t duration,
+                                   size_t rank, size_t period, uint64_t seed) {
+  Rng rng(seed);
+  SyntheticTensor out;
+  out.period = period;
+  out.factors.push_back(Matrix::Random(i1, rank, rng, 0.0, 1.0));
+  out.factors.push_back(Matrix::Random(i2, rank, rng, 0.0, 1.0));
+
+  Matrix temporal(duration, rank);
+  for (size_t r = 0; r < rank; ++r) {
+    const double a = rng.Uniform(-2.0, 2.0);
+    const double b = rng.Uniform(0.0, kTwoPi);
+    const double c = rng.Uniform(-2.0, 2.0);
+    for (size_t i = 0; i < duration; ++i) {
+      temporal(i, r) =
+          a * std::sin(kTwoPi / static_cast<double>(period) *
+                           static_cast<double>(i) +
+                       b) +
+          c;
+    }
+  }
+  out.factors.push_back(std::move(temporal));
+  out.tensor = KruskalTensor(out.factors);
+  return out;
+}
+
+std::vector<double> MakeSeasonalSeries(size_t duration, size_t period,
+                                       double amplitude, double trend,
+                                       double wander, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> series(duration);
+  const double phase1 = rng.Uniform(0.0, kTwoPi);
+  const double phase2 = rng.Uniform(0.0, kTwoPi);
+  const double harmonic = rng.Uniform(0.2, 0.6);
+  const double base = rng.Uniform(0.5, 1.5);
+  double ar = 0.0;
+  for (size_t i = 0; i < duration; ++i) {
+    const double angle = kTwoPi * static_cast<double>(i % period) /
+                         static_cast<double>(period);
+    ar = 0.95 * ar + wander * rng.Normal();
+    series[i] = base + amplitude * (std::sin(angle + phase1) +
+                                    harmonic * std::sin(2.0 * angle + phase2)) +
+                trend * static_cast<double>(i) / static_cast<double>(period) +
+                ar;
+  }
+  return series;
+}
+
+std::vector<DenseTensor> MakeScalabilityStream(size_t i1, size_t i2,
+                                               size_t duration, size_t rank,
+                                               size_t period, uint64_t seed) {
+  Rng rng(seed);
+  Matrix a = Matrix::Random(i1, rank, rng, 0.0, 1.0);
+  Matrix b = Matrix::Random(i2, rank, rng, 0.0, 1.0);
+  std::vector<Matrix> factors = {std::move(a), std::move(b)};
+
+  std::vector<std::vector<double>> temporal_cols(rank);
+  for (size_t r = 0; r < rank; ++r) {
+    temporal_cols[r] = MakeSeasonalSeries(duration, period, /*amplitude=*/1.0,
+                                          /*trend=*/0.05, /*wander=*/0.0,
+                                          seed + 17 * (r + 1));
+  }
+
+  std::vector<DenseTensor> slices;
+  slices.reserve(duration);
+  std::vector<double> row(rank);
+  for (size_t t = 0; t < duration; ++t) {
+    for (size_t r = 0; r < rank; ++r) row[r] = temporal_cols[r][t];
+    slices.push_back(KruskalSlice(factors, row));
+  }
+  return slices;
+}
+
+}  // namespace sofia

@@ -1,0 +1,43 @@
+#ifndef SOFIA_DATA_SYNTHETIC_H_
+#define SOFIA_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "tensor/dense_tensor.hpp"
+
+/// \file synthetic.hpp
+/// \brief Synthetic low-rank seasonal tensors (Fig. 2 and Fig. 7 workloads).
+
+namespace sofia {
+
+/// A ground-truth CP tensor together with its generating factors.
+struct SyntheticTensor {
+  std::vector<Matrix> factors;  ///< Generating factor matrices.
+  DenseTensor tensor;           ///< [[U^(1),...,U^(N)]] (plus noise if any).
+  size_t period = 0;            ///< Seasonal period of the temporal factor.
+};
+
+/// The Fig. 2 workload: an I1 x I2 x T rank-R tensor whose temporal factor
+/// columns are `a_r sin((2*pi/m) i + b_r) + c_r` with a_r, c_r ~ U[-2, 2]
+/// and b_r ~ U[0, 2*pi]; non-temporal factors are U[0, 1).
+SyntheticTensor MakeSinusoidTensor(size_t i1, size_t i2, size_t duration,
+                                   size_t rank, size_t period, uint64_t seed);
+
+/// Seasonal temporal factor with harmonics, linear trend, and a smooth AR(1)
+/// wander — the temporal column generator shared by the dataset simulators.
+std::vector<double> MakeSeasonalSeries(size_t duration, size_t period,
+                                       double amplitude, double trend,
+                                       double wander, uint64_t seed);
+
+/// The Fig. 7 scalability workload: a stream of I1 x I2 slices over
+/// `duration` steps generated from a rank-R seasonal CP model with period m.
+/// Returned as ground-truth slices (no corruption).
+std::vector<DenseTensor> MakeScalabilityStream(size_t i1, size_t i2,
+                                               size_t duration, size_t rank,
+                                               size_t period, uint64_t seed);
+
+}  // namespace sofia
+
+#endif  // SOFIA_DATA_SYNTHETIC_H_

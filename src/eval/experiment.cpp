@@ -1,0 +1,56 @@
+#include "eval/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace sofia {
+
+double ObservedRms(const CorruptedStream& stream) {
+  double sum = 0.0;
+  size_t count = 0;
+  for (size_t t = 0; t < stream.slices.size(); ++t) {
+    const DenseTensor& slice = stream.slices[t];
+    const Mask& mask = stream.masks[t];
+    for (size_t k = 0; k < slice.NumElements(); ++k) {
+      if (mask.Get(k)) {
+        sum += slice[k] * slice[k];
+        ++count;
+      }
+    }
+  }
+  return count > 0 ? std::sqrt(sum / static_cast<double>(count)) : 0.0;
+}
+
+double ObservedAbsQuantile(const CorruptedStream& stream, double q) {
+  std::vector<double> values;
+  for (size_t t = 0; t < stream.slices.size(); ++t) {
+    const DenseTensor& slice = stream.slices[t];
+    const Mask& mask = stream.masks[t];
+    for (size_t k = 0; k < slice.NumElements(); ++k) {
+      if (mask.Get(k)) values.push_back(std::fabs(slice[k]));
+    }
+  }
+  if (values.empty()) return 0.0;
+  const size_t pos = std::min(
+      values.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(values.size())));
+  auto it = values.begin() + static_cast<long>(pos);
+  std::nth_element(values.begin(), it, values.end());
+  return *it;
+}
+
+SofiaConfig MakeExperimentConfig(const Dataset& dataset,
+                                 const CorruptedStream& stream) {
+  SofiaConfig config;
+  config.rank = dataset.rank;
+  config.period = dataset.period;
+  config.lambda1 = 0.5;
+  config.lambda2 = 0.5;
+  config.lambda3 = 3.0 * ObservedAbsQuantile(stream, 0.75);
+  if (config.lambda3 <= 0.0) config.lambda3 = 10.0;
+  config.max_init_iterations = 25;
+  return config;
+}
+
+}  // namespace sofia

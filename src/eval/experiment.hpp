@@ -1,0 +1,43 @@
+#ifndef SOFIA_EVAL_EXPERIMENT_H_
+#define SOFIA_EVAL_EXPERIMENT_H_
+
+#include "core/sofia_config.hpp"
+#include "data/corruption.hpp"
+#include "data/dataset_sim.hpp"
+
+/// \file experiment.hpp
+/// \brief Shared configuration policy for the paper-reproduction harness.
+///
+/// The paper's absolute defaults (λ3 = 10, λ1 = λ2 = 1e-3) were tuned to the
+/// authors' preprocessed data scales. Two of them must track the data to
+/// transfer across workloads (see DESIGN.md §5):
+///  - λ3 thresholds the residual between the clean-noise scale and the
+///    outlier scale; we set it to 3x the 75th percentile of |observed
+///    entries| (a robust stand-in for 3x the clean RMS that the injected
+///    outlier mass cannot inflate).
+///  - λ1/λ2 act against the temporal normal-equation curvature, which (with
+///    unit-norm non-temporal columns) is bounded by the observed fraction of
+///    a slice and is *data-scale independent*; a fixed 0.5 works across all
+///    our workloads.
+
+namespace sofia {
+
+/// Root-mean-square of the observed entries of a corrupted stream.
+/// NOTE: inflated by injected outliers; prefer ObservedMedianAbs for
+/// scale estimation under corruption.
+double ObservedRms(const CorruptedStream& stream);
+
+/// q-quantile of |observed entries| (0 < q < 1) — a robust scale estimate.
+/// q = 0.75 stays below the paper's worst-case 20% outlier mass while
+/// still capturing the bulk scale of heavy-tailed (hub-dominated) data.
+double ObservedAbsQuantile(const CorruptedStream& stream, double q);
+
+/// Data-scaled SOFIA configuration for running `dataset` under `stream`'s
+/// corruption: rank/period from the dataset, λ3 = 3 * ObservedRms, λ1 = λ2
+/// = 0.5, 25 initialization rounds, paper defaults elsewhere.
+SofiaConfig MakeExperimentConfig(const Dataset& dataset,
+                                 const CorruptedStream& stream);
+
+}  // namespace sofia
+
+#endif  // SOFIA_EVAL_EXPERIMENT_H_

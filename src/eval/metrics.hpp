@@ -1,0 +1,57 @@
+#ifndef SOFIA_EVAL_METRICS_H_
+#define SOFIA_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "tensor/dense_tensor.hpp"
+
+/// \file metrics.hpp
+/// \brief Evaluation metrics of Section VI-A.
+
+namespace sofia {
+
+/// Normalized residual error ||X̂ - X||_F / ||X||_F.
+double NormalizedResidualError(const DenseTensor& estimate,
+                               const DenseTensor& truth);
+
+class Mask;
+
+/// NRE restricted to the entries where `scope` is *unset* — the imputation
+/// error measured only over the values the method never observed. The
+/// denominator is the truth's norm over the same entries.
+double MissingOnlyResidualError(const DenseTensor& estimate,
+                                const DenseTensor& truth, const Mask& scope);
+
+/// Running average error: mean of per-step NREs.
+double RunningAverageError(const std::vector<double>& nre);
+
+/// Average forecasting error: mean NRE of h-step-ahead forecasts.
+double AverageForecastingError(const std::vector<DenseTensor>& forecasts,
+                               const std::vector<DenseTensor>& truth);
+
+/// Mean of a vector (0 for empty input); shared by ART computations.
+double Mean(const std::vector<double>& values);
+
+/// Precision/recall of an outlier detector against injected ground truth.
+struct DetectionScore {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+};
+
+/// Scores a detected-outlier tensor against the injected positions: an
+/// observed entry counts as flagged when |detected| > threshold. Entries
+/// outside `observed` are skipped (nothing to detect there).
+DetectionScore ScoreOutlierDetection(const DenseTensor& detected,
+                                     const Mask& injected,
+                                     const Mask& observed, double threshold);
+
+/// Accumulates `rhs` into `lhs` (streaming aggregation across steps).
+void Accumulate(DetectionScore* lhs, const DetectionScore& rhs);
+
+}  // namespace sofia
+
+#endif  // SOFIA_EVAL_METRICS_H_

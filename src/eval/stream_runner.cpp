@@ -1,0 +1,82 @@
+#include "eval/stream_runner.hpp"
+
+#include "eval/metrics.hpp"
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace sofia {
+
+StreamRunResult RunImputation(StreamingMethod* method,
+                              const CorruptedStream& stream,
+                              const std::vector<DenseTensor>& truth) {
+  SOFIA_CHECK_EQ(stream.slices.size(), truth.size());
+  const size_t total = truth.size();
+  const size_t window = method->init_window();
+  SOFIA_CHECK_LE(window, total);
+
+  StreamRunResult result;
+  result.nre.reserve(total);
+
+  if (window > 0) {
+    std::vector<DenseTensor> init_slices(stream.slices.begin(),
+                                         stream.slices.begin() + window);
+    std::vector<Mask> init_masks(stream.masks.begin(),
+                                 stream.masks.begin() + window);
+    Stopwatch init_timer;
+    std::vector<DenseTensor> completed =
+        method->Initialize(init_slices, init_masks);
+    result.init_seconds = init_timer.ElapsedSeconds();
+    SOFIA_CHECK_EQ(completed.size(), window);
+    for (size_t t = 0; t < window; ++t) {
+      result.nre.push_back(NormalizedResidualError(completed[t], truth[t]));
+    }
+  }
+
+  result.step_seconds.reserve(total - window);
+  for (size_t t = window; t < total; ++t) {
+    Stopwatch timer;
+    DenseTensor imputed = method->Step(stream.slices[t], stream.masks[t]);
+    result.step_seconds.push_back(timer.ElapsedSeconds());
+    result.nre.push_back(NormalizedResidualError(imputed, truth[t]));
+  }
+
+  result.rae = Mean(result.nre);
+  result.rae_post_init = Mean(std::vector<double>(
+      result.nre.begin() + static_cast<long>(window), result.nre.end()));
+  result.art_seconds = Mean(result.step_seconds);
+  return result;
+}
+
+double RunForecast(StreamingMethod* method, const CorruptedStream& stream,
+                   const std::vector<DenseTensor>& truth, size_t horizon) {
+  SOFIA_CHECK_EQ(stream.slices.size(), truth.size());
+  SOFIA_CHECK_LT(horizon, truth.size());
+  SOFIA_CHECK(method->SupportsForecast())
+      << method->name() << " cannot forecast";
+  const size_t train = truth.size() - horizon;
+  const size_t window = method->init_window();
+  SOFIA_CHECK_LE(window, train);
+
+  if (window > 0) {
+    std::vector<DenseTensor> init_slices(stream.slices.begin(),
+                                         stream.slices.begin() + window);
+    std::vector<Mask> init_masks(stream.masks.begin(),
+                                 stream.masks.begin() + window);
+    method->Initialize(init_slices, init_masks);
+  }
+  for (size_t t = window; t < train; ++t) {
+    method->Step(stream.slices[t], stream.masks[t]);
+  }
+
+  std::vector<DenseTensor> forecasts;
+  std::vector<DenseTensor> future;
+  forecasts.reserve(horizon);
+  future.reserve(horizon);
+  for (size_t h = 1; h <= horizon; ++h) {
+    forecasts.push_back(method->Forecast(h));
+    future.push_back(truth[train + h - 1]);
+  }
+  return AverageForecastingError(forecasts, future);
+}
+
+}  // namespace sofia

@@ -1,0 +1,42 @@
+#ifndef SOFIA_EVAL_STREAM_RUNNER_H_
+#define SOFIA_EVAL_STREAM_RUNNER_H_
+
+#include <vector>
+
+#include "data/corruption.hpp"
+#include "eval/streaming_method.hpp"
+#include "tensor/dense_tensor.hpp"
+
+/// \file stream_runner.hpp
+/// \brief Drives a StreamingMethod through a corrupted stream and collects
+/// the Section VI-A metrics (NRE series, RAE, ART, AFE).
+
+namespace sofia {
+
+/// Per-run measurements.
+struct StreamRunResult {
+  std::vector<double> nre;           ///< NRE at every time step (incl. init).
+  double rae = 0.0;                  ///< Mean NRE over the whole stream.
+  double rae_post_init = 0.0;        ///< Mean NRE excluding the init window.
+  double art_seconds = 0.0;          ///< Mean per-step time, init excluded.
+  double init_seconds = 0.0;         ///< Wall time of the init phase.
+  std::vector<double> step_seconds;  ///< Per-step wall times (post-init).
+};
+
+/// Imputation protocol (Figs. 3-5): run `method` over the corrupted stream,
+/// compare each imputed slice against the ground truth. The init window (if
+/// any) is timed separately and its slices are scored from Initialize()'s
+/// completions.
+StreamRunResult RunImputation(StreamingMethod* method,
+                              const CorruptedStream& stream,
+                              const std::vector<DenseTensor>& truth);
+
+/// Forecasting protocol (Fig. 6): feed all but the last `horizon` slices,
+/// then forecast h = 1..horizon and return the AFE against the held-out
+/// ground truth.
+double RunForecast(StreamingMethod* method, const CorruptedStream& stream,
+                   const std::vector<DenseTensor>& truth, size_t horizon);
+
+}  // namespace sofia
+
+#endif  // SOFIA_EVAL_STREAM_RUNNER_H_

@@ -1,0 +1,21 @@
+#include "eval/streaming_method.hpp"
+
+#include "util/check.hpp"
+
+namespace sofia {
+
+std::vector<DenseTensor> StreamingMethod::Initialize(
+    const std::vector<DenseTensor>& slices, const std::vector<Mask>& masks) {
+  (void)slices;
+  (void)masks;
+  SOFIA_CHECK(false) << name() << " declared no init window";
+  return {};
+}
+
+DenseTensor StreamingMethod::Forecast(size_t h) const {
+  (void)h;
+  SOFIA_CHECK(false) << name() << " does not support forecasting";
+  return {};
+}
+
+}  // namespace sofia

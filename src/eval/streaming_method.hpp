@@ -1,0 +1,49 @@
+#ifndef SOFIA_EVAL_STREAMING_METHOD_H_
+#define SOFIA_EVAL_STREAMING_METHOD_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/dense_tensor.hpp"
+#include "tensor/mask.hpp"
+
+/// \file streaming_method.hpp
+/// \brief Common interface for SOFIA and all streaming competitors.
+///
+/// A method consumes subtensors one at a time and returns an imputed
+/// estimate for each. Methods with a start-up phase (SOFIA, MAST, OR-MSTC)
+/// declare an init window; the runner feeds those slices to Initialize() and
+/// excludes the time spent there from the ART metric, as the paper does.
+
+namespace sofia {
+
+/// Abstract streaming tensor factorization/completion method.
+class StreamingMethod {
+ public:
+  virtual ~StreamingMethod() = default;
+
+  /// Display name used in result tables.
+  virtual std::string name() const = 0;
+
+  /// Number of start-up slices consumed by Initialize() (0 = none).
+  virtual size_t init_window() const { return 0; }
+
+  /// Consumes the first init_window() slices at once; returns completed
+  /// estimates for them (same count and shapes). Only called when
+  /// init_window() > 0.
+  virtual std::vector<DenseTensor> Initialize(
+      const std::vector<DenseTensor>& slices, const std::vector<Mask>& masks);
+
+  /// Consumes one subtensor; returns the imputed (completed) estimate.
+  virtual DenseTensor Step(const DenseTensor& y, const Mask& omega) = 0;
+
+  /// Whether Forecast() is implemented.
+  virtual bool SupportsForecast() const { return false; }
+
+  /// h-step-ahead forecast past the last consumed subtensor (h >= 1).
+  virtual DenseTensor Forecast(size_t h) const;
+};
+
+}  // namespace sofia
+
+#endif  // SOFIA_EVAL_STREAMING_METHOD_H_

@@ -1,0 +1,204 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace sofia {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  SOFIA_CHECK(!rows.empty());
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    SOFIA_CHECK_EQ(rows[i].size(), m.cols_);
+    std::copy(rows[i].begin(), rows[i].end(), m.Row(i));
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Random(size_t rows, size_t cols, Rng& rng, double lo,
+                      double hi) {
+  Matrix m(rows, cols);
+  for (auto& x : m.data_) x = rng.Uniform(lo, hi);
+  return m;
+}
+
+Matrix Matrix::RandomNormal(size_t rows, size_t cols, Rng& rng,
+                            double stddev) {
+  Matrix m(rows, cols);
+  for (auto& x : m.data_) x = rng.Normal(0.0, stddev);
+  return m;
+}
+
+std::vector<double> Matrix::RowVector(size_t i) const {
+  SOFIA_CHECK_LT(i, rows_);
+  return std::vector<double>(Row(i), Row(i) + cols_);
+}
+
+std::vector<double> Matrix::ColVector(size_t j) const {
+  SOFIA_CHECK_LT(j, cols_);
+  std::vector<double> v(rows_);
+  for (size_t i = 0; i < rows_; ++i) v[i] = (*this)(i, j);
+  return v;
+}
+
+void Matrix::SetRow(size_t i, const std::vector<double>& v) {
+  SOFIA_CHECK_LT(i, rows_);
+  SOFIA_CHECK_EQ(v.size(), cols_);
+  std::copy(v.begin(), v.end(), Row(i));
+}
+
+void Matrix::SetCol(size_t j, const std::vector<double>& v) {
+  SOFIA_CHECK_LT(j, cols_);
+  SOFIA_CHECK_EQ(v.size(), rows_);
+  for (size_t i = 0; i < rows_; ++i) (*this)(i, j) = v[i];
+}
+
+void Matrix::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  SOFIA_CHECK_EQ(rows_, other.rows_);
+  SOFIA_CHECK_EQ(cols_, other.cols_);
+  for (size_t k = 0; k < data_.size(); ++k) data_[k] += other.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  SOFIA_CHECK_EQ(rows_, other.rows_);
+  SOFIA_CHECK_EQ(cols_, other.cols_);
+  for (size_t k = 0; k < data_.size(); ++k) data_[k] -= other.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+Matrix Matrix::Hadamard(const Matrix& other) const {
+  SOFIA_CHECK_EQ(rows_, other.rows_);
+  SOFIA_CHECK_EQ(cols_, other.cols_);
+  Matrix out(rows_, cols_);
+  for (size_t k = 0; k < data_.size(); ++k) {
+    out.data_[k] = data_[k] * other.data_[k];
+  }
+  return out;
+}
+
+double Matrix::SquaredFrobeniusNorm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return s;
+}
+
+double Matrix::FrobeniusNorm() const { return std::sqrt(SquaredFrobeniusNorm()); }
+
+double Matrix::ColNorm(size_t j) const {
+  SOFIA_CHECK_LT(j, cols_);
+  double s = 0.0;
+  for (size_t i = 0; i < rows_; ++i) s += (*this)(i, j) * (*this)(i, j);
+  return std::sqrt(s);
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  SOFIA_CHECK_EQ(rows_, other.rows_);
+  SOFIA_CHECK_EQ(cols_, other.cols_);
+  double m = 0.0;
+  for (size_t k = 0; k < data_.size(); ++k) {
+    m = std::max(m, std::fabs(data_[k] - other.data_[k]));
+  }
+  return m;
+}
+
+std::string Matrix::ToString(int digits) const {
+  std::ostringstream out;
+  for (size_t i = 0; i < rows_; ++i) {
+    out << "[";
+    for (size_t j = 0; j < cols_; ++j) {
+      out << Table::Num((*this)(i, j), digits);
+      if (j + 1 < cols_) out << ", ";
+    }
+    out << "]\n";
+  }
+  return out.str();
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  SOFIA_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.Row(k);
+      double* crow = c.Row(i);
+      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatTMul(const Matrix& a, const Matrix& b) {
+  SOFIA_CHECK_EQ(a.rows(), b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.Row(k);
+    const double* brow = b.Row(k);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.Row(i);
+      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
+  SOFIA_CHECK_EQ(a.cols(), x.size());
+  std::vector<double> y(a.rows(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.Row(i);
+    double s = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) s += row[j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+std::vector<double> MatTVec(const Matrix& a, const std::vector<double>& x) {
+  SOFIA_CHECK_EQ(a.rows(), x.size());
+  std::vector<double> y(a.cols(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.Row(i);
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (size_t j = 0; j < a.cols(); ++j) y[j] += row[j] * xi;
+  }
+  return y;
+}
+
+Matrix Gram(const Matrix& a) { return MatTMul(a, a); }
+
+}  // namespace sofia

@@ -1,0 +1,109 @@
+#ifndef SOFIA_LINALG_MATRIX_H_
+#define SOFIA_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// \file matrix.hpp
+/// \brief Dense row-major matrix used throughout the library.
+///
+/// Factor matrices are tall-skinny (I_n x R with R <= ~20), so a simple
+/// contiguous row-major layout with loop kernels is the right tool: rows of a
+/// factor matrix are exactly the `u^(n)_{i_n}` vectors of the paper and can be
+/// handed around as contiguous spans.
+
+namespace sofia {
+
+class Rng;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+  /// rows x cols matrix with every entry set to `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0);
+  /// Build from nested initializer-style data (rows of equal length).
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+  /// Identity of size n.
+  static Matrix Identity(size_t n);
+  /// rows x cols with i.i.d. Uniform(lo, hi) entries.
+  static Matrix Random(size_t rows, size_t cols, Rng& rng, double lo = 0.0,
+                       double hi = 1.0);
+  /// rows x cols with i.i.d. Normal(0, stddev) entries.
+  static Matrix RandomNormal(size_t rows, size_t cols, Rng& rng,
+                             double stddev = 1.0);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t i, size_t j) { return data_[i * cols_ + j]; }
+  double operator()(size_t i, size_t j) const { return data_[i * cols_ + j]; }
+
+  /// Pointer to the start of row i (rows are contiguous).
+  double* Row(size_t i) { return data_.data() + i * cols_; }
+  const double* Row(size_t i) const { return data_.data() + i * cols_; }
+
+  /// Copy of row i / column j as a vector.
+  std::vector<double> RowVector(size_t i) const;
+  std::vector<double> ColVector(size_t j) const;
+  /// Overwrite row i / column j from a vector of matching length.
+  void SetRow(size_t i, const std::vector<double>& v);
+  void SetCol(size_t j, const std::vector<double>& v);
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Set all entries to `v`.
+  void Fill(double v);
+
+  Matrix Transpose() const;
+
+  /// Element-wise operations (shapes must match).
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double s) { return a *= s; }
+  friend Matrix operator*(double s, Matrix a) { return a *= s; }
+
+  /// Hadamard (element-wise) product, the `⊛` of the paper.
+  Matrix Hadamard(const Matrix& other) const;
+
+  /// Frobenius norm and its square.
+  double FrobeniusNorm() const;
+  double SquaredFrobeniusNorm() const;
+
+  /// Euclidean norm of column j.
+  double ColNorm(size_t j) const;
+
+  /// Max |a_ij - b_ij| over all entries (shapes must match).
+  double MaxAbsDiff(const Matrix& other) const;
+
+  /// Human-readable rendering for debugging.
+  std::string ToString(int digits = 4) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B (inner dimensions must agree).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+/// C = A^T * B.
+Matrix MatTMul(const Matrix& a, const Matrix& b);
+/// y = A * x.
+std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x);
+/// y = A^T * x.
+std::vector<double> MatTVec(const Matrix& a, const std::vector<double>& x);
+/// Gram matrix A^T A (cols x cols).
+Matrix Gram(const Matrix& a);
+
+}  // namespace sofia
+
+#endif  // SOFIA_LINALG_MATRIX_H_

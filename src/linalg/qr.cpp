@@ -1,0 +1,85 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sofia {
+
+namespace {
+
+/// Apply the Householder reflector stored in column k of `v` (below the
+/// diagonal, with implicit leading 1) to columns [from, to) of `work`.
+void ApplyReflector(const Matrix& v, size_t k, double beta, Matrix* work,
+                    size_t from) {
+  const size_t m = work->rows();
+  const size_t n = work->cols();
+  for (size_t j = from; j < n; ++j) {
+    double s = (*work)(k, j);
+    for (size_t i = k + 1; i < m; ++i) s += v(i, k) * (*work)(i, j);
+    s *= beta;
+    (*work)(k, j) -= s;
+    for (size_t i = k + 1; i < m; ++i) (*work)(i, j) -= s * v(i, k);
+  }
+}
+
+}  // namespace
+
+QrFactors QrFactorize(const Matrix& a) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  SOFIA_CHECK_GE(m, n) << "QrFactorize requires a tall matrix";
+
+  Matrix work = a;          // Becomes R in the upper triangle.
+  Matrix v(m, n, 0.0);      // Householder vectors (implicit 1 on diagonal).
+  std::vector<double> betas(n, 0.0);
+
+  for (size_t k = 0; k < n; ++k) {
+    double norm = 0.0;
+    for (size_t i = k; i < m; ++i) norm += work(i, k) * work(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) continue;
+    const double alpha = work(k, k) >= 0.0 ? -norm : norm;
+    const double vk = work(k, k) - alpha;
+    // v = (x - alpha e1) / vk  (normalized so v[k] == 1).
+    for (size_t i = k + 1; i < m; ++i) v(i, k) = work(i, k) / vk;
+    betas[k] = -vk / alpha;
+    work(k, k) = alpha;
+    for (size_t i = k + 1; i < m; ++i) work(i, k) = 0.0;
+    ApplyReflector(v, k, betas[k], &work, k + 1);
+  }
+
+  QrFactors f;
+  f.r = Matrix(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) f.r(i, j) = work(i, j);
+  }
+  // Accumulate Q by applying reflectors to the identity (thin form).
+  Matrix q(m, n);
+  for (size_t i = 0; i < n; ++i) q(i, i) = 1.0;
+  for (size_t kk = n; kk-- > 0;) {
+    if (betas[kk] == 0.0) continue;
+    ApplyReflector(v, kk, betas[kk], &q, 0);
+  }
+  f.q = q;
+  return f;
+}
+
+std::vector<double> LeastSquares(const Matrix& a,
+                                 const std::vector<double>& b) {
+  SOFIA_CHECK_EQ(a.rows(), b.size());
+  QrFactors f = QrFactorize(a);
+  // x = R^{-1} Q^T b.
+  std::vector<double> qtb = MatTVec(f.q, b);
+  const size_t n = a.cols();
+  std::vector<double> x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double s = qtb[ii];
+    for (size_t j = ii + 1; j < n; ++j) s -= f.r(ii, j) * x[j];
+    SOFIA_CHECK_NE(f.r(ii, ii), 0.0) << "LeastSquares: rank-deficient matrix";
+    x[ii] = s / f.r(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace sofia

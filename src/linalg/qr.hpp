@@ -1,0 +1,31 @@
+#ifndef SOFIA_LINALG_QR_H_
+#define SOFIA_LINALG_QR_H_
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+/// \file qr.hpp
+/// \brief Householder QR and dense least squares.
+///
+/// Used by baselines whose row updates are genuine least-squares problems
+/// (OLSTEC's recursive least squares re-initialization) and by tests as an
+/// independent oracle for the normal-equation solves in the core.
+
+namespace sofia {
+
+/// Thin QR of an m x n matrix (m >= n): A = Q R with Q m x n, R n x n.
+struct QrFactors {
+  Matrix q;  ///< Orthonormal columns, m x n.
+  Matrix r;  ///< Upper triangular, n x n.
+};
+
+/// Householder QR (thin). CHECK-fails if m < n.
+QrFactors QrFactorize(const Matrix& a);
+
+/// Minimize ||A x - b||_2 for tall A via QR; returns x of length n.
+std::vector<double> LeastSquares(const Matrix& a, const std::vector<double>& b);
+
+}  // namespace sofia
+
+#endif  // SOFIA_LINALG_QR_H_

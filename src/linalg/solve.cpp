@@ -1,0 +1,166 @@
+#include "linalg/solve.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sofia {
+
+LuFactors LuFactorize(const Matrix& a) {
+  SOFIA_CHECK_EQ(a.rows(), a.cols());
+  const size_t n = a.rows();
+  LuFactors f;
+  f.lu = a;
+  f.perm.resize(n);
+  for (size_t i = 0; i < n; ++i) f.perm[i] = static_cast<int>(i);
+
+  for (size_t k = 0; k < n; ++k) {
+    // Partial pivoting: choose the largest magnitude in column k.
+    size_t pivot = k;
+    double best = std::fabs(f.lu(k, k));
+    for (size_t i = k + 1; i < n; ++i) {
+      double v = std::fabs(f.lu(i, k));
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best == 0.0) {
+      f.singular = true;
+      return f;
+    }
+    if (pivot != k) {
+      for (size_t j = 0; j < n; ++j) std::swap(f.lu(k, j), f.lu(pivot, j));
+      std::swap(f.perm[k], f.perm[pivot]);
+    }
+    const double pk = f.lu(k, k);
+    for (size_t i = k + 1; i < n; ++i) {
+      const double m = f.lu(i, k) / pk;
+      f.lu(i, k) = m;
+      if (m == 0.0) continue;
+      for (size_t j = k + 1; j < n; ++j) f.lu(i, j) -= m * f.lu(k, j);
+    }
+  }
+  return f;
+}
+
+std::vector<double> LuSolve(const LuFactors& f, const std::vector<double>& b) {
+  const size_t n = f.lu.rows();
+  SOFIA_CHECK_EQ(b.size(), n);
+  SOFIA_CHECK(!f.singular) << "LuSolve on singular factorization";
+  std::vector<double> x(n);
+  // Apply permutation, then forward substitution with unit lower L.
+  for (size_t i = 0; i < n; ++i) x[i] = b[f.perm[i]];
+  for (size_t i = 0; i < n; ++i) {
+    double s = x[i];
+    for (size_t j = 0; j < i; ++j) s -= f.lu(i, j) * x[j];
+    x[i] = s;
+  }
+  // Back substitution with U.
+  for (size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (size_t j = ii + 1; j < n; ++j) s -= f.lu(ii, j) * x[j];
+    x[ii] = s / f.lu(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> SolveLinear(const Matrix& a, const std::vector<double>& b) {
+  LuFactors f = LuFactorize(a);
+  SOFIA_CHECK(!f.singular) << "SolveLinear: singular matrix";
+  return LuSolve(f, b);
+}
+
+std::vector<double> SolveRidge(const Matrix& a, const std::vector<double>& b,
+                               double eps) {
+  LuFactors f = LuFactorize(a);
+  if (!f.singular) return LuSolve(f, b);
+  // Shift relative to the matrix magnitude so the regularization survives
+  // rounding even for very large (or very small) Gram matrices.
+  double scale = 0.0;
+  for (size_t k = 0; k < a.size(); ++k) {
+    scale = std::max(scale, std::fabs(a.data()[k]));
+  }
+  Matrix shifted = a;
+  double shift = eps * std::max(scale, 1.0);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    for (size_t i = 0; i < shifted.rows(); ++i) shifted(i, i) += shift;
+    f = LuFactorize(shifted);
+    if (!f.singular) return LuSolve(f, b);
+    shift *= 100.0;
+  }
+  SOFIA_CHECK(false) << "SolveRidge: matrix stayed singular after shifting";
+  return {};
+}
+
+bool CholeskyFactorize(const Matrix& a, Matrix* l) {
+  SOFIA_CHECK_EQ(a.rows(), a.cols());
+  const size_t n = a.rows();
+  *l = Matrix(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (size_t k = 0; k < j; ++k) s -= (*l)(i, k) * (*l)(j, k);
+      if (i == j) {
+        if (s <= 0.0) return false;
+        (*l)(i, i) = std::sqrt(s);
+      } else {
+        (*l)(i, j) = s / (*l)(j, j);
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<double> SolveSpd(const Matrix& a, const std::vector<double>& b) {
+  Matrix l;
+  if (!CholeskyFactorize(a, &l)) return SolveRidge(a, b);
+  const size_t n = a.rows();
+  SOFIA_CHECK_EQ(b.size(), n);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t j = 0; j < i; ++j) s -= l(i, j) * y[j];
+    y[i] = s / l(i, i);
+  }
+  std::vector<double> x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (size_t j = ii + 1; j < n; ++j) s -= l(j, ii) * x[j];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+Matrix Inverse(const Matrix& a) {
+  const size_t n = a.rows();
+  LuFactors f = LuFactorize(a);
+  SOFIA_CHECK(!f.singular) << "Inverse: singular matrix";
+  Matrix inv(n, n);
+  std::vector<double> e(n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    e[j] = 1.0;
+    std::vector<double> col = LuSolve(f, e);
+    inv.SetCol(j, col);
+    e[j] = 0.0;
+  }
+  return inv;
+}
+
+double Determinant(const Matrix& a) {
+  LuFactors f = LuFactorize(a);
+  if (f.singular) return 0.0;
+  double det = 1.0;
+  for (size_t i = 0; i < a.rows(); ++i) det *= f.lu(i, i);
+  // Sign of the permutation.
+  std::vector<int> p = f.perm;
+  for (size_t i = 0; i < p.size(); ++i) {
+    while (p[i] != static_cast<int>(i)) {
+      std::swap(p[i], p[p[i]]);
+      det = -det;
+    }
+  }
+  return det;
+}
+
+}  // namespace sofia

@@ -1,0 +1,53 @@
+#ifndef SOFIA_LINALG_SOLVE_H_
+#define SOFIA_LINALG_SOLVE_H_
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+/// \file solve.hpp
+/// \brief Dense linear solvers for the small (R x R) systems of Theorems 1–2.
+///
+/// Every factor-row update solves `B u = c` where `B` is an R x R Gram-like
+/// matrix, possibly shifted by smoothness terms. LU with partial pivoting is
+/// the workhorse; an SPD Cholesky path exists for symmetric systems and a
+/// ridge fallback keeps rank-deficient rows (few observed entries) stable.
+
+namespace sofia {
+
+/// LU factorization with partial pivoting, stored packed.
+struct LuFactors {
+  Matrix lu;              ///< Combined L (unit lower) and U factors.
+  std::vector<int> perm;  ///< Row permutation applied to the input.
+  bool singular = false;  ///< True if a zero pivot was hit.
+};
+
+/// Factor a square matrix; O(n^3).
+LuFactors LuFactorize(const Matrix& a);
+
+/// Solve `A x = b` given factors of A.
+std::vector<double> LuSolve(const LuFactors& f, const std::vector<double>& b);
+
+/// Solve `A x = b` for square A via LU. CHECK-fails on exactly singular A.
+std::vector<double> SolveLinear(const Matrix& a, const std::vector<double>& b);
+
+/// Solve `A x = b` with a ridge `A + eps*I` retried on singular/ill systems.
+/// Used for factor-row updates where a slice may have too few observations.
+std::vector<double> SolveRidge(const Matrix& a, const std::vector<double>& b,
+                               double eps = 1e-9);
+
+/// Cholesky factor L (lower) with A = L L^T. Returns false if not SPD.
+bool CholeskyFactorize(const Matrix& a, Matrix* l);
+
+/// Solve SPD `A x = b` via Cholesky; falls back to LU when not SPD.
+std::vector<double> SolveSpd(const Matrix& a, const std::vector<double>& b);
+
+/// Dense inverse via LU (test/diagnostic use; prefer the solve functions).
+Matrix Inverse(const Matrix& a);
+
+/// Determinant via LU (diagnostic use).
+double Determinant(const Matrix& a);
+
+}  // namespace sofia
+
+#endif  // SOFIA_LINALG_SOLVE_H_

@@ -1,0 +1,64 @@
+#include "linalg/vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sofia {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  SOFIA_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double SquaredNorm2(const std::vector<double>& a) { return Dot(a, a); }
+
+double Norm2(const std::vector<double>& a) { return std::sqrt(SquaredNorm2(a)); }
+
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
+  SOFIA_CHECK_EQ(x.size(), y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+void Scale(double alpha, std::vector<double>* x) {
+  for (auto& v : *x) v *= alpha;
+}
+
+std::vector<double> Add(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  SOFIA_CHECK_EQ(a.size(), b.size());
+  std::vector<double> c(a.size());
+  for (size_t i = 0; i < a.size(); ++i) c[i] = a[i] + b[i];
+  return c;
+}
+
+std::vector<double> Sub(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  SOFIA_CHECK_EQ(a.size(), b.size());
+  std::vector<double> c(a.size());
+  for (size_t i = 0; i < a.size(); ++i) c[i] = a[i] - b[i];
+  return c;
+}
+
+std::vector<double> HadamardVec(const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  SOFIA_CHECK_EQ(a.size(), b.size());
+  std::vector<double> c(a.size());
+  for (size_t i = 0; i < a.size(); ++i) c[i] = a[i] * b[i];
+  return c;
+}
+
+double MaxAbsDiffVec(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  SOFIA_CHECK_EQ(a.size(), b.size());
+  double m = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace sofia

@@ -1,0 +1,221 @@
+#include "optim/lbfgsb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "linalg/vector_ops.hpp"
+#include "util/check.hpp"
+
+namespace sofia {
+
+namespace {
+
+/// Clamp x into [lower, upper] component-wise.
+void Project(const std::vector<double>& lower, const std::vector<double>& upper,
+             std::vector<double>* x) {
+  for (size_t i = 0; i < x->size(); ++i) {
+    (*x)[i] = std::clamp((*x)[i], lower[i], upper[i]);
+  }
+}
+
+/// Infinity norm of the projected gradient: the first-order optimality
+/// measure for box-constrained problems (P(x - g) - x).
+double ProjectedGradientNorm(const std::vector<double>& x,
+                             const std::vector<double>& g,
+                             const std::vector<double>& lower,
+                             const std::vector<double>& upper) {
+  double norm = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double step = std::clamp(x[i] - g[i], lower[i], upper[i]) - x[i];
+    norm = std::max(norm, std::fabs(step));
+  }
+  return norm;
+}
+
+/// True if coordinate i sits on a bound that the gradient pushes against.
+bool AtActiveBound(double x, double g, double lo, double hi) {
+  const double kBoundTol = 1e-12;
+  if (x <= lo + kBoundTol && g > 0.0) return true;
+  if (x >= hi - kBoundTol && g < 0.0) return true;
+  return false;
+}
+
+}  // namespace
+
+LbfgsbResult LbfgsbMinimize(const Objective& obj, std::vector<double> x0,
+                            const std::vector<double>& lower,
+                            const std::vector<double>& upper,
+                            const LbfgsbOptions& options) {
+  const size_t n = x0.size();
+  SOFIA_CHECK_EQ(lower.size(), n);
+  SOFIA_CHECK_EQ(upper.size(), n);
+  for (size_t i = 0; i < n; ++i) SOFIA_CHECK_LE(lower[i], upper[i]);
+
+  LbfgsbResult result;
+  Project(lower, upper, &x0);
+  std::vector<double> x = std::move(x0);
+  double f = obj.Value(x);
+  std::vector<double> g;
+  obj.Gradient(x, &g);
+
+  // L-BFGS correction pairs, newest at the back.
+  std::deque<std::vector<double>> s_hist, y_hist;
+  std::deque<double> rho_hist;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    if (ProjectedGradientNorm(x, g, lower, upper) <
+        options.gradient_tolerance) {
+      result.converged = true;
+      result.message = "projected gradient below tolerance";
+      break;
+    }
+
+    // Two-loop recursion over free variables only: gradient components that
+    // push against an active bound are zeroed so the direction stays in the
+    // feasible cone.
+    std::vector<double> q = g;
+    for (size_t i = 0; i < n; ++i) {
+      if (AtActiveBound(x[i], g[i], lower[i], upper[i])) q[i] = 0.0;
+    }
+    std::vector<double> alpha(s_hist.size());
+    for (size_t k = s_hist.size(); k-- > 0;) {
+      alpha[k] = rho_hist[k] * Dot(s_hist[k], q);
+      Axpy(-alpha[k], y_hist[k], &q);
+    }
+    if (!s_hist.empty()) {
+      const auto& s = s_hist.back();
+      const auto& y = y_hist.back();
+      const double gamma = Dot(s, y) / std::max(Dot(y, y), 1e-300);
+      Scale(gamma, &q);
+    }
+    for (size_t k = 0; k < s_hist.size(); ++k) {
+      const double beta = rho_hist[k] * Dot(y_hist[k], q);
+      Axpy(alpha[k] - beta, s_hist[k], &q);
+    }
+    std::vector<double> direction = q;
+    Scale(-1.0, &direction);
+    for (size_t i = 0; i < n; ++i) {
+      if (AtActiveBound(x[i], g[i], lower[i], upper[i])) direction[i] = 0.0;
+    }
+
+    // Fall back to steepest descent if the quasi-Newton direction fails to
+    // be a usable descent direction — either uphill or nearly orthogonal to
+    // the gradient (the angle test below). Both signal a degenerate
+    // inverse-Hessian model, so the correction history is dropped too.
+    double dg = Dot(direction, g);
+    const double angle_floor = -1e-6 * Norm2(direction) * Norm2(g);
+    if (dg >= angle_floor) {
+      s_hist.clear();
+      y_hist.clear();
+      rho_hist.clear();
+      for (size_t i = 0; i < n; ++i) {
+        direction[i] =
+            AtActiveBound(x[i], g[i], lower[i], upper[i]) ? 0.0 : -g[i];
+      }
+      dg = Dot(direction, g);
+      if (dg >= 0.0) {
+        result.converged = true;
+        result.message = "no feasible descent direction";
+        break;
+      }
+    }
+
+    // Weak-Wolfe line search (Lewis-Overton bisection) along the projected
+    // path P(x + t d). The curvature condition g_new^T d >= c2 * g^T d keeps
+    // the accepted (s, y) pairs useful — Armijo-only acceptance stagnates in
+    // ill-conditioned valleys because near-zero-curvature pairs freeze the
+    // inverse-Hessian model.
+    const double wolfe_c2 = 0.9;
+    double t_lo = 0.0;
+    double t_hi = std::numeric_limits<double>::infinity();
+    double t = 1.0;
+    std::vector<double> x_new(n), g_new;
+    double f_new = f;
+    bool accepted = false;
+    std::vector<double> x_best;
+    double f_best = f;
+    for (int ls = 0; ls < options.max_line_search_steps; ++ls) {
+      for (size_t i = 0; i < n; ++i) x_new[i] = x[i] + t * direction[i];
+      Project(lower, upper, &x_new);
+      f_new = obj.Value(x_new);
+      if (f_new < f_best) {
+        f_best = f_new;
+        x_best = x_new;
+      }
+      // Sufficient decrease relative to the *actual* projected displacement.
+      double decrease = 0.0;
+      for (size_t i = 0; i < n; ++i) decrease += g[i] * (x_new[i] - x[i]);
+      if (f_new > f + options.armijo_c1 * decrease || f_new >= f) {
+        t_hi = t;  // Step too long (or no progress): shrink.
+        t = 0.5 * (t_lo + t_hi);
+      } else {
+        obj.Gradient(x_new, &g_new);
+        if (Dot(g_new, direction) < wolfe_c2 * dg) {
+          t_lo = t;  // Step too short for useful curvature: lengthen.
+          t = std::isinf(t_hi) ? 2.0 * t : 0.5 * (t_lo + t_hi);
+        } else {
+          accepted = true;
+          break;
+        }
+      }
+      if (t <= 1e-16 || t >= 1e16) break;
+    }
+    if (!accepted && f_best < f) {
+      // Wolfe curvature never satisfied, but decrease was found: take the
+      // best point seen (the curvature filter below guards the history).
+      x_new = std::move(x_best);
+      f_new = f_best;
+      obj.Gradient(x_new, &g_new);
+      accepted = true;
+    }
+    if (!accepted) {
+      // One retry from a clean slate: a poisoned history can make every
+      // quasi-Newton step unacceptable while plain gradient descent still
+      // works. If the history is already empty, we are genuinely done.
+      if (!s_hist.empty()) {
+        s_hist.clear();
+        y_hist.clear();
+        rho_hist.clear();
+        continue;
+      }
+      result.converged = true;
+      result.message = "line search could not improve";
+      break;
+    }
+
+    std::vector<double> s = Sub(x_new, x);
+    std::vector<double> y = Sub(g_new, g);
+    const double sy = Dot(s, y);
+    if (sy > 1e-12 * Norm2(s) * Norm2(y)) {  // Curvature condition.
+      s_hist.push_back(std::move(s));
+      y_hist.push_back(std::move(y));
+      rho_hist.push_back(1.0 / sy);
+      if (static_cast<int>(s_hist.size()) > options.history) {
+        s_hist.pop_front();
+        y_hist.pop_front();
+        rho_hist.pop_front();
+      }
+    }
+
+    const double f_old = f;
+    x = std::move(x_new);
+    f = f_new;
+    g = std::move(g_new);
+    if (std::fabs(f_old - f) <=
+        options.f_tolerance * std::max({std::fabs(f_old), std::fabs(f), 1.0})) {
+      result.converged = true;
+      result.message = "function decrease below tolerance";
+      break;
+    }
+  }
+
+  if (result.message.empty()) result.message = "max iterations reached";
+  result.x = std::move(x);
+  result.f = f;
+  return result;
+}
+
+}  // namespace sofia

@@ -1,0 +1,27 @@
+#include "optim/objective.hpp"
+
+#include <cmath>
+
+namespace sofia {
+
+void Objective::Gradient(const std::vector<double>& x,
+                         std::vector<double>* grad) const {
+  NumericGradient(*this, x, grad);
+}
+
+void NumericGradient(const Objective& obj, const std::vector<double>& x,
+                     std::vector<double>* grad, double h) {
+  grad->assign(x.size(), 0.0);
+  std::vector<double> probe = x;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double step = h * std::max(1.0, std::fabs(x[i]));
+    probe[i] = x[i] + step;
+    const double fp = obj.Value(probe);
+    probe[i] = x[i] - step;
+    const double fm = obj.Value(probe);
+    probe[i] = x[i];
+    (*grad)[i] = (fp - fm) / (2.0 * step);
+  }
+}
+
+}  // namespace sofia

@@ -1,0 +1,45 @@
+#ifndef SOFIA_OPTIM_OBJECTIVE_H_
+#define SOFIA_OPTIM_OBJECTIVE_H_
+
+#include <functional>
+#include <vector>
+
+/// \file objective.hpp
+/// \brief Differentiable objective interface for the bounded optimizer.
+
+namespace sofia {
+
+/// A scalar objective over R^n. Gradient defaults to central differences so
+/// small problems (e.g. the 3-parameter Holt-Winters SSE) need only Value().
+class Objective {
+ public:
+  virtual ~Objective() = default;
+
+  /// Objective value at x.
+  virtual double Value(const std::vector<double>& x) const = 0;
+
+  /// Gradient at x; the default is a central-difference approximation.
+  virtual void Gradient(const std::vector<double>& x,
+                        std::vector<double>* grad) const;
+};
+
+/// Adapts a plain std::function as an Objective.
+class FunctionObjective : public Objective {
+ public:
+  explicit FunctionObjective(
+      std::function<double(const std::vector<double>&)> fn)
+      : fn_(std::move(fn)) {}
+
+  double Value(const std::vector<double>& x) const override { return fn_(x); }
+
+ private:
+  std::function<double(const std::vector<double>&)> fn_;
+};
+
+/// Central-difference gradient with step h * max(1, |x_i|).
+void NumericGradient(const Objective& obj, const std::vector<double>& x,
+                     std::vector<double>* grad, double h = 1e-6);
+
+}  // namespace sofia
+
+#endif  // SOFIA_OPTIM_OBJECTIVE_H_

@@ -1,0 +1,89 @@
+#include "tensor/dense_tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sofia {
+
+DenseTensor::DenseTensor(Shape shape, double fill)
+    : shape_(std::move(shape)), data_(shape_.NumElements(), fill) {}
+
+void DenseTensor::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+DenseTensor& DenseTensor::operator+=(const DenseTensor& other) {
+  SOFIA_CHECK(shape_ == other.shape_);
+  for (size_t k = 0; k < data_.size(); ++k) data_[k] += other.data_[k];
+  return *this;
+}
+
+DenseTensor& DenseTensor::operator-=(const DenseTensor& other) {
+  SOFIA_CHECK(shape_ == other.shape_);
+  for (size_t k = 0; k < data_.size(); ++k) data_[k] -= other.data_[k];
+  return *this;
+}
+
+DenseTensor& DenseTensor::operator*=(double s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+double DenseTensor::SquaredFrobeniusNorm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return s;
+}
+
+double DenseTensor::FrobeniusNorm() const {
+  return std::sqrt(SquaredFrobeniusNorm());
+}
+
+double DenseTensor::MaxAbs() const {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+size_t DenseTensor::CountNonZero(double tol) const {
+  size_t c = 0;
+  for (double x : data_) {
+    if (std::fabs(x) > tol) ++c;
+  }
+  return c;
+}
+
+DenseTensor DenseTensor::RandomNormal(const Shape& shape, Rng& rng,
+                                      double stddev) {
+  DenseTensor t(shape);
+  for (auto& x : t.data_) x = rng.Normal(0.0, stddev);
+  return t;
+}
+
+DenseTensor DenseTensor::StackSlices(const std::vector<DenseTensor>& slices) {
+  SOFIA_CHECK(!slices.empty());
+  const Shape& slice_shape = slices[0].shape();
+  const size_t slice_elems = slice_shape.NumElements();
+  DenseTensor out(slice_shape.AppendMode(slices.size()));
+  for (size_t t = 0; t < slices.size(); ++t) {
+    SOFIA_CHECK(slices[t].shape() == slice_shape);
+    std::copy(slices[t].data_.begin(), slices[t].data_.end(),
+              out.data_.begin() + t * slice_elems);
+  }
+  return out;
+}
+
+DenseTensor DenseTensor::SliceLastMode(size_t t) const {
+  SOFIA_CHECK_GE(order(), 1u);
+  const size_t last = order() - 1;
+  SOFIA_CHECK_LT(t, dim(last));
+  Shape slice_shape = shape_.RemoveMode(last);
+  const size_t slice_elems = slice_shape.NumElements();
+  DenseTensor out(slice_shape);
+  std::copy(data_.begin() + t * slice_elems,
+            data_.begin() + (t + 1) * slice_elems, out.data_.begin());
+  return out;
+}
+
+}  // namespace sofia

@@ -1,0 +1,77 @@
+#ifndef SOFIA_TENSOR_DENSE_TENSOR_H_
+#define SOFIA_TENSOR_DENSE_TENSOR_H_
+
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+/// \file dense_tensor.hpp
+/// \brief N-way dense tensor of doubles (the `X`, `Y`, `O` of the paper).
+
+namespace sofia {
+
+class Rng;
+
+/// Dense tensor with Kolda-style (first index fastest) linearization.
+class DenseTensor {
+ public:
+  DenseTensor() = default;
+  explicit DenseTensor(Shape shape, double fill = 0.0);
+
+  const Shape& shape() const { return shape_; }
+  size_t order() const { return shape_.order(); }
+  size_t dim(size_t n) const { return shape_.dim(n); }
+  size_t NumElements() const { return shape_.NumElements(); }
+
+  double& operator[](size_t linear) { return data_[linear]; }
+  double operator[](size_t linear) const { return data_[linear]; }
+
+  double& At(const std::vector<size_t>& idx) {
+    return data_[shape_.Linearize(idx)];
+  }
+  double At(const std::vector<size_t>& idx) const {
+    return data_[shape_.Linearize(idx)];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  void Fill(double v);
+
+  /// Element-wise arithmetic; shapes must match.
+  DenseTensor& operator+=(const DenseTensor& other);
+  DenseTensor& operator-=(const DenseTensor& other);
+  DenseTensor& operator*=(double s);
+  friend DenseTensor operator+(DenseTensor a, const DenseTensor& b) {
+    return a += b;
+  }
+  friend DenseTensor operator-(DenseTensor a, const DenseTensor& b) {
+    return a -= b;
+  }
+
+  double FrobeniusNorm() const;
+  double SquaredFrobeniusNorm() const;
+  /// Largest |entry|; 0 for empty tensors.
+  double MaxAbs() const;
+  /// Number of entries with |entry| > tol.
+  size_t CountNonZero(double tol = 0.0) const;
+
+  /// i.i.d. Normal(0, stddev) entries.
+  static DenseTensor RandomNormal(const Shape& shape, Rng& rng,
+                                  double stddev = 1.0);
+
+  /// Concatenate (N-1)-way slices along a new trailing temporal mode. All
+  /// slices must share a shape; the result has order N.
+  static DenseTensor StackSlices(const std::vector<DenseTensor>& slices);
+
+  /// Extract the t-th slice of the trailing mode as an (N-1)-way tensor.
+  DenseTensor SliceLastMode(size_t t) const;
+
+ private:
+  Shape shape_;
+  std::vector<double> data_;
+};
+
+}  // namespace sofia
+
+#endif  // SOFIA_TENSOR_DENSE_TENSOR_H_

@@ -1,0 +1,44 @@
+#include "tensor/khatri_rao.hpp"
+
+#include "util/check.hpp"
+
+namespace sofia {
+
+Matrix KhatriRao(const Matrix& a, const Matrix& b) {
+  SOFIA_CHECK_EQ(a.cols(), b.cols());
+  const size_t r = a.cols();
+  Matrix out(a.rows() * b.rows(), r);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.Row(i);
+    for (size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.Row(j);
+      double* orow = out.Row(i * b.rows() + j);
+      for (size_t c = 0; c < r; ++c) orow[c] = arow[c] * brow[c];
+    }
+  }
+  return out;
+}
+
+Matrix KhatriRaoChain(const std::vector<Matrix>& factors) {
+  SOFIA_CHECK(!factors.empty());
+  // U^(N) (kr) ... (kr) U^(1): fold from the highest mode down so that the
+  // mode-1 row index ends up fastest.
+  Matrix acc = factors.back();
+  for (size_t n = factors.size() - 1; n-- > 0;) {
+    acc = KhatriRao(acc, factors[n]);
+  }
+  return acc;
+}
+
+Matrix KhatriRaoSkip(const std::vector<Matrix>& factors, size_t skip) {
+  SOFIA_CHECK_LT(skip, factors.size());
+  std::vector<Matrix> rest;
+  rest.reserve(factors.size() - 1);
+  for (size_t n = 0; n < factors.size(); ++n) {
+    if (n != skip) rest.push_back(factors[n]);
+  }
+  SOFIA_CHECK(!rest.empty());
+  return KhatriRaoChain(rest);
+}
+
+}  // namespace sofia

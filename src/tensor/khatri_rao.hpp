@@ -1,0 +1,28 @@
+#ifndef SOFIA_TENSOR_KHATRI_RAO_H_
+#define SOFIA_TENSOR_KHATRI_RAO_H_
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+/// \file khatri_rao.hpp
+/// \brief Khatri-Rao (column-wise Kronecker) products, Eq. (1).
+
+namespace sofia {
+
+/// `a (kr) b` per Eq. (1): result is (I*J) x R with
+/// (a (kr) b)(i*J + j, r) = a(i, r) * b(j, r). Column counts must match.
+Matrix KhatriRao(const Matrix& a, const Matrix& b);
+
+/// Chain product `U^(N) (kr) ... (kr) U^(1)` for factors given in mode order
+/// [U^(1), ..., U^(N)]. The mode-1 index varies fastest in the result rows,
+/// matching the unfolding convention of unfold.hpp.
+Matrix KhatriRaoChain(const std::vector<Matrix>& factors);
+
+/// Chain product over all factors except mode `skip`; the factor order is the
+/// one required by the CP identity `X_(n) = U^(n) * KhatriRaoSkip(U, n)^T`.
+Matrix KhatriRaoSkip(const std::vector<Matrix>& factors, size_t skip);
+
+}  // namespace sofia
+
+#endif  // SOFIA_TENSOR_KHATRI_RAO_H_

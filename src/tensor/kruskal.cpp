@@ -1,0 +1,87 @@
+#include "tensor/kruskal.hpp"
+
+#include "util/check.hpp"
+
+namespace sofia {
+
+namespace {
+
+Shape FactorShape(const std::vector<Matrix>& factors) {
+  SOFIA_CHECK(!factors.empty());
+  std::vector<size_t> dims(factors.size());
+  for (size_t n = 0; n < factors.size(); ++n) {
+    SOFIA_CHECK_EQ(factors[n].cols(), factors[0].cols());
+    dims[n] = factors[n].rows();
+  }
+  return Shape(dims);
+}
+
+}  // namespace
+
+DenseTensor KruskalTensor(const std::vector<Matrix>& factors) {
+  const Shape shape = FactorShape(factors);
+  const size_t rank = factors[0].cols();
+  DenseTensor out(shape);
+  std::vector<size_t> idx(shape.order(), 0);
+  std::vector<double> partial(rank);
+  for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
+    double v = 0.0;
+    for (size_t r = 0; r < rank; ++r) {
+      double p = 1.0;
+      for (size_t n = 0; n < factors.size(); ++n) p *= factors[n](idx[n], r);
+      v += p;
+    }
+    out[linear] = v;
+    shape.Next(&idx);
+  }
+  return out;
+}
+
+DenseTensor KruskalSlice(const std::vector<Matrix>& factors,
+                         const std::vector<double>& temporal_row) {
+  const Shape shape = FactorShape(factors);
+  const size_t rank = factors[0].cols();
+  SOFIA_CHECK_EQ(temporal_row.size(), rank);
+  DenseTensor out(shape);
+  std::vector<size_t> idx(shape.order(), 0);
+  for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
+    double v = 0.0;
+    for (size_t r = 0; r < rank; ++r) {
+      double p = temporal_row[r];
+      for (size_t n = 0; n < factors.size(); ++n) p *= factors[n](idx[n], r);
+      v += p;
+    }
+    out[linear] = v;
+    shape.Next(&idx);
+  }
+  return out;
+}
+
+double KruskalSliceEntry(const std::vector<Matrix>& factors,
+                         const std::vector<double>& temporal_row,
+                         const std::vector<size_t>& idx) {
+  const size_t rank = factors[0].cols();
+  SOFIA_DCHECK(idx.size() == factors.size());
+  double v = 0.0;
+  for (size_t r = 0; r < rank; ++r) {
+    double p = temporal_row[r];
+    for (size_t n = 0; n < factors.size(); ++n) p *= factors[n](idx[n], r);
+    v += p;
+  }
+  return v;
+}
+
+double KruskalEntry(const std::vector<Matrix>& factors,
+                    const std::vector<size_t>& idx) {
+  const size_t rank = factors[0].cols();
+  SOFIA_DCHECK(idx.size() == factors.size());
+  double v = 0.0;
+  for (size_t r = 0; r < rank; ++r) {
+    double p = 1.0;
+    for (size_t n = 0; n < factors.size(); ++n) p *= factors[n](idx[n], r);
+    v += p;
+  }
+  return v;
+}
+
+}  // namespace sofia

@@ -1,0 +1,36 @@
+#ifndef SOFIA_TENSOR_KRUSKAL_H_
+#define SOFIA_TENSOR_KRUSKAL_H_
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "tensor/dense_tensor.hpp"
+
+/// \file kruskal.hpp
+/// \brief Kruskal operator `[[U^(1),...,U^(N)]]` (Definition 2) and the
+/// slice variant used by the streaming model.
+
+namespace sofia {
+
+/// Reconstruct the full tensor `[[U^(1),...,U^(N)]]`:
+/// x_{i1..iN} = sum_r prod_n U^(n)(i_n, r). Factors must share R columns.
+DenseTensor KruskalTensor(const std::vector<Matrix>& factors);
+
+/// Reconstruct one temporal slice `[[{U^(n)}; u]]` (Eq. (20)/(27)): the
+/// (N-1)-way tensor with entries sum_r u_r * prod_n U^(n)(i_n, r).
+DenseTensor KruskalSlice(const std::vector<Matrix>& factors,
+                         const std::vector<double>& temporal_row);
+
+/// Value of a single entry of `[[{U^(n)}; u]]` without materializing the
+/// slice. `idx` indexes the N-1 non-temporal modes.
+double KruskalSliceEntry(const std::vector<Matrix>& factors,
+                         const std::vector<double>& temporal_row,
+                         const std::vector<size_t>& idx);
+
+/// Value of a single entry of the full Kruskal tensor.
+double KruskalEntry(const std::vector<Matrix>& factors,
+                    const std::vector<size_t>& idx);
+
+}  // namespace sofia
+
+#endif  // SOFIA_TENSOR_KRUSKAL_H_

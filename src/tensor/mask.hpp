@@ -1,0 +1,59 @@
+#ifndef SOFIA_TENSOR_MASK_H_
+#define SOFIA_TENSOR_MASK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/dense_tensor.hpp"
+#include "tensor/shape.hpp"
+
+/// \file mask.hpp
+/// \brief Observation indicator tensors (the `Ω` of Definition 3).
+
+namespace sofia {
+
+/// Binary indicator over a tensor shape marking which entries are observed.
+class Mask {
+ public:
+  Mask() = default;
+  /// All-observed (if `observed`) or all-missing mask of the given shape.
+  explicit Mask(Shape shape, bool observed = true);
+
+  const Shape& shape() const { return shape_; }
+
+  bool Get(size_t linear) const { return bits_[linear] != 0; }
+  void Set(size_t linear, bool observed) { bits_[linear] = observed ? 1 : 0; }
+
+  bool At(const std::vector<size_t>& idx) const {
+    return Get(shape_.Linearize(idx));
+  }
+
+  /// Number of observed entries (|Ω|).
+  size_t CountObserved() const;
+
+  /// Fraction of observed entries in [0, 1].
+  double ObservedFraction() const;
+
+  /// Linear indices of all observed entries, ascending.
+  std::vector<size_t> ObservedIndices() const;
+
+  /// Ω ⊛ T: zero out unobserved entries of a tensor (shape-checked copy).
+  DenseTensor Apply(const DenseTensor& t) const;
+
+  /// Frobenius norm of Ω ⊛ T without materializing the product.
+  double MaskedFrobeniusNorm(const DenseTensor& t) const;
+
+  /// Stack (N-1)-way masks along a new trailing temporal mode.
+  static Mask StackSlices(const std::vector<Mask>& slices);
+
+  /// Slice of the trailing mode (mirrors DenseTensor::SliceLastMode).
+  Mask SliceLastMode(size_t t) const;
+
+ private:
+  Shape shape_;
+  std::vector<uint8_t> bits_;
+};
+
+}  // namespace sofia
+
+#endif  // SOFIA_TENSOR_MASK_H_

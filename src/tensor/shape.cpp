@@ -1,0 +1,77 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace sofia {
+
+Shape::Shape(std::vector<size_t> dims) : dims_(std::move(dims)) {
+  strides_.resize(dims_.size());
+  size_t stride = 1;
+  for (size_t n = 0; n < dims_.size(); ++n) {
+    strides_[n] = stride;
+    stride *= dims_[n];
+  }
+  num_elements_ = dims_.empty() ? 0 : stride;
+}
+
+size_t Shape::Linearize(const std::vector<size_t>& idx) const {
+  SOFIA_DCHECK(idx.size() == dims_.size());
+  size_t linear = 0;
+  for (size_t n = 0; n < dims_.size(); ++n) {
+    SOFIA_DCHECK(idx[n] < dims_[n]);
+    linear += idx[n] * strides_[n];
+  }
+  return linear;
+}
+
+std::vector<size_t> Shape::Delinearize(size_t linear) const {
+  std::vector<size_t> idx(dims_.size());
+  DelinearizeInto(linear, &idx);
+  return idx;
+}
+
+void Shape::DelinearizeInto(size_t linear, std::vector<size_t>* idx) const {
+  SOFIA_DCHECK(linear < num_elements_);
+  idx->resize(dims_.size());
+  for (size_t n = 0; n < dims_.size(); ++n) {
+    (*idx)[n] = linear % dims_[n];
+    linear /= dims_[n];
+  }
+}
+
+bool Shape::Next(std::vector<size_t>* idx) const {
+  for (size_t n = 0; n < dims_.size(); ++n) {
+    if (++(*idx)[n] < dims_[n]) return true;
+    (*idx)[n] = 0;
+  }
+  return false;
+}
+
+Shape Shape::RemoveMode(size_t n) const {
+  SOFIA_CHECK_LT(n, dims_.size());
+  std::vector<size_t> d;
+  d.reserve(dims_.size() - 1);
+  for (size_t k = 0; k < dims_.size(); ++k) {
+    if (k != n) d.push_back(dims_[k]);
+  }
+  return Shape(std::move(d));
+}
+
+Shape Shape::AppendMode(size_t len) const {
+  std::vector<size_t> d = dims_;
+  d.push_back(len);
+  return Shape(std::move(d));
+}
+
+std::string Shape::ToString() const {
+  std::ostringstream out;
+  for (size_t n = 0; n < dims_.size(); ++n) {
+    out << dims_[n];
+    if (n + 1 < dims_.size()) out << "x";
+  }
+  return out.str();
+}
+
+}  // namespace sofia

@@ -1,0 +1,70 @@
+#ifndef SOFIA_TENSOR_SHAPE_H_
+#define SOFIA_TENSOR_SHAPE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// \file shape.hpp
+/// \brief Tensor shapes and multi-index <-> linear-index conversion.
+///
+/// Linearization follows the tensor-literature (Kolda) convention: the
+/// *first* mode index varies fastest. With this layout, the mode-n unfolding
+/// of the paper's Section III-A maps element (i_1,...,i_N) to row i_n and
+/// column sum_{k != n} i_k * J_k with J_k = prod_{m<k, m != n} I_m, and the
+/// Kruskal/Khatri-Rao identities hold with the paper's product order
+/// `U^(N) (kr) ... (kr) U^(1)`.
+
+namespace sofia {
+
+/// Dimensions of an N-way tensor plus cached strides.
+class Shape {
+ public:
+  Shape() = default;
+  explicit Shape(std::vector<size_t> dims);
+
+  size_t order() const { return dims_.size(); }
+  size_t dim(size_t n) const { return dims_[n]; }
+  const std::vector<size_t>& dims() const { return dims_; }
+
+  /// Total number of entries (product of dims; 0 for empty shapes).
+  size_t NumElements() const { return num_elements_; }
+
+  /// Stride of mode n in the linearization (mode 0 has stride 1).
+  size_t stride(size_t n) const { return strides_[n]; }
+
+  /// Linear index of a multi-index (bounds DCHECKed).
+  size_t Linearize(const std::vector<size_t>& idx) const;
+
+  /// Multi-index of a linear index.
+  std::vector<size_t> Delinearize(size_t linear) const;
+
+  /// In-place variant of Delinearize (avoids allocation in hot loops).
+  void DelinearizeInto(size_t linear, std::vector<size_t>* idx) const;
+
+  /// Advance a multi-index by one in linearization order; returns false when
+  /// the iteration wraps past the last element.
+  bool Next(std::vector<size_t>* idx) const;
+
+  /// Shape with mode n removed (the shape of a temporal slice when n is the
+  /// temporal mode).
+  Shape RemoveMode(size_t n) const;
+
+  /// Shape with an extra trailing mode of length `len` appended.
+  Shape AppendMode(size_t len) const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// e.g. "30x30x90".
+  std::string ToString() const;
+
+ private:
+  std::vector<size_t> dims_;
+  std::vector<size_t> strides_;
+  size_t num_elements_ = 0;
+};
+
+}  // namespace sofia
+
+#endif  // SOFIA_TENSOR_SHAPE_H_

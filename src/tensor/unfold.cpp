@@ -1,0 +1,69 @@
+#include "tensor/unfold.hpp"
+
+#include "util/check.hpp"
+
+namespace sofia {
+
+namespace {
+
+/// Column strides of the unfolding: for each mode k != n, the step in the
+/// unfolded column index when i_k increments.
+std::vector<size_t> ColumnStrides(const Shape& shape, size_t mode) {
+  std::vector<size_t> strides(shape.order(), 0);
+  size_t stride = 1;
+  for (size_t k = 0; k < shape.order(); ++k) {
+    if (k == mode) continue;
+    strides[k] = stride;
+    stride *= shape.dim(k);
+  }
+  return strides;
+}
+
+}  // namespace
+
+Matrix Unfold(const DenseTensor& t, size_t mode) {
+  const Shape& shape = t.shape();
+  SOFIA_CHECK_LT(mode, shape.order());
+  const size_t rows = shape.dim(mode);
+  const size_t cols = shape.NumElements() / rows;
+  Matrix out(rows, cols);
+
+  const std::vector<size_t> col_strides = ColumnStrides(shape, mode);
+  std::vector<size_t> idx(shape.order(), 0);
+  // March through the tensor in linear order, tracking the unfolded column.
+  size_t col = 0;
+  for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
+    out(idx[mode], col) = t[linear];
+    // Increment the multi-index and keep `col` in sync.
+    for (size_t n = 0; n < shape.order(); ++n) {
+      if (n != mode) col += col_strides[n];
+      if (++idx[n] < shape.dim(n)) break;
+      idx[n] = 0;
+      if (n != mode) col -= col_strides[n] * shape.dim(n);
+    }
+  }
+  return out;
+}
+
+DenseTensor Fold(const Matrix& m, const Shape& shape, size_t mode) {
+  SOFIA_CHECK_LT(mode, shape.order());
+  SOFIA_CHECK_EQ(m.rows(), shape.dim(mode));
+  SOFIA_CHECK_EQ(m.cols(), shape.NumElements() / shape.dim(mode));
+  DenseTensor out(shape);
+
+  const std::vector<size_t> col_strides = ColumnStrides(shape, mode);
+  std::vector<size_t> idx(shape.order(), 0);
+  size_t col = 0;
+  for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
+    out[linear] = m(idx[mode], col);
+    for (size_t n = 0; n < shape.order(); ++n) {
+      if (n != mode) col += col_strides[n];
+      if (++idx[n] < shape.dim(n)) break;
+      idx[n] = 0;
+      if (n != mode) col -= col_strides[n] * shape.dim(n);
+    }
+  }
+  return out;
+}
+
+}  // namespace sofia

@@ -1,0 +1,25 @@
+#ifndef SOFIA_TENSOR_UNFOLD_H_
+#define SOFIA_TENSOR_UNFOLD_H_
+
+#include "linalg/matrix.hpp"
+#include "tensor/dense_tensor.hpp"
+
+/// \file unfold.hpp
+/// \brief Mode-n matricization (Section III-A) and its inverse.
+///
+/// The mode-n unfolding X_(n) is the I_n x (prod_{k != n} I_k) matrix whose
+/// (i_n, j) entry is x_{i_1...i_N} with j enumerating the remaining modes in
+/// increasing-mode order, first listed mode fastest. Under this convention
+/// `Unfold(Kruskal(U_1..U_N), n) == U_n * KhatriRaoSkip(U_1..U_N, n)^T`.
+
+namespace sofia {
+
+/// Mode-n unfolding of a dense tensor.
+Matrix Unfold(const DenseTensor& t, size_t mode);
+
+/// Inverse of Unfold: rebuild a tensor of `shape` from its mode-n unfolding.
+DenseTensor Fold(const Matrix& m, const Shape& shape, size_t mode);
+
+}  // namespace sofia
+
+#endif  // SOFIA_TENSOR_UNFOLD_H_

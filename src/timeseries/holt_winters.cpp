@@ -1,0 +1,90 @@
+#include "timeseries/holt_winters.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace sofia {
+
+HoltWinters::HoltWinters(size_t period, HwParams params)
+    : params_(params), seasonal_(period, 0.0) {
+  SOFIA_CHECK_GE(period, 1u);
+  SOFIA_CHECK_GE(params.alpha, 0.0);
+  SOFIA_CHECK_LE(params.alpha, 1.0);
+  SOFIA_CHECK_GE(params.beta, 0.0);
+  SOFIA_CHECK_LE(params.beta, 1.0);
+  SOFIA_CHECK_GE(params.gamma, 0.0);
+  SOFIA_CHECK_LE(params.gamma, 1.0);
+}
+
+void HoltWinters::InitializeFromHistory(const std::vector<double>& history) {
+  const size_t m = seasonal_.size();
+  SOFIA_CHECK_GE(history.size(), 2 * m)
+      << "need two full seasons to initialize";
+  const double season1_mean =
+      std::accumulate(history.begin(), history.begin() + m, 0.0) /
+      static_cast<double>(m);
+  const double season2_mean =
+      std::accumulate(history.begin() + m, history.begin() + 2 * m, 0.0) /
+      static_cast<double>(m);
+  level_ = season1_mean;
+  trend_ = (season2_mean - season1_mean) / static_cast<double>(m);
+  for (size_t i = 0; i < m; ++i) seasonal_[i] = history[i] - season1_mean;
+  pos_ = 0;
+}
+
+void HoltWinters::SetState(double level, double trend,
+                           std::vector<double> seasonal) {
+  SOFIA_CHECK_EQ(seasonal.size(), seasonal_.size());
+  level_ = level;
+  trend_ = trend;
+  seasonal_ = std::move(seasonal);
+  pos_ = 0;
+}
+
+std::vector<double> HoltWinters::SeasonalFromNext() const {
+  const size_t m = seasonal_.size();
+  std::vector<double> out(m);
+  for (size_t i = 0; i < m; ++i) out[i] = seasonal_[(pos_ + i) % m];
+  return out;
+}
+
+double HoltWinters::ForecastNext() const { return Forecast(1); }
+
+double HoltWinters::Forecast(size_t h) const {
+  SOFIA_CHECK_GE(h, 1u);
+  const size_t m = seasonal_.size();
+  // Eq. (6): the seasonal index wraps so the forecast reuses the components
+  // estimated during the last observed season.
+  const size_t season_slot = (pos_ + (h - 1)) % m;
+  return level_ + static_cast<double>(h) * trend_ + seasonal_[season_slot];
+}
+
+void HoltWinters::Update(double y) {
+  const double s_prev = seasonal_[pos_];   // s_{t-m}
+  const double l_prev = level_;            // l_{t-1}
+  const double b_prev = trend_;            // b_{t-1}
+  level_ = params_.alpha * (y - s_prev) +
+           (1.0 - params_.alpha) * (l_prev + b_prev);
+  trend_ = params_.beta * (level_ - l_prev) + (1.0 - params_.beta) * b_prev;
+  seasonal_[pos_] = params_.gamma * (y - l_prev - b_prev) +
+                    (1.0 - params_.gamma) * s_prev;
+  pos_ = (pos_ + 1) % seasonal_.size();
+}
+
+double HoltWintersSse(const std::vector<double>& series, size_t period,
+                      const HwParams& params) {
+  HoltWinters hw(period, params);
+  if (series.size() < 2 * period) return 0.0;
+  hw.InitializeFromHistory(series);
+  double sse = 0.0;
+  for (double y : series) {
+    const double e = y - hw.ForecastNext();
+    sse += e * e;
+    hw.Update(y);
+  }
+  return sse;
+}
+
+}  // namespace sofia

@@ -1,0 +1,76 @@
+#ifndef SOFIA_TIMESERIES_HOLT_WINTERS_H_
+#define SOFIA_TIMESERIES_HOLT_WINTERS_H_
+
+#include <cstddef>
+#include <vector>
+
+/// \file holt_winters.hpp
+/// \brief Additive Holt-Winters recursions (Section III-C).
+///
+/// The model keeps a level `l`, a trend `b`, and the last `m` seasonal
+/// components `s` (a ring buffer indexed by time mod m). Update() applies the
+/// smoothing equations (5a)-(5c); Forecast() applies Eq. (6).
+
+namespace sofia {
+
+/// Smoothing parameters, each in [0, 1].
+struct HwParams {
+  double alpha = 0.3;  ///< Level smoothing.
+  double beta = 0.1;   ///< Trend smoothing.
+  double gamma = 0.1;  ///< Seasonal smoothing.
+};
+
+/// Additive Holt-Winters model for a scalar series.
+class HoltWinters {
+ public:
+  /// Seasonal period m >= 1 (m == 1 degrades to double exponential
+  /// smoothing with a single seasonal slot).
+  HoltWinters(size_t period, HwParams params);
+
+  /// Conventional initialization from at least two full seasons of data
+  /// (Hyndman & Athanasopoulos): level = mean of season 1, trend = averaged
+  /// season-over-season slope, seasonal = de-leveled first-season values.
+  /// Sets the state as of t = 0; call Update() on each observation (including
+  /// the ones in `history`) to advance the model through the series.
+  void InitializeFromHistory(const std::vector<double>& history);
+
+  /// Directly set the state (used by SOFIA, which fits components itself).
+  void SetState(double level, double trend, std::vector<double> seasonal);
+
+  /// One-step-ahead forecast from the current state (h = 1 of Eq. (6)).
+  double ForecastNext() const;
+
+  /// h-step-ahead forecast (h >= 1), Eq. (6).
+  double Forecast(size_t h) const;
+
+  /// Consume one observation, applying the smoothing equations (5a)-(5c).
+  void Update(double y);
+
+  double level() const { return level_; }
+  double trend() const { return trend_; }
+  /// Seasonal component that will be used for the next observation.
+  double NextSeason() const { return seasonal_[pos_]; }
+  const std::vector<double>& seasonal() const { return seasonal_; }
+  /// Seasonal ring buffer rotated so index 0 is the next observation's slot;
+  /// feeding this to SetState() reproduces the current forecasts.
+  std::vector<double> SeasonalFromNext() const;
+  size_t period() const { return seasonal_.size(); }
+  const HwParams& params() const { return params_; }
+
+ private:
+  HwParams params_;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  std::vector<double> seasonal_;  ///< Ring buffer of the last m components.
+  size_t pos_ = 0;                ///< Slot of the *next* observation (t mod m).
+};
+
+/// Runs HW over `series` from conventional initialization and returns the
+/// sum of squared one-step-ahead forecast errors (the fitting criterion of
+/// Section III-C). The first `period` observations seed the initial state.
+double HoltWintersSse(const std::vector<double>& series, size_t period,
+                      const HwParams& params);
+
+}  // namespace sofia
+
+#endif  // SOFIA_TIMESERIES_HOLT_WINTERS_H_

@@ -1,0 +1,66 @@
+#include "timeseries/hw_fit.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "optim/lbfgsb.hpp"
+#include "util/check.hpp"
+
+namespace sofia {
+
+HwFit FitHoltWinters(const std::vector<double>& series, size_t period) {
+  SOFIA_CHECK_GE(series.size(), 2 * period)
+      << "need two full seasons to fit Holt-Winters";
+
+  FunctionObjective sse_obj([&](const std::vector<double>& p) {
+    // Numeric gradients probe just outside the box; clamp so the recursion
+    // always sees valid smoothing parameters.
+    auto clamp01 = [](double v) { return std::min(1.0, std::max(0.0, v)); };
+    return HoltWintersSse(series, period,
+                          HwParams{.alpha = clamp01(p[0]),
+                                   .beta = clamp01(p[1]),
+                                   .gamma = clamp01(p[2])});
+  });
+  const std::vector<double> lower(3, 0.0);
+  const std::vector<double> upper(3, 1.0);
+
+  // The SSE surface is mildly multi-modal in (alpha, beta, gamma); a small
+  // multi-start keeps the fit robust without costing much (the series per
+  // factor column is short).
+  const std::vector<std::vector<double>> starts = {
+      {0.3, 0.1, 0.1}, {0.7, 0.05, 0.3}, {0.1, 0.01, 0.7}, {0.5, 0.5, 0.5}};
+
+  LbfgsbOptions options;
+  options.max_iterations = 100;
+  double best_f = std::numeric_limits<double>::infinity();
+  std::vector<double> best_x = starts[0];
+  for (const auto& start : starts) {
+    LbfgsbResult res = LbfgsbMinimize(sse_obj, start, lower, upper, options);
+    if (res.f < best_f) {
+      best_f = res.f;
+      best_x = res.x;
+    }
+  }
+
+  HwFit fit;
+  fit.params = HwParams{.alpha = best_x[0], .beta = best_x[1],
+                        .gamma = best_x[2]};
+  fit.sse = best_f;
+
+  // Replay the series with the tuned parameters to obtain the final state.
+  HoltWinters hw(period, fit.params);
+  hw.InitializeFromHistory(series);
+  for (double y : series) hw.Update(y);
+  fit.level = hw.level();
+  fit.trend = hw.trend();
+  fit.seasonal = hw.SeasonalFromNext();
+  return fit;
+}
+
+HoltWinters ModelFromFit(const HwFit& fit, size_t period) {
+  HoltWinters hw(period, fit.params);
+  hw.SetState(fit.level, fit.trend, fit.seasonal);
+  return hw;
+}
+
+}  // namespace sofia

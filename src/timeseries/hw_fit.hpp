@@ -1,0 +1,39 @@
+#ifndef SOFIA_TIMESERIES_HW_FIT_H_
+#define SOFIA_TIMESERIES_HW_FIT_H_
+
+#include <vector>
+
+#include "timeseries/holt_winters.hpp"
+
+/// \file hw_fit.hpp
+/// \brief Fitting the additive Holt-Winters model to a series (Section V-B).
+///
+/// SOFIA fits one HW model per temporal-factor column: the smoothing
+/// parameters (alpha, beta, gamma) are found by minimizing the sum of squared
+/// one-step-ahead forecast errors with the box-constrained quasi-Newton
+/// solver, exactly as the paper prescribes (BFGS-B over [0,1]^3).
+
+namespace sofia {
+
+/// Outcome of FitHoltWinters: tuned parameters plus the model state after
+/// consuming the whole training series (ready to forecast step t+1).
+struct HwFit {
+  HwParams params;
+  double level = 0.0;
+  double trend = 0.0;
+  std::vector<double> seasonal;  ///< Last m seasonal components, slot order.
+  double sse = 0.0;              ///< Training SSE at the optimum.
+};
+
+/// Fit HW to `series` (length >= 2 * period). Multi-start over a coarse grid
+/// guards against the SSE surface's local minima; each start is refined with
+/// the bounded quasi-Newton solver.
+HwFit FitHoltWinters(const std::vector<double>& series, size_t period);
+
+/// Build a HoltWinters model positioned at the end of `series` using the
+/// fitted parameters (convenience for forecasting from a fit).
+HoltWinters ModelFromFit(const HwFit& fit, size_t period);
+
+}  // namespace sofia
+
+#endif  // SOFIA_TIMESERIES_HW_FIT_H_

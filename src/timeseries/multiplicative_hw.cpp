@@ -1,0 +1,123 @@
+#include "timeseries/multiplicative_hw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "optim/lbfgsb.hpp"
+#include "util/check.hpp"
+
+namespace sofia {
+
+namespace {
+// Guards against division blow-ups when a seasonal index or level crosses
+// zero on badly-behaved series.
+constexpr double kFloor = 1e-9;
+}  // namespace
+
+MultiplicativeHoltWinters::MultiplicativeHoltWinters(size_t period,
+                                                     HwParams params)
+    : params_(params), seasonal_(period, 1.0) {
+  SOFIA_CHECK_GE(period, 1u);
+}
+
+void MultiplicativeHoltWinters::InitializeFromHistory(
+    const std::vector<double>& history) {
+  const size_t m = seasonal_.size();
+  SOFIA_CHECK_GE(history.size(), 2 * m)
+      << "need two full seasons to initialize";
+  const double season1_mean =
+      std::accumulate(history.begin(), history.begin() + m, 0.0) /
+      static_cast<double>(m);
+  const double season2_mean =
+      std::accumulate(history.begin() + m, history.begin() + 2 * m, 0.0) /
+      static_cast<double>(m);
+  level_ = std::max(season1_mean, kFloor);
+  trend_ = (season2_mean - season1_mean) / static_cast<double>(m);
+  for (size_t i = 0; i < m; ++i) {
+    seasonal_[i] = std::max(history[i] / level_, kFloor);
+  }
+  pos_ = 0;
+}
+
+void MultiplicativeHoltWinters::SetState(double level, double trend,
+                                         std::vector<double> seasonal) {
+  SOFIA_CHECK_EQ(seasonal.size(), seasonal_.size());
+  level_ = level;
+  trend_ = trend;
+  seasonal_ = std::move(seasonal);
+  pos_ = 0;
+}
+
+double MultiplicativeHoltWinters::Forecast(size_t h) const {
+  SOFIA_CHECK_GE(h, 1u);
+  const size_t slot = (pos_ + (h - 1)) % seasonal_.size();
+  return (level_ + static_cast<double>(h) * trend_) * seasonal_[slot];
+}
+
+void MultiplicativeHoltWinters::Update(double y) {
+  const double s_prev = std::max(seasonal_[pos_], kFloor);
+  const double l_prev = level_;
+  const double b_prev = trend_;
+  const double base = std::max(l_prev + b_prev, kFloor);
+  level_ = params_.alpha * (y / s_prev) + (1.0 - params_.alpha) * base;
+  trend_ = params_.beta * (level_ - l_prev) + (1.0 - params_.beta) * b_prev;
+  seasonal_[pos_] =
+      params_.gamma * (y / base) + (1.0 - params_.gamma) * s_prev;
+  pos_ = (pos_ + 1) % seasonal_.size();
+}
+
+std::vector<double> MultiplicativeHoltWinters::SeasonalFromNext() const {
+  const size_t m = seasonal_.size();
+  std::vector<double> out(m);
+  for (size_t i = 0; i < m; ++i) out[i] = seasonal_[(pos_ + i) % m];
+  return out;
+}
+
+double MultiplicativeHwSse(const std::vector<double>& series, size_t period,
+                           const HwParams& params) {
+  if (series.size() < 2 * period) return 0.0;
+  MultiplicativeHoltWinters hw(period, params);
+  hw.InitializeFromHistory(series);
+  double sse = 0.0;
+  for (double y : series) {
+    const double e = y - hw.ForecastNext();
+    sse += e * e;
+    hw.Update(y);
+  }
+  return sse;
+}
+
+MultiplicativeHoltWinters FitMultiplicativeHw(
+    const std::vector<double>& series, size_t period) {
+  SOFIA_CHECK_GE(series.size(), 2 * period);
+  FunctionObjective objective([&](const std::vector<double>& p) {
+    auto clamp01 = [](double v) { return std::min(1.0, std::max(0.0, v)); };
+    return MultiplicativeHwSse(series, period,
+                               HwParams{.alpha = clamp01(p[0]),
+                                        .beta = clamp01(p[1]),
+                                        .gamma = clamp01(p[2])});
+  });
+  const std::vector<double> lower(3, 0.0), upper(3, 1.0);
+  LbfgsbOptions options;
+  options.max_iterations = 100;
+  double best_f = std::numeric_limits<double>::infinity();
+  std::vector<double> best = {0.3, 0.1, 0.1};
+  for (const auto& start : {std::vector<double>{0.3, 0.1, 0.1},
+                            std::vector<double>{0.7, 0.05, 0.3},
+                            std::vector<double>{0.1, 0.01, 0.7}}) {
+    LbfgsbResult res = LbfgsbMinimize(objective, start, lower, upper, options);
+    if (res.f < best_f) {
+      best_f = res.f;
+      best = res.x;
+    }
+  }
+  MultiplicativeHoltWinters hw(
+      period, HwParams{.alpha = best[0], .beta = best[1], .gamma = best[2]});
+  hw.InitializeFromHistory(series);
+  for (double y : series) hw.Update(y);
+  return hw;
+}
+
+}  // namespace sofia

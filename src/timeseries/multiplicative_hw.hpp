@@ -1,0 +1,69 @@
+#ifndef SOFIA_TIMESERIES_MULTIPLICATIVE_HW_H_
+#define SOFIA_TIMESERIES_MULTIPLICATIVE_HW_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "timeseries/holt_winters.hpp"
+
+/// \file multiplicative_hw.hpp
+/// \brief Multiplicative Holt-Winters (Section III-C mentions both
+/// variants; the paper's SOFIA uses the additive one).
+///
+/// Preferred when seasonal swings scale with the level of the series
+/// (e.g. raw, un-logged traffic counts). The smoothing equations divide by
+/// the seasonal/level components, so the series must stay positive.
+
+namespace sofia {
+
+/// Multiplicative Holt-Winters model for a positive scalar series.
+class MultiplicativeHoltWinters {
+ public:
+  MultiplicativeHoltWinters(size_t period, HwParams params);
+
+  /// Conventional initialization from >= two full seasons: level = mean of
+  /// season 1, trend = averaged season-over-season slope, seasonal =
+  /// first-season values divided by the level.
+  void InitializeFromHistory(const std::vector<double>& history);
+
+  /// Directly set the state.
+  void SetState(double level, double trend, std::vector<double> seasonal);
+
+  /// h-step-ahead forecast: (l + h*b) * s_{slot(t+h)}.
+  double Forecast(size_t h) const;
+  double ForecastNext() const { return Forecast(1); }
+
+  /// Consume one observation:
+  ///   l_t = α y_t / s_{t-m} + (1-α)(l_{t-1} + b_{t-1})
+  ///   b_t = β (l_t - l_{t-1}) + (1-β) b_{t-1}
+  ///   s_t = γ y_t / (l_{t-1} + b_{t-1}) + (1-γ) s_{t-m}
+  void Update(double y);
+
+  double level() const { return level_; }
+  double trend() const { return trend_; }
+  const std::vector<double>& seasonal() const { return seasonal_; }
+  /// Ring rotated so index 0 belongs to the next observation's slot.
+  std::vector<double> SeasonalFromNext() const;
+  size_t period() const { return seasonal_.size(); }
+
+ private:
+  HwParams params_;
+  double level_ = 1.0;
+  double trend_ = 0.0;
+  std::vector<double> seasonal_;
+  size_t pos_ = 0;
+};
+
+/// SSE of one-step-ahead forecasts over `series` from conventional
+/// initialization (fitting criterion, mirroring HoltWintersSse).
+double MultiplicativeHwSse(const std::vector<double>& series, size_t period,
+                           const HwParams& params);
+
+/// Fits (alpha, beta, gamma) by SSE minimization over [0,1]^3 and returns
+/// the model positioned at the end of the series.
+MultiplicativeHoltWinters FitMultiplicativeHw(const std::vector<double>& series,
+                                              size_t period);
+
+}  // namespace sofia
+
+#endif  // SOFIA_TIMESERIES_MULTIPLICATIVE_HW_H_

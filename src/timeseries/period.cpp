@@ -1,0 +1,87 @@
+#include "timeseries/period.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sofia {
+
+double Autocorrelation(const std::vector<double>& series, size_t lag,
+                       const std::vector<bool>* observed) {
+  const size_t n = series.size();
+  if (lag >= n) return 0.0;
+  SOFIA_CHECK(observed == nullptr || observed->size() == n);
+
+  auto is_observed = [&](size_t i) {
+    return observed == nullptr || (*observed)[i];
+  };
+
+  double mean = 0.0;
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (is_observed(i)) {
+      mean += series[i];
+      ++count;
+    }
+  }
+  if (count < 2) return 0.0;
+  mean /= static_cast<double>(count);
+
+  double numerator = 0.0, denominator = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i + lag < n; ++i) {
+    if (is_observed(i) && is_observed(i + lag)) {
+      numerator += (series[i] - mean) * (series[i + lag] - mean);
+      ++pairs;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (is_observed(i)) {
+      denominator += (series[i] - mean) * (series[i] - mean);
+    }
+  }
+  if (pairs < 2 || denominator <= 0.0) return 0.0;
+  // Normalize by pair count so heavily-masked long lags are comparable.
+  return (numerator / static_cast<double>(pairs)) /
+         (denominator / static_cast<double>(count));
+}
+
+size_t EstimatePeriod(const std::vector<double>& series, size_t min_lag,
+                      size_t max_lag, const std::vector<bool>* observed) {
+  SOFIA_CHECK_GE(min_lag, 2u);
+  SOFIA_CHECK_GE(max_lag, min_lag);
+  if (series.size() < 2 * max_lag) return 0;
+
+  std::vector<double> acf(max_lag + 2, 0.0);
+  for (size_t lag = min_lag > 1 ? min_lag - 1 : 1; lag <= max_lag + 1; ++lag) {
+    if (lag < series.size()) {
+      acf[lag] = Autocorrelation(series, lag, observed);
+    }
+  }
+
+  // A periodic signal peaks at every harmonic (m, 2m, 3m, ...) with nearly
+  // equal autocorrelation, so "the largest peak" is ambiguous. Take the
+  // *smallest* local-peak lag whose ACF is within 10% of the best peak —
+  // that is the fundamental period.
+  double best_value = 0.0;
+  size_t best_any = min_lag;
+  double best_any_value = acf[min_lag];
+  for (size_t lag = min_lag; lag <= max_lag; ++lag) {
+    if (acf[lag] > best_any_value) {
+      best_any_value = acf[lag];
+      best_any = lag;
+    }
+    const bool local_peak = acf[lag] > acf[lag - 1] && acf[lag] >= acf[lag + 1];
+    if (local_peak) best_value = std::max(best_value, acf[lag]);
+  }
+  if (best_value > 0.0) {
+    for (size_t lag = min_lag; lag <= max_lag; ++lag) {
+      const bool local_peak =
+          acf[lag] > acf[lag - 1] && acf[lag] >= acf[lag + 1];
+      if (local_peak && acf[lag] >= 0.9 * best_value) return lag;
+    }
+  }
+  return best_any;
+}
+
+}  // namespace sofia

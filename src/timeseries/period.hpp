@@ -1,0 +1,33 @@
+#ifndef SOFIA_TIMESERIES_PERIOD_H_
+#define SOFIA_TIMESERIES_PERIOD_H_
+
+#include <cstddef>
+#include <vector>
+
+/// \file period.hpp
+/// \brief Seasonal-period detection from (possibly incomplete) series.
+///
+/// SOFIA takes the seasonal period m as an input. When m is unknown, the
+/// standard estimate is the lag of the strongest autocorrelation peak;
+/// the masked variant uses only index pairs where both samples are
+/// observed, so it tolerates the missing data of real streams.
+
+namespace sofia {
+
+/// Autocorrelation of `series` at `lag` (mean-removed, biased normalizer).
+/// With a non-null `observed` mask, only pairs with both points observed
+/// contribute. Returns 0 when fewer than two pairs are available.
+double Autocorrelation(const std::vector<double>& series, size_t lag,
+                       const std::vector<bool>* observed = nullptr);
+
+/// Estimates the seasonal period as the lag in [min_lag, max_lag] with the
+/// largest autocorrelation that is also a local peak (greater than its
+/// neighbouring lags). Falls back to the global argmax if no local peak
+/// exists. Returns 0 if the series is too short (needs 2 * max_lag points).
+size_t EstimatePeriod(const std::vector<double>& series, size_t min_lag,
+                      size_t max_lag,
+                      const std::vector<bool>* observed = nullptr);
+
+}  // namespace sofia
+
+#endif  // SOFIA_TIMESERIES_PERIOD_H_

@@ -1,0 +1,36 @@
+#include "timeseries/robust.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sofia {
+
+double HuberPsi(double x, double k) {
+  if (std::fabs(x) < k) return x;
+  return x >= 0.0 ? k : -k;
+}
+
+double BiweightRho(double x, double k, double ck) {
+  if (std::fabs(x) > k) return ck;
+  const double u = 1.0 - (x / k) * (x / k);
+  return ck * (1.0 - u * u * u);
+}
+
+double CleanObservation(double y, double forecast, double sigma, double k) {
+  SOFIA_DCHECK(sigma > 0.0);
+  return HuberPsi((y - forecast) / sigma, k) * sigma + forecast;
+}
+
+double UpdateErrorScale(double y, double forecast, double sigma_prev,
+                        double phi, double k, double ck) {
+  SOFIA_DCHECK(sigma_prev > 0.0);
+  const double standardized = (y - forecast) / sigma_prev;
+  const double var = phi * BiweightRho(standardized, k, ck) * sigma_prev *
+                         sigma_prev +
+                     (1.0 - phi) * sigma_prev * sigma_prev;
+  return std::sqrt(var);
+}
+
+}  // namespace sofia

@@ -1,0 +1,37 @@
+#ifndef SOFIA_TIMESERIES_ROBUST_H_
+#define SOFIA_TIMESERIES_ROBUST_H_
+
+/// \file robust.hpp
+/// \brief Robust-statistics kernels of Section III-D.
+///
+/// The Huber Ψ-function caps standardized residuals at ±k; the biweight
+/// ρ-function bounds the influence of residuals on the error-scale update.
+/// The paper (and Gelper et al.) use k = 2 and ck = 2.52.
+
+namespace sofia {
+
+/// Default cap for the Huber Ψ-function (paper Section III-D).
+inline constexpr double kHuberK = 2.0;
+/// Default plateau constant for the biweight ρ-function.
+inline constexpr double kBiweightCk = 2.52;
+
+/// Huber Ψ: identity inside [-k, k], clipped to ±k outside.
+double HuberPsi(double x, double k = kHuberK);
+
+/// Tukey biweight ρ: ck * (1 - (1 - (x/k)^2)^3) inside [-k, k], ck outside.
+double BiweightRho(double x, double k = kHuberK, double ck = kBiweightCk);
+
+/// Gelper pre-cleaning rule (Eq. (7)): replace observation `y` by a cleaned
+/// value given the one-step-ahead forecast and the current error scale.
+double CleanObservation(double y, double forecast, double sigma,
+                        double k = kHuberK);
+
+/// Error-scale recursion (Eq. (8)): returns the updated sigma_t given the
+/// residual `y - forecast`, the previous scale, and smoothing phi.
+double UpdateErrorScale(double y, double forecast, double sigma_prev,
+                        double phi, double k = kHuberK,
+                        double ck = kBiweightCk);
+
+}  // namespace sofia
+
+#endif  // SOFIA_TIMESERIES_ROBUST_H_

@@ -1,0 +1,117 @@
+#include "timeseries/robust_hw_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "optim/lbfgsb.hpp"
+#include "timeseries/robust.hpp"
+#include "util/check.hpp"
+
+namespace sofia {
+
+namespace {
+
+/// Median absolute deviation of the first two seasons: a robust seed for
+/// the error scale σ̂_0.
+double InitialScale(const std::vector<double>& series, size_t period) {
+  const size_t n = std::min(series.size(), 2 * period);
+  std::vector<double> window(series.begin(),
+                             series.begin() + static_cast<long>(n));
+  std::vector<double> sorted = window;
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<long>(n / 2),
+                   sorted.end());
+  const double median = sorted[n / 2];
+  std::vector<double> deviations(n);
+  for (size_t i = 0; i < n; ++i) {
+    deviations[i] = std::fabs(window[i] - median);
+  }
+  std::nth_element(deviations.begin(),
+                   deviations.begin() + static_cast<long>(n / 2),
+                   deviations.end());
+  // 1.4826 * MAD estimates the Gaussian sigma.
+  return std::max(1.4826 * deviations[n / 2], 1e-6);
+}
+
+/// Runs the pre-cleaned recursion; fills `cleaned` (if non-null) and
+/// returns the accumulated bounded loss.
+double Replay(const std::vector<double>& series, size_t period,
+              const HwParams& params, double phi, HoltWinters* final_model,
+              std::vector<double>* cleaned) {
+  HoltWinters hw(period, params);
+  // Initialize from the raw head of the series (two seasons); the cleaning
+  // then protects the recursion from every subsequent spike.
+  hw.InitializeFromHistory(series);
+  double sigma = InitialScale(series, period);
+  double loss = 0.0;
+  if (cleaned != nullptr) cleaned->clear();
+  for (double y : series) {
+    const double forecast = hw.ForecastNext();
+    const double e = (y - forecast) / sigma;
+    loss += BiweightRho(e);
+    const double y_clean = CleanObservation(y, forecast, sigma);
+    // Reject first, then adapt the scale — the ordering Section V-C argues
+    // for (an extreme spike must not inflate σ̂ before it is cleaned).
+    sigma = UpdateErrorScale(y, forecast, sigma, phi);
+    hw.Update(y_clean);
+    if (cleaned != nullptr) cleaned->push_back(y_clean);
+  }
+  if (final_model != nullptr) *final_model = hw;
+  return loss;
+}
+
+}  // namespace
+
+double RobustHwLoss(const std::vector<double>& series, size_t period,
+                    const HwParams& params, double phi) {
+  if (series.size() < 2 * period) return 0.0;
+  return Replay(series, period, params, phi, nullptr, nullptr);
+}
+
+RobustHwFit FitRobustHoltWinters(const std::vector<double>& series,
+                                 size_t period, double phi) {
+  SOFIA_CHECK_GE(series.size(), 2 * period)
+      << "need two full seasons to fit Holt-Winters";
+
+  FunctionObjective objective([&](const std::vector<double>& p) {
+    auto clamp01 = [](double v) { return std::min(1.0, std::max(0.0, v)); };
+    return RobustHwLoss(series, period,
+                        HwParams{.alpha = clamp01(p[0]),
+                                 .beta = clamp01(p[1]),
+                                 .gamma = clamp01(p[2])},
+                        phi);
+  });
+  const std::vector<double> lower(3, 0.0), upper(3, 1.0);
+  LbfgsbOptions options;
+  options.max_iterations = 100;
+  double best_f = std::numeric_limits<double>::infinity();
+  std::vector<double> best = {0.3, 0.1, 0.1};
+  for (const auto& start : {std::vector<double>{0.3, 0.1, 0.1},
+                            std::vector<double>{0.7, 0.05, 0.3},
+                            std::vector<double>{0.1, 0.01, 0.7},
+                            std::vector<double>{0.5, 0.5, 0.5}}) {
+    LbfgsbResult res = LbfgsbMinimize(objective, start, lower, upper, options);
+    if (res.f < best_f) {
+      best_f = res.f;
+      best = res.x;
+    }
+  }
+
+  RobustHwFit fit;
+  fit.params = HwParams{.alpha = best[0], .beta = best[1], .gamma = best[2]};
+  fit.robust_loss = best_f;
+  HoltWinters hw(period, fit.params);
+  Replay(series, period, fit.params, phi, &hw, &fit.cleaned_series);
+  fit.level = hw.level();
+  fit.trend = hw.trend();
+  fit.seasonal = hw.SeasonalFromNext();
+  return fit;
+}
+
+HoltWinters ModelFromRobustFit(const RobustHwFit& fit, size_t period) {
+  HoltWinters hw(period, fit.params);
+  hw.SetState(fit.level, fit.trend, fit.seasonal);
+  return hw;
+}
+
+}  // namespace sofia

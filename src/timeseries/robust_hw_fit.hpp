@@ -1,0 +1,51 @@
+#ifndef SOFIA_TIMESERIES_ROBUST_HW_FIT_H_
+#define SOFIA_TIMESERIES_ROBUST_HW_FIT_H_
+
+#include <vector>
+
+#include "timeseries/hw_fit.hpp"
+#include "timeseries/holt_winters.hpp"
+
+/// \file robust_hw_fit.hpp
+/// \brief Robust Holt-Winters fitting (Gelper et al. [38], Section III-D).
+///
+/// The standard SSE fit is dragged by outliers: a single spike inflates the
+/// fitted smoothing parameters toward over-reactive values. The robust fit
+/// runs the *pre-cleaning* recursion during evaluation — every observation
+/// is replaced by its Huber-cleaned version against the model's one-step
+/// forecast and the adaptive error scale (Eqs. (7)-(8)) — and scores the
+/// bounded ρ-loss of the standardized residuals instead of their squares.
+/// SOFIA itself fits on the (already robustly factorized) temporal factor,
+/// so it uses the plain fit; this module serves users applying the HW
+/// machinery directly to contaminated scalar series.
+
+namespace sofia {
+
+/// Result of a robust fit: parameters, final state, and the cleaned series.
+struct RobustHwFit {
+  HwParams params;
+  double level = 0.0;
+  double trend = 0.0;
+  std::vector<double> seasonal;        ///< Slot order (next obs at 0).
+  std::vector<double> cleaned_series;  ///< Pre-cleaned observations y*.
+  double robust_loss = 0.0;            ///< Σ ρ(e_t / σ̂_t) at the optimum.
+};
+
+/// Robust criterion for a fixed parameter set: runs the pre-cleaned
+/// recursion over `series` and returns the accumulated bounded loss.
+/// `phi` is the error-scale smoothing parameter of Eq. (8).
+double RobustHwLoss(const std::vector<double>& series, size_t period,
+                    const HwParams& params, double phi = 0.1);
+
+/// Fits (alpha, beta, gamma) by minimizing RobustHwLoss over [0,1]^3 with
+/// multi-start quasi-Newton, then replays the cleaned recursion to produce
+/// the final state.
+RobustHwFit FitRobustHoltWinters(const std::vector<double>& series,
+                                 size_t period, double phi = 0.1);
+
+/// Builds a forecasting model positioned at the end of the series.
+HoltWinters ModelFromRobustFit(const RobustHwFit& fit, size_t period);
+
+}  // namespace sofia
+
+#endif  // SOFIA_TIMESERIES_ROBUST_HW_FIT_H_

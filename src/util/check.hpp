@@ -1,0 +1,65 @@
+#ifndef SOFIA_UTIL_CHECK_H_
+#define SOFIA_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+/// \file check.hpp
+/// \brief CHECK-style invariant macros.
+///
+/// A failed check prints the condition, location, and an optional streamed
+/// message, then aborts. These guard programmer errors (bad shapes, index
+/// bounds, invalid configuration); they are not a recoverable error channel.
+
+namespace sofia::internal {
+
+/// Sink that collects a streamed failure message and aborts on destruction.
+class CheckFailure {
+ public:
+  CheckFailure(const char* cond, const char* file, int line) {
+    stream_ << "CHECK failed: " << cond << " at " << file << ":" << line
+            << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace sofia::internal
+
+#define SOFIA_CHECK(cond)                                          \
+  if (cond) {                                                      \
+  } else                                                           \
+    ::sofia::internal::CheckFailure(#cond, __FILE__, __LINE__)
+
+#define SOFIA_CHECK_EQ(a, b) \
+  SOFIA_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SOFIA_CHECK_NE(a, b) \
+  SOFIA_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SOFIA_CHECK_LT(a, b) \
+  SOFIA_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SOFIA_CHECK_LE(a, b) \
+  SOFIA_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SOFIA_CHECK_GT(a, b) \
+  SOFIA_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SOFIA_CHECK_GE(a, b) \
+  SOFIA_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define SOFIA_DCHECK(cond) SOFIA_CHECK(true)
+#else
+#define SOFIA_DCHECK(cond) SOFIA_CHECK(cond)
+#endif
+
+#endif  // SOFIA_UTIL_CHECK_H_

@@ -1,0 +1,39 @@
+#ifndef SOFIA_UTIL_FLAGS_H_
+#define SOFIA_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+/// \file flags.hpp
+/// \brief Minimal `--name=value` command-line flag parsing for benches and
+/// examples. Unknown flags are kept so callers can validate or ignore them.
+
+namespace sofia {
+
+/// Parses `--name=value` (and bare `--name`, stored as "true") arguments.
+class Flags {
+ public:
+  Flags() = default;
+  Flags(int argc, char** argv);
+
+  /// True if the flag was present on the command line.
+  bool Has(const std::string& name) const;
+
+  /// Typed getters returning `def` when the flag is absent.
+  std::string GetString(const std::string& name, const std::string& def) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sofia
+
+#endif  // SOFIA_UTIL_FLAGS_H_

@@ -1,0 +1,56 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace sofia {
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(gen_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(gen_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(gen_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(gen_);
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  SOFIA_CHECK_LE(k, n);
+  // Floyd's algorithm: expected O(k) inserts regardless of n.
+  std::unordered_set<size_t> chosen;
+  chosen.reserve(k * 2);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(j)));
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  std::vector<size_t> out(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<double> Rng::UniformVector(size_t n, double lo, double hi) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = Uniform(lo, hi);
+  return v;
+}
+
+std::vector<double> Rng::NormalVector(size_t n, double mean, double stddev) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = Normal(mean, stddev);
+  return v;
+}
+
+}  // namespace sofia

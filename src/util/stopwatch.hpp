@@ -1,0 +1,31 @@
+#ifndef SOFIA_UTIL_STOPWATCH_H_
+#define SOFIA_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+/// \file stopwatch.hpp
+/// \brief Monotonic wall-clock stopwatch for the ART metric and benches.
+
+namespace sofia {
+
+/// Starts on construction; ElapsedSeconds() may be read repeatedly.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Reset the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sofia
+
+#endif  // SOFIA_UTIL_STOPWATCH_H_

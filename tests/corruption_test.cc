@@ -1,0 +1,107 @@
+#include "data/corruption.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+
+namespace sofia {
+namespace {
+
+std::vector<DenseTensor> MakeTruth(size_t steps, uint64_t seed) {
+  return MakeScalabilityStream(12, 10, steps, 3, 6, seed);
+}
+
+TEST(CorruptionTest, NoCorruptionIsIdentity) {
+  std::vector<DenseTensor> truth = MakeTruth(10, 1);
+  CorruptedStream s = Corrupt(truth, {0.0, 0.0, 0.0}, 2);
+  for (size_t t = 0; t < truth.size(); ++t) {
+    DenseTensor diff = s.slices[t] - truth[t];
+    EXPECT_DOUBLE_EQ(diff.FrobeniusNorm(), 0.0);
+    EXPECT_EQ(s.masks[t].CountObserved(), truth[t].NumElements());
+    EXPECT_EQ(s.outlier_positions[t].CountObserved(), 0u);
+  }
+}
+
+TEST(CorruptionTest, MissingFractionApproximatelyX) {
+  std::vector<DenseTensor> truth = MakeTruth(40, 3);
+  CorruptedStream s = Corrupt(truth, {30.0, 0.0, 0.0}, 4);
+  size_t observed = 0, total = 0;
+  for (const Mask& m : s.masks) {
+    observed += m.CountObserved();
+    total += truth[0].NumElements();
+  }
+  const double frac = 1.0 - static_cast<double>(observed) /
+                                static_cast<double>(total);
+  EXPECT_NEAR(frac, 0.30, 0.02);
+}
+
+TEST(CorruptionTest, OutlierFractionApproximatelyY) {
+  std::vector<DenseTensor> truth = MakeTruth(40, 5);
+  CorruptedStream s = Corrupt(truth, {0.0, 15.0, 3.0}, 6);
+  size_t outliers = 0, total = 0;
+  for (const Mask& m : s.outlier_positions) {
+    outliers += m.CountObserved();
+    total += truth[0].NumElements();
+  }
+  const double frac =
+      static_cast<double>(outliers) / static_cast<double>(total);
+  EXPECT_NEAR(frac, 0.15, 0.02);
+}
+
+TEST(CorruptionTest, OutlierMagnitudeIsZTimesMax) {
+  std::vector<DenseTensor> truth = MakeTruth(20, 7);
+  CorruptedStream s = Corrupt(truth, {0.0, 10.0, 4.0}, 8);
+  const double magnitude = 4.0 * s.max_abs;
+  bool saw_positive = false, saw_negative = false;
+  for (size_t t = 0; t < truth.size(); ++t) {
+    for (size_t k = 0; k < truth[t].NumElements(); ++k) {
+      if (s.outlier_positions[t].Get(k)) {
+        const double delta = s.slices[t][k] - truth[t][k];
+        EXPECT_NEAR(std::fabs(delta), magnitude, 1e-9);
+        if (delta > 0) saw_positive = true;
+        if (delta < 0) saw_negative = true;
+      } else {
+        EXPECT_DOUBLE_EQ(s.slices[t][k], truth[t][k]);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_positive);
+  EXPECT_TRUE(saw_negative);
+}
+
+TEST(CorruptionTest, MaxAbsIsGlobalStreamMaximum) {
+  std::vector<DenseTensor> truth = MakeTruth(10, 9);
+  double expected = 0.0;
+  for (const DenseTensor& slice : truth) {
+    expected = std::max(expected, slice.MaxAbs());
+  }
+  CorruptedStream s = Corrupt(truth, {10.0, 10.0, 2.0}, 10);
+  EXPECT_DOUBLE_EQ(s.max_abs, expected);
+}
+
+TEST(CorruptionTest, DeterministicForFixedSeed) {
+  std::vector<DenseTensor> truth = MakeTruth(10, 11);
+  CorruptedStream a = Corrupt(truth, {40.0, 10.0, 3.0}, 99);
+  CorruptedStream b = Corrupt(truth, {40.0, 10.0, 3.0}, 99);
+  for (size_t t = 0; t < truth.size(); ++t) {
+    DenseTensor diff = a.slices[t] - b.slices[t];
+    EXPECT_DOUBLE_EQ(diff.FrobeniusNorm(), 0.0);
+    EXPECT_EQ(a.masks[t].CountObserved(), b.masks[t].CountObserved());
+  }
+}
+
+TEST(CorruptionTest, PaperGridHasFourSettingsMildToHarsh) {
+  std::vector<CorruptionSetting> grid = PaperSettingGrid();
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_EQ(grid.front().ToString(), "(20,10,2)");
+  EXPECT_EQ(grid.back().ToString(), "(70,20,5)");
+  for (size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_GE(grid[i].missing_percent, grid[i - 1].missing_percent);
+    EXPECT_GE(grid[i].magnitude, grid[i - 1].magnitude);
+  }
+}
+
+}  // namespace
+}  // namespace sofia

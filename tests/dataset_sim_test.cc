@@ -1,0 +1,97 @@
+#include "data/dataset_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.hpp"
+
+namespace sofia {
+namespace {
+
+/// Lag-m autocorrelation of the slice-mean series: high values certify the
+/// seasonality the simulators promise.
+double SeasonalAutocorrelation(const Dataset& d) {
+  std::vector<double> means;
+  means.reserve(d.slices.size());
+  for (const DenseTensor& slice : d.slices) {
+    double s = 0.0;
+    for (size_t k = 0; k < slice.NumElements(); ++k) s += slice[k];
+    means.push_back(s / static_cast<double>(slice.NumElements()));
+  }
+  const double mean = Mean(means);
+  double num = 0.0, den = 0.0;
+  for (size_t t = 0; t + d.period < means.size(); ++t) {
+    num += (means[t] - mean) * (means[t + d.period] - mean);
+  }
+  for (double v : means) den += (v - mean) * (v - mean);
+  return den > 0.0 ? num / den : 0.0;
+}
+
+class DatasetSimTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetSimTest, SmallScaleShapeAndLength) {
+  Dataset d = MakeDatasetByName(GetParam(), DatasetScale::kSmall);
+  ASSERT_FALSE(d.slices.empty());
+  EXPECT_GT(d.period, 0u);
+  EXPECT_GT(d.rank, 0u);
+  EXPECT_GT(d.forecast_steps, 0u);
+  // Enough stream for init (3 seasons) + dynamic phase + forecast horizon.
+  EXPECT_GT(d.slices.size(), 3 * d.period + d.forecast_steps);
+  for (const DenseTensor& slice : d.slices) {
+    EXPECT_EQ(slice.shape(), d.slices[0].shape());
+    EXPECT_EQ(slice.order(), 2u);
+  }
+}
+
+TEST_P(DatasetSimTest, HasStrongSeasonality) {
+  Dataset d = MakeDatasetByName(GetParam(), DatasetScale::kSmall);
+  EXPECT_GT(SeasonalAutocorrelation(d), 0.5) << d.name;
+}
+
+TEST_P(DatasetSimTest, DeterministicForFixedSeed) {
+  Dataset a = MakeDatasetByName(GetParam(), DatasetScale::kSmall);
+  Dataset b = MakeDatasetByName(GetParam(), DatasetScale::kSmall);
+  ASSERT_EQ(a.slices.size(), b.slices.size());
+  for (size_t t = 0; t < a.slices.size(); ++t) {
+    DenseTensor diff = a.slices[t] - b.slices[t];
+    EXPECT_DOUBLE_EQ(diff.FrobeniusNorm(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetSimTest,
+                         ::testing::Values("intel", "network", "chicago",
+                                           "nyc"));
+
+TEST(DatasetSimPaperScaleTest, MatchesTableThreeDimensions) {
+  // Validate against Table III without materializing the big streams more
+  // than once each.
+  Dataset intel = MakeIntelLabSensor(DatasetScale::kPaper);
+  EXPECT_EQ(intel.slices[0].shape().ToString(), "54x4");
+  EXPECT_EQ(intel.slices.size(), 1152u);
+  EXPECT_EQ(intel.period, 144u);
+  EXPECT_EQ(intel.rank, 4u);
+
+  Dataset nyc = MakeNycTaxi(DatasetScale::kPaper);
+  EXPECT_EQ(nyc.slices[0].shape().ToString(), "265x265");
+  EXPECT_EQ(nyc.slices.size(), 904u);
+  EXPECT_EQ(nyc.period, 7u);
+  EXPECT_EQ(nyc.rank, 5u);
+}
+
+TEST(DatasetSimTest, AllDatasetsReturnsFourInPaperOrder) {
+  std::vector<Dataset> all = MakeAllDatasets(DatasetScale::kSmall);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].name, "IntelLabSensor");
+  EXPECT_EQ(all[1].name, "NetworkTraffic");
+  EXPECT_EQ(all[2].name, "ChicagoTaxi");
+  EXPECT_EQ(all[3].name, "NycTaxi");
+}
+
+TEST(DatasetSimTest, UnknownNameDies) {
+  EXPECT_DEATH(MakeDatasetByName("mars-rover", DatasetScale::kSmall),
+               "unknown dataset");
+}
+
+}  // namespace
+}  // namespace sofia

@@ -1,0 +1,75 @@
+#include "tensor/dense_tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace sofia {
+namespace {
+
+TEST(DenseTensorTest, ConstructionAndAccess) {
+  DenseTensor t(Shape({2, 3}), 0.5);
+  EXPECT_EQ(t.NumElements(), 6u);
+  EXPECT_DOUBLE_EQ(t[4], 0.5);
+  t.At({1, 2}) = 9.0;
+  EXPECT_DOUBLE_EQ(t.At({1, 2}), 9.0);
+  EXPECT_DOUBLE_EQ(t[t.shape().Linearize({1, 2})], 9.0);
+}
+
+TEST(DenseTensorTest, Arithmetic) {
+  DenseTensor a(Shape({2, 2}), 1.0);
+  DenseTensor b(Shape({2, 2}), 2.0);
+  DenseTensor sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[0], 3.0);
+  DenseTensor diff = b - a;
+  EXPECT_DOUBLE_EQ(diff[3], 1.0);
+  a *= 4.0;
+  EXPECT_DOUBLE_EQ(a[2], 4.0);
+}
+
+TEST(DenseTensorTest, Norms) {
+  DenseTensor t(Shape({1, 2}));
+  t[0] = 3.0;
+  t[1] = -4.0;
+  EXPECT_DOUBLE_EQ(t.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(t.MaxAbs(), 4.0);
+  EXPECT_EQ(t.CountNonZero(), 2u);
+  EXPECT_EQ(t.CountNonZero(3.5), 1u);
+}
+
+TEST(DenseTensorTest, StackAndSliceRoundtrip) {
+  Rng rng(1);
+  std::vector<DenseTensor> slices;
+  for (int t = 0; t < 4; ++t) {
+    slices.push_back(DenseTensor::RandomNormal(Shape({3, 2}), rng));
+  }
+  DenseTensor stacked = DenseTensor::StackSlices(slices);
+  EXPECT_EQ(stacked.shape().dims(), (std::vector<size_t>{3, 2, 4}));
+  for (size_t t = 0; t < 4; ++t) {
+    DenseTensor back = stacked.SliceLastMode(t);
+    DenseTensor diff = back - slices[t];
+    EXPECT_DOUBLE_EQ(diff.FrobeniusNorm(), 0.0);
+  }
+}
+
+TEST(DenseTensorTest, StackPlacesSlicesAtCorrectTemporalIndex) {
+  DenseTensor s0(Shape({2}), 1.0);
+  DenseTensor s1(Shape({2}), 2.0);
+  DenseTensor stacked = DenseTensor::StackSlices({s0, s1});
+  EXPECT_DOUBLE_EQ(stacked.At({0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(stacked.At({1, 1}), 2.0);
+}
+
+TEST(DenseTensorTest, RandomNormalHasRoughlyZeroMean) {
+  Rng rng(7);
+  DenseTensor t = DenseTensor::RandomNormal(Shape({40, 40}), rng);
+  double mean = 0.0;
+  for (size_t k = 0; k < t.NumElements(); ++k) mean += t[k];
+  mean /= static_cast<double>(t.NumElements());
+  EXPECT_NEAR(mean, 0.0, 0.1);
+}
+
+}  // namespace
+}  // namespace sofia

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sofia_model.hpp"
+#include "core/sofia_stream.hpp"
+#include "data/corruption.hpp"
+#include "data/synthetic.hpp"
+#include "eval/metrics.hpp"
+#include "linalg/solve.hpp"
+#include "tensor/unfold.hpp"
+
+namespace sofia {
+namespace {
+
+/// Failure-injection and boundary-condition coverage across the library.
+
+struct Fixture {
+  std::vector<DenseTensor> truth;
+  CorruptedStream stream;
+  SofiaConfig config;
+};
+
+Fixture MakeFixture(uint64_t seed) {
+  Fixture f;
+  f.config.rank = 2;
+  f.config.period = 6;
+  f.config.init_seasons = 3;
+  // Clean streams: paper-default smoothness avoids regularization bias.
+  f.config.lambda1 = 1e-3;
+  f.config.lambda2 = 1e-3;
+  f.config.max_init_iterations = 8;
+  f.config.seed = seed;
+  SyntheticTensor syn = MakeSinusoidTensor(6, 5, 40, 2, 6, seed);
+  for (size_t t = 0; t < 40; ++t) {
+    f.truth.push_back(syn.tensor.SliceLastMode(t));
+  }
+  f.stream = Corrupt(f.truth, {0.0, 0.0, 0.0}, seed + 1);
+  return f;
+}
+
+SofiaModel InitModel(Fixture& f) {
+  const size_t w = f.config.InitWindow();
+  std::vector<DenseTensor> is(f.stream.slices.begin(),
+                              f.stream.slices.begin() + w);
+  std::vector<Mask> im(f.stream.masks.begin(), f.stream.masks.begin() + w);
+  return SofiaModel::Initialize(is, im, f.config);
+}
+
+TEST(EdgeCaseTest, StepWithFullyMissingSliceFallsBackToForecast) {
+  Fixture f = MakeFixture(91);
+  SofiaModel model = InitModel(f);
+  const size_t w = f.config.InitWindow();
+  model.Step(f.stream.slices[w], f.stream.masks[w]);
+
+  // A completely unobserved slice: no data, the model must coast on its
+  // seasonal forecast without corrupting any state.
+  Mask empty(f.truth[0].shape(), false);
+  SofiaStepResult out = model.Step(f.stream.slices[w + 1], empty);
+  EXPECT_LT(NormalizedResidualError(out.imputed, f.truth[w + 1]), 0.3);
+  EXPECT_EQ(out.outliers.CountNonZero(0.0), 0u);
+
+  // And the model keeps working on the next observed slice.
+  SofiaStepResult next =
+      model.Step(f.stream.slices[w + 2], f.stream.masks[w + 2]);
+  EXPECT_LT(NormalizedResidualError(next.imputed, f.truth[w + 2]), 0.3);
+}
+
+TEST(EdgeCaseTest, LongOutageDoesNotDestabilizeModel) {
+  Fixture f = MakeFixture(93);
+  SofiaModel model = InitModel(f);
+  const size_t w = f.config.InitWindow();
+  Mask empty(f.truth[0].shape(), false);
+  for (size_t t = w; t < w + 12; ++t) {  // Two full blind seasons.
+    model.Step(f.stream.slices[t], empty);
+  }
+  SofiaStepResult out =
+      model.Step(f.stream.slices[w + 12], f.stream.masks[w + 12]);
+  EXPECT_LT(NormalizedResidualError(out.imputed, f.truth[w + 12]), 0.5);
+}
+
+TEST(EdgeCaseTest, StepRejectsWrongSliceShape) {
+  Fixture f = MakeFixture(95);
+  SofiaModel model = InitModel(f);
+  DenseTensor wrong(Shape({3, 3}), 1.0);
+  Mask omega(wrong.shape(), true);
+  EXPECT_DEATH(model.Step(wrong, omega), "");
+}
+
+TEST(EdgeCaseTest, StepRejectsMismatchedMask) {
+  Fixture f = MakeFixture(97);
+  SofiaModel model = InitModel(f);
+  Mask wrong(Shape({2, 2}), true);
+  EXPECT_DEATH(model.Step(f.stream.slices[20], wrong), "");
+}
+
+TEST(EdgeCaseTest, ForecastHorizonZeroDies) {
+  Fixture f = MakeFixture(99);
+  SofiaModel model = InitModel(f);
+  EXPECT_DEATH(model.Forecast(0), "");
+}
+
+TEST(EdgeCaseTest, SolveRidgeHandlesAllZeroSystem) {
+  Matrix zero(3, 3, 0.0);
+  std::vector<double> x = SolveRidge(zero, {0.0, 0.0, 0.0});
+  for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(EdgeCaseTest, UnfoldSingletonModes) {
+  DenseTensor t(Shape({1, 4, 1}), 2.0);
+  Matrix m0 = Unfold(t, 0);
+  EXPECT_EQ(m0.rows(), 1u);
+  EXPECT_EQ(m0.cols(), 4u);
+  Matrix m1 = Unfold(t, 1);
+  EXPECT_EQ(m1.rows(), 4u);
+  EXPECT_EQ(m1.cols(), 1u);
+  DenseTensor back = Fold(m1, t.shape(), 1);
+  DenseTensor diff = back - t;
+  EXPECT_DOUBLE_EQ(diff.FrobeniusNorm(), 0.0);
+}
+
+TEST(EdgeCaseTest, PeriodOneStreamDegradesGracefully) {
+  // m = 1: "seasonal" slot collapses to a single component — SOFIA becomes
+  // double-exponential smoothing on the temporal factor and must not crash.
+  Fixture f = MakeFixture(101);
+  f.config.period = 1;
+  f.config.init_seasons = 6;  // Init window of 6 slices.
+  const size_t w = f.config.InitWindow();
+  std::vector<DenseTensor> is(f.stream.slices.begin(),
+                              f.stream.slices.begin() + w);
+  std::vector<Mask> im(f.stream.masks.begin(), f.stream.masks.begin() + w);
+  SofiaModel model = SofiaModel::Initialize(is, im, f.config);
+  for (size_t t = w; t < w + 10; ++t) {
+    SofiaStepResult out = model.Step(f.stream.slices[t], f.stream.masks[t]);
+    EXPECT_TRUE(std::isfinite(out.imputed.FrobeniusNorm()));
+  }
+}
+
+}  // namespace
+}  // namespace sofia

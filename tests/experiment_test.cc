@@ -1,0 +1,67 @@
+#include "eval/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+
+namespace sofia {
+namespace {
+
+CorruptedStream MakeStream(double value, size_t steps, double missing) {
+  std::vector<DenseTensor> truth(steps, DenseTensor(Shape({4, 4}), value));
+  return Corrupt(truth, {missing, 0.0, 0.0}, 5);
+}
+
+TEST(ExperimentTest, ObservedRmsOfConstantStream) {
+  CorruptedStream s = MakeStream(3.0, 10, 0.0);
+  EXPECT_DOUBLE_EQ(ObservedRms(s), 3.0);
+}
+
+TEST(ExperimentTest, ObservedRmsIgnoresMissingEntries) {
+  CorruptedStream s = MakeStream(3.0, 10, 50.0);
+  // All observed entries are 3.0 regardless of how many were dropped.
+  EXPECT_DOUBLE_EQ(ObservedRms(s), 3.0);
+}
+
+TEST(ExperimentTest, QuantileOfConstantStream) {
+  CorruptedStream s = MakeStream(-2.0, 10, 0.0);
+  EXPECT_DOUBLE_EQ(ObservedAbsQuantile(s, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(ObservedAbsQuantile(s, 0.75), 2.0);
+}
+
+TEST(ExperimentTest, QuantileIsRobustToOutlierMass) {
+  // 20% outliers of enormous magnitude move the RMS but barely move q75.
+  std::vector<DenseTensor> truth(20, DenseTensor(Shape({5, 5}), 1.0));
+  CorruptedStream clean = Corrupt(truth, {0.0, 0.0, 0.0}, 7);
+  CorruptedStream dirty = Corrupt(truth, {0.0, 20.0, 100.0}, 7);
+  EXPECT_GT(ObservedRms(dirty), 5.0 * ObservedRms(clean));
+  EXPECT_LT(ObservedAbsQuantile(dirty, 0.75),
+            2.0 * ObservedAbsQuantile(clean, 0.75));
+}
+
+TEST(ExperimentTest, ConfigTakesRankAndPeriodFromDataset) {
+  Dataset d;
+  d.name = "toy";
+  d.rank = 7;
+  d.period = 13;
+  d.slices.assign(5, DenseTensor(Shape({3, 3}), 2.0));
+  CorruptedStream s = Corrupt(d.slices, {0.0, 0.0, 0.0}, 9);
+  SofiaConfig config = MakeExperimentConfig(d, s);
+  EXPECT_EQ(config.rank, 7u);
+  EXPECT_EQ(config.period, 13u);
+  EXPECT_NEAR(config.lambda3, 3.0 * 2.0, 1e-12);
+}
+
+TEST(ExperimentTest, EmptyStreamFallsBackToPaperLambda3) {
+  Dataset d;
+  d.rank = 2;
+  d.period = 4;
+  CorruptedStream empty;
+  SofiaConfig config = MakeExperimentConfig(d, empty);
+  EXPECT_DOUBLE_EQ(config.lambda3, 10.0);
+}
+
+}  // namespace
+}  // namespace sofia

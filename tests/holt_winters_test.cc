@@ -1,0 +1,121 @@
+#include "timeseries/holt_winters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace sofia {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+std::vector<double> SeasonalSeries(size_t n, size_t m, double level,
+                                   double trend, double amp) {
+  std::vector<double> y(n);
+  for (size_t t = 0; t < n; ++t) {
+    y[t] = level + trend * static_cast<double>(t) +
+           amp * std::sin(kTwoPi * static_cast<double>(t % m) /
+                          static_cast<double>(m));
+  }
+  return y;
+}
+
+TEST(HoltWintersTest, ConstantSeriesForecastsConstant) {
+  std::vector<double> y(20, 7.0);
+  HoltWinters hw(4, HwParams{0.5, 0.3, 0.3});
+  hw.InitializeFromHistory(y);
+  for (double v : y) hw.Update(v);
+  for (size_t h = 1; h <= 8; ++h) {
+    EXPECT_NEAR(hw.Forecast(h), 7.0, 1e-9) << "h=" << h;
+  }
+}
+
+TEST(HoltWintersTest, LinearTrendForecastsLine) {
+  std::vector<double> y(40);
+  for (size_t t = 0; t < y.size(); ++t) y[t] = 2.0 + 0.5 * t;
+  // The conventional initialization leaves a sawtooth artifact in the
+  // seasonal slots on a pure trend; a responsive gamma unlearns it.
+  HoltWinters hw(4, HwParams{0.5, 0.5, 0.6});
+  hw.InitializeFromHistory(y);
+  for (double v : y) hw.Update(v);
+  // y_{39+h} = 2 + 0.5 * (39 + h).
+  for (size_t h = 1; h <= 4; ++h) {
+    EXPECT_NEAR(hw.Forecast(h), 2.0 + 0.5 * (39.0 + h), 0.05) << "h=" << h;
+  }
+}
+
+TEST(HoltWintersTest, PureSeasonalPatternIsLearned) {
+  const size_t m = 6;
+  std::vector<double> y = SeasonalSeries(10 * m, m, 10.0, 0.0, 3.0);
+  HoltWinters hw(m, HwParams{0.2, 0.05, 0.3});
+  hw.InitializeFromHistory(y);
+  for (double v : y) hw.Update(v);
+  for (size_t h = 1; h <= m; ++h) {
+    const size_t t = y.size() + h - 1;
+    const double expected =
+        10.0 + 3.0 * std::sin(kTwoPi * static_cast<double>(t % m) /
+                              static_cast<double>(m));
+    EXPECT_NEAR(hw.Forecast(h), expected, 0.15) << "h=" << h;
+  }
+}
+
+TEST(HoltWintersTest, InitializationMatchesConvention) {
+  // Two seasons of 1..8 with period 4: level = mean(1..4) = 2.5,
+  // trend = (mean(5..8) - mean(1..4)) / 4 = 1, s_i = y_i - 2.5.
+  std::vector<double> y = {1, 2, 3, 4, 5, 6, 7, 8};
+  HoltWinters hw(4, HwParams{0.3, 0.1, 0.1});
+  hw.InitializeFromHistory(y);
+  EXPECT_DOUBLE_EQ(hw.level(), 2.5);
+  EXPECT_DOUBLE_EQ(hw.trend(), 1.0);
+  EXPECT_DOUBLE_EQ(hw.seasonal()[0], -1.5);
+  EXPECT_DOUBLE_EQ(hw.seasonal()[3], 1.5);
+}
+
+TEST(HoltWintersTest, UpdateMatchesSmoothingEquationsByHand) {
+  HoltWinters hw(2, HwParams{0.5, 0.4, 0.3});
+  hw.SetState(10.0, 1.0, {-2.0, 2.0});
+  hw.Update(9.5);
+  // l = 0.5*(9.5 - (-2)) + 0.5*(10 + 1) = 5.75 + 5.5 = 11.25.
+  EXPECT_DOUBLE_EQ(hw.level(), 11.25);
+  // b = 0.4*(11.25 - 10) + 0.6*1 = 0.5 + 0.6 = 1.1.
+  EXPECT_DOUBLE_EQ(hw.trend(), 1.1);
+  // s = 0.3*(9.5 - 10 - 1) + 0.7*(-2) = -0.45 - 1.4 = -1.85.
+  EXPECT_DOUBLE_EQ(hw.SeasonalFromNext()[1], -1.85);
+}
+
+TEST(HoltWintersTest, SeasonalFromNextSetStateRoundtrip) {
+  const size_t m = 5;
+  std::vector<double> y = SeasonalSeries(4 * m, m, 3.0, 0.1, 1.0);
+  HoltWinters hw(m, HwParams{0.3, 0.1, 0.2});
+  hw.InitializeFromHistory(y);
+  for (double v : y) hw.Update(v);
+
+  HoltWinters copy(m, hw.params());
+  copy.SetState(hw.level(), hw.trend(), hw.SeasonalFromNext());
+  for (size_t h = 1; h <= 2 * m; ++h) {
+    EXPECT_DOUBLE_EQ(copy.Forecast(h), hw.Forecast(h)) << "h=" << h;
+  }
+}
+
+TEST(HoltWintersTest, SsePrefersCorrectParametersOnSmoothSeries) {
+  const size_t m = 4;
+  std::vector<double> y = SeasonalSeries(12 * m, m, 5.0, 0.2, 2.0);
+  // A deterministic series is tracked much better with responsive
+  // parameters than with frozen ones.
+  const double sse_good = HoltWintersSse(y, m, HwParams{0.8, 0.5, 0.5});
+  const double sse_bad = HoltWintersSse(y, m, HwParams{0.01, 0.0, 0.0});
+  EXPECT_LT(sse_good, sse_bad);
+}
+
+TEST(HoltWintersTest, PeriodOneDegeneratesGracefully) {
+  std::vector<double> y = {1, 2, 3, 4, 5, 6};
+  HoltWinters hw(1, HwParams{0.5, 0.5, 0.1});
+  hw.InitializeFromHistory(y);
+  for (double v : y) hw.Update(v);
+  EXPECT_NEAR(hw.Forecast(1), 7.0, 0.6);
+}
+
+}  // namespace
+}  // namespace sofia

@@ -1,0 +1,86 @@
+#include "timeseries/hw_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace sofia {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+std::vector<double> MakeSeries(size_t n, size_t m, double noise,
+                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> y(n);
+  for (size_t t = 0; t < n; ++t) {
+    y[t] = 4.0 + 0.05 * static_cast<double>(t) +
+           1.5 * std::sin(kTwoPi * static_cast<double>(t % m) /
+                          static_cast<double>(m)) +
+           rng.Normal(0.0, noise);
+  }
+  return y;
+}
+
+TEST(HwFitTest, ParametersStayInBox) {
+  std::vector<double> y = MakeSeries(60, 6, 0.1, 1);
+  HwFit fit = FitHoltWinters(y, 6);
+  EXPECT_GE(fit.params.alpha, 0.0);
+  EXPECT_LE(fit.params.alpha, 1.0);
+  EXPECT_GE(fit.params.beta, 0.0);
+  EXPECT_LE(fit.params.beta, 1.0);
+  EXPECT_GE(fit.params.gamma, 0.0);
+  EXPECT_LE(fit.params.gamma, 1.0);
+}
+
+TEST(HwFitTest, FittedSseNotWorseThanDefaults) {
+  std::vector<double> y = MakeSeries(80, 8, 0.2, 2);
+  HwFit fit = FitHoltWinters(y, 8);
+  const double default_sse = HoltWintersSse(y, 8, HwParams{});
+  EXPECT_LE(fit.sse, default_sse + 1e-9);
+}
+
+TEST(HwFitTest, ForecastsSeasonalSeriesAccurately) {
+  const size_t m = 6;
+  std::vector<double> y = MakeSeries(12 * m, m, 0.05, 3);
+  HwFit fit = FitHoltWinters(y, m);
+  HoltWinters hw = ModelFromFit(fit, m);
+  // Compare 1..m step forecasts against the clean generating process.
+  for (size_t h = 1; h <= m; ++h) {
+    const size_t t = y.size() + h - 1;
+    const double expected =
+        4.0 + 0.05 * static_cast<double>(t) +
+        1.5 * std::sin(kTwoPi * static_cast<double>(t % m) /
+                       static_cast<double>(m));
+    EXPECT_NEAR(hw.Forecast(h), expected, 0.5) << "h=" << h;
+  }
+}
+
+TEST(HwFitTest, ModelFromFitReproducesFinalState) {
+  std::vector<double> y = MakeSeries(48, 4, 0.1, 4);
+  HwFit fit = FitHoltWinters(y, 4);
+  HoltWinters hw = ModelFromFit(fit, 4);
+  EXPECT_DOUBLE_EQ(hw.level(), fit.level);
+  EXPECT_DOUBLE_EQ(hw.trend(), fit.trend);
+  EXPECT_DOUBLE_EQ(hw.ForecastNext(),
+                   fit.level + fit.trend + fit.seasonal[0]);
+}
+
+TEST(HwFitTest, SseIsSumOfSquaredOneStepErrors) {
+  std::vector<double> y = MakeSeries(40, 4, 0.3, 5);
+  HwParams params{0.4, 0.2, 0.3};
+  HoltWinters hw(4, params);
+  hw.InitializeFromHistory(y);
+  double sse = 0.0;
+  for (double v : y) {
+    const double e = v - hw.ForecastNext();
+    sse += e * e;
+    hw.Update(v);
+  }
+  EXPECT_NEAR(HoltWintersSse(y, 4, params), sse, 1e-9);
+}
+
+}  // namespace
+}  // namespace sofia

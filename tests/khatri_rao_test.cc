@@ -1,0 +1,69 @@
+#include "tensor/khatri_rao.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace sofia {
+namespace {
+
+TEST(KhatriRaoTest, MatchesEquationOne) {
+  // Eq. (1): (U kr W)(i*J + j, r) = U(i, r) * W(j, r).
+  Matrix u = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix w = Matrix::FromRows({{5, 6}, {7, 8}, {9, 10}});
+  Matrix kr = KhatriRao(u, w);
+  ASSERT_EQ(kr.rows(), 6u);
+  ASSERT_EQ(kr.cols(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      for (size_t r = 0; r < 2; ++r) {
+        EXPECT_DOUBLE_EQ(kr(i * 3 + j, r), u(i, r) * w(j, r));
+      }
+    }
+  }
+}
+
+TEST(KhatriRaoTest, ChainOrderMakesFirstModeFastest) {
+  // KhatriRaoChain([U1, U2]) must equal U2 kr U1 (mode-1 rows fastest).
+  Rng rng(3);
+  Matrix u1 = Matrix::RandomNormal(2, 2, rng);
+  Matrix u2 = Matrix::RandomNormal(3, 2, rng);
+  Matrix chain = KhatriRaoChain({u1, u2});
+  Matrix expected = KhatriRao(u2, u1);
+  EXPECT_LT(chain.MaxAbsDiff(expected), 1e-14);
+}
+
+TEST(KhatriRaoTest, SkipRemovesTheRightFactor) {
+  Rng rng(5);
+  Matrix u1 = Matrix::RandomNormal(2, 3, rng);
+  Matrix u2 = Matrix::RandomNormal(3, 3, rng);
+  Matrix u3 = Matrix::RandomNormal(4, 3, rng);
+  Matrix skip1 = KhatriRaoSkip({u1, u2, u3}, 1);
+  Matrix expected = KhatriRao(u3, u1);
+  EXPECT_LT(skip1.MaxAbsDiff(expected), 1e-14);
+}
+
+TEST(KhatriRaoTest, SingleFactorChainIsIdentityOp) {
+  Rng rng(7);
+  Matrix u = Matrix::RandomNormal(4, 2, rng);
+  Matrix chain = KhatriRaoChain({u});
+  EXPECT_LT(chain.MaxAbsDiff(u), 1e-15);
+}
+
+// Property: the Gram identity (A kr B)^T (A kr B) = (A^T A) ⊛ (B^T B).
+class KhatriRaoGramTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KhatriRaoGramTest, GramIdentity) {
+  Rng rng(GetParam());
+  const size_t rank = 1 + GetParam() % 5;
+  Matrix a = Matrix::RandomNormal(3 + GetParam() % 4, rank, rng);
+  Matrix b = Matrix::RandomNormal(2 + GetParam() % 5, rank, rng);
+  Matrix lhs = Gram(KhatriRao(a, b));
+  Matrix rhs = Gram(a).Hadamard(Gram(b));
+  EXPECT_LT(lhs.MaxAbsDiff(rhs), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KhatriRaoGramTest, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace sofia

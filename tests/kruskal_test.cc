@@ -1,0 +1,70 @@
+#include "tensor/kruskal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace sofia {
+namespace {
+
+TEST(KruskalTest, Rank1IsOuterProduct) {
+  Matrix u = Matrix::FromRows({{1}, {2}});
+  Matrix v = Matrix::FromRows({{3}, {4}, {5}});
+  DenseTensor x = KruskalTensor({u, v});
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(x.At({i, j}), u(i, 0) * v(j, 0));
+    }
+  }
+}
+
+TEST(KruskalTest, SumsOverRankComponents) {
+  // Rank-2: [[U, V]] = u1 o v1 + u2 o v2.
+  Matrix u = Matrix::FromRows({{1, 10}});
+  Matrix v = Matrix::FromRows({{2, 3}});
+  DenseTensor x = KruskalTensor({u, v});
+  EXPECT_DOUBLE_EQ(x.At({0, 0}), 1.0 * 2.0 + 10.0 * 3.0);
+}
+
+TEST(KruskalTest, EntryMatchesFullTensor) {
+  Rng rng(11);
+  std::vector<Matrix> factors = {Matrix::RandomNormal(3, 2, rng),
+                                 Matrix::RandomNormal(4, 2, rng),
+                                 Matrix::RandomNormal(5, 2, rng)};
+  DenseTensor x = KruskalTensor(factors);
+  std::vector<size_t> idx(3, 0);
+  for (size_t linear = 0; linear < x.NumElements(); ++linear) {
+    EXPECT_NEAR(KruskalEntry(factors, idx), x[linear], 1e-12);
+    x.shape().Next(&idx);
+  }
+}
+
+TEST(KruskalTest, SliceMatchesFullTensorSlice) {
+  Rng rng(13);
+  Matrix a = Matrix::RandomNormal(3, 2, rng);
+  Matrix b = Matrix::RandomNormal(4, 2, rng);
+  Matrix t = Matrix::RandomNormal(5, 2, rng);
+  DenseTensor full = KruskalTensor({a, b, t});
+  for (size_t step = 0; step < 5; ++step) {
+    DenseTensor slice = KruskalSlice({a, b}, t.RowVector(step));
+    DenseTensor expected = full.SliceLastMode(step);
+    DenseTensor diff = slice - expected;
+    EXPECT_LT(diff.FrobeniusNorm(), 1e-12) << "step " << step;
+  }
+}
+
+TEST(KruskalTest, SliceEntryMatchesSlice) {
+  Rng rng(17);
+  std::vector<Matrix> factors = {Matrix::RandomNormal(3, 4, rng),
+                                 Matrix::RandomNormal(2, 4, rng)};
+  std::vector<double> w = rng.NormalVector(4);
+  DenseTensor slice = KruskalSlice(factors, w);
+  std::vector<size_t> idx(2, 0);
+  for (size_t linear = 0; linear < slice.NumElements(); ++linear) {
+    EXPECT_NEAR(KruskalSliceEntry(factors, w, idx), slice[linear], 1e-12);
+    slice.shape().Next(&idx);
+  }
+}
+
+}  // namespace
+}  // namespace sofia

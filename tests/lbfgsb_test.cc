@@ -1,0 +1,108 @@
+#include "optim/lbfgsb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace sofia {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(LbfgsbTest, MinimizesUnconstrainedQuadratic) {
+  // f(x) = (x0 - 3)^2 + 2 (x1 + 1)^2.
+  FunctionObjective obj([](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0) + 2.0 * (x[1] + 1.0) * (x[1] + 1.0);
+  });
+  LbfgsbResult res =
+      LbfgsbMinimize(obj, {0.0, 0.0}, {-kInf, -kInf}, {kInf, kInf});
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.x[0], 3.0, 1e-5);
+  EXPECT_NEAR(res.x[1], -1.0, 1e-5);
+  EXPECT_NEAR(res.f, 0.0, 1e-9);
+}
+
+TEST(LbfgsbTest, SolvesRosenbrock) {
+  FunctionObjective obj([](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  });
+  LbfgsbOptions options;
+  options.max_iterations = 500;
+  LbfgsbResult res = LbfgsbMinimize(obj, {-1.2, 1.0}, {-kInf, -kInf},
+                                    {kInf, kInf}, options);
+  EXPECT_NEAR(res.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(res.x[1], 1.0, 1e-3);
+}
+
+TEST(LbfgsbTest, RespectsActiveBound) {
+  // Unconstrained minimum at x = 3, but the box caps x at 1.
+  FunctionObjective obj([](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0);
+  });
+  LbfgsbResult res = LbfgsbMinimize(obj, {0.0}, {0.0}, {1.0});
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.x[0], 1.0, 1e-9);
+}
+
+TEST(LbfgsbTest, BoundsOnBothSides) {
+  // Minimum of (x+2)^2 over [-1, 1] is at the lower bound.
+  FunctionObjective obj([](const std::vector<double>& x) {
+    return (x[0] + 2.0) * (x[0] + 2.0);
+  });
+  LbfgsbResult res = LbfgsbMinimize(obj, {0.5}, {-1.0}, {1.0});
+  EXPECT_NEAR(res.x[0], -1.0, 1e-9);
+}
+
+TEST(LbfgsbTest, ClampsInfeasibleStart) {
+  FunctionObjective obj(
+      [](const std::vector<double>& x) { return x[0] * x[0]; });
+  LbfgsbResult res = LbfgsbMinimize(obj, {5.0}, {1.0}, {2.0});
+  EXPECT_GE(res.x[0], 1.0);
+  EXPECT_LE(res.x[0], 2.0);
+  EXPECT_NEAR(res.x[0], 1.0, 1e-9);
+}
+
+TEST(LbfgsbTest, MixedActiveAndFreeVariables) {
+  // f = (x0 - 5)^2 + (x1 - 0.5)^2 over [0,1]^2: x0 hits its bound, x1 free.
+  FunctionObjective obj([](const std::vector<double>& x) {
+    return (x[0] - 5.0) * (x[0] - 5.0) + (x[1] - 0.5) * (x[1] - 0.5);
+  });
+  LbfgsbResult res =
+      LbfgsbMinimize(obj, {0.2, 0.2}, {0.0, 0.0}, {1.0, 1.0});
+  EXPECT_NEAR(res.x[0], 1.0, 1e-7);
+  EXPECT_NEAR(res.x[1], 0.5, 1e-5);
+}
+
+TEST(LbfgsbTest, HigherDimensionalQuadratic) {
+  // f = sum_i i * (x_i - 1/i)^2 in 10 dimensions.
+  FunctionObjective obj([](const std::vector<double>& x) {
+    double s = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      const double w = static_cast<double>(i + 1);
+      const double d = x[i] - 1.0 / w;
+      s += w * d * d;
+    }
+    return s;
+  });
+  std::vector<double> x0(10, 0.0), lo(10, -kInf), hi(10, kInf);
+  LbfgsbResult res = LbfgsbMinimize(obj, x0, lo, hi);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(res.x[i], 1.0 / static_cast<double>(i + 1), 1e-4);
+  }
+}
+
+TEST(NumericGradientTest, MatchesAnalyticGradient) {
+  FunctionObjective obj([](const std::vector<double>& x) {
+    return x[0] * x[0] * x[1] + 3.0 * x[1];
+  });
+  std::vector<double> grad;
+  NumericGradient(obj, {2.0, 5.0}, &grad);
+  EXPECT_NEAR(grad[0], 2.0 * 2.0 * 5.0, 1e-5);  // 2 x0 x1.
+  EXPECT_NEAR(grad[1], 2.0 * 2.0 + 3.0, 1e-5);  // x0^2 + 3.
+}
+
+}  // namespace
+}  // namespace sofia

@@ -1,0 +1,57 @@
+#include "tensor/mask.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sofia {
+namespace {
+
+TEST(MaskTest, AllObservedByDefault) {
+  Mask m(Shape({3, 4}));
+  EXPECT_EQ(m.CountObserved(), 12u);
+  EXPECT_DOUBLE_EQ(m.ObservedFraction(), 1.0);
+}
+
+TEST(MaskTest, SetAndGet) {
+  Mask m(Shape({2, 2}), false);
+  EXPECT_EQ(m.CountObserved(), 0u);
+  m.Set(3, true);
+  EXPECT_TRUE(m.Get(3));
+  EXPECT_TRUE(m.At({1, 1}));
+  EXPECT_EQ(m.ObservedIndices(), (std::vector<size_t>{3}));
+}
+
+TEST(MaskTest, ApplyZeroesUnobserved) {
+  DenseTensor t(Shape({2, 2}), 5.0);
+  Mask m(Shape({2, 2}), false);
+  m.Set(1, true);
+  DenseTensor masked = m.Apply(t);
+  EXPECT_DOUBLE_EQ(masked[0], 0.0);
+  EXPECT_DOUBLE_EQ(masked[1], 5.0);
+}
+
+TEST(MaskTest, MaskedFrobeniusNormMatchesApply) {
+  DenseTensor t(Shape({3, 3}));
+  for (size_t k = 0; k < 9; ++k) t[k] = static_cast<double>(k) - 4.0;
+  Mask m(Shape({3, 3}), false);
+  m.Set(0, true);
+  m.Set(4, true);
+  m.Set(8, true);
+  EXPECT_NEAR(m.MaskedFrobeniusNorm(t), m.Apply(t).FrobeniusNorm(), 1e-12);
+}
+
+TEST(MaskTest, StackAndSliceRoundtrip) {
+  Mask a(Shape({2, 2}), true);
+  Mask b(Shape({2, 2}), false);
+  b.Set(2, true);
+  Mask stacked = Mask::StackSlices({a, b});
+  EXPECT_EQ(stacked.shape().dims(), (std::vector<size_t>{2, 2, 2}));
+  EXPECT_EQ(stacked.CountObserved(), 5u);
+  Mask b_back = stacked.SliceLastMode(1);
+  EXPECT_EQ(b_back.CountObserved(), 1u);
+  EXPECT_TRUE(b_back.Get(2));
+}
+
+}  // namespace
+}  // namespace sofia

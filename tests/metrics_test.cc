@@ -1,0 +1,69 @@
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/mask.hpp"
+
+namespace sofia {
+namespace {
+
+TEST(MetricsTest, NreZeroForExactEstimate) {
+  DenseTensor t(Shape({2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(NormalizedResidualError(t, t), 0.0);
+}
+
+TEST(MetricsTest, NreMatchesHandComputation) {
+  DenseTensor truth(Shape({2}), 0.0);
+  truth[0] = 3.0;
+  truth[1] = 4.0;  // ||truth|| = 5.
+  DenseTensor est = truth;
+  est[0] = 6.0;  // diff = (3, 0), ||diff|| = 3.
+  EXPECT_DOUBLE_EQ(NormalizedResidualError(est, truth), 3.0 / 5.0);
+}
+
+TEST(MetricsTest, NreOfZeroTruthIsZeroOrOne) {
+  DenseTensor zero(Shape({2, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedResidualError(zero, zero), 0.0);
+  DenseTensor nonzero(Shape({2, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedResidualError(nonzero, zero), 1.0);
+}
+
+TEST(MetricsTest, MeanAndRunningAverage) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0, 6.0}), 4.0);
+  EXPECT_DOUBLE_EQ(RunningAverageError({0.1, 0.3}), 0.2);
+}
+
+TEST(MetricsTest, AfeAveragesPerHorizonNre) {
+  DenseTensor truth(Shape({2}), 1.0);
+  DenseTensor exact = truth;
+  DenseTensor off(Shape({2}), 2.0);  // NRE = 1.
+  EXPECT_DOUBLE_EQ(AverageForecastingError({exact, off}, {truth, truth}),
+                   0.5);
+}
+
+TEST(MetricsTest, MissingOnlyErrorIgnoresObservedEntries) {
+  DenseTensor truth(Shape({2, 2}), 0.0);
+  truth[0] = 3.0;   // Observed.
+  truth[1] = 4.0;   // Missing.
+  DenseTensor est = truth;
+  est[0] = 100.0;   // Gross error at an *observed* entry: must not count.
+  est[1] = 5.0;     // Error 1 at the missing entry.
+  Mask observed(Shape({2, 2}), false);
+  observed.Set(0, true);
+  observed.Set(2, true);
+  observed.Set(3, true);
+  // Only entry 1 is scored: |5-4| / |4| = 0.25.
+  EXPECT_DOUBLE_EQ(MissingOnlyResidualError(est, truth, observed), 0.25);
+}
+
+TEST(MetricsTest, MissingOnlyErrorWithNothingMissingIsZero) {
+  DenseTensor t(Shape({2}), 1.0);
+  Mask all(Shape({2}), true);
+  EXPECT_DOUBLE_EQ(MissingOnlyResidualError(t, t, all), 0.0);
+}
+
+}  // namespace
+}  // namespace sofia

@@ -1,0 +1,106 @@
+#include "timeseries/multiplicative_hw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "timeseries/hw_fit.hpp"
+
+namespace sofia {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+/// Level-proportional seasonality: the multiplicative model's home turf.
+std::vector<double> MultiplicativeSeries(size_t n, size_t m, double level0,
+                                         double growth, double swing) {
+  std::vector<double> y(n);
+  for (size_t t = 0; t < n; ++t) {
+    const double level = level0 + growth * static_cast<double>(t);
+    const double season =
+        1.0 + swing * std::sin(kTwoPi * static_cast<double>(t % m) /
+                               static_cast<double>(m));
+    y[t] = level * season;
+  }
+  return y;
+}
+
+TEST(MultiplicativeHwTest, ConstantSeriesForecastsConstant) {
+  std::vector<double> y(24, 5.0);
+  MultiplicativeHoltWinters hw(4, HwParams{0.4, 0.2, 0.3});
+  hw.InitializeFromHistory(y);
+  for (double v : y) hw.Update(v);
+  for (size_t h = 1; h <= 8; ++h) {
+    EXPECT_NEAR(hw.Forecast(h), 5.0, 1e-9) << "h=" << h;
+  }
+}
+
+TEST(MultiplicativeHwTest, InitializationDividesOutLevel) {
+  // Season 1 = {2, 4, 2, 4} (mean 3); seasonal indices 2/3, 4/3, ...
+  std::vector<double> y = {2, 4, 2, 4, 2, 4, 2, 4};
+  MultiplicativeHoltWinters hw(4, HwParams{0.3, 0.1, 0.1});
+  hw.InitializeFromHistory(y);
+  EXPECT_DOUBLE_EQ(hw.level(), 3.0);
+  EXPECT_DOUBLE_EQ(hw.trend(), 0.0);
+  EXPECT_DOUBLE_EQ(hw.seasonal()[0], 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(hw.seasonal()[1], 4.0 / 3.0);
+}
+
+TEST(MultiplicativeHwTest, UpdateMatchesEquationsByHand) {
+  MultiplicativeHoltWinters hw(2, HwParams{0.5, 0.4, 0.2});
+  hw.SetState(10.0, 1.0, {0.8, 1.2});
+  hw.Update(8.0);
+  // l = 0.5 * (8 / 0.8) + 0.5 * 11 = 5 + 5.5 = 10.5
+  EXPECT_DOUBLE_EQ(hw.level(), 10.5);
+  // b = 0.4 * (10.5 - 10) + 0.6 * 1 = 0.8
+  EXPECT_DOUBLE_EQ(hw.trend(), 0.8);
+  // s = 0.2 * (8 / 11) + 0.8 * 0.8 = 0.78545...
+  EXPECT_NEAR(hw.SeasonalFromNext()[1], 0.2 * (8.0 / 11.0) + 0.64, 1e-12);
+}
+
+TEST(MultiplicativeHwTest, TracksGrowingAmplitudeBetterThanAdditive) {
+  const size_t m = 6;
+  std::vector<double> y =
+      MultiplicativeSeries(20 * m, m, 10.0, 0.25, 0.5);
+  // Fit both models on a prefix, forecast one season, compare.
+  const size_t train = 18 * m;
+  std::vector<double> prefix(y.begin(), y.begin() + train);
+
+  MultiplicativeHoltWinters mult = FitMultiplicativeHw(prefix, m);
+  HwFit add_fit = FitHoltWinters(prefix, m);
+  HoltWinters add = ModelFromFit(add_fit, m);
+
+  double mult_err = 0.0, add_err = 0.0;
+  for (size_t h = 1; h <= m; ++h) {
+    mult_err += std::fabs(mult.Forecast(h) - y[train + h - 1]);
+    add_err += std::fabs(add.Forecast(h) - y[train + h - 1]);
+  }
+  EXPECT_LT(mult_err, add_err);
+}
+
+TEST(MultiplicativeHwTest, SseMatchesManualReplay) {
+  const size_t m = 4;
+  std::vector<double> y = MultiplicativeSeries(10 * m, m, 5.0, 0.1, 0.3);
+  HwParams params{0.4, 0.2, 0.3};
+  MultiplicativeHoltWinters hw(m, params);
+  hw.InitializeFromHistory(y);
+  double sse = 0.0;
+  for (double v : y) {
+    const double e = v - hw.ForecastNext();
+    sse += e * e;
+    hw.Update(v);
+  }
+  EXPECT_NEAR(MultiplicativeHwSse(y, m, params), sse, 1e-9);
+}
+
+TEST(MultiplicativeHwTest, SurvivesZeroCrossingInput) {
+  // Degenerate input (zeros) must not divide by zero.
+  std::vector<double> y(16, 0.0);
+  MultiplicativeHoltWinters hw(4, HwParams{0.5, 0.2, 0.3});
+  hw.InitializeFromHistory(y);
+  for (double v : y) hw.Update(v);
+  EXPECT_TRUE(std::isfinite(hw.Forecast(1)));
+}
+
+}  // namespace
+}  // namespace sofia

@@ -1,0 +1,73 @@
+#include "timeseries/period.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace sofia {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+std::vector<double> Sinusoid(size_t n, size_t m, double noise,
+                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> y(n);
+  for (size_t t = 0; t < n; ++t) {
+    y[t] = std::sin(kTwoPi * static_cast<double>(t) /
+                    static_cast<double>(m)) +
+           rng.Normal(0.0, noise);
+  }
+  return y;
+}
+
+TEST(AutocorrelationTest, PerfectAtFullPeriodZeroAtHalf) {
+  std::vector<double> y = Sinusoid(240, 12, 0.0, 1);
+  EXPECT_GT(Autocorrelation(y, 12), 0.95);
+  EXPECT_LT(Autocorrelation(y, 6), -0.9);  // Anti-phase at half period.
+}
+
+TEST(AutocorrelationTest, WhiteNoiseNearZero) {
+  Rng rng(2);
+  std::vector<double> y = rng.NormalVector(2000);
+  EXPECT_NEAR(Autocorrelation(y, 7), 0.0, 0.08);
+}
+
+class PeriodDetectionTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PeriodDetectionTest, FindsTruePeriod) {
+  const size_t m = GetParam();
+  std::vector<double> y = Sinusoid(20 * m, m, 0.15, 3 + m);
+  EXPECT_EQ(EstimatePeriod(y, 2, 3 * m), m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, PeriodDetectionTest,
+                         ::testing::Values(5, 7, 12, 24));
+
+TEST(PeriodDetectionTest, ToleratesMissingData) {
+  const size_t m = 12;
+  std::vector<double> y = Sinusoid(30 * m, m, 0.1, 9);
+  Rng rng(10);
+  std::vector<bool> observed(y.size(), true);
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (rng.Bernoulli(0.4)) observed[i] = false;  // 40% missing.
+  }
+  EXPECT_EQ(EstimatePeriod(y, 2, 3 * m, &observed), m);
+}
+
+TEST(PeriodDetectionTest, WorksOnGeneratedSeasonalSeries) {
+  // The dataset simulators' own series generator must be self-consistent.
+  std::vector<double> y = MakeSeasonalSeries(400, 24, 1.0, 0.02, 0.0, 11);
+  EXPECT_EQ(EstimatePeriod(y, 2, 60), 24u);
+}
+
+TEST(PeriodDetectionTest, TooShortSeriesReturnsZero) {
+  std::vector<double> y = Sinusoid(20, 12, 0.0, 12);
+  EXPECT_EQ(EstimatePeriod(y, 2, 24), 0u);
+}
+
+}  // namespace
+}  // namespace sofia

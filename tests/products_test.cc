@@ -1,0 +1,113 @@
+#include "tensor/products.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/khatri_rao.hpp"
+#include "tensor/kruskal.hpp"
+#include "tensor/unfold.hpp"
+#include "util/rng.hpp"
+
+namespace sofia {
+namespace {
+
+TEST(TtmTest, MatchesUnfoldBasedDefinition) {
+  // X x_n M  <=>  fold(M * X_(n)) along mode n.
+  Rng rng(111);
+  DenseTensor x = DenseTensor::RandomNormal(Shape({3, 4, 5}), rng);
+  for (size_t mode = 0; mode < 3; ++mode) {
+    Matrix m = Matrix::RandomNormal(6, x.dim(mode), rng);
+    DenseTensor got = Ttm(x, m, mode);
+    std::vector<size_t> dims = x.shape().dims();
+    dims[mode] = 6;
+    DenseTensor expected = Fold(MatMul(m, Unfold(x, mode)), Shape(dims), mode);
+    DenseTensor diff = got - expected;
+    EXPECT_LT(diff.FrobeniusNorm(), 1e-10) << "mode " << mode;
+  }
+}
+
+TEST(TtmTest, IdentityMatrixIsNoOp) {
+  Rng rng(113);
+  DenseTensor x = DenseTensor::RandomNormal(Shape({4, 3, 2}), rng);
+  for (size_t mode = 0; mode < 3; ++mode) {
+    DenseTensor got = Ttm(x, Matrix::Identity(x.dim(mode)), mode);
+    DenseTensor diff = got - x;
+    EXPECT_DOUBLE_EQ(diff.FrobeniusNorm(), 0.0);
+  }
+}
+
+TEST(TtmTest, ContractionToSingleRowSumsMode) {
+  // A 1 x I row of ones contracts the mode into a sum.
+  DenseTensor x(Shape({2, 3}), 1.0);
+  Matrix ones(1, 2, 1.0);
+  DenseTensor got = Ttm(x, ones, 0);
+  EXPECT_EQ(got.shape().dims(), (std::vector<size_t>{1, 3}));
+  for (size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(got.At({0, j}), 2.0);
+}
+
+TEST(MttkrpTest, MatchesUnfoldTimesKhatriRao) {
+  Rng rng(115);
+  DenseTensor x = DenseTensor::RandomNormal(Shape({3, 4, 5}), rng);
+  std::vector<Matrix> factors = {Matrix::RandomNormal(3, 2, rng),
+                                 Matrix::RandomNormal(4, 2, rng),
+                                 Matrix::RandomNormal(5, 2, rng)};
+  for (size_t mode = 0; mode < 3; ++mode) {
+    Matrix got = Mttkrp(x, factors, mode);
+    Matrix expected = MatMul(Unfold(x, mode), KhatriRaoSkip(factors, mode));
+    EXPECT_LT(got.MaxAbsDiff(expected), 1e-10) << "mode " << mode;
+  }
+}
+
+TEST(MttkrpTest, AlsNormalEquationIdentityAtTruth) {
+  // At the generating factors with full observation, MTTKRP equals
+  // U^(n) * (Gram Hadamard identity):  X_(n) (kr) = U^(n) (⊛ grams).
+  Rng rng(117);
+  std::vector<Matrix> factors = {Matrix::RandomNormal(4, 3, rng),
+                                 Matrix::RandomNormal(5, 3, rng),
+                                 Matrix::RandomNormal(6, 3, rng)};
+  DenseTensor x = KruskalTensor(factors);
+  for (size_t mode = 0; mode < 3; ++mode) {
+    Matrix lhs = Mttkrp(x, factors, mode);
+    Matrix gram = Matrix(3, 3, 0.0);
+    bool first = true;
+    for (size_t l = 0; l < 3; ++l) {
+      if (l == mode) continue;
+      Matrix g = Gram(factors[l]);
+      gram = first ? g : gram.Hadamard(g);
+      first = false;
+    }
+    Matrix rhs = MatMul(factors[mode], gram);
+    EXPECT_LT(lhs.MaxAbsDiff(rhs), 1e-9) << "mode " << mode;
+  }
+}
+
+TEST(MaskedMttkrpTest, FullMaskMatchesUnmasked) {
+  Rng rng(119);
+  DenseTensor x = DenseTensor::RandomNormal(Shape({3, 4, 2}), rng);
+  std::vector<Matrix> factors = {Matrix::RandomNormal(3, 2, rng),
+                                 Matrix::RandomNormal(4, 2, rng),
+                                 Matrix::RandomNormal(2, 2, rng)};
+  Mask all(x.shape(), true);
+  for (size_t mode = 0; mode < 3; ++mode) {
+    Matrix a = MaskedMttkrp(x, all, factors, mode);
+    Matrix b = Mttkrp(x, factors, mode);
+    EXPECT_LT(a.MaxAbsDiff(b), 1e-12);
+  }
+}
+
+TEST(MaskedMttkrpTest, MaskedEntriesDoNotContribute) {
+  Rng rng(121);
+  DenseTensor x = DenseTensor::RandomNormal(Shape({3, 3}), rng);
+  std::vector<Matrix> factors = {Matrix::RandomNormal(3, 2, rng),
+                                 Matrix::RandomNormal(3, 2, rng)};
+  Mask omega(x.shape(), true);
+  omega.Set(4, false);
+  // Zeroing the masked entry in the data must give the same result.
+  DenseTensor x_zeroed = x;
+  x_zeroed[4] = 0.0;
+  Matrix a = MaskedMttkrp(x, omega, factors, 0);
+  Matrix b = Mttkrp(x_zeroed, factors, 0);
+  EXPECT_LT(a.MaxAbsDiff(b), 1e-12);
+}
+
+}  // namespace
+}  // namespace sofia

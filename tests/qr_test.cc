@@ -1,0 +1,72 @@
+#include "linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/solve.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/rng.hpp"
+
+namespace sofia {
+namespace {
+
+TEST(QrTest, ReconstructsInput) {
+  Rng rng(2);
+  Matrix a = Matrix::RandomNormal(8, 4, rng);
+  QrFactors f = QrFactorize(a);
+  Matrix qr = MatMul(f.q, f.r);
+  EXPECT_LT(qr.MaxAbsDiff(a), 1e-10);
+}
+
+TEST(QrTest, QHasOrthonormalColumns) {
+  Rng rng(4);
+  Matrix a = Matrix::RandomNormal(10, 5, rng);
+  QrFactors f = QrFactorize(a);
+  Matrix qtq = MatTMul(f.q, f.q);
+  EXPECT_LT(qtq.MaxAbsDiff(Matrix::Identity(5)), 1e-10);
+}
+
+TEST(QrTest, RIsUpperTriangular) {
+  Rng rng(6);
+  Matrix a = Matrix::RandomNormal(7, 3, rng);
+  QrFactors f = QrFactorize(a);
+  for (size_t i = 1; i < 3; ++i) {
+    for (size_t j = 0; j < i; ++j) EXPECT_DOUBLE_EQ(f.r(i, j), 0.0);
+  }
+}
+
+TEST(QrTest, LeastSquaresExactForSquareSystem) {
+  Matrix a = Matrix::FromRows({{2, 1}, {1, 3}});
+  std::vector<double> x = LeastSquares(a, {5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], 3.0, 1e-10);
+}
+
+TEST(QrTest, LeastSquaresMatchesNormalEquations) {
+  Rng rng(8);
+  Matrix a = Matrix::RandomNormal(20, 4, rng);
+  std::vector<double> b = rng.NormalVector(20);
+  std::vector<double> x_qr = LeastSquares(a, b);
+  // Normal equations: (A^T A) x = A^T b.
+  std::vector<double> x_ne = SolveLinear(Gram(a), MatTVec(a, b));
+  EXPECT_LT(MaxAbsDiffVec(x_qr, x_ne), 1e-8);
+}
+
+// Property: least-squares residual is orthogonal to the column space.
+class QrPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QrPropertyTest, ResidualOrthogonalToColumns) {
+  Rng rng(GetParam());
+  const size_t m = 10 + GetParam();
+  const size_t n = 2 + GetParam() % 4;
+  Matrix a = Matrix::RandomNormal(m, n, rng);
+  std::vector<double> b = rng.NormalVector(m);
+  std::vector<double> x = LeastSquares(a, b);
+  std::vector<double> resid = Sub(b, MatVec(a, x));
+  std::vector<double> proj = MatTVec(a, resid);
+  EXPECT_LT(Norm2(proj), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QrPropertyTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace sofia

@@ -1,0 +1,102 @@
+#include "timeseries/robust_hw_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "timeseries/robust.hpp"
+#include "util/rng.hpp"
+
+namespace sofia {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+std::vector<double> CleanSeries(size_t n, size_t m, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> y(n);
+  for (size_t t = 0; t < n; ++t) {
+    y[t] = 5.0 + 0.03 * static_cast<double>(t) +
+           2.0 * std::sin(kTwoPi * static_cast<double>(t % m) /
+                          static_cast<double>(m)) +
+           rng.Normal(0.0, 0.1);
+  }
+  return y;
+}
+
+/// Injects spikes of ±`magnitude` into `frac` of the points after the
+/// first two seasons (the initialization window stays clean, mirroring the
+/// robust-HW literature's setup).
+std::vector<double> Contaminate(std::vector<double> y, size_t m, double frac,
+                                double magnitude, uint64_t seed) {
+  Rng rng(seed);
+  for (size_t t = 2 * m; t < y.size(); ++t) {
+    if (rng.Bernoulli(frac)) {
+      y[t] += rng.Bernoulli(0.5) ? magnitude : -magnitude;
+    }
+  }
+  return y;
+}
+
+TEST(RobustHwFitTest, MatchesPlainFitOnCleanData) {
+  const size_t m = 8;
+  std::vector<double> y = CleanSeries(12 * m, m, 11);
+  RobustHwFit robust = FitRobustHoltWinters(y, m);
+  HwFit plain = FitHoltWinters(y, m);
+  HoltWinters hw_r = ModelFromRobustFit(robust, m);
+  HoltWinters hw_p = ModelFromFit(plain, m);
+  // On clean data the two fits forecast nearly identically.
+  for (size_t h = 1; h <= m; ++h) {
+    EXPECT_NEAR(hw_r.Forecast(h), hw_p.Forecast(h), 0.35) << "h=" << h;
+  }
+}
+
+TEST(RobustHwFitTest, ShruggedOffSpikes) {
+  const size_t m = 8;
+  std::vector<double> clean = CleanSeries(14 * m, m, 13);
+  std::vector<double> dirty = Contaminate(clean, m, 0.1, 30.0, 14);
+
+  RobustHwFit robust = FitRobustHoltWinters(dirty, m);
+  HwFit plain = FitHoltWinters(dirty, m);
+  HoltWinters hw_r = ModelFromRobustFit(robust, m);
+  HoltWinters hw_p = ModelFromFit(plain, m);
+
+  // Forecast against the clean generating process: the robust fit must be
+  // markedly closer.
+  double err_r = 0.0, err_p = 0.0;
+  for (size_t h = 1; h <= m; ++h) {
+    const size_t t = dirty.size() + h - 1;
+    const double truth = 5.0 + 0.03 * static_cast<double>(t) +
+                         2.0 * std::sin(kTwoPi * static_cast<double>(t % m) /
+                                        static_cast<double>(m));
+    err_r += std::fabs(hw_r.Forecast(h) - truth);
+    err_p += std::fabs(hw_p.Forecast(h) - truth);
+  }
+  EXPECT_LT(err_r, err_p);
+  EXPECT_LT(err_r / static_cast<double>(m), 1.0);
+}
+
+TEST(RobustHwFitTest, CleanedSeriesBoundsSpikes) {
+  const size_t m = 6;
+  std::vector<double> dirty =
+      Contaminate(CleanSeries(12 * m, m, 15), m, 0.15, 50.0, 16);
+  RobustHwFit fit = FitRobustHoltWinters(dirty, m);
+  ASSERT_EQ(fit.cleaned_series.size(), dirty.size());
+  // Every cleaned value is far closer to the seasonal band than the spikes.
+  for (size_t t = 2 * m; t < dirty.size(); ++t) {
+    EXPECT_LT(std::fabs(fit.cleaned_series[t]), 30.0) << "t=" << t;
+  }
+}
+
+TEST(RobustHwFitTest, RobustLossIsBounded) {
+  const size_t m = 6;
+  std::vector<double> y = CleanSeries(10 * m, m, 17);
+  // The biweight loss is capped at ck per observation, so even absurd
+  // parameters give a loss bounded by ck * n.
+  const double loss =
+      RobustHwLoss(y, m, HwParams{1.0, 1.0, 1.0});
+  EXPECT_LE(loss, kBiweightCk * static_cast<double>(y.size()) + 1e-9);
+}
+
+}  // namespace
+}  // namespace sofia

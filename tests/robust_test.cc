@@ -1,0 +1,92 @@
+#include "timeseries/robust.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sofia {
+namespace {
+
+TEST(HuberPsiTest, IdentityInsideCap) {
+  EXPECT_DOUBLE_EQ(HuberPsi(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(HuberPsi(1.5), 1.5);
+  EXPECT_DOUBLE_EQ(HuberPsi(-1.9), -1.9);
+}
+
+TEST(HuberPsiTest, ClipsOutsideCap) {
+  EXPECT_DOUBLE_EQ(HuberPsi(5.0), 2.0);
+  EXPECT_DOUBLE_EQ(HuberPsi(-100.0), -2.0);
+  EXPECT_DOUBLE_EQ(HuberPsi(3.0, 1.0), 1.0);
+}
+
+TEST(HuberPsiTest, OddFunction) {
+  for (double x : {0.1, 0.9, 1.99, 2.5, 10.0}) {
+    EXPECT_DOUBLE_EQ(HuberPsi(x), -HuberPsi(-x));
+  }
+}
+
+TEST(BiweightRhoTest, ZeroAtZeroAndPlateauOutside) {
+  EXPECT_DOUBLE_EQ(BiweightRho(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BiweightRho(2.0), kBiweightCk);
+  EXPECT_DOUBLE_EQ(BiweightRho(50.0), kBiweightCk);
+  EXPECT_DOUBLE_EQ(BiweightRho(-50.0), kBiweightCk);
+}
+
+TEST(BiweightRhoTest, MonotoneOnPositiveAxisUpToCap) {
+  double prev = -1.0;
+  for (double x = 0.0; x <= 2.0; x += 0.05) {
+    const double v = BiweightRho(x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(BiweightRhoTest, EvenFunction) {
+  for (double x : {0.3, 1.0, 1.7, 2.2}) {
+    EXPECT_DOUBLE_EQ(BiweightRho(x), BiweightRho(-x));
+  }
+}
+
+TEST(CleanObservationTest, PassesInliersThrough) {
+  // |y - forecast| < k * sigma: the observation is kept exactly.
+  EXPECT_DOUBLE_EQ(CleanObservation(10.5, 10.0, 1.0), 10.5);
+  EXPECT_DOUBLE_EQ(CleanObservation(8.2, 10.0, 1.0), 8.2);
+}
+
+TEST(CleanObservationTest, CapsOutliersAtKSigma) {
+  EXPECT_DOUBLE_EQ(CleanObservation(100.0, 10.0, 1.0), 12.0);
+  EXPECT_DOUBLE_EQ(CleanObservation(-100.0, 10.0, 1.0), 8.0);
+}
+
+TEST(CleanObservationTest, CleanedValueAlwaysWithinKSigma) {
+  for (double y : {-50.0, -5.0, 0.0, 3.0, 9.0, 500.0}) {
+    const double cleaned = CleanObservation(y, 1.0, 2.0);
+    EXPECT_LE(std::fabs(cleaned - 1.0), 2.0 * 2.0 + 1e-12);
+  }
+}
+
+TEST(UpdateErrorScaleTest, StationaryAtConsistentResidualScale) {
+  // With phi = 0 the scale never moves.
+  EXPECT_DOUBLE_EQ(UpdateErrorScale(5.0, 0.0, 2.0, 0.0), 2.0);
+}
+
+TEST(UpdateErrorScaleTest, GrowsOnLargeResidualShrinksOnSmall) {
+  const double sigma = 1.0;
+  // Large standardized residual: rho at plateau (2.52) > 1 -> scale grows.
+  EXPECT_GT(UpdateErrorScale(10.0, 0.0, sigma, 0.1), sigma);
+  // Zero residual: rho = 0 -> scale shrinks.
+  EXPECT_LT(UpdateErrorScale(0.0, 0.0, sigma, 0.1), sigma);
+}
+
+TEST(UpdateErrorScaleTest, BoundedGrowthPerStep) {
+  // Because rho is capped at ck, one update can inflate the variance by at
+  // most a factor (1 + phi * (ck - 1)) — outliers cannot blow up the scale.
+  const double phi = 0.01;
+  const double sigma = 3.0;
+  const double updated = UpdateErrorScale(1e9, 0.0, sigma, phi);
+  const double bound = sigma * std::sqrt(1.0 + phi * (kBiweightCk - 1.0));
+  EXPECT_LE(updated, bound + 1e-12);
+}
+
+}  // namespace
+}  // namespace sofia

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/sofia_model.hpp"
+#include "data/corruption.hpp"
+#include "data/synthetic.hpp"
+#include "eval/metrics.hpp"
+
+namespace sofia {
+namespace {
+
+struct Fixture {
+  std::vector<DenseTensor> truth;
+  CorruptedStream stream;
+  SofiaConfig config;
+  SofiaModel model;
+};
+
+Fixture MakeFixture(uint64_t seed) {
+  SofiaConfig config;
+  config.rank = 3;
+  config.period = 6;
+  config.init_seasons = 3;
+  config.lambda1 = 0.5;
+  config.lambda2 = 0.5;
+  config.seed = seed;
+  config.max_init_iterations = 8;
+  SyntheticTensor syn = MakeSinusoidTensor(7, 5, 60, 3, 6, seed);
+  std::vector<DenseTensor> truth;
+  for (size_t t = 0; t < 60; ++t) truth.push_back(syn.tensor.SliceLastMode(t));
+  CorruptedStream stream = Corrupt(truth, {20.0, 10.0, 3.0}, seed + 1);
+  const size_t w = config.InitWindow();
+  std::vector<DenseTensor> is(stream.slices.begin(),
+                              stream.slices.begin() + w);
+  std::vector<Mask> im(stream.masks.begin(), stream.masks.begin() + w);
+  SofiaModel model = SofiaModel::Initialize(is, im, config);
+  return {std::move(truth), std::move(stream), config, std::move(model)};
+}
+
+TEST(SerializationTest, RoundtripPreservesForecasts) {
+  Fixture f = MakeFixture(61);
+  // Advance a few steps so the state is no longer the fresh init.
+  for (size_t t = f.config.InitWindow(); t < 30; ++t) {
+    f.model.Step(f.stream.slices[t], f.stream.masks[t]);
+  }
+  std::stringstream buffer;
+  f.model.Serialize(buffer);
+  SofiaModel restored = SofiaModel::Deserialize(buffer);
+  for (size_t h = 1; h <= 2 * f.config.period; ++h) {
+    DenseTensor a = f.model.Forecast(h);
+    DenseTensor b = restored.Forecast(h);
+    DenseTensor diff = a - b;
+    EXPECT_DOUBLE_EQ(diff.FrobeniusNorm(), 0.0) << "h=" << h;
+  }
+}
+
+TEST(SerializationTest, RestoredModelContinuesStreamIdentically) {
+  Fixture f = MakeFixture(63);
+  const size_t w = f.config.InitWindow();
+  for (size_t t = w; t < 28; ++t) {
+    f.model.Step(f.stream.slices[t], f.stream.masks[t]);
+  }
+  std::stringstream buffer;
+  f.model.Serialize(buffer);
+  SofiaModel restored = SofiaModel::Deserialize(buffer);
+
+  // Bit-for-bit identical stepping after restore.
+  for (size_t t = 28; t < 40; ++t) {
+    SofiaStepResult a = f.model.Step(f.stream.slices[t], f.stream.masks[t]);
+    SofiaStepResult b = restored.Step(f.stream.slices[t], f.stream.masks[t]);
+    DenseTensor diff = a.imputed - b.imputed;
+    EXPECT_DOUBLE_EQ(diff.FrobeniusNorm(), 0.0) << "t=" << t;
+    DenseTensor odiff = a.outliers - b.outliers;
+    EXPECT_DOUBLE_EQ(odiff.FrobeniusNorm(), 0.0) << "t=" << t;
+  }
+}
+
+TEST(SerializationTest, PreservesConfigAndHwState) {
+  Fixture f = MakeFixture(65);
+  std::stringstream buffer;
+  f.model.Serialize(buffer);
+  SofiaModel restored = SofiaModel::Deserialize(buffer);
+  EXPECT_EQ(restored.config().rank, f.config.rank);
+  EXPECT_EQ(restored.config().period, f.config.period);
+  EXPECT_EQ(restored.level(), f.model.level());
+  EXPECT_EQ(restored.trend(), f.model.trend());
+  EXPECT_EQ(restored.last_temporal_row(), f.model.last_temporal_row());
+  for (size_t r = 0; r < f.config.rank; ++r) {
+    EXPECT_DOUBLE_EQ(restored.hw_params()[r].alpha,
+                     f.model.hw_params()[r].alpha);
+  }
+}
+
+TEST(SerializationTest, RejectsGarbageInput) {
+  std::stringstream buffer("not a checkpoint at all");
+  EXPECT_DEATH(SofiaModel::Deserialize(buffer), "checkpoint|sofia-model");
+}
+
+}  // namespace
+}  // namespace sofia

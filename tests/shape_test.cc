@@ -1,0 +1,77 @@
+#include "tensor/shape.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sofia {
+namespace {
+
+TEST(ShapeTest, BasicProperties) {
+  Shape s({3, 4, 5});
+  EXPECT_EQ(s.order(), 3u);
+  EXPECT_EQ(s.dim(1), 4u);
+  EXPECT_EQ(s.NumElements(), 60u);
+  EXPECT_EQ(s.ToString(), "3x4x5");
+}
+
+TEST(ShapeTest, StridesFirstModeFastest) {
+  Shape s({3, 4, 5});
+  EXPECT_EQ(s.stride(0), 1u);
+  EXPECT_EQ(s.stride(1), 3u);
+  EXPECT_EQ(s.stride(2), 12u);
+}
+
+TEST(ShapeTest, LinearizeMatchesStrides) {
+  Shape s({3, 4, 5});
+  EXPECT_EQ(s.Linearize({0, 0, 0}), 0u);
+  EXPECT_EQ(s.Linearize({1, 0, 0}), 1u);
+  EXPECT_EQ(s.Linearize({0, 1, 0}), 3u);
+  EXPECT_EQ(s.Linearize({0, 0, 1}), 12u);
+  EXPECT_EQ(s.Linearize({2, 3, 4}), 59u);
+}
+
+TEST(ShapeTest, NextVisitsAllInLinearOrder) {
+  Shape s({2, 3});
+  std::vector<size_t> idx(2, 0);
+  for (size_t linear = 0; linear < s.NumElements(); ++linear) {
+    EXPECT_EQ(s.Linearize(idx), linear);
+    const bool more = s.Next(&idx);
+    EXPECT_EQ(more, linear + 1 < s.NumElements());
+  }
+}
+
+TEST(ShapeTest, RemoveAndAppendMode) {
+  Shape s({3, 4, 5});
+  Shape removed = s.RemoveMode(1);
+  EXPECT_EQ(removed.dims(), (std::vector<size_t>{3, 5}));
+  Shape appended = removed.AppendMode(7);
+  EXPECT_EQ(appended.dims(), (std::vector<size_t>{3, 5, 7}));
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+}
+
+// Property: Delinearize inverts Linearize for every element of many shapes.
+class ShapeRoundtripTest
+    : public ::testing::TestWithParam<std::vector<size_t>> {};
+
+TEST_P(ShapeRoundtripTest, LinearizeDelinearizeRoundtrip) {
+  Shape s(GetParam());
+  for (size_t linear = 0; linear < s.NumElements(); ++linear) {
+    std::vector<size_t> idx = s.Delinearize(linear);
+    EXPECT_EQ(s.Linearize(idx), linear);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeRoundtripTest,
+    ::testing::Values(std::vector<size_t>{7}, std::vector<size_t>{3, 5},
+                      std::vector<size_t>{2, 3, 4},
+                      std::vector<size_t>{4, 1, 3},
+                      std::vector<size_t>{2, 2, 2, 2},
+                      std::vector<size_t>{1, 6, 1, 2},
+                      std::vector<size_t>{5, 4, 3, 2, 1}));
+
+}  // namespace
+}  // namespace sofia

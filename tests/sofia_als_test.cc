@@ -1,0 +1,253 @@
+#include "core/sofia_als.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "eval/metrics.hpp"
+#include "tensor/kruskal.hpp"
+#include "util/rng.hpp"
+
+namespace sofia {
+namespace {
+
+TEST(SoftThresholdTest, MatchesEquationTwelve) {
+  EXPECT_DOUBLE_EQ(SoftThreshold(5.0, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(-5.0, 2.0), -3.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(1.5, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(-1.5, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(0.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(2.0, 2.0), 0.0);
+}
+
+/// Builds a small corrupted test problem with a seasonal temporal factor.
+struct Problem {
+  DenseTensor y;
+  Mask omega;
+  DenseTensor outliers;  // All-zero outlier estimate.
+  SofiaConfig config;
+  std::vector<Matrix> factors;
+  DenseTensor truth;
+};
+
+Problem MakeProblem(size_t duration, size_t period, double observed_frac,
+                    uint64_t seed) {
+  Problem p;
+  SyntheticTensor syn = MakeSinusoidTensor(4, 3, duration, 2, period, seed);
+  p.truth = syn.tensor;
+  p.y = syn.tensor;
+  p.omega = Mask(p.y.shape(), true);
+  Rng rng(seed + 1);
+  for (size_t k = 0; k < p.y.NumElements(); ++k) {
+    if (!rng.Bernoulli(observed_frac)) p.omega.Set(k, false);
+  }
+  p.outliers = DenseTensor(p.y.shape(), 0.0);
+  p.config.rank = 2;
+  p.config.period = period;
+  p.config.lambda1 = 1e-2;
+  p.config.lambda2 = 1e-2;
+  p.config.seed = seed;
+  // These tests verify the verbatim Theorem 1/2 updates; the CP-degeneracy
+  // ridge (a documented deviation) is exercised by its own tests instead.
+  p.config.factor_ridge = 0.0;
+  p.factors.clear();
+  Rng frng(seed + 2);
+  for (size_t n = 0; n < p.y.order(); ++n) {
+    p.factors.push_back(Matrix::Random(p.y.dim(n), 2, frng, 0.0, 1.0));
+  }
+  return p;
+}
+
+/// Numerical gradient of the objective (10) w.r.t. one factor entry.
+double NumericObjectiveGradient(const Problem& p,
+                                const std::vector<Matrix>& factors, size_t n,
+                                size_t i, size_t r) {
+  std::vector<Matrix> probe = factors;
+  const double h = 1e-5;
+  probe[n](i, r) = factors[n](i, r) + h;
+  const double fp = SofiaObjective(p.y, p.omega, p.outliers, p.config, probe);
+  probe[n](i, r) = factors[n](i, r) - h;
+  const double fm = SofiaObjective(p.y, p.omega, p.outliers, p.config, probe);
+  return (fp - fm) / (2.0 * h);
+}
+
+// Theorem 2 check: the temporal factor is updated *last* in every sweep and
+// carries no norm constraint, so after the solver settles, the gradient of
+// objective (10) w.r.t. every temporal entry must vanish. (Non-temporal
+// factors satisfy *constrained* stationarity — unit-norm columns per
+// Algorithm 2 lines 7-9 — so their raw gradients carry a Lagrange radial
+// component and are checked via the recovery tests instead.) With duration 9
+// and period 3 every branch of the Eq. (17) piecewise rule is exercised
+// (rows 0, 1..2, 3..5, 6..7, 8).
+TEST(SofiaAlsTest, TemporalFactorIsStationaryAtFixedPoint) {
+  Problem p = MakeProblem(/*duration=*/9, /*period=*/3,
+                          /*observed_frac=*/0.8, /*seed=*/5);
+  p.config.tolerance = 1e-13;
+  p.config.max_als_iterations = 4000;
+  SofiaAls(p.y, p.omega, p.outliers, p.config, &p.factors);
+
+  // One extra temporal-only refinement at the exact current non-temporal
+  // factors: run a single sweep and check its own stationarity (the sweep
+  // also touches the non-temporal factors first, whose change is tiny).
+  const double scale =
+      1.0 + SofiaObjective(p.y, p.omega, p.outliers, p.config, p.factors);
+  const size_t temporal = p.factors.size() - 1;
+  for (size_t i = 0; i < p.factors[temporal].rows(); ++i) {
+    for (size_t r = 0; r < p.factors[temporal].cols(); ++r) {
+      const double grad =
+          NumericObjectiveGradient(p, p.factors, temporal, i, r);
+      EXPECT_LT(std::fabs(grad) / scale, 2e-3)
+          << "temporal row " << i << " col " << r;
+    }
+  }
+}
+
+// Parameterized over (duration, period): each combination activates a
+// different subset of Eq. (17)'s boundary branches — short streams where
+// the ±m neighbours never exist, streams shorter than 2m, and long ones
+// where all five branches fire.
+class TemporalStationaritySweep
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(TemporalStationaritySweep, TemporalGradientVanishes) {
+  const auto& [duration, period] = GetParam();
+  Problem p = MakeProblem(duration, period, /*observed_frac=*/0.85,
+                          /*seed=*/static_cast<uint64_t>(duration * 31 +
+                                                         period));
+  p.config.tolerance = 1e-13;
+  p.config.max_als_iterations = 4000;
+  SofiaAls(p.y, p.omega, p.outliers, p.config, &p.factors);
+  const double scale =
+      1.0 + SofiaObjective(p.y, p.omega, p.outliers, p.config, p.factors);
+  const size_t temporal = p.factors.size() - 1;
+  for (size_t i = 0; i < p.factors[temporal].rows(); ++i) {
+    for (size_t r = 0; r < p.factors[temporal].cols(); ++r) {
+      const double grad =
+          NumericObjectiveGradient(p, p.factors, temporal, i, r);
+      EXPECT_LT(std::fabs(grad) / scale, 3e-3) << "row " << i << " col " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DurationsAndPeriods, TemporalStationaritySweep,
+    ::testing::Values(std::make_pair<size_t, size_t>(5, 3),    // IN < 2m
+                      std::make_pair<size_t, size_t>(6, 3),    // IN = 2m
+                      std::make_pair<size_t, size_t>(9, 3),    // all branches
+                      std::make_pair<size_t, size_t>(8, 4),    // IN = 2m
+                      std::make_pair<size_t, size_t>(12, 4),   // all branches
+                      std::make_pair<size_t, size_t>(10, 2)));  // small m
+
+TEST(SofiaAlsTest, ObjectiveNeverIncreasesAcrossSweeps) {
+  Problem p = MakeProblem(/*duration=*/12, /*period=*/4,
+                          /*observed_frac=*/0.7, /*seed=*/9);
+  p.config.max_als_iterations = 1;  // One sweep per call.
+  p.config.tolerance = 0.0;
+  double prev =
+      SofiaObjective(p.y, p.omega, p.outliers, p.config, p.factors);
+  for (int sweep = 0; sweep < 15; ++sweep) {
+    SofiaAls(p.y, p.omega, p.outliers, p.config, &p.factors);
+    const double obj =
+        SofiaObjective(p.y, p.omega, p.outliers, p.config, p.factors);
+    EXPECT_LE(obj, prev + 1e-9 * (1.0 + std::fabs(prev)))
+        << "sweep " << sweep;
+    prev = obj;
+  }
+}
+
+/// Replaces the random start with a mildly perturbed ground truth: random
+/// starts can fall into the classic ALS "swamps" (very slow progress), which
+/// would test luck, not the solver's correctness.
+void PerturbFromTruth(Problem* p, double noise, uint64_t seed) {
+  SyntheticTensor syn =
+      MakeSinusoidTensor(4, 3, p->y.dim(2), 2, p->config.period, seed);
+  Rng rng(seed + 100);
+  p->factors.clear();
+  for (size_t n = 0; n < p->y.order(); ++n) {
+    Matrix f = syn.factors[n];
+    for (size_t i = 0; i < f.rows(); ++i) {
+      for (size_t r = 0; r < f.cols(); ++r) f(i, r) += rng.Normal(0, noise);
+    }
+    p->factors.push_back(std::move(f));
+  }
+}
+
+TEST(SofiaAlsTest, RecoversFullyObservedLowRankTensor) {
+  Problem p = MakeProblem(/*duration=*/15, /*period=*/5,
+                          /*observed_frac=*/1.0, /*seed=*/3);
+  p.config.lambda1 = 1e-6;  // Near-exact fit is possible; barely regularize.
+  p.config.lambda2 = 1e-6;
+  p.config.tolerance = 1e-9;
+  p.config.max_als_iterations = 2000;
+  PerturbFromTruth(&p, /*noise=*/0.2, /*seed=*/3);
+  SofiaAlsResult res = SofiaAls(p.y, p.omega, p.outliers, p.config,
+                                &p.factors);
+  EXPECT_GT(res.fitness, 0.999);
+  EXPECT_LT(NormalizedResidualError(res.completed, p.truth), 1e-2);
+}
+
+TEST(SofiaAlsTest, CompletesMissingEntries) {
+  Problem p = MakeProblem(/*duration=*/18, /*period=*/6,
+                          /*observed_frac=*/0.6, /*seed=*/7);
+  p.config.tolerance = 1e-9;
+  p.config.max_als_iterations = 2000;
+  PerturbFromTruth(&p, /*noise=*/0.3, /*seed=*/7);
+  SofiaAlsResult res = SofiaAls(p.y, p.omega, p.outliers, p.config,
+                                &p.factors);
+  // Error measured over ALL entries, including the 40% never seen.
+  EXPECT_LT(NormalizedResidualError(res.completed, p.truth), 0.1);
+}
+
+TEST(SofiaAlsTest, NonTemporalColumnsAreNormalized) {
+  Problem p = MakeProblem(/*duration=*/12, /*period=*/4,
+                          /*observed_frac=*/0.9, /*seed=*/11);
+  SofiaAls(p.y, p.omega, p.outliers, p.config, &p.factors);
+  for (size_t n = 0; n + 1 < p.factors.size(); ++n) {
+    for (size_t r = 0; r < p.factors[n].cols(); ++r) {
+      EXPECT_NEAR(p.factors[n].ColNorm(r), 1.0, 1e-9)
+          << "mode " << n << " col " << r;
+    }
+  }
+}
+
+TEST(SofiaAlsTest, SmoothnessPenaltyShrinksTemporalRoughness) {
+  // With huge λ1, consecutive temporal rows are pulled together.
+  Problem smooth = MakeProblem(12, 4, 0.9, 13);
+  Problem rough = MakeProblem(12, 4, 0.9, 13);
+  smooth.config.lambda1 = 1e3;
+  rough.config.lambda1 = 0.0;
+  rough.config.lambda2 = 0.0;
+  SofiaAls(smooth.y, smooth.omega, smooth.outliers, smooth.config,
+           &smooth.factors);
+  SofiaAls(rough.y, rough.omega, rough.outliers, rough.config,
+           &rough.factors);
+  auto roughness = [](const Matrix& ut) {
+    double s = 0.0;
+    for (size_t i = 0; i + 1 < ut.rows(); ++i) {
+      for (size_t r = 0; r < ut.cols(); ++r) {
+        const double d = ut(i, r) - ut(i + 1, r);
+        s += d * d;
+      }
+    }
+    return s;
+  };
+  EXPECT_LT(roughness(smooth.factors.back()),
+            roughness(rough.factors.back()));
+}
+
+TEST(SofiaAlsTest, OutlierTensorIsSubtractedFromData) {
+  // Fit with O equal to a large spike: the reconstruction must track
+  // Y - O, not Y.
+  Problem p = MakeProblem(12, 4, 1.0, 17);
+  DenseTensor spiked = p.y;
+  spiked[0] += 100.0;
+  DenseTensor outliers(p.y.shape(), 0.0);
+  outliers[0] = 100.0;
+  SofiaAlsResult res =
+      SofiaAls(spiked, p.omega, outliers, p.config, &p.factors);
+  EXPECT_LT(NormalizedResidualError(res.completed, p.truth), 0.05);
+}
+
+}  // namespace
+}  // namespace sofia

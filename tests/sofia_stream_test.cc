@@ -1,0 +1,77 @@
+#include "core/sofia_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/corruption.hpp"
+#include "data/synthetic.hpp"
+#include "eval/metrics.hpp"
+#include "eval/stream_runner.hpp"
+
+namespace sofia {
+namespace {
+
+SofiaConfig SmallConfig() {
+  SofiaConfig config;
+  config.rank = 3;
+  config.period = 8;
+  config.init_seasons = 3;
+  config.lambda1 = 0.5;
+  config.lambda2 = 0.5;
+  config.max_init_iterations = 25;
+  return config;
+}
+
+TEST(SofiaStreamTest, DeclaresThreeSeasonInitWindow) {
+  SofiaStream method(SmallConfig());
+  EXPECT_EQ(method.init_window(), 24u);
+  EXPECT_EQ(method.name(), "SOFIA");
+  EXPECT_TRUE(method.SupportsForecast());
+}
+
+TEST(SofiaStreamTest, RunsThroughTheImputationProtocol) {
+  SyntheticTensor syn = MakeSinusoidTensor(8, 6, 48, 3, 8, 51);
+  std::vector<DenseTensor> truth;
+  for (size_t t = 0; t < 48; ++t) truth.push_back(syn.tensor.SliceLastMode(t));
+  CorruptedStream stream = Corrupt(truth, {30.0, 10.0, 3.0}, 52);
+
+  SofiaStream method(SmallConfig());
+  StreamRunResult res = RunImputation(&method, stream, truth);
+  EXPECT_EQ(res.nre.size(), truth.size());
+  EXPECT_GT(res.init_seconds, 0.0);
+  EXPECT_EQ(res.step_seconds.size(), truth.size() - method.init_window());
+  // Under (30,10,3) corruption, the imputation stays far below trivial
+  // error 1.0 throughout.
+  EXPECT_LT(res.rae, 0.5);
+}
+
+TEST(SofiaStreamTest, InitializeReturnsOneCompletionPerSlice) {
+  SyntheticTensor syn = MakeSinusoidTensor(8, 6, 24, 3, 8, 53);
+  std::vector<DenseTensor> slices;
+  std::vector<Mask> masks;
+  for (size_t t = 0; t < 24; ++t) {
+    slices.push_back(syn.tensor.SliceLastMode(t));
+    masks.emplace_back(slices.back().shape(), true);
+  }
+  SofiaStream method(SmallConfig());
+  std::vector<DenseTensor> completed = method.Initialize(slices, masks);
+  ASSERT_EQ(completed.size(), 24u);
+  for (const DenseTensor& c : completed) {
+    EXPECT_EQ(c.shape(), slices[0].shape());
+  }
+}
+
+TEST(SofiaStreamTest, StepBeforeInitializeDies) {
+  SofiaStream method(SmallConfig());
+  DenseTensor y(Shape({4, 4}), 1.0);
+  Mask omega(y.shape(), true);
+  EXPECT_DEATH(method.Step(y, omega), "Initialize");
+}
+
+TEST(SofiaStreamTest, CustomDisplayNameFlowsThrough) {
+  SofiaStream method(SmallConfig(), SofiaAblation{},
+                     "SOFIA(no-smoothing)");
+  EXPECT_EQ(method.name(), "SOFIA(no-smoothing)");
+}
+
+}  // namespace
+}  // namespace sofia

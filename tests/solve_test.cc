@@ -1,0 +1,104 @@
+#include "linalg/solve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+#include "util/rng.hpp"
+
+namespace sofia {
+namespace {
+
+TEST(SolveTest, SolvesKnownSystem) {
+  // 2x + y = 5; x + 3y = 10  ->  x = 1, y = 3.
+  Matrix a = Matrix::FromRows({{2, 1}, {1, 3}});
+  std::vector<double> x = SolveLinear(a, {5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveTest, PivotingHandlesZeroLeadingEntry) {
+  Matrix a = Matrix::FromRows({{0, 1}, {1, 0}});
+  std::vector<double> x = SolveLinear(a, {2, 3});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveTest, DetectsSingularMatrix) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 4}});
+  LuFactors f = LuFactorize(a);
+  EXPECT_TRUE(f.singular);
+}
+
+TEST(SolveTest, SolveRidgeRecoversFromSingular) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 4}});
+  // The ridge-shifted system is solvable and close to a least-norm solution.
+  std::vector<double> x = SolveRidge(a, {3, 6}, 1e-8);
+  std::vector<double> ax = MatVec(a, x);
+  EXPECT_NEAR(ax[0], 3.0, 1e-3);
+  EXPECT_NEAR(ax[1], 6.0, 1e-3);
+}
+
+TEST(SolveTest, InverseTimesMatrixIsIdentity) {
+  Rng rng(3);
+  Matrix a = Matrix::RandomNormal(5, 5, rng);
+  for (size_t i = 0; i < 5; ++i) a(i, i) += 5.0;  // Well-conditioned.
+  Matrix inv = Inverse(a);
+  Matrix prod = MatMul(a, inv);
+  EXPECT_LT(prod.MaxAbsDiff(Matrix::Identity(5)), 1e-10);
+}
+
+TEST(SolveTest, DeterminantOfTriangular) {
+  Matrix a = Matrix::FromRows({{2, 5, 1}, {0, 3, 7}, {0, 0, 4}});
+  EXPECT_NEAR(Determinant(a), 24.0, 1e-10);
+}
+
+TEST(SolveTest, DeterminantSignTracksRowSwaps) {
+  Matrix a = Matrix::FromRows({{0, 1}, {1, 0}});
+  EXPECT_NEAR(Determinant(a), -1.0, 1e-12);
+}
+
+TEST(SolveTest, CholeskyFactorizesSpd) {
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 3}});
+  Matrix l;
+  ASSERT_TRUE(CholeskyFactorize(a, &l));
+  Matrix llt = MatMul(l, l.Transpose());
+  EXPECT_LT(llt.MaxAbsDiff(a), 1e-12);
+}
+
+TEST(SolveTest, CholeskyRejectsIndefinite) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 1}});  // Eigenvalues 3, -1.
+  Matrix l;
+  EXPECT_FALSE(CholeskyFactorize(a, &l));
+}
+
+TEST(SolveTest, SolveSpdMatchesLu) {
+  Rng rng(11);
+  Matrix b = Matrix::RandomNormal(6, 6, rng);
+  Matrix a = MatMul(b.Transpose(), b);
+  for (size_t i = 0; i < 6; ++i) a(i, i) += 1.0;
+  std::vector<double> rhs = rng.NormalVector(6);
+  std::vector<double> x1 = SolveSpd(a, rhs);
+  std::vector<double> x2 = SolveLinear(a, rhs);
+  EXPECT_LT(MaxAbsDiffVec(x1, x2), 1e-9);
+}
+
+// Property: random well-conditioned systems solve to tiny residuals.
+class SolvePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolvePropertyTest, ResidualIsSmall) {
+  Rng rng(GetParam());
+  const size_t n = 2 + GetParam() % 9;
+  Matrix a = Matrix::RandomNormal(n, n, rng);
+  for (size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  std::vector<double> x_true = rng.NormalVector(n);
+  std::vector<double> b = MatVec(a, x_true);
+  std::vector<double> x = SolveLinear(a, b);
+  EXPECT_LT(MaxAbsDiffVec(x, x_true), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolvePropertyTest, ::testing::Range(1, 17));
+
+}  // namespace
+}  // namespace sofia

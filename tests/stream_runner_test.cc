@@ -1,0 +1,101 @@
+#include "eval/stream_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "eval/metrics.hpp"
+
+namespace sofia {
+namespace {
+
+/// Test double: "imputes" every slice with a constant value; init phase
+/// returns the observed data untouched. Forecast returns the constant too.
+class ConstantMethod : public StreamingMethod {
+ public:
+  ConstantMethod(double value, size_t window)
+      : value_(value), window_(window) {}
+
+  std::string name() const override { return "Constant"; }
+  size_t init_window() const override { return window_; }
+
+  std::vector<DenseTensor> Initialize(
+      const std::vector<DenseTensor>& slices,
+      const std::vector<Mask>& masks) override {
+    initialized_ = true;
+    std::vector<DenseTensor> out;
+    for (size_t t = 0; t < slices.size(); ++t) {
+      out.push_back(masks[t].Apply(slices[t]));
+    }
+    return out;
+  }
+
+  DenseTensor Step(const DenseTensor& y, const Mask&) override {
+    ++steps_;
+    last_shape_ = y.shape();
+    return DenseTensor(y.shape(), value_);
+  }
+
+  bool SupportsForecast() const override { return true; }
+  DenseTensor Forecast(size_t) const override {
+    return DenseTensor(last_shape_, value_);
+  }
+
+  bool initialized_ = false;
+  int steps_ = 0;
+
+ private:
+  double value_;
+  size_t window_;
+  Shape last_shape_;
+};
+
+std::vector<DenseTensor> ConstantTruth(size_t steps, double value) {
+  return std::vector<DenseTensor>(steps, DenseTensor(Shape({3, 2}), value));
+}
+
+TEST(StreamRunnerTest, PerfectMethodScoresZeroNre) {
+  std::vector<DenseTensor> truth = ConstantTruth(10, 5.0);
+  CorruptedStream stream = Corrupt(truth, {0.0, 0.0, 0.0}, 1);
+  ConstantMethod method(5.0, 0);
+  StreamRunResult res = RunImputation(&method, stream, truth);
+  EXPECT_EQ(res.nre.size(), 10u);
+  for (double v : res.nre) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_DOUBLE_EQ(res.rae, 0.0);
+  EXPECT_EQ(method.steps_, 10);
+  EXPECT_FALSE(method.initialized_);
+}
+
+TEST(StreamRunnerTest, WrongMethodScoresExpectedNre) {
+  std::vector<DenseTensor> truth = ConstantTruth(6, 2.0);
+  CorruptedStream stream = Corrupt(truth, {0.0, 0.0, 0.0}, 2);
+  ConstantMethod method(4.0, 0);  // NRE = |4-2|/2 = 1 per slice.
+  StreamRunResult res = RunImputation(&method, stream, truth);
+  EXPECT_NEAR(res.rae, 1.0, 1e-12);
+}
+
+TEST(StreamRunnerTest, InitWindowIsScoredFromInitializeOutput) {
+  std::vector<DenseTensor> truth = ConstantTruth(8, 3.0);
+  CorruptedStream stream = Corrupt(truth, {0.0, 0.0, 0.0}, 3);
+  ConstantMethod method(99.0, 4);  // Init returns the observed data: NRE 0.
+  StreamRunResult res = RunImputation(&method, stream, truth);
+  EXPECT_TRUE(method.initialized_);
+  EXPECT_EQ(method.steps_, 4);  // Only the post-init slices hit Step().
+  for (size_t t = 0; t < 4; ++t) EXPECT_DOUBLE_EQ(res.nre[t], 0.0);
+  for (size_t t = 4; t < 8; ++t) EXPECT_DOUBLE_EQ(res.nre[t], 32.0);
+  // rae averages everything; rae_post_init only the streamed part.
+  EXPECT_DOUBLE_EQ(res.rae, 16.0);
+  EXPECT_DOUBLE_EQ(res.rae_post_init, 32.0);
+  EXPECT_EQ(res.step_seconds.size(), 4u);
+}
+
+TEST(StreamRunnerTest, ForecastProtocolComputesAfeOnHeldOutTail) {
+  std::vector<DenseTensor> truth = ConstantTruth(10, 2.0);
+  CorruptedStream stream = Corrupt(truth, {0.0, 0.0, 0.0}, 4);
+  ConstantMethod method(3.0, 0);  // Forecast NRE = 0.5 everywhere.
+  const double afe = RunForecast(&method, stream, truth, /*horizon=*/3);
+  EXPECT_NEAR(afe, 0.5, 1e-12);
+  EXPECT_EQ(method.steps_, 7);  // Only the training prefix is consumed.
+}
+
+}  // namespace
+}  // namespace sofia

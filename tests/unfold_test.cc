@@ -1,0 +1,97 @@
+#include "tensor/unfold.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tensor/khatri_rao.hpp"
+#include "tensor/kruskal.hpp"
+#include "util/rng.hpp"
+
+namespace sofia {
+namespace {
+
+TEST(UnfoldTest, Mode0OfMatrixIsIdentityReshape) {
+  // A 2-way tensor unfolded along mode 0 is the matrix itself.
+  DenseTensor t(Shape({2, 3}));
+  for (size_t k = 0; k < 6; ++k) t[k] = static_cast<double>(k);
+  Matrix m = Unfold(t, 0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(m(i, j), t.At({i, j}));
+    }
+  }
+}
+
+TEST(UnfoldTest, KoldaColumnOrderOnThreeWay) {
+  // For mode-1 unfolding of a I x J x K tensor, column index is i + k * I
+  // (lower modes first, each varying fastest).
+  DenseTensor t(Shape({2, 3, 2}));
+  for (size_t k = 0; k < t.NumElements(); ++k) t[k] = static_cast<double>(k);
+  Matrix m = Unfold(t, 1);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      for (size_t k = 0; k < 2; ++k) {
+        EXPECT_DOUBLE_EQ(m(j, i + k * 2), t.At({i, j, k}));
+      }
+    }
+  }
+}
+
+// Property: Fold inverts Unfold for every mode of several shapes.
+class UnfoldRoundtripTest
+    : public ::testing::TestWithParam<std::vector<size_t>> {};
+
+TEST_P(UnfoldRoundtripTest, FoldInvertsUnfold) {
+  Rng rng(42);
+  DenseTensor t = DenseTensor::RandomNormal(Shape(GetParam()), rng);
+  for (size_t mode = 0; mode < t.order(); ++mode) {
+    Matrix m = Unfold(t, mode);
+    DenseTensor back = Fold(m, t.shape(), mode);
+    DenseTensor diff = back - t;
+    EXPECT_DOUBLE_EQ(diff.FrobeniusNorm(), 0.0) << "mode " << mode;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, UnfoldRoundtripTest,
+    ::testing::Values(std::vector<size_t>{4, 5}, std::vector<size_t>{3, 4, 5},
+                      std::vector<size_t>{2, 2, 3, 2},
+                      std::vector<size_t>{1, 5, 2},
+                      std::vector<size_t>{6, 1, 1, 3}));
+
+// Property: the CP identity X_(n) = U^(n) * KhatriRaoSkip(U, n)^T holds for
+// every mode. This pins the unfolding and Khatri-Rao conventions together.
+class CpIdentityTest
+    : public ::testing::TestWithParam<std::tuple<int, std::vector<size_t>>> {};
+
+TEST_P(CpIdentityTest, UnfoldingOfKruskalMatchesKhatriRao) {
+  const auto& [seed, dims] = GetParam();
+  Rng rng(seed);
+  const size_t rank = 3;
+  std::vector<Matrix> factors;
+  for (size_t d : dims) {
+    factors.push_back(Matrix::RandomNormal(d, rank, rng));
+  }
+  DenseTensor x = KruskalTensor(factors);
+  for (size_t mode = 0; mode < dims.size(); ++mode) {
+    Matrix lhs = Unfold(x, mode);
+    Matrix rhs =
+        MatMul(factors[mode], KhatriRaoSkip(factors, mode).Transpose());
+    EXPECT_LT(lhs.MaxAbsDiff(rhs), 1e-10) << "mode " << mode;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndShapes, CpIdentityTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(std::vector<size_t>{4, 5},
+                                         std::vector<size_t>{3, 4, 5},
+                                         std::vector<size_t>{2, 3, 2, 4})));
+
+}  // namespace
+}  // namespace sofia
