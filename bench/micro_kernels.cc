@@ -12,14 +12,24 @@
 #include "core/sofia_model.hpp"
 #include "data/corruption.hpp"
 #include "data/synthetic.hpp"
+#include "tensor/coo_list.hpp"
 #include "tensor/khatri_rao.hpp"
 #include "tensor/kruskal.hpp"
+#include "tensor/sparse_kernels.hpp"
 #include "tensor/unfold.hpp"
 #include "timeseries/hw_fit.hpp"
 #include "util/rng.hpp"
 
 namespace sofia {
 namespace {
+
+Mask BernoulliMask(const Shape& shape, double density, Rng& rng) {
+  Mask omega(shape, false);
+  for (size_t k = 0; k < shape.NumElements(); ++k) {
+    omega.Set(k, rng.Bernoulli(density));
+  }
+  return omega;
+}
 
 void BM_KhatriRao(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -107,6 +117,84 @@ void BM_SofiaDynamicStep(benchmark::State& state) {
 }
 BENCHMARK(BM_SofiaDynamicStep)->RangeMultiplier(2)->Range(16, 128)
     ->Complexity(benchmark::oN);
+
+/// Dense-scan row-system accumulation (all modes of one sweep) at a given
+/// observed density (argument = percent observed). Cost is tied to the
+/// tensor *volume*: it barely moves as the density drops.
+void BM_DenseAccumulate(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  Rng rng(21);
+  Shape shape({48, 48, 64});
+  DenseTensor y = DenseTensor::RandomNormal(shape, rng);
+  DenseTensor o(shape, 0.0);
+  Mask omega = BernoulliMask(shape, density, rng);
+  std::vector<Matrix> factors;
+  for (size_t n = 0; n < shape.order(); ++n) {
+    factors.push_back(Matrix::RandomNormal(shape.dim(n), 8, rng));
+  }
+  for (auto _ : state) {
+    for (size_t mode = 0; mode < shape.order(); ++mode) {
+      benchmark::DoNotOptimize(DenseRowSystems(y, omega, o, factors, mode));
+    }
+  }
+  state.SetComplexityN(static_cast<int64_t>(omega.CountObserved()));
+}
+BENCHMARK(BM_DenseAccumulate)->Arg(1)->Arg(10)->Arg(100);
+
+/// COO row-system accumulation on the same problem. The CooList build sits
+/// outside the timed loop because SOFIA builds it once per window and
+/// reuses it across all modes and sweeps; the timed cost is O(|Ω|) per
+/// Lemma 1 and shrinks with the density.
+void BM_CooAccumulate(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  Rng rng(21);
+  Shape shape({48, 48, 64});
+  DenseTensor y = DenseTensor::RandomNormal(shape, rng);
+  DenseTensor o(shape, 0.0);
+  Mask omega = BernoulliMask(shape, density, rng);
+  std::vector<Matrix> factors;
+  for (size_t n = 0; n < shape.order(); ++n) {
+    factors.push_back(Matrix::RandomNormal(shape.dim(n), 8, rng));
+  }
+  const CooList coo = CooList::Build(omega);
+  const std::vector<double> ystar = coo.GatherResidual(y, o);
+  for (auto _ : state) {
+    for (size_t mode = 0; mode < shape.order(); ++mode) {
+      benchmark::DoNotOptimize(CooRowSystems(coo, ystar, factors, mode));
+    }
+  }
+  state.SetComplexityN(static_cast<int64_t>(coo.nnz()));
+}
+BENCHMARK(BM_CooAccumulate)->Arg(1)->Arg(10)->Arg(100);
+
+/// End-to-end SOFIA_ALS on a 10%-observed synthetic tensor: the dense-scan
+/// path vs the COO sparse kernel layer (argument 0/1 = use_sparse_kernels).
+/// The acceptance target for the kernel layer is >= 3x here; see
+/// BENCH_kernels.json.
+void BM_SofiaAls10pct(benchmark::State& state) {
+  Rng rng(23);
+  SyntheticTensor syn = MakeSinusoidTensor(32, 32, 48, 4, 12, 4);
+  const Shape& shape = syn.tensor.shape();
+  Mask omega = BernoulliMask(shape, 0.10, rng);
+  DenseTensor o(shape, 0.0);
+  SofiaConfig config;
+  config.rank = 4;
+  config.period = 12;
+  config.max_als_iterations = 3;
+  config.tolerance = 0.0;
+  config.use_sparse_kernels = state.range(0) != 0;
+  config.num_threads = 1;
+  Rng frng(25);
+  std::vector<Matrix> init;
+  for (size_t n = 0; n < shape.order(); ++n) {
+    init.push_back(Matrix::Random(shape.dim(n), 4, frng, 0.0, 1.0));
+  }
+  for (auto _ : state) {
+    std::vector<Matrix> factors = init;
+    benchmark::DoNotOptimize(SofiaAls(syn.tensor, omega, o, config, &factors));
+  }
+}
+BENCHMARK(BM_SofiaAls10pct)->Arg(0)->Arg(1);
 
 void BM_HoltWintersFit(benchmark::State& state) {
   const size_t seasons = static_cast<size_t>(state.range(0));

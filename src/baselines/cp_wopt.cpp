@@ -1,11 +1,15 @@
 #include "baselines/cp_wopt.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "optim/lbfgsb.hpp"
+#include "tensor/coo_list.hpp"
 #include "tensor/kruskal.hpp"
+#include "tensor/sparse_kernels.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace sofia {
@@ -45,60 +49,46 @@ std::vector<Matrix> Unpack(const std::vector<double>& x, const Shape& shape,
   return factors;
 }
 
-/// Objective adapter for the quasi-Newton solver with analytic gradients.
-class CpWoptObjective : public Objective {
- public:
-  CpWoptObjective(const DenseTensor& y, const Mask& omega, size_t rank)
-      : y_(y), omega_(omega), rank_(rank) {}
-
-  double Value(const std::vector<double>& x) const override {
-    return CpWoptLoss(y_, omega_, Unpack(x, y_.shape(), rank_));
-  }
-
-  void Gradient(const std::vector<double>& x,
-                std::vector<double>* grad) const override {
-    std::vector<Matrix> g =
-        CpWoptGradient(y_, omega_, Unpack(x, y_.shape(), rank_));
-    *grad = Pack(g);
-  }
-
- private:
-  const DenseTensor& y_;
-  const Mask& omega_;
-  size_t rank_;
-};
-
-}  // namespace
-
-double CpWoptLoss(const DenseTensor& y, const Mask& omega,
-                  const std::vector<Matrix>& factors) {
-  const Shape& shape = y.shape();
-  std::vector<size_t> idx(shape.order(), 0);
-  double loss = 0.0;
-  for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
-    if (omega.Get(linear)) {
-      const double r = y[linear] - KruskalEntry(factors, idx);
-      loss += 0.5 * r * r;
-    }
-    shape.Next(&idx);
-  }
-  return loss;
+/// Observed-entry loss: 0.5 ||Ω ⊛ (Y - [[U]])||_F^2 over the COO records.
+double CooLoss(const CooList& coo, const std::vector<double>& values,
+               const std::vector<Matrix>& factors, size_t num_threads) {
+  return 0.5 * CooResidualSquaredNorm(coo, values, factors, num_threads);
 }
 
-std::vector<Matrix> CpWoptGradient(const DenseTensor& y, const Mask& omega,
-                                   const std::vector<Matrix>& factors) {
-  const Shape& shape = y.shape();
+/// Observed-entry gradient. Each record contributes to one row of every
+/// mode's gradient, so tasks work on contiguous record ranges with private
+/// accumulators, combined in range order afterwards. The task count depends
+/// only on |Ω| — never on the thread count — so the summation grouping and
+/// hence the gradient bits are reproducible on any machine.
+std::vector<Matrix> CooGradient(const CooList& coo,
+                                const std::vector<double>& values,
+                                const std::vector<Matrix>& factors,
+                                size_t num_threads) {
+  constexpr size_t kRecordsPerTask = 4096;
+  constexpr size_t kMaxTasks = 16;
   const size_t rank = factors[0].cols();
   const size_t num_modes = factors.size();
-  std::vector<Matrix> grads;
-  grads.reserve(num_modes);
-  for (const Matrix& f : factors) grads.emplace_back(f.rows(), rank, 0.0);
+  const size_t nnz = coo.nnz();
+  const size_t tasks = std::max<size_t>(
+      1, std::min(kMaxTasks, (nnz + kRecordsPerTask - 1) / kRecordsPerTask));
 
-  std::vector<size_t> idx(shape.order(), 0);
-  std::vector<double> prefix((num_modes + 1) * rank);
-  std::vector<double> suffix((num_modes + 1) * rank);
-  for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
-    if (omega.Get(linear)) {
+  auto zero_grads = [&]() {
+    std::vector<Matrix> g;
+    g.reserve(num_modes);
+    for (const Matrix& f : factors) g.emplace_back(f.rows(), rank, 0.0);
+    return g;
+  };
+  std::vector<std::vector<Matrix>> partial(tasks);
+
+  ParallelFor(num_threads, tasks, [&](size_t task) {
+    const size_t begin = task * nnz / tasks;
+    const size_t end = (task + 1) * nnz / tasks;
+    std::vector<Matrix> grads = zero_grads();
+    // prefix[l] = prod of factor rows for modes < l; suffix[l] = for >= l.
+    std::vector<double> prefix((num_modes + 1) * rank);
+    std::vector<double> suffix((num_modes + 1) * rank);
+    for (size_t k = begin; k < end; ++k) {
+      const uint32_t* idx = coo.Coords(k);
       for (size_t r = 0; r < rank; ++r) prefix[r] = 1.0;
       for (size_t l = 0; l < num_modes; ++l) {
         const double* row = factors[l].Row(idx[l]);
@@ -116,7 +106,7 @@ std::vector<Matrix> CpWoptGradient(const DenseTensor& y, const Mask& omega,
       double recon = 0.0;
       const double* full = &prefix[num_modes * rank];
       for (size_t r = 0; r < rank; ++r) recon += full[r];
-      const double resid = y[linear] - recon;
+      const double resid = values[k] - recon;
       // d loss / d U^(l)(i_l, r) = -resid * prod_{l' != l} U^(l')(i_{l'}, r).
       for (size_t l = 0; l < num_modes; ++l) {
         double* grow = grads[l].Row(idx[l]);
@@ -127,9 +117,62 @@ std::vector<Matrix> CpWoptGradient(const DenseTensor& y, const Mask& omega,
         }
       }
     }
-    shape.Next(&idx);
+    partial[task] = std::move(grads);
+  });
+
+  std::vector<Matrix> grads = std::move(partial[0]);
+  for (size_t task = 1; task < tasks; ++task) {
+    for (size_t l = 0; l < num_modes; ++l) grads[l] += partial[task][l];
   }
   return grads;
+}
+
+/// Objective adapter for the quasi-Newton solver with analytic gradients.
+/// The mask never changes across iterates, so the COO structure and the
+/// gathered observed values are compacted exactly once.
+class CpWoptObjective : public Objective {
+ public:
+  CpWoptObjective(const DenseTensor& y, const Mask& omega, size_t rank,
+                  size_t num_threads)
+      : shape_(y.shape()),
+        coo_(CooList::Build(omega, /*with_mode_buckets=*/false)),
+        values_(coo_.Gather(y)),
+        rank_(rank),
+        num_threads_(num_threads) {}
+
+  double Value(const std::vector<double>& x) const override {
+    return CooLoss(coo_, values_, Unpack(x, shape_, rank_), num_threads_);
+  }
+
+  void Gradient(const std::vector<double>& x,
+                std::vector<double>* grad) const override {
+    std::vector<Matrix> g =
+        CooGradient(coo_, values_, Unpack(x, shape_, rank_), num_threads_);
+    *grad = Pack(g);
+  }
+
+ private:
+  Shape shape_;
+  CooList coo_;
+  std::vector<double> values_;
+  size_t rank_;
+  size_t num_threads_;
+};
+
+}  // namespace
+
+double CpWoptLoss(const DenseTensor& y, const Mask& omega,
+                  const std::vector<Matrix>& factors) {
+  SOFIA_CHECK(y.shape() == omega.shape());
+  const CooList coo = CooList::Build(omega, /*with_mode_buckets=*/false);
+  return CooLoss(coo, coo.Gather(y), factors, 1);
+}
+
+std::vector<Matrix> CpWoptGradient(const DenseTensor& y, const Mask& omega,
+                                   const std::vector<Matrix>& factors) {
+  SOFIA_CHECK(y.shape() == omega.shape());
+  const CooList coo = CooList::Build(omega, /*with_mode_buckets=*/false);
+  return CooGradient(coo, coo.Gather(y), factors, 1);
 }
 
 CpWoptResult CpWopt(const DenseTensor& y, const Mask& omega,
@@ -141,7 +184,7 @@ CpWoptResult CpWopt(const DenseTensor& y, const Mask& omega,
     init.push_back(Matrix::Random(y.dim(mode), options.rank, rng, 0.0, 1.0));
   }
 
-  CpWoptObjective objective(y, omega, options.rank);
+  CpWoptObjective objective(y, omega, options.rank, options.num_threads);
   const size_t n = ParameterCount(y.shape(), options.rank);
   const std::vector<double> lower(n, -std::numeric_limits<double>::infinity());
   const std::vector<double> upper(n, std::numeric_limits<double>::infinity());

@@ -27,6 +27,9 @@ struct CpWoptOptions {
   int max_iterations = 300;
   double gradient_tolerance = 1e-6;
   uint64_t seed = 37;
+  /// Worker threads for the observed-entry loss/gradient kernels (0 = use
+  /// the hardware concurrency).
+  size_t num_threads = 1;
 };
 
 /// Result of a CP-WOPT run.

@@ -2,114 +2,37 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "linalg/solve.hpp"
 #include "linalg/vector_ops.hpp"
 #include "tensor/kruskal.hpp"
+#include "tensor/sparse_kernels.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace sofia {
 
 namespace {
 
-/// Per-mode accumulation of the normal equations of Theorem 1: for every row
-/// i_n of mode `mode`, B[i_n] += h h^T and c[i_n] += y* h where
-/// h = ⊛_{l != mode} u^(l)_{i_l}, summed over observed entries in that slice.
-struct RowSystems {
-  std::vector<Matrix> b;               // One R x R matrix per row.
-  std::vector<std::vector<double>> c;  // One R vector per row.
-};
-
-RowSystems AccumulateRowSystems(const DenseTensor& y, const Mask& omega,
-                                const DenseTensor& o,
-                                const std::vector<Matrix>& factors,
-                                size_t mode) {
-  const Shape& shape = y.shape();
-  const size_t rank = factors[0].cols();
-  const size_t rows = shape.dim(mode);
-
-  RowSystems sys;
-  sys.b.assign(rows, Matrix(rank, rank));
-  sys.c.assign(rows, std::vector<double>(rank, 0.0));
-
-  std::vector<size_t> idx(shape.order(), 0);
-  std::vector<double> h(rank);
-  for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
-    if (omega.Get(linear)) {
-      for (size_t r = 0; r < rank; ++r) {
-        double p = 1.0;
-        for (size_t l = 0; l < factors.size(); ++l) {
-          if (l != mode) p *= factors[l](idx[l], r);
-        }
-        h[r] = p;
-      }
-      const double ystar = y[linear] - o[linear];
-      Matrix& b = sys.b[idx[mode]];
-      std::vector<double>& c = sys.c[idx[mode]];
-      for (size_t r = 0; r < rank; ++r) {
-        const double hr = h[r];
-        c[r] += ystar * hr;
-        double* brow = b.Row(r);
-        for (size_t q = 0; q < rank; ++q) brow[q] += hr * h[q];
-      }
-    }
-    shape.Next(&idx);
-  }
-  return sys;
-}
-
-/// Masked residual norm ||Ω ⊛ (Y* - X̂)||_F without materializing X̂.
-double MaskedResidualNorm(const DenseTensor& y, const Mask& omega,
-                          const DenseTensor& o,
-                          const std::vector<Matrix>& factors) {
-  const Shape& shape = y.shape();
-  std::vector<size_t> idx(shape.order(), 0);
-  double s = 0.0;
-  for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
-    if (omega.Get(linear)) {
-      const double r = (y[linear] - o[linear]) - KruskalEntry(factors, idx);
-      s += r * r;
-    }
-    shape.Next(&idx);
-  }
-  return std::sqrt(s);
-}
-
-double MaskedDataNorm(const DenseTensor& y, const Mask& omega,
-                      const DenseTensor& o) {
-  double s = 0.0;
-  for (size_t linear = 0; linear < y.NumElements(); ++linear) {
-    if (omega.Get(linear)) {
-      const double v = y[linear] - o[linear];
-      s += v * v;
-    }
-  }
-  return std::sqrt(s);
-}
-
-}  // namespace
-
-double SoftThreshold(double x, double threshold) {
-  const double mag = std::fabs(x) - threshold;
-  if (mag <= 0.0) return 0.0;
-  return x >= 0.0 ? mag : -mag;
-}
-
-SofiaAlsResult SofiaAls(const DenseTensor& y, const Mask& omega,
-                        const DenseTensor& o, const SofiaConfig& config,
-                        std::vector<Matrix>* factors, bool smooth_temporal) {
-  SOFIA_CHECK(y.shape() == omega.shape());
-  SOFIA_CHECK(y.shape() == o.shape());
-  SOFIA_CHECK_EQ(factors->size(), y.order());
-  const size_t num_modes = y.order();
+/// The Algorithm-2 sweep loop, parameterized over the accumulation and
+/// residual kernels so the COO (observed-entry) and dense-scan paths share
+/// one implementation. `accumulate(mode)` returns the Theorem-1 row systems
+/// for that mode; `residual_norm()` evaluates ||Ω ⊛ (Y* - X̂)||_F at the
+/// current factors.
+SofiaAlsResult SofiaAlsLoop(
+    const std::function<RowSystems(size_t)>& accumulate,
+    const std::function<double()>& residual_norm, double data_norm,
+    const SofiaConfig& config, std::vector<Matrix>* factors,
+    bool smooth_temporal) {
+  const size_t num_modes = factors->size();
   const size_t temporal = num_modes - 1;
   const size_t rank = (*factors)[0].cols();
-  const size_t duration = y.dim(temporal);
+  const size_t duration = (*factors)[temporal].rows();
   const double lambda1 = smooth_temporal ? config.lambda1 : 0.0;
   const double lambda2 = smooth_temporal ? config.lambda2 : 0.0;
   const long period = static_cast<long>(config.period);
 
-  const double data_norm = MaskedDataNorm(y, omega, o);
   double fitness = 0.0;
   bool have_fitness = false;
 
@@ -155,7 +78,7 @@ SofiaAlsResult SofiaAls(const DenseTensor& y, const Mask& omega,
     result.sweeps = sweep + 1;
     // --- Non-temporal modes: exact row minimizers (Theorem 1). ---
     for (size_t n = 0; n < temporal && !result.diverged; ++n) {
-      RowSystems sys = AccumulateRowSystems(y, omega, o, *factors, n);
+      RowSystems sys = accumulate(n);
       Matrix& u = (*factors)[n];
       for (size_t i = 0; i < u.rows(); ++i) {
         if (!system_finite(sys.b[i], sys.c[i])) {
@@ -180,7 +103,7 @@ SofiaAlsResult SofiaAls(const DenseTensor& y, const Mask& omega,
 
     // --- Temporal mode: smoothness-coupled row solves (Eq. (17)). ---
     if (!result.diverged) {
-      RowSystems sys = AccumulateRowSystems(y, omega, o, *factors, temporal);
+      RowSystems sys = accumulate(temporal);
       Matrix& ut = (*factors)[temporal];
       for (size_t i = 0; i < duration; ++i) {
         if (!system_finite(sys.b[i], sys.c[i])) {
@@ -224,7 +147,7 @@ SofiaAlsResult SofiaAls(const DenseTensor& y, const Mask& omega,
     last_finite = *factors;
 
     // --- Fitness-based convergence test (Algorithm 2 lines 13-15). ---
-    const double residual = MaskedResidualNorm(y, omega, o, *factors);
+    const double residual = residual_norm();
     const double new_fitness =
         data_norm > 0.0 ? 1.0 - residual / data_norm : 1.0;
     if (have_fitness &&
@@ -241,10 +164,58 @@ SofiaAlsResult SofiaAls(const DenseTensor& y, const Mask& omega,
   return result;
 }
 
+}  // namespace
+
+double SoftThreshold(double x, double threshold) {
+  const double mag = std::fabs(x) - threshold;
+  if (mag <= 0.0) return 0.0;
+  return x >= 0.0 ? mag : -mag;
+}
+
+SofiaAlsResult SofiaAls(const CooList& coo, const DenseTensor& y,
+                        const DenseTensor& o, const SofiaConfig& config,
+                        std::vector<Matrix>* factors, bool smooth_temporal) {
+  SOFIA_CHECK(y.shape() == coo.shape());
+  SOFIA_CHECK(y.shape() == o.shape());
+  SOFIA_CHECK_EQ(factors->size(), y.order());
+  // Gather y* = y - o once: the CooList structure and these values are
+  // shared by all N modes of every sweep (Lemma 1's O(|Ω| N R (N+R))).
+  const std::vector<double> ystar = coo.GatherResidual(y, o);
+  // One pool for the whole run: a sweep issues N+2 kernel calls and there
+  // can be hundreds of sweeps, so workers are spawned once, not per call.
+  ThreadPool pool(ResolveNumThreads(config.num_threads));
+  auto accumulate = [&](size_t mode) {
+    return CooRowSystems(coo, ystar, *factors, mode, 1, &pool);
+  };
+  auto residual = [&]() {
+    return CooResidualNorm(coo, ystar, *factors, 1, &pool);
+  };
+  return SofiaAlsLoop(accumulate, residual, CooDataNorm(ystar), config,
+                      factors, smooth_temporal);
+}
+
+SofiaAlsResult SofiaAls(const DenseTensor& y, const Mask& omega,
+                        const DenseTensor& o, const SofiaConfig& config,
+                        std::vector<Matrix>* factors, bool smooth_temporal) {
+  SOFIA_CHECK(y.shape() == omega.shape());
+  SOFIA_CHECK(y.shape() == o.shape());
+  SOFIA_CHECK_EQ(factors->size(), y.order());
+  if (config.use_sparse_kernels) {
+    const CooList coo = CooList::Build(omega);
+    return SofiaAls(coo, y, o, config, factors, smooth_temporal);
+  }
+  auto accumulate = [&](size_t mode) {
+    return DenseRowSystems(y, omega, o, *factors, mode);
+  };
+  auto residual = [&]() { return DenseResidualNorm(y, omega, o, *factors); };
+  return SofiaAlsLoop(accumulate, residual, DenseDataNorm(y, omega, o),
+                      config, factors, smooth_temporal);
+}
+
 double SofiaObjective(const DenseTensor& y, const Mask& omega,
                       const DenseTensor& o, const SofiaConfig& config,
                       const std::vector<Matrix>& factors) {
-  const double residual = MaskedResidualNorm(y, omega, o, factors);
+  const double residual = DenseResidualNorm(y, omega, o, factors);
   double obj = residual * residual;
 
   const Matrix& ut = factors.back();

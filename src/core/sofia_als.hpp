@@ -5,6 +5,7 @@
 
 #include "core/sofia_config.hpp"
 #include "linalg/matrix.hpp"
+#include "tensor/coo_list.hpp"
 #include "tensor/dense_tensor.hpp"
 #include "tensor/mask.hpp"
 
@@ -38,6 +39,16 @@ struct SofiaAlsResult {
 /// turns the routine into vanilla ALS for incomplete tensors (the Fig. 2
 /// baseline) while keeping the identical sweep schedule.
 SofiaAlsResult SofiaAls(const DenseTensor& y, const Mask& omega,
+                        const DenseTensor& o, const SofiaConfig& config,
+                        std::vector<Matrix>* factors,
+                        bool smooth_temporal = true);
+
+/// Observed-entry overload: runs the sweeps through the COO sparse kernel
+/// layer against a CooList prebuilt from the window's mask. Callers that
+/// solve the same window repeatedly with a fixed mask (the Algorithm 1 init
+/// loop re-estimates outliers around the same Ω) build the CooList once and
+/// amortize the dense compaction scan across all calls, modes, and sweeps.
+SofiaAlsResult SofiaAls(const CooList& coo, const DenseTensor& y,
                         const DenseTensor& o, const SofiaConfig& config,
                         std::vector<Matrix>* factors,
                         bool smooth_temporal = true);

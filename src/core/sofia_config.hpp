@@ -40,6 +40,17 @@ struct SofiaConfig {
   /// the verbatim update (see bench/ablation_design).
   bool normalized_step = true;
 
+  /// Worker threads for the sparse (observed-entry) kernels; 0 = use the
+  /// hardware concurrency. The kernels partition work into units owned by a
+  /// single thread, so results are bitwise identical for every setting.
+  size_t num_threads = 0;
+
+  /// Route the ALS inner loop through the COO sparse kernel layer
+  /// (tensor/sparse_kernels.hpp), whose per-sweep cost is O(|Ω| N R (N+R))
+  /// per Lemma 1 instead of scaling with the dense tensor volume. The dense
+  /// scan path is kept as a reference/fallback (see bench/micro_kernels).
+  bool use_sparse_kernels = true;
+
   double lambda3_decay = 0.85;  ///< `d` of Algorithm 1 (threshold decay).
   double tolerance = 1e-4;      ///< Convergence tolerance (ALS + init loop).
   int max_als_iterations = 300;   ///< Inner ALS sweep cap (Algorithm 2).

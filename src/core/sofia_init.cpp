@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/coo_list.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -20,6 +21,13 @@ SofiaInitResult SofiaInitialize(const std::vector<DenseTensor>& slices,
   DenseTensor y = DenseTensor::StackSlices(slices);
   Mask omega = Mask::StackSlices(masks);
   DenseTensor outliers(y.shape(), 0.0);
+
+  // The mask is fixed for the whole init window while the outlier estimate
+  // changes, so the observed-entry structure is compacted once here and
+  // reused by every SOFIA_ALS call of the outer loop (only the y - O values
+  // are re-gathered per call).
+  CooList coo;
+  if (config.use_sparse_kernels) coo = CooList::Build(omega);
 
   // Line 4: random factor initialization.
   Rng rng(config.seed);
@@ -41,7 +49,9 @@ SofiaInitResult SofiaInitialize(const std::vector<DenseTensor>& slices,
     result.outer_iterations = outer + 1;
 
     SofiaAlsResult als =
-        SofiaAls(y, omega, outliers, config, &factors, smooth_temporal);
+        config.use_sparse_kernels
+            ? SofiaAls(coo, y, outliers, config, &factors, smooth_temporal)
+            : SofiaAls(y, omega, outliers, config, &factors, smooth_temporal);
 
     // Line 8: O <- SoftThresholding(Ω ⊛ (Y - X̂), λ3).
     for (size_t k = 0; k < y.NumElements(); ++k) {

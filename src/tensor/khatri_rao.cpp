@@ -1,5 +1,7 @@
 #include "tensor/khatri_rao.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace sofia {
@@ -22,12 +24,42 @@ Matrix KhatriRao(const Matrix& a, const Matrix& b) {
 Matrix KhatriRaoChain(const std::vector<Matrix>& factors) {
   SOFIA_CHECK(!factors.empty());
   // U^(N) (kr) ... (kr) U^(1): fold from the highest mode down so that the
-  // mode-1 row index ends up fastest.
-  Matrix acc = factors.back();
-  for (size_t n = factors.size() - 1; n-- > 0;) {
-    acc = KhatriRao(acc, factors[n]);
+  // mode-1 row index ends up fastest. The final ∏ rows x R output is
+  // allocated once and each fold expands the accumulated block in place,
+  // back to front: block ia of the current accumulator spreads to rows
+  // [ia * frows, (ia + 1) * frows), all at or past ia, so processing ia in
+  // descending order never clobbers an unread row (the current row itself
+  // is staged in `arow` before its block is written).
+  const size_t r = factors[0].cols();
+  size_t total_rows = 1;
+  for (const Matrix& f : factors) {
+    SOFIA_CHECK_EQ(f.cols(), r);
+    total_rows *= f.rows();
   }
-  return acc;
+  Matrix out(total_rows, r);
+  if (total_rows == 0) return out;
+  const Matrix& last = factors.back();
+  for (size_t i = 0; i < last.rows(); ++i) {
+    const double* src = last.Row(i);
+    std::copy(src, src + r, out.Row(i));
+  }
+  size_t acc_rows = last.rows();
+  std::vector<double> arow(r);
+  for (size_t n = factors.size() - 1; n-- > 0;) {
+    const Matrix& f = factors[n];
+    const size_t frows = f.rows();
+    for (size_t ia = acc_rows; ia-- > 0;) {
+      const double* src = out.Row(ia);
+      std::copy(src, src + r, arow.begin());
+      for (size_t ib = frows; ib-- > 0;) {
+        const double* brow = f.Row(ib);
+        double* orow = out.Row(ia * frows + ib);
+        for (size_t c = 0; c < r; ++c) orow[c] = arow[c] * brow[c];
+      }
+    }
+    acc_rows *= frows;
+  }
+  return out;
 }
 
 Matrix KhatriRaoSkip(const std::vector<Matrix>& factors, size_t skip) {

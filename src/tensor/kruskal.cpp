@@ -1,5 +1,6 @@
 #include "tensor/kruskal.hpp"
 
+#include "tensor/khatri_rao.hpp"
 #include "util/check.hpp"
 
 namespace sofia {
@@ -16,45 +17,54 @@ Shape FactorShape(const std::vector<Matrix>& factors) {
   return Shape(dims);
 }
 
-}  // namespace
-
-DenseTensor KruskalTensor(const std::vector<Matrix>& factors) {
+/// Shared core of KruskalTensor / KruskalSlice: with the mode-1 unfolding
+/// identity X_(1) = U^(1) W (kr-chain of the remaining modes)^T and the
+/// library's first-mode-fastest linearization, out[j * I_1 + i] is the dot
+/// product of U^(1) row i and chain row j — two contiguous R-vectors. The
+/// optional `weights` scale each rank-1 component (the temporal row of a
+/// slice reconstruction).
+DenseTensor KruskalFromChain(const std::vector<Matrix>& factors,
+                             const double* weights) {
   const Shape shape = FactorShape(factors);
   const size_t rank = factors[0].cols();
   DenseTensor out(shape);
-  std::vector<size_t> idx(shape.order(), 0);
-  std::vector<double> partial(rank);
-  for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
-    double v = 0.0;
-    for (size_t r = 0; r < rank; ++r) {
-      double p = 1.0;
-      for (size_t n = 0; n < factors.size(); ++n) p *= factors[n](idx[n], r);
-      v += p;
+  const Matrix& u1 = factors[0];
+  const size_t i1 = u1.rows();
+
+  Matrix chain;
+  if (factors.size() > 1) {
+    chain = KhatriRaoSkip(factors, 0);
+  } else {
+    chain = Matrix(1, rank, 1.0);
+  }
+  std::vector<double> wrow(rank);
+  for (size_t j = 0; j < chain.rows(); ++j) {
+    const double* krow = chain.Row(j);
+    if (weights != nullptr) {
+      for (size_t r = 0; r < rank; ++r) wrow[r] = weights[r] * krow[r];
+      krow = wrow.data();
     }
-    out[linear] = v;
-    shape.Next(&idx);
+    double* block = out.data() + j * i1;
+    for (size_t i = 0; i < i1; ++i) {
+      const double* urow = u1.Row(i);
+      double v = 0.0;
+      for (size_t r = 0; r < rank; ++r) v += urow[r] * krow[r];
+      block[i] = v;
+    }
   }
   return out;
 }
 
+}  // namespace
+
+DenseTensor KruskalTensor(const std::vector<Matrix>& factors) {
+  return KruskalFromChain(factors, nullptr);
+}
+
 DenseTensor KruskalSlice(const std::vector<Matrix>& factors,
                          const std::vector<double>& temporal_row) {
-  const Shape shape = FactorShape(factors);
-  const size_t rank = factors[0].cols();
-  SOFIA_CHECK_EQ(temporal_row.size(), rank);
-  DenseTensor out(shape);
-  std::vector<size_t> idx(shape.order(), 0);
-  for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
-    double v = 0.0;
-    for (size_t r = 0; r < rank; ++r) {
-      double p = temporal_row[r];
-      for (size_t n = 0; n < factors.size(); ++n) p *= factors[n](idx[n], r);
-      v += p;
-    }
-    out[linear] = v;
-    shape.Next(&idx);
-  }
-  return out;
+  SOFIA_CHECK_EQ(temporal_row.size(), factors[0].cols());
+  return KruskalFromChain(factors, temporal_row.data());
 }
 
 double KruskalSliceEntry(const std::vector<Matrix>& factors,

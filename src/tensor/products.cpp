@@ -1,5 +1,7 @@
 #include "tensor/products.hpp"
 
+#include "tensor/coo_list.hpp"
+#include "tensor/sparse_kernels.hpp"
 #include "util/check.hpp"
 
 namespace sofia {
@@ -38,7 +40,7 @@ DenseTensor Ttm(const DenseTensor& x, const Matrix& m, size_t mode) {
 
 namespace {
 
-Matrix MttkrpImpl(const DenseTensor& x, const Mask* omega,
+Matrix MttkrpImpl(const DenseTensor& x,
                   const std::vector<Matrix>& factors, size_t mode) {
   const Shape& shape = x.shape();
   SOFIA_CHECK_LT(mode, shape.order());
@@ -53,18 +55,16 @@ Matrix MttkrpImpl(const DenseTensor& x, const Mask* omega,
   std::vector<size_t> idx(shape.order(), 0);
   std::vector<double> h(rank);
   for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
-    if (omega == nullptr || omega->Get(linear)) {
-      const double v = x[linear];
-      if (v != 0.0) {
-        for (size_t r = 0; r < rank; ++r) h[r] = v;
-        for (size_t l = 0; l < factors.size(); ++l) {
-          if (l == mode) continue;
-          const double* row = factors[l].Row(idx[l]);
-          for (size_t r = 0; r < rank; ++r) h[r] *= row[r];
-        }
-        double* orow = out.Row(idx[mode]);
-        for (size_t r = 0; r < rank; ++r) orow[r] += h[r];
+    const double v = x[linear];
+    if (v != 0.0) {
+      for (size_t r = 0; r < rank; ++r) h[r] = v;
+      for (size_t l = 0; l < factors.size(); ++l) {
+        if (l == mode) continue;
+        const double* row = factors[l].Row(idx[l]);
+        for (size_t r = 0; r < rank; ++r) h[r] *= row[r];
       }
+      double* orow = out.Row(idx[mode]);
+      for (size_t r = 0; r < rank; ++r) orow[r] += h[r];
     }
     shape.Next(&idx);
   }
@@ -75,13 +75,15 @@ Matrix MttkrpImpl(const DenseTensor& x, const Mask* omega,
 
 Matrix Mttkrp(const DenseTensor& x, const std::vector<Matrix>& factors,
               size_t mode) {
-  return MttkrpImpl(x, nullptr, factors, mode);
+  return MttkrpImpl(x, factors, mode);
 }
 
 Matrix MaskedMttkrp(const DenseTensor& x, const Mask& omega,
-                    const std::vector<Matrix>& factors, size_t mode) {
+                    const std::vector<Matrix>& factors, size_t mode,
+                    size_t num_threads) {
   SOFIA_CHECK(omega.shape() == x.shape());
-  return MttkrpImpl(x, &omega, factors, mode);
+  const CooList coo = CooList::BuildForMode(omega, mode);
+  return CooMttkrp(coo, coo.Gather(x), factors, mode, num_threads);
 }
 
 }  // namespace sofia

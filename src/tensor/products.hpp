@@ -32,8 +32,13 @@ Matrix Mttkrp(const DenseTensor& x, const std::vector<Matrix>& factors,
 
 /// Masked MTTKRP: only observed entries contribute, i.e. the stacked
 /// right-hand sides c^(n)_{i_n} of Theorem 1 (Eq. (15)) with y* = x.
+/// Internally compacts the observed entries into a CooList and runs the
+/// observed-entry kernel (tensor/sparse_kernels.hpp) — callers that need
+/// several modes or repeated products against one mask should build the
+/// CooList themselves and call CooMttkrp directly to amortize the scan.
 Matrix MaskedMttkrp(const DenseTensor& x, const Mask& omega,
-                    const std::vector<Matrix>& factors, size_t mode);
+                    const std::vector<Matrix>& factors, size_t mode,
+                    size_t num_threads = 1);
 
 }  // namespace sofia
 

@@ -1,0 +1,329 @@
+#include "tensor/sparse_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <type_traits>
+
+#include "tensor/kruskal.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+
+namespace sofia {
+
+namespace {
+
+/// Records per task in the blocked reductions. Fixed (never derived from the
+/// thread count) so the partial-sum tree is identical for every num_threads.
+constexpr size_t kReductionBlock = 4096;
+
+void CheckFactors(const CooList& coo, const std::vector<Matrix>& factors,
+                  size_t rank) {
+  SOFIA_CHECK_EQ(factors.size(), coo.order());
+  for (size_t n = 0; n < factors.size(); ++n) {
+    SOFIA_CHECK_EQ(factors[n].rows(), coo.shape().dim(n));
+    SOFIA_CHECK_EQ(factors[n].cols(), rank);
+  }
+}
+
+/// Raw row-base view of a factor matrix, snapshotted before the record loop
+/// so the inner kernels touch plain pointers instead of Matrix methods.
+struct FactorView {
+  const double* data;
+  size_t cols;
+};
+
+std::vector<FactorView> MakeViews(const std::vector<Matrix>& factors) {
+  std::vector<FactorView> views(factors.size());
+  for (size_t n = 0; n < factors.size(); ++n) {
+    views[n] = {factors[n].data(), factors[n].cols()};
+  }
+  return views;
+}
+
+/// Invoke fn(integral_constant<size_t, R>) with R a compile-time copy of
+/// `rank` for the common small CP ranks, or 0 (= dynamic rank) otherwise.
+/// The fixed-rank instantiations let the compiler unroll and vectorize the
+/// R-length loops of the record kernels, which dominate the ALS sweep.
+template <typename Fn>
+void DispatchRank(size_t rank, Fn&& fn) {
+  switch (rank) {
+    case 1: fn(std::integral_constant<size_t, 1>{}); break;
+    case 2: fn(std::integral_constant<size_t, 2>{}); break;
+    case 3: fn(std::integral_constant<size_t, 3>{}); break;
+    case 4: fn(std::integral_constant<size_t, 4>{}); break;
+    case 5: fn(std::integral_constant<size_t, 5>{}); break;
+    case 6: fn(std::integral_constant<size_t, 6>{}); break;
+    case 8: fn(std::integral_constant<size_t, 8>{}); break;
+    case 10: fn(std::integral_constant<size_t, 10>{}); break;
+    case 12: fn(std::integral_constant<size_t, 12>{}); break;
+    case 16: fn(std::integral_constant<size_t, 16>{}); break;
+    default: fn(std::integral_constant<size_t, 0>{}); break;
+  }
+}
+
+/// Scratch R-vector: stack storage for fixed ranks, heap for dynamic.
+template <size_t kR>
+struct RankBuffer {
+  double* get(size_t) { return fixed; }
+  double fixed[kR];
+};
+template <>
+struct RankBuffer<0> {
+  double* get(size_t rank) {
+    dynamic.resize(rank);
+    return dynamic.data();
+  }
+  std::vector<double> dynamic;
+};
+
+template <size_t kR>
+void CooMttkrpImpl(const CooList& coo, const std::vector<double>& values,
+                   const std::vector<FactorView>& views, size_t mode,
+                   size_t num_threads, ThreadPool* pool, size_t rank,
+                   Matrix* out) {
+  const std::vector<uint32_t>& order = coo.ModeOrder(mode);
+  const std::vector<size_t>& ptr = coo.SlicePtr(mode);
+  const size_t num_modes = views.size();
+  // One task per mode slice: each task owns one output row, so no two
+  // threads ever write the same accumulator and the per-row order is the
+  // bucket order regardless of thread count.
+  RunTasks(pool, num_threads, out->rows(), [&](size_t slice) {
+    const size_t R = kR == 0 ? rank : kR;
+    RankBuffer<kR> buf;
+    double* h = buf.get(R);
+    double* orow = out->Row(slice);
+    for (size_t p = ptr[slice]; p < ptr[slice + 1]; ++p) {
+      const size_t k = order[p];
+      const double v = values[k];
+      if (v == 0.0) continue;
+      const uint32_t* idx = coo.Coords(k);
+      for (size_t r = 0; r < R; ++r) h[r] = v;
+      for (size_t l = 0; l < num_modes; ++l) {
+        if (l == mode) continue;
+        const double* row = views[l].data + idx[l] * views[l].cols;
+        for (size_t r = 0; r < R; ++r) h[r] *= row[r];
+      }
+      for (size_t r = 0; r < R; ++r) orow[r] += h[r];
+    }
+  });
+}
+
+template <size_t kR>
+void CooRowSystemsImpl(const CooList& coo, const std::vector<double>& values,
+                       const std::vector<FactorView>& views, size_t mode,
+                       size_t num_threads, ThreadPool* pool, size_t rank,
+                       RowSystems* sys) {
+  const std::vector<uint32_t>& order = coo.ModeOrder(mode);
+  const std::vector<size_t>& ptr = coo.SlicePtr(mode);
+  const size_t num_modes = views.size();
+  // One task per mode slice (= one output row system): the h h^T rank-1
+  // update touches only the upper triangle, mirrored once per row after the
+  // slice's records are drained.
+  RunTasks(pool, num_threads, sys->b.size(), [&](size_t slice) {
+    const size_t R = kR == 0 ? rank : kR;
+    RankBuffer<kR> buf;
+    double* h = buf.get(R);
+    double* bdata = sys->b[slice].data();
+    double* c = sys->c[slice].data();
+    for (size_t p = ptr[slice]; p < ptr[slice + 1]; ++p) {
+      const size_t k = order[p];
+      const uint32_t* idx = coo.Coords(k);
+      for (size_t r = 0; r < R; ++r) h[r] = 1.0;
+      for (size_t l = 0; l < num_modes; ++l) {
+        if (l == mode) continue;
+        const double* row = views[l].data + idx[l] * views[l].cols;
+        for (size_t r = 0; r < R; ++r) h[r] *= row[r];
+      }
+      const double ystar = values[k];
+      for (size_t r = 0; r < R; ++r) {
+        const double hr = h[r];
+        c[r] += ystar * hr;
+        double* brow = bdata + r * R;
+        for (size_t q = r; q < R; ++q) brow[q] += hr * h[q];
+      }
+    }
+    for (size_t r = 0; r < R; ++r) {
+      for (size_t q = r + 1; q < R; ++q) bdata[q * R + r] = bdata[r * R + q];
+    }
+  });
+}
+
+template <size_t kR>
+void CooResidualBlocksImpl(const CooList& coo,
+                           const std::vector<double>& values,
+                           const std::vector<FactorView>& views,
+                           size_t num_threads, ThreadPool* pool, size_t rank,
+                           std::vector<double>* partial) {
+  const size_t num_modes = views.size();
+  RunTasks(pool, num_threads, partial->size(), [&](size_t block) {
+    const size_t R = kR == 0 ? rank : kR;
+    RankBuffer<kR> buf;
+    double* prod = buf.get(R);
+    const size_t begin = block * kReductionBlock;
+    const size_t end = std::min(begin + kReductionBlock, coo.nnz());
+    double s = 0.0;
+    for (size_t k = begin; k < end; ++k) {
+      const uint32_t* idx = coo.Coords(k);
+      for (size_t r = 0; r < R; ++r) prod[r] = 1.0;
+      for (size_t l = 0; l < num_modes; ++l) {
+        const double* row = views[l].data + idx[l] * views[l].cols;
+        for (size_t r = 0; r < R; ++r) prod[r] *= row[r];
+      }
+      double recon = 0.0;
+      for (size_t r = 0; r < R; ++r) recon += prod[r];
+      const double d = values[k] - recon;
+      s += d * d;
+    }
+    (*partial)[block] = s;
+  });
+}
+
+}  // namespace
+
+Matrix CooMttkrp(const CooList& coo, const std::vector<double>& values,
+                 const std::vector<Matrix>& factors, size_t mode,
+                 size_t num_threads, ThreadPool* pool) {
+  SOFIA_CHECK_LT(mode, coo.order());
+  SOFIA_CHECK_EQ(values.size(), coo.nnz());
+  SOFIA_CHECK(coo.has_mode_bucket(mode));
+  const size_t rank = factors.empty() ? 0 : factors[0].cols();
+  CheckFactors(coo, factors, rank);
+
+  Matrix out(coo.shape().dim(mode), rank, 0.0);
+  const std::vector<FactorView> views = MakeViews(factors);
+  DispatchRank(rank, [&](auto tag) {
+    CooMttkrpImpl<decltype(tag)::value>(coo, values, views, mode, num_threads,
+                                        pool, rank, &out);
+  });
+  return out;
+}
+
+RowSystems CooRowSystems(const CooList& coo, const std::vector<double>& values,
+                         const std::vector<Matrix>& factors, size_t mode,
+                         size_t num_threads, ThreadPool* pool) {
+  SOFIA_CHECK_LT(mode, coo.order());
+  SOFIA_CHECK_EQ(values.size(), coo.nnz());
+  SOFIA_CHECK(coo.has_mode_bucket(mode));
+  const size_t rank = factors.empty() ? 0 : factors[0].cols();
+  CheckFactors(coo, factors, rank);
+
+  RowSystems sys;
+  sys.b.assign(coo.shape().dim(mode), Matrix(rank, rank));
+  sys.c.assign(coo.shape().dim(mode), std::vector<double>(rank, 0.0));
+  const std::vector<FactorView> views = MakeViews(factors);
+  DispatchRank(rank, [&](auto tag) {
+    CooRowSystemsImpl<decltype(tag)::value>(coo, values, views, mode,
+                                            num_threads, pool, rank, &sys);
+  });
+  return sys;
+}
+
+double CooResidualSquaredNorm(const CooList& coo,
+                              const std::vector<double>& values,
+                              const std::vector<Matrix>& factors,
+                              size_t num_threads, ThreadPool* pool) {
+  SOFIA_CHECK_EQ(values.size(), coo.nnz());
+  const size_t rank = factors.empty() ? 0 : factors[0].cols();
+  CheckFactors(coo, factors, rank);
+
+  // Fixed-size record blocks -> per-block partial sums, combined in block
+  // order; both the block boundaries and the combine order are independent
+  // of the thread count.
+  const size_t num_blocks = (coo.nnz() + kReductionBlock - 1) / kReductionBlock;
+  std::vector<double> partial(num_blocks, 0.0);
+  const std::vector<FactorView> views = MakeViews(factors);
+  DispatchRank(rank, [&](auto tag) {
+    CooResidualBlocksImpl<decltype(tag)::value>(
+        coo, values, views, num_threads, pool, rank, &partial);
+  });
+  double total = 0.0;
+  for (double s : partial) total += s;
+  return total;
+}
+
+double CooResidualNorm(const CooList& coo, const std::vector<double>& values,
+                       const std::vector<Matrix>& factors, size_t num_threads,
+                       ThreadPool* pool) {
+  return std::sqrt(
+      CooResidualSquaredNorm(coo, values, factors, num_threads, pool));
+}
+
+double CooDataNorm(const std::vector<double>& values) {
+  double s = 0.0;
+  for (double v : values) s += v * v;
+  return std::sqrt(s);
+}
+
+RowSystems DenseRowSystems(const DenseTensor& y, const Mask& omega,
+                           const DenseTensor& o,
+                           const std::vector<Matrix>& factors, size_t mode) {
+  SOFIA_CHECK(y.shape() == omega.shape());
+  SOFIA_CHECK(y.shape() == o.shape());
+  const Shape& shape = y.shape();
+  const size_t rank = factors[0].cols();
+  const size_t rows = shape.dim(mode);
+
+  RowSystems sys;
+  sys.b.assign(rows, Matrix(rank, rank));
+  sys.c.assign(rows, std::vector<double>(rank, 0.0));
+
+  std::vector<size_t> idx(shape.order(), 0);
+  std::vector<double> h(rank);
+  for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
+    if (omega.Get(linear)) {
+      for (size_t r = 0; r < rank; ++r) h[r] = 1.0;
+      for (size_t l = 0; l < factors.size(); ++l) {
+        if (l == mode) continue;
+        const double* row = factors[l].Row(idx[l]);
+        for (size_t r = 0; r < rank; ++r) h[r] *= row[r];
+      }
+      const double ystar = y[linear] - o[linear];
+      Matrix& b = sys.b[idx[mode]];
+      std::vector<double>& c = sys.c[idx[mode]];
+      for (size_t r = 0; r < rank; ++r) {
+        const double hr = h[r];
+        c[r] += ystar * hr;
+        double* brow = b.Row(r);
+        for (size_t q = r; q < rank; ++q) brow[q] += hr * h[q];
+      }
+    }
+    shape.Next(&idx);
+  }
+  for (size_t i = 0; i < rows; ++i) {
+    Matrix& b = sys.b[i];
+    for (size_t r = 0; r < rank; ++r) {
+      for (size_t q = r + 1; q < rank; ++q) b(q, r) = b(r, q);
+    }
+  }
+  return sys;
+}
+
+double DenseResidualNorm(const DenseTensor& y, const Mask& omega,
+                         const DenseTensor& o,
+                         const std::vector<Matrix>& factors) {
+  const Shape& shape = y.shape();
+  std::vector<size_t> idx(shape.order(), 0);
+  double s = 0.0;
+  for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
+    if (omega.Get(linear)) {
+      const double r = (y[linear] - o[linear]) - KruskalEntry(factors, idx);
+      s += r * r;
+    }
+    shape.Next(&idx);
+  }
+  return std::sqrt(s);
+}
+
+double DenseDataNorm(const DenseTensor& y, const Mask& omega,
+                     const DenseTensor& o) {
+  double s = 0.0;
+  for (size_t linear = 0; linear < y.NumElements(); ++linear) {
+    if (omega.Get(linear)) {
+      const double v = y[linear] - o[linear];
+      s += v * v;
+    }
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace sofia

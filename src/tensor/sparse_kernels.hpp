@@ -1,0 +1,85 @@
+#ifndef SOFIA_TENSOR_SPARSE_KERNELS_H_
+#define SOFIA_TENSOR_SPARSE_KERNELS_H_
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "tensor/coo_list.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/mask.hpp"
+#include "util/parallel.hpp"
+
+/// \file sparse_kernels.hpp
+/// \brief Observed-entry (COO-driven) versions of the hot ALS kernels, plus
+/// their dense-scan reference implementations.
+///
+/// The COO kernels realize the complexity claims of Lemmas 1-2: they touch
+/// only the |Ω| records of a prebuilt CooList instead of rescanning the full
+/// dense index space once per mode per sweep. All of them parallelize over
+/// disjoint work units (mode slices, or fixed-size record blocks for the
+/// reductions) so results are bitwise identical for every `num_threads`:
+/// only the assignment of units to threads varies, never the accumulation
+/// order within a unit or the order units are combined in.
+///
+/// `values` arguments are record-aligned (see CooList::Gather); passing the
+/// gathered y* = y - o of Theorem 1 yields the paper's robust updates.
+
+namespace sofia {
+
+/// Per-row normal equations of Theorem 1 for one mode: B[i] = Σ h h^T and
+/// c[i] = Σ y* h over the observed entries of row i, where h is the
+/// Hadamard product of the other modes' factor rows.
+struct RowSystems {
+  std::vector<Matrix> b;               // One R x R matrix per row.
+  std::vector<std::vector<double>> c;  // One R vector per row.
+};
+
+/// MTTKRP over observed entries: row i of the result accumulates
+/// values[k] * h_k for every record k in mode-`mode` slice i. Equals
+/// MaskedMttkrp on the dense pair the CooList was built from. Requires a
+/// CooList built with mode buckets. Callers issuing many kernel calls pass
+/// a long-lived `pool` (which overrides `num_threads`) to avoid re-spawning
+/// workers per call.
+Matrix CooMttkrp(const CooList& coo, const std::vector<double>& values,
+                 const std::vector<Matrix>& factors, size_t mode,
+                 size_t num_threads = 1, ThreadPool* pool = nullptr);
+
+/// Accumulate the Theorem-1 row systems for `mode` from observed entries.
+/// The rank-1 updates touch only the upper triangle of each B and mirror it
+/// once per row at the end. Requires a CooList built with mode buckets.
+RowSystems CooRowSystems(const CooList& coo, const std::vector<double>& values,
+                         const std::vector<Matrix>& factors, size_t mode,
+                         size_t num_threads = 1, ThreadPool* pool = nullptr);
+
+/// ||Ω ⊛ (Y* - X̂)||_F^2 with X̂ = [[factors]], without materializing X̂.
+/// `values` holds the gathered Y* entries. Works on bucket-less CooLists.
+double CooResidualSquaredNorm(const CooList& coo,
+                              const std::vector<double>& values,
+                              const std::vector<Matrix>& factors,
+                              size_t num_threads = 1,
+                              ThreadPool* pool = nullptr);
+
+/// sqrt(CooResidualSquaredNorm(...)).
+double CooResidualNorm(const CooList& coo, const std::vector<double>& values,
+                       const std::vector<Matrix>& factors,
+                       size_t num_threads = 1, ThreadPool* pool = nullptr);
+
+/// ||values||_2 — e.g. the masked data norm ||Ω ⊛ Y*||_F of the fitness
+/// denominator when `values` is a GatherResidual result.
+double CooDataNorm(const std::vector<double>& values);
+
+/// Dense-scan reference implementations (and the fallback selected by
+/// SofiaConfig::use_sparse_kernels = false). DenseRowSystems also uses the
+/// symmetric upper-triangle accumulation.
+RowSystems DenseRowSystems(const DenseTensor& y, const Mask& omega,
+                           const DenseTensor& o,
+                           const std::vector<Matrix>& factors, size_t mode);
+double DenseResidualNorm(const DenseTensor& y, const Mask& omega,
+                         const DenseTensor& o,
+                         const std::vector<Matrix>& factors);
+double DenseDataNorm(const DenseTensor& y, const Mask& omega,
+                     const DenseTensor& o);
+
+}  // namespace sofia
+
+#endif  // SOFIA_TENSOR_SPARSE_KERNELS_H_

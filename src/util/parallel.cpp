@@ -1,0 +1,98 @@
+#include "util/parallel.hpp"
+
+namespace sofia {
+
+size_t ResolveNumThreads(size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = num_threads == 0 ? 1 : num_threads;
+  workers_.reserve(n - 1);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::DrainTasks() {
+  const size_t num_tasks = num_tasks_;
+  const std::function<void(size_t)>& fn = *fn_;
+  for (;;) {
+    const size_t task = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (task >= num_tasks) break;
+    fn(task);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  size_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    DrainTasks();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--busy_workers_ == 0) batch_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::Run(size_t num_tasks, const std::function<void(size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (workers_.empty() || num_tasks == 1) {
+    for (size_t task = 0; task < num_tasks; ++task) fn(task);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    num_tasks_ = num_tasks;
+    fn_ = &fn;
+    next_task_.store(0, std::memory_order_relaxed);
+    busy_workers_ = workers_.size();
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  DrainTasks();
+  std::unique_lock<std::mutex> lock(mutex_);
+  batch_done_.wait(lock, [&] { return busy_workers_ == 0; });
+  fn_ = nullptr;
+}
+
+void ParallelFor(size_t num_threads, size_t num_tasks,
+                 const std::function<void(size_t)>& fn) {
+  const size_t n = ResolveNumThreads(num_threads);
+  if (n <= 1 || num_tasks <= 1) {
+    for (size_t task = 0; task < num_tasks; ++task) fn(task);
+    return;
+  }
+  ThreadPool pool(n);
+  pool.Run(num_tasks, fn);
+}
+
+void RunTasks(ThreadPool* pool, size_t num_threads, size_t num_tasks,
+              const std::function<void(size_t)>& fn) {
+  if (pool != nullptr) {
+    pool->Run(num_tasks, fn);
+  } else {
+    ParallelFor(num_threads, num_tasks, fn);
+  }
+}
+
+}  // namespace sofia

@@ -1,0 +1,80 @@
+#ifndef SOFIA_UTIL_PARALLEL_H_
+#define SOFIA_UTIL_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file parallel.hpp
+/// \brief Small std::thread pool for the sparse kernel layer.
+///
+/// The sparse kernels (see tensor/sparse_kernels.hpp) split work into tasks
+/// that write *disjoint* state keyed by task index (mode slices, fixed-size
+/// record blocks). Under that contract the results are bitwise identical for
+/// every thread count, because only the assignment of tasks to threads — not
+/// the per-task accumulation order — varies.
+
+namespace sofia {
+
+/// Resolve a `num_threads` knob: 0 means "use the hardware concurrency",
+/// anything else is clamped below by 1.
+size_t ResolveNumThreads(size_t requested);
+
+/// Fixed-size pool of worker threads executing indexed task batches.
+///
+/// `Run(num_tasks, fn)` invokes `fn(task)` for every task in [0, num_tasks)
+/// and blocks until all tasks finish. Tasks are claimed dynamically from a
+/// shared counter; the calling thread participates, so a pool constructed
+/// with `num_threads = 1` spawns no workers and runs serially.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total number of executing threads (workers + the caller of Run).
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Run fn(0) .. fn(num_tasks - 1), blocking until every task returns.
+  /// `fn` must not throw and must only write state owned by its task index.
+  void Run(size_t num_tasks, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Claim and run tasks from the current batch until the counter runs out.
+  void DrainTasks();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  bool stop_ = false;
+  size_t generation_ = 0;        // Bumped once per Run() batch.
+  size_t num_tasks_ = 0;
+  const std::function<void(size_t)>* fn_ = nullptr;
+  std::atomic<size_t> next_task_{0};
+  size_t busy_workers_ = 0;
+};
+
+/// One-shot convenience: run fn(0) .. fn(num_tasks - 1) on an ephemeral pool
+/// of `ResolveNumThreads(num_threads)` threads. Serial (no threads spawned)
+/// when a single thread is requested or there is at most one task.
+void ParallelFor(size_t num_threads, size_t num_tasks,
+                 const std::function<void(size_t)>& fn);
+
+/// Run a task batch on `pool` if one is supplied, otherwise fall back to an
+/// ephemeral ParallelFor with `num_threads`. Lets kernels accept an optional
+/// long-lived pool without duplicating the dispatch at every call site.
+void RunTasks(ThreadPool* pool, size_t num_threads, size_t num_tasks,
+              const std::function<void(size_t)>& fn);
+
+}  // namespace sofia
+
+#endif  // SOFIA_UTIL_PARALLEL_H_
