@@ -196,6 +196,47 @@ void BM_SofiaAls10pct(benchmark::State& state) {
 }
 BENCHMARK(BM_SofiaAls10pct)->Arg(0)->Arg(1);
 
+/// Dynamic update (SofiaModel::Step) at a given observed density (argument
+/// = percent observed), dense-scan reference path vs the CooList kernel
+/// path. A fixed mask across steps — the fixed-sensor-outage case — lets
+/// the sparse path's pattern cache hold, so the timed cost is Lemma 2's
+/// O(|Ω_t| N R) against the dense path's O(volume). The acceptance target
+/// for this PR is >= 3x at <= 10% observed; see BENCH_stream.json.
+void RunSofiaStepBench(benchmark::State& state, bool sparse) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  const size_t period = 8;
+  std::vector<DenseTensor> truth =
+      MakeScalabilityStream(48, 48, 3 * period + 16, 4, period, 31);
+  SofiaConfig config;
+  config.rank = 4;
+  config.period = period;
+  config.max_init_iterations = 2;
+  config.num_threads = 1;
+  config.use_sparse_kernels = sparse;
+  const size_t w = config.InitWindow();
+  std::vector<DenseTensor> init_slices(truth.begin(), truth.begin() + w);
+  std::vector<Mask> init_masks(w, Mask(truth[0].shape(), true));
+  SofiaModel model = SofiaModel::Initialize(init_slices, init_masks, config);
+  Rng rng(33);
+  Mask omega = BernoulliMask(truth[0].shape(), density, rng);
+  size_t t = w;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Step(truth[t], omega));
+    t = w + (t + 1 - w) % (truth.size() - w);
+  }
+  state.SetComplexityN(static_cast<int64_t>(omega.CountObserved()));
+}
+
+void BM_SofiaStepDense(benchmark::State& state) {
+  RunSofiaStepBench(state, /*sparse=*/false);
+}
+BENCHMARK(BM_SofiaStepDense)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_SofiaStepSparse(benchmark::State& state) {
+  RunSofiaStepBench(state, /*sparse=*/true);
+}
+BENCHMARK(BM_SofiaStepSparse)->Arg(1)->Arg(10)->Arg(100);
+
 void BM_HoltWintersFit(benchmark::State& state) {
   const size_t seasons = static_cast<size_t>(state.range(0));
   std::vector<double> series =

@@ -6,6 +6,7 @@
 //
 // Build & run:  ./examples/quickstart
 
+#include <cmath>
 #include <cstdio>
 
 #include "core/sofia.hpp"
@@ -52,8 +53,12 @@ int main() {
   size_t outliers_caught = 0;
   for (size_t t = window; t < kSteps; ++t) {
     SofiaStepResult out = model.Step(stream.slices[t], stream.masks[t]);
-    nre_sum += NormalizedResidualError(out.imputed, truth[t]);
-    outliers_caught += out.outliers.CountNonZero(1e-9);
+    nre_sum += NormalizedResidualError(out.imputed(), truth[t]);
+    // Outliers live only at observed entries — count them from the sparse
+    // view instead of materializing the dense O_t tensor.
+    for (double o : out.observed_outliers()) {
+      if (std::fabs(o) > 1e-9) ++outliers_caught;
+    }
   }
   std::printf("streamed %zu subtensors; mean imputation NRE = %.4f\n",
               kSteps - window, nre_sum / static_cast<double>(kSteps - window));

@@ -43,13 +43,15 @@ int main(int argc, char** argv) {
   for (size_t t = window; t < lab.slices.size(); ++t) {
     SofiaStepResult out = model.Step(stream.slices[t], stream.masks[t]);
     const Mask& injected = stream.outlier_positions[t];
-    for (size_t k = 0; k < out.outliers.NumElements(); ++k) {
-      if (!stream.masks[t].Get(k)) continue;  // Missing: nothing to detect.
+    // The observed-entry view walks exactly the entries a detector can see,
+    // without ever materializing the dense O_t or X̂_t slices.
+    for (size_t j = 0; j < out.num_observed(); ++j) {
+      const size_t k = out.observed_indices()[j];
       // Flag entries whose rejected mass clearly exceeds the entry's own
       // adaptive error scale (Eq. (22)); borderline soft-threshold residue
       // is not an alarm.
       const bool flagged =
-          std::fabs(out.outliers[k]) > 3.0 * model.error_scale()[k];
+          std::fabs(out.observed_outliers()[j]) > 3.0 * model.error_scale()[k];
       const bool faulty = injected.Get(k);
       if (flagged && faulty) ++true_positive;
       if (flagged && !faulty) ++false_positive;

@@ -51,8 +51,9 @@ std::vector<Matrix> Unpack(const std::vector<double>& x, const Shape& shape,
 
 /// Observed-entry loss: 0.5 ||Ω ⊛ (Y - [[U]])||_F^2 over the COO records.
 double CooLoss(const CooList& coo, const std::vector<double>& values,
-               const std::vector<Matrix>& factors, size_t num_threads) {
-  return 0.5 * CooResidualSquaredNorm(coo, values, factors, num_threads);
+               const std::vector<Matrix>& factors, size_t num_threads,
+               ThreadPool* pool = nullptr) {
+  return 0.5 * CooResidualSquaredNorm(coo, values, factors, num_threads, pool);
 }
 
 /// Observed-entry gradient. Each record contributes to one row of every
@@ -63,7 +64,8 @@ double CooLoss(const CooList& coo, const std::vector<double>& values,
 std::vector<Matrix> CooGradient(const CooList& coo,
                                 const std::vector<double>& values,
                                 const std::vector<Matrix>& factors,
-                                size_t num_threads) {
+                                size_t num_threads,
+                                ThreadPool* pool = nullptr) {
   constexpr size_t kRecordsPerTask = 4096;
   constexpr size_t kMaxTasks = 16;
   const size_t rank = factors[0].cols();
@@ -80,7 +82,7 @@ std::vector<Matrix> CooGradient(const CooList& coo,
   };
   std::vector<std::vector<Matrix>> partial(tasks);
 
-  ParallelFor(num_threads, tasks, [&](size_t task) {
+  RunTasks(pool, num_threads, tasks, [&](size_t task) {
     const size_t begin = task * nnz / tasks;
     const size_t end = (task + 1) * nnz / tasks;
     std::vector<Matrix> grads = zero_grads();
@@ -138,16 +140,16 @@ class CpWoptObjective : public Objective {
         coo_(CooList::Build(omega, /*with_mode_buckets=*/false)),
         values_(coo_.Gather(y)),
         rank_(rank),
-        num_threads_(num_threads) {}
+        pool_(ResolveNumThreads(num_threads)) {}
 
   double Value(const std::vector<double>& x) const override {
-    return CooLoss(coo_, values_, Unpack(x, shape_, rank_), num_threads_);
+    return CooLoss(coo_, values_, Unpack(x, shape_, rank_), 1, &pool_);
   }
 
   void Gradient(const std::vector<double>& x,
                 std::vector<double>* grad) const override {
     std::vector<Matrix> g =
-        CooGradient(coo_, values_, Unpack(x, shape_, rank_), num_threads_);
+        CooGradient(coo_, values_, Unpack(x, shape_, rank_), 1, &pool_);
     *grad = Pack(g);
   }
 
@@ -156,7 +158,9 @@ class CpWoptObjective : public Objective {
   CooList coo_;
   std::vector<double> values_;
   size_t rank_;
-  size_t num_threads_;
+  // One pool for the whole quasi-Newton run: every iterate issues a Value
+  // and a Gradient call, so workers are spawned once, not per evaluation.
+  mutable ThreadPool pool_;
 };
 
 }  // namespace

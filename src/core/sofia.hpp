@@ -19,7 +19,9 @@
 ///                                              config);
 ///   for (...) {
 ///     sofia::SofiaStepResult out = model.Step(y_t, omega_t);
-///     // out.imputed recovers the missing entries of y_t.
+///     // out.imputed() recovers the missing entries of y_t; the dense
+///     // slice is materialized lazily, so skip the call if you only need
+///     // the observed-entry views (out.observed_outliers(), ...).
 ///   }
 ///   sofia::DenseTensor tomorrow = model.Forecast(1);
 /// \endcode

@@ -1,13 +1,60 @@
 #include "core/sofia_model.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "tensor/kruskal.hpp"
+#include "tensor/sparse_kernels.hpp"
 #include "timeseries/hw_fit.hpp"
 #include "timeseries/robust.hpp"
 #include "util/check.hpp"
 
 namespace sofia {
+
+const DenseTensor& SofiaStepResult::imputed() const {
+  if (!imputed_) imputed_ = KruskalSlice(factors_after_, u_new_);
+  return *imputed_;
+}
+
+const DenseTensor& SofiaStepResult::outliers() const {
+  if (!outliers_) {
+    DenseTensor o(shape_, 0.0);
+    for (size_t k = 0; k < observed_.size(); ++k) {
+      o[observed_[k]] = observed_outliers_[k];
+    }
+    outliers_ = std::move(o);
+  }
+  return *outliers_;
+}
+
+const DenseTensor& SofiaStepResult::forecast() const {
+  if (!forecast_) forecast_ = KruskalSlice(factors_before_, u_hat_);
+  return *forecast_;
+}
+
+SofiaModel::SofiaModel(const SofiaModel& other)
+    : config_(other.config_),
+      ablation_(other.ablation_),
+      factors_(other.factors_),
+      init_completed_(other.init_completed_),
+      hw_params_(other.hw_params_),
+      level_(other.level_),
+      trend_(other.trend_),
+      season_(other.season_),
+      season_pos_(other.season_pos_),
+      row_history_(other.row_history_),
+      row_pos_(other.row_pos_),
+      last_row_(other.last_row_),
+      sigma_(other.sigma_) {
+  // step_mask_/step_coo_/pool_ are derived caches: left empty, rebuilt on
+  // the copy's first sparse Step().
+}
+
+SofiaModel& SofiaModel::operator=(const SofiaModel& other) {
+  SofiaModel tmp(other);
+  *this = std::move(tmp);
+  return *this;
+}
 
 SofiaModel SofiaModel::Initialize(const std::vector<DenseTensor>& slices,
                                   const std::vector<Mask>& masks,
@@ -60,21 +107,32 @@ SofiaModel SofiaModel::Initialize(const std::vector<DenseTensor>& slices,
   return model;
 }
 
-SofiaStepResult SofiaModel::Step(const DenseTensor& y, const Mask& omega) {
-  SOFIA_CHECK(y.shape() == omega.shape());
-  SOFIA_CHECK(y.shape() == sigma_.shape());
-  const size_t rank = config_.rank;
-  const size_t m = config_.period;
+ThreadPool* SofiaModel::StepPool() {
+  if (!pool_) {
+    pool_ = std::make_unique<ThreadPool>(
+        ResolveNumThreads(config_.num_threads));
+  }
+  return pool_.get();
+}
+
+const CooList& SofiaModel::StepPattern(const Mask& omega) {
+  const bool reusable = config_.reuse_step_pattern && step_coo_valid_ &&
+                        step_mask_ == omega;
+  if (!reusable) {
+    step_coo_ = CooList::Build(omega);
+    step_mask_ = omega;
+    step_coo_valid_ = true;
+    ++step_pattern_builds_;
+  }
+  return step_coo_;
+}
+
+void SofiaModel::AccumulateDense(const DenseTensor& y, const Mask& omega,
+                                 const std::vector<double>& u_hat,
+                                 StepGradients* grads,
+                                 SofiaStepResult* result) {
   const double k_huber = config_.huber_k;
   const double ck = config_.biweight_ck;
-  const size_t num_nontemporal = factors_.size();
-
-  // Line 3: one-step-ahead HW forecast of the temporal row (Eq. (19)).
-  std::vector<double> u_hat(rank);
-  const std::vector<double>& s_prev = season_[season_pos_];  // s_{t-m}
-  for (size_t r = 0; r < rank; ++r) {
-    u_hat[r] = level_[r] + trend_[r] + s_prev[r];
-  }
 
   // Line 4: predicted subtensor Ŷ_{t|t-1} (Eq. (20)).
   DenseTensor forecast = KruskalSlice(factors_, u_hat);
@@ -107,68 +165,102 @@ SofiaStepResult SofiaModel::Step(const DenseTensor& y, const Mask& omega) {
     update_scale();
   }
 
-  // Residual subtensor R_t = Ω ⊛ (Y_t - O_t - Ŷ_{t|t-1}).
-  // A single pass over observed entries accumulates both the non-temporal
-  // factor gradients (Eq. (24)) and the temporal data gradient (Eq. (25));
-  // prefix/suffix products give every leave-one-out product in O(N R).
-  std::vector<Matrix> grads;
-  grads.reserve(num_nontemporal);
-  for (size_t n = 0; n < num_nontemporal; ++n) {
-    grads.emplace_back(factors_[n].rows(), rank, 0.0);
+  // Residual subtensor R_t = Ω ⊛ (Y_t - O_t - Ŷ_{t|t-1}) feeds the Eq.
+  // (24)/(25) gradients and curvature traces.
+  *grads = DenseStepGradients(y, omega, outliers, forecast, factors_, u_hat);
+
+  // Observed-entry views (one cheap pass next to the dense scans above).
+  const size_t nnz = omega.CountObserved();
+  result->observed_.reserve(nnz);
+  result->observed_outliers_.reserve(nnz);
+  result->observed_forecast_.reserve(nnz);
+  for (size_t k = 0; k < y.NumElements(); ++k) {
+    if (!omega.Get(k)) continue;
+    result->observed_.push_back(k);
+    result->observed_outliers_.push_back(outliers[k]);
+    result->observed_forecast_.push_back(forecast[k]);
   }
-  std::vector<double> temporal_grad(rank, 0.0);
-  // Curvature traces for the normalized-step cap: tr(H) of the temporal
-  // solve and of every non-temporal row block (rows decouple exactly in the
-  // Gauss-Newton approximation, so per-row caps are sound).
-  double temporal_trace = 0.0;
-  std::vector<std::vector<double>> row_trace(num_nontemporal);
-  for (size_t n = 0; n < num_nontemporal; ++n) {
-    row_trace[n].assign(factors_[n].rows(), 0.0);
+  result->forecast_ = std::move(forecast);
+  result->outliers_ = std::move(outliers);
+}
+
+void SofiaModel::AccumulateSparse(const DenseTensor& y, const Mask& omega,
+                                  const std::vector<double>& u_hat,
+                                  StepGradients* grads,
+                                  SofiaStepResult* result) {
+  const double k_huber = config_.huber_k;
+  const double ck = config_.biweight_ck;
+  ThreadPool* pool = StepPool();
+  const CooList& coo = StepPattern(omega);
+  const size_t nnz = coo.nnz();
+
+  // Line 4 restricted to Ω_t: the Eq. (20) forecast at observed entries.
+  std::vector<double> yv = coo.Gather(y);
+  std::vector<double> fv = CooKruskalGather(coo, factors_, u_hat, 1, pool);
+
+  // Lines 5-6 per record (entries are independent, so the ablation ordering
+  // applies record-wise exactly as in the dense reference).
+  std::vector<double> ov(nnz, 0.0);
+  auto update_scale = [&]() {
+    for (size_t k = 0; k < nnz; ++k) {
+      const size_t lin = coo.LinearIndex(k);
+      sigma_[lin] = UpdateErrorScale(yv[k], fv[k], sigma_[lin], config_.phi,
+                                     k_huber, ck);
+    }
+  };
+  auto reject = [&]() {
+    if (!ablation_.reject_outliers) return;
+    for (size_t k = 0; k < nnz; ++k) {
+      const double sig = sigma_[coo.LinearIndex(k)];
+      const double resid = yv[k] - fv[k];
+      ov[k] = resid - HuberPsi(resid / sig, k_huber) * sig;
+    }
+  };
+  if (ablation_.scale_before_reject) {
+    update_scale();
+    reject();
+  } else {
+    reject();
+    update_scale();
   }
 
-  const Shape& shape = y.shape();
-  std::vector<size_t> idx(shape.order(), 0);
-  std::vector<double> prefix((num_nontemporal + 1) * rank);
-  std::vector<double> suffix((num_nontemporal + 1) * rank);
-  for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
-    if (omega.Get(linear)) {
-      const double resid = y[linear] - outliers[linear] - forecast[linear];
-      // prefix[l] = prod_{l' < l} U^(l')(i_{l'}, r); suffix symmetric.
-      for (size_t r = 0; r < rank; ++r) prefix[r] = 1.0;
-      for (size_t l = 0; l < num_nontemporal; ++l) {
-        const double* row = factors_[l].Row(idx[l]);
-        double* cur = &prefix[l * rank];
-        double* nxt = &prefix[(l + 1) * rank];
-        for (size_t r = 0; r < rank; ++r) nxt[r] = cur[r] * row[r];
-      }
-      for (size_t r = 0; r < rank; ++r) {
-        suffix[num_nontemporal * rank + r] = 1.0;
-      }
-      for (size_t l = num_nontemporal; l-- > 0;) {
-        const double* row = factors_[l].Row(idx[l]);
-        double* cur = &suffix[(l + 1) * rank];
-        double* nxt = &suffix[l * rank];
-        for (size_t r = 0; r < rank; ++r) nxt[r] = cur[r] * row[r];
-      }
-      // Full product (all non-temporal modes) feeds the temporal gradient.
-      const double* full = &prefix[num_nontemporal * rank];
-      for (size_t r = 0; r < rank; ++r) {
-        temporal_trace += full[r] * full[r];
-        if (resid != 0.0) temporal_grad[r] += resid * full[r];
-      }
-      for (size_t l = 0; l < num_nontemporal; ++l) {
-        double* grow = grads[l].Row(idx[l]);
-        double& trace = row_trace[l][idx[l]];
-        const double* pre = &prefix[l * rank];
-        const double* suf = &suffix[(l + 1) * rank];
-        for (size_t r = 0; r < rank; ++r) {
-          const double reg = pre[r] * suf[r] * u_hat[r];
-          trace += reg * reg;
-          if (resid != 0.0) grow[r] += resid * reg;
-        }
-      }
-    }
-    shape.Next(&idx);
+  // R_t at observed entries, then the O(|Ω_t| N R) gradient pass (Lemma 2).
+  std::vector<double> resid(nnz);
+  for (size_t k = 0; k < nnz; ++k) resid[k] = yv[k] - ov[k] - fv[k];
+  *grads = CooStepGradients(coo, resid, factors_, u_hat, 1, pool);
+
+  result->factors_before_ = factors_;
+  result->observed_ = coo.LinearIndices();
+  result->observed_outliers_ = std::move(ov);
+  result->observed_forecast_ = std::move(fv);
+}
+
+SofiaStepResult SofiaModel::Step(const DenseTensor& y, const Mask& omega) {
+  SOFIA_CHECK(y.shape() == omega.shape());
+  SOFIA_CHECK(y.shape() == sigma_.shape());
+  const size_t rank = config_.rank;
+  const size_t m = config_.period;
+  const size_t num_nontemporal = factors_.size();
+
+  // Line 3: one-step-ahead HW forecast of the temporal row (Eq. (19)).
+  std::vector<double> u_hat(rank);
+  const std::vector<double>& s_prev = season_[season_pos_];  // s_{t-m}
+  for (size_t r = 0; r < rank; ++r) {
+    u_hat[r] = level_[r] + trend_[r] + s_prev[r];
+  }
+
+  SofiaStepResult result;
+  result.shape_ = y.shape();
+  result.u_hat_ = u_hat;
+
+  // Lines 4-6 and the Eq. (24)/(25) accumulations, on the kernel path the
+  // config selects. Both paths fill the same StepGradients contract, so
+  // everything below is shared.
+  StepGradients grads;
+  if (config_.use_sparse_kernels) {
+    AccumulateSparse(y, omega, u_hat, &grads, &result);
+  } else {
+    AccumulateDense(y, omega, u_hat, &grads, &result);
   }
 
   // Step-size cap: µ_row = min(µ, 0.5 / tr(H_row)) keeps every block update
@@ -182,9 +274,9 @@ SofiaStepResult SofiaModel::Step(const DenseTensor& y, const Mask& omega) {
   // Lines 7-8: gradient step on the non-temporal factors (Eq. (24)).
   for (size_t n = 0; n < num_nontemporal; ++n) {
     Matrix& u = factors_[n];
-    const Matrix& g = grads[n];
+    const Matrix& g = grads.row_grads[n];
     for (size_t i = 0; i < u.rows(); ++i) {
-      const double step = 2.0 * capped_mu(row_trace[n][i]);
+      const double step = 2.0 * capped_mu(grads.row_trace[n][i]);
       double* urow = u.Row(i);
       const double* grow = g.Row(i);
       for (size_t r = 0; r < rank; ++r) urow[r] += step * grow[r];
@@ -197,10 +289,10 @@ SofiaStepResult SofiaModel::Step(const DenseTensor& y, const Mask& omega) {
   std::vector<double> u_new(rank);
   const double lambda1 = ablation_.temporal_smoothness ? config_.lambda1 : 0.0;
   const double lambda2 = ablation_.temporal_smoothness ? config_.lambda2 : 0.0;
-  const double temporal_step = 2.0 * capped_mu(temporal_trace);
+  const double temporal_step = 2.0 * capped_mu(grads.temporal_trace);
   for (size_t r = 0; r < rank; ++r) {
     u_new[r] = u_hat[r] +
-               temporal_step * (temporal_grad[r] + lambda1 * u_prev[r] +
+               temporal_step * (grads.temporal_grad[r] + lambda1 * u_prev[r] +
                                 lambda2 * u_season[r] -
                                 (lambda1 + lambda2) * u_hat[r]);
   }
@@ -228,11 +320,10 @@ SofiaStepResult SofiaModel::Step(const DenseTensor& y, const Mask& omega) {
   row_pos_ = (row_pos_ + 1) % m;
   last_row_ = std::move(u_new);
 
-  // Line 11: reconstruction X̂_t (Eq. (27)).
-  SofiaStepResult result;
-  result.imputed = KruskalSlice(factors_, last_row_);
-  result.outliers = std::move(outliers);
-  result.forecast = std::move(forecast);
+  // Line 11: the reconstruction X̂_t (Eq. (27)) stays lazy — the snapshots
+  // below let result.imputed() materialize it on demand.
+  result.u_new_ = last_row_;
+  result.factors_after_ = factors_;
   return result;
 }
 

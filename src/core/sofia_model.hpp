@@ -2,14 +2,18 @@
 #define SOFIA_CORE_SOFIA_MODEL_H_
 
 #include <iosfwd>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/sofia_config.hpp"
 #include "core/sofia_init.hpp"
 #include "linalg/matrix.hpp"
+#include "tensor/coo_list.hpp"
 #include "tensor/dense_tensor.hpp"
 #include "tensor/mask.hpp"
 #include "timeseries/holt_winters.hpp"
+#include "util/parallel.hpp"
 
 /// \file sofia_model.hpp
 /// \brief The streaming SOFIA model: HW fitting (Section V-B), dynamic
@@ -17,11 +21,67 @@
 
 namespace sofia {
 
+struct StepGradients;
+
 /// Per-step output of the dynamic update.
-struct SofiaStepResult {
-  DenseTensor imputed;   ///< X̂_t = [[{U^(n)_t}; u^(N)_t]] (Eq. (27)).
-  DenseTensor outliers;  ///< O_t estimated by Eq. (21) (0 where unobserved).
-  DenseTensor forecast;  ///< Ŷ_{t|t-1} (Eq. (20)), the pre-update prediction.
+///
+/// The dense slice tensors are materialized lazily: the sparse Step path
+/// (SofiaConfig::use_sparse_kernels) works entirely on observed entries, so
+/// consumers that only need the observed-entry views (outlier detection,
+/// metrics at observed entries, pure forecasting) never pay an O(volume)
+/// reconstruction. The first call to imputed()/outliers()/forecast()
+/// materializes and caches the corresponding dense tensor.
+class SofiaStepResult {
+ public:
+  SofiaStepResult() = default;
+
+  /// X̂_t = [[{U^(n)_t}; u^(N)_t]] (Eq. (27)).
+  const DenseTensor& imputed() const;
+  /// O_t estimated by Eq. (21) (0 where unobserved).
+  const DenseTensor& outliers() const;
+  /// Ŷ_{t|t-1} (Eq. (20)), the pre-update prediction.
+  const DenseTensor& forecast() const;
+
+  /// Whether the corresponding dense tensor has been materialized (the
+  /// sparse Step path leaves all three unmaterialized until first access).
+  bool imputed_materialized() const { return imputed_.has_value(); }
+  bool outliers_materialized() const { return outliers_.has_value(); }
+  bool forecast_materialized() const { return forecast_.has_value(); }
+
+  /// Shape of the incoming slice.
+  const Shape& slice_shape() const { return shape_; }
+  /// |Ω_t|: number of observed entries in this step's mask.
+  size_t num_observed() const { return observed_.size(); }
+  /// Linear indices of the observed entries, ascending.
+  const std::vector<size_t>& observed_indices() const { return observed_; }
+  /// O_t at the observed entries, aligned with observed_indices().
+  const std::vector<double>& observed_outliers() const {
+    return observed_outliers_;
+  }
+  /// Ŷ_{t|t-1} at the observed entries, aligned with observed_indices().
+  const std::vector<double>& observed_forecast() const {
+    return observed_forecast_;
+  }
+  /// The updated temporal row u^(N)_t.
+  const std::vector<double>& temporal_row() const { return u_new_; }
+
+ private:
+  friend class SofiaModel;
+
+  Shape shape_;
+  // Snapshots backing the lazy reconstructions: the factors before the
+  // gradient step (forecast) and after it (imputed). O(sum_n I_n R) per
+  // step — small next to the O(prod_n I_n) slice they replace.
+  std::vector<Matrix> factors_before_;
+  std::vector<Matrix> factors_after_;
+  std::vector<double> u_hat_;
+  std::vector<double> u_new_;
+  std::vector<size_t> observed_;
+  std::vector<double> observed_outliers_;
+  std::vector<double> observed_forecast_;
+  mutable std::optional<DenseTensor> imputed_;
+  mutable std::optional<DenseTensor> outliers_;
+  mutable std::optional<DenseTensor> forecast_;
 };
 
 /// Options controlling which ingredients of the dynamic update run; the
@@ -44,7 +104,12 @@ class SofiaModel {
                                const SofiaConfig& config,
                                const SofiaAblation& ablation = {});
 
-  /// Processes the subtensor Y_t with indicator Ω_t (Algorithm 3 lines 3-11).
+  /// Processes the subtensor Y_t with indicator Ω_t (Algorithm 3 lines
+  /// 3-11). With SofiaConfig::use_sparse_kernels the per-step cost is
+  /// O(|Ω_t| N R) (Lemma 2): forecast evaluation, outlier rejection, scale
+  /// update, and gradient accumulation all run on the observed entries
+  /// only, via a CooList that is cached across steps with identical masks.
+  /// The dense-scan path is kept as the parity-tested reference.
   SofiaStepResult Step(const DenseTensor& y, const Mask& omega);
 
   /// h-step-ahead forecast Ŷ_{t+h|t} (Eq. (28)); h >= 1.
@@ -69,14 +134,48 @@ class SofiaModel {
   /// Seasonal component that the next Step()/Forecast(1) will use (s_{t+1-m}).
   const std::vector<double>& next_season() const { return season_[season_pos_]; }
 
+  /// Runtime kernel knobs (not learned state): flip the Step kernel path or
+  /// worker count of a live model, e.g. to parity-test the dense and sparse
+  /// paths from one identical checkpoint.
+  void set_use_sparse_kernels(bool v) { config_.use_sparse_kernels = v; }
+  void set_num_threads(size_t n) {
+    config_.num_threads = n;
+    pool_.reset();
+  }
+  /// Number of CooList builds Step() has performed; with reuse_step_pattern
+  /// a run of identical masks costs one build total.
+  size_t step_pattern_builds() const { return step_pattern_builds_; }
+
   /// Checkpoints the full streaming state (config, factors, HW components,
   /// temporal-row history, error-scale tensor) to a text stream. Restoring
   /// with Deserialize() resumes Step()/Forecast() bit-for-bit.
   void Serialize(std::ostream& out) const;
   static SofiaModel Deserialize(std::istream& in);
 
+  /// Copying branches the stream: learned state is duplicated while the
+  /// derived working state (pattern cache, worker pool) resets and is
+  /// rebuilt lazily — so copies still step bit-for-bit like the original.
+  SofiaModel(const SofiaModel& other);
+  SofiaModel& operator=(const SofiaModel& other);
+  SofiaModel(SofiaModel&&) = default;
+  SofiaModel& operator=(SofiaModel&&) = default;
+
  private:
   SofiaModel() = default;
+
+  /// Dense-scan reference accumulation: full forecast/outlier tensors plus
+  /// DenseStepGradients; fills the result's dense caches eagerly.
+  void AccumulateDense(const DenseTensor& y, const Mask& omega,
+                       const std::vector<double>& u_hat, StepGradients* grads,
+                       SofiaStepResult* result);
+  /// Observed-entry accumulation via the CooList layer; fills only the
+  /// result's observed-entry views.
+  void AccumulateSparse(const DenseTensor& y, const Mask& omega,
+                        const std::vector<double>& u_hat, StepGradients* grads,
+                        SofiaStepResult* result);
+  /// The cached (or freshly built) coordinate list of `omega`.
+  const CooList& StepPattern(const Mask& omega);
+  ThreadPool* StepPool();
 
   SofiaConfig config_;
   SofiaAblation ablation_;
@@ -96,6 +195,14 @@ class SofiaModel {
   std::vector<double> last_row_;  ///< u^(N)_t.
 
   DenseTensor sigma_;  ///< Error-scale tensor Σ̂_t (slice shape).
+
+  // Working state of the sparse Step path (derived, never serialized): the
+  // last mask's coordinate list and the kernel worker pool.
+  Mask step_mask_;
+  CooList step_coo_;
+  bool step_coo_valid_ = false;
+  size_t step_pattern_builds_ = 0;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace sofia

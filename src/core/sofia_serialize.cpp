@@ -9,9 +9,11 @@
 /// \file sofia_serialize.cpp
 /// \brief Text checkpointing of SofiaModel (Serialize / Deserialize).
 ///
-/// Format: a "sofia-model v1" header followed by whitespace-separated
-/// fields in a fixed order. Doubles round-trip via max_digits10 so the
-/// restored model continues the stream bit-for-bit.
+/// Format: a "sofia-model v2" header followed by whitespace-separated
+/// fields in a fixed order (v2 appends the kernel-path knobs to the config
+/// block; v1 checkpoints still load, with the current defaults for those
+/// knobs). Doubles round-trip via max_digits10 so the restored model
+/// continues the stream bit-for-bit.
 
 namespace sofia {
 
@@ -71,7 +73,7 @@ DenseTensor ReadTensor(std::istream& in) {
 }  // namespace
 
 void SofiaModel::Serialize(std::ostream& out) const {
-  out << "sofia-model v1\n";
+  out << "sofia-model v2\n";
   out << std::setprecision(17);
   out << config_.rank << ' ' << config_.period << ' '
       << config_.init_seasons << ' ' << config_.lambda1 << ' '
@@ -79,6 +81,14 @@ void SofiaModel::Serialize(std::ostream& out) const {
       << ' ' << config_.phi << ' ' << config_.factor_ridge << ' '
       << (config_.normalized_step ? 1 : 0) << ' ' << config_.huber_k << ' '
       << config_.biweight_ck << '\n';
+  // Kernel-path knobs (v2): Step's summation order differs between the
+  // dense and sparse paths at the ulp level, so the selected path must
+  // round-trip for Deserialize() to resume the stream bit-for-bit.
+  // num_threads stays runtime-only — results are bitwise identical for
+  // every thread count, and the right worker count is a property of the
+  // restoring machine, not the checkpoint.
+  out << (config_.use_sparse_kernels ? 1 : 0) << ' '
+      << (config_.reuse_step_pattern ? 1 : 0) << '\n';
   out << (ablation_.reject_outliers ? 1 : 0) << ' '
       << (ablation_.scale_before_reject ? 1 : 0) << ' '
       << (ablation_.temporal_smoothness ? 1 : 0) << '\n';
@@ -103,8 +113,8 @@ void SofiaModel::Serialize(std::ostream& out) const {
 SofiaModel SofiaModel::Deserialize(std::istream& in) {
   std::string tag, version;
   SOFIA_CHECK(static_cast<bool>(in >> tag >> version) &&
-              tag == "sofia-model" && version == "v1")
-      << "not a sofia-model v1 checkpoint";
+              tag == "sofia-model" && (version == "v1" || version == "v2"))
+      << "not a sofia-model checkpoint";
 
   SofiaModel model;
   int normalized = 0;
@@ -115,6 +125,12 @@ SofiaModel SofiaModel::Deserialize(std::istream& in) {
       model.config_.phi >> model.config_.factor_ridge >> normalized >>
       model.config_.huber_k >> model.config_.biweight_ck));
   model.config_.normalized_step = normalized != 0;
+  if (version == "v2") {
+    int sparse = 1, reuse = 1;
+    SOFIA_CHECK(static_cast<bool>(in >> sparse >> reuse));
+    model.config_.use_sparse_kernels = sparse != 0;
+    model.config_.reuse_step_pattern = reuse != 0;
+  }  // v1 checkpoints keep the SofiaConfig defaults for the kernel knobs.
   int reject = 1, scale_first = 0, smooth = 1;
   SOFIA_CHECK(static_cast<bool>(in >> reject >> scale_first >> smooth));
   model.ablation_.reject_outliers = reject != 0;

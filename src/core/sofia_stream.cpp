@@ -19,7 +19,12 @@ std::vector<DenseTensor> SofiaStream::Initialize(
 
 DenseTensor SofiaStream::Step(const DenseTensor& y, const Mask& omega) {
   SOFIA_CHECK(model_ != nullptr) << "SofiaStream::Initialize must run first";
-  return model_->Step(y, omega).imputed;
+  return model_->Step(y, omega).imputed();
+}
+
+void SofiaStream::Observe(const DenseTensor& y, const Mask& omega) {
+  SOFIA_CHECK(model_ != nullptr) << "SofiaStream::Initialize must run first";
+  model_->Step(y, omega);  // The lazy result never materializes a slice.
 }
 
 DenseTensor SofiaStream::Forecast(size_t h) const {

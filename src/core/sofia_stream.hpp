@@ -32,6 +32,11 @@ class SofiaStream : public StreamingMethod {
 
   DenseTensor Step(const DenseTensor& y, const Mask& omega) override;
 
+  /// Advances the model without materializing the dense reconstruction —
+  /// with the sparse kernel path this keeps a forecast-only pass at
+  /// O(|Ω_t| N R) per slice.
+  void Observe(const DenseTensor& y, const Mask& omega) override;
+
   bool SupportsForecast() const override { return true; }
   DenseTensor Forecast(size_t h) const override;
 

@@ -64,8 +64,10 @@ double RunForecast(StreamingMethod* method, const CorruptedStream& stream,
                                  stream.masks.begin() + window);
     method->Initialize(init_slices, init_masks);
   }
+  // The imputed estimates are not scored here, so let methods with a lazy
+  // step result skip the dense reconstruction entirely.
   for (size_t t = window; t < train; ++t) {
-    method->Step(stream.slices[t], stream.masks[t]);
+    method->Observe(stream.slices[t], stream.masks[t]);
   }
 
   std::vector<DenseTensor> forecasts;

@@ -37,6 +37,14 @@ class StreamingMethod {
   /// Consumes one subtensor; returns the imputed (completed) estimate.
   virtual DenseTensor Step(const DenseTensor& y, const Mask& omega) = 0;
 
+  /// Consumes one subtensor when the caller does not need the imputed
+  /// estimate (the forecasting protocol): methods with a lazy step result
+  /// (SOFIA's sparse path) override this to skip materializing the dense
+  /// reconstruction. Default delegates to Step().
+  virtual void Observe(const DenseTensor& y, const Mask& omega) {
+    Step(y, omega);
+  }
+
   /// Whether Forecast() is implemented.
   virtual bool SupportsForecast() const { return false; }
 

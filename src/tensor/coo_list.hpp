@@ -67,6 +67,8 @@ class CooList {
   }
   /// Linear index of record k into the dense tensor.
   size_t LinearIndex(size_t record) const { return linear_[record]; }
+  /// All nnz linear indices, ascending (record-aligned).
+  const std::vector<size_t>& LinearIndices() const { return linear_; }
 
   /// Gather x[k] for every record, aligned with record order.
   std::vector<double> Gather(const DenseTensor& x) const;

@@ -49,6 +49,14 @@ class Mask {
   /// Slice of the trailing mode (mirrors DenseTensor::SliceLastMode).
   Mask SliceLastMode(size_t t) const;
 
+  /// Same shape and same observed set. Cheap (one memcmp-style pass over the
+  /// indicator bytes); lets consumers that cache mask-derived structures
+  /// (e.g. the streaming CooList of SofiaModel::Step) detect reuse.
+  bool operator==(const Mask& other) const {
+    return shape_ == other.shape_ && bits_ == other.bits_;
+  }
+  bool operator!=(const Mask& other) const { return !(*this == other); }
+
  private:
   Shape shape_;
   std::vector<uint8_t> bits_;

@@ -178,6 +178,112 @@ void CooResidualBlocksImpl(const CooList& coo,
   });
 }
 
+template <size_t kR>
+void CooKruskalGatherImpl(const CooList& coo,
+                          const std::vector<FactorView>& views,
+                          const double* temporal_row, size_t num_threads,
+                          ThreadPool* pool, size_t rank,
+                          std::vector<double>* out) {
+  const size_t num_modes = views.size();
+  const size_t num_blocks = (coo.nnz() + kReductionBlock - 1) / kReductionBlock;
+  RunTasks(pool, num_threads, num_blocks, [&](size_t block) {
+    const size_t R = kR == 0 ? rank : kR;
+    RankBuffer<kR> buf;
+    double* h = buf.get(R);
+    const size_t begin = block * kReductionBlock;
+    const size_t end = std::min(begin + kReductionBlock, coo.nnz());
+    for (size_t k = begin; k < end; ++k) {
+      const uint32_t* idx = coo.Coords(k);
+      for (size_t r = 0; r < R; ++r) h[r] = temporal_row[r];
+      for (size_t l = 0; l < num_modes; ++l) {
+        const double* row = views[l].data + idx[l] * views[l].cols;
+        for (size_t r = 0; r < R; ++r) h[r] *= row[r];
+      }
+      double v = 0.0;
+      for (size_t r = 0; r < R; ++r) v += h[r];
+      (*out)[k] = v;
+    }
+  });
+}
+
+/// Gradient + curvature trace of one non-temporal mode: each task owns one
+/// mode slice (= one gradient row and one trace scalar), with records in
+/// ascending linear order within the slice.
+template <size_t kR>
+void CooModeGradientImpl(const CooList& coo,
+                         const std::vector<double>& residuals,
+                         const std::vector<FactorView>& views,
+                         const double* temporal_row, size_t mode,
+                         size_t num_threads, ThreadPool* pool, size_t rank,
+                         Matrix* grad, std::vector<double>* trace) {
+  const std::vector<uint32_t>& order = coo.ModeOrder(mode);
+  const std::vector<size_t>& ptr = coo.SlicePtr(mode);
+  const size_t num_modes = views.size();
+  RunTasks(pool, num_threads, grad->rows(), [&](size_t slice) {
+    const size_t R = kR == 0 ? rank : kR;
+    RankBuffer<kR> buf;
+    double* h = buf.get(R);
+    double* grow = grad->Row(slice);
+    double tr = 0.0;
+    for (size_t p = ptr[slice]; p < ptr[slice + 1]; ++p) {
+      const size_t k = order[p];
+      const uint32_t* idx = coo.Coords(k);
+      for (size_t r = 0; r < R; ++r) h[r] = temporal_row[r];
+      for (size_t l = 0; l < num_modes; ++l) {
+        if (l == mode) continue;
+        const double* row = views[l].data + idx[l] * views[l].cols;
+        for (size_t r = 0; r < R; ++r) h[r] *= row[r];
+      }
+      const double resid = residuals[k];
+      for (size_t r = 0; r < R; ++r) {
+        tr += h[r] * h[r];
+        if (resid != 0.0) grow[r] += resid * h[r];
+      }
+    }
+    (*trace)[slice] = tr;
+  });
+}
+
+/// Temporal gradient + trace: fixed-size record blocks, each owning R + 1
+/// partial accumulators, combined in block order after the batch.
+template <size_t kR>
+void CooTemporalGradientImpl(const CooList& coo,
+                             const std::vector<double>& residuals,
+                             const std::vector<FactorView>& views,
+                             size_t num_threads, ThreadPool* pool, size_t rank,
+                             std::vector<double>* temporal_grad,
+                             double* temporal_trace) {
+  const size_t num_modes = views.size();
+  const size_t num_blocks = (coo.nnz() + kReductionBlock - 1) / kReductionBlock;
+  std::vector<double> partial(num_blocks * (rank + 1), 0.0);
+  RunTasks(pool, num_threads, num_blocks, [&](size_t block) {
+    const size_t R = kR == 0 ? rank : kR;
+    RankBuffer<kR> buf;
+    double* full = buf.get(R);
+    double* out = partial.data() + block * (R + 1);
+    const size_t begin = block * kReductionBlock;
+    const size_t end = std::min(begin + kReductionBlock, coo.nnz());
+    for (size_t k = begin; k < end; ++k) {
+      const uint32_t* idx = coo.Coords(k);
+      for (size_t r = 0; r < R; ++r) full[r] = 1.0;
+      for (size_t l = 0; l < num_modes; ++l) {
+        const double* row = views[l].data + idx[l] * views[l].cols;
+        for (size_t r = 0; r < R; ++r) full[r] *= row[r];
+      }
+      const double resid = residuals[k];
+      for (size_t r = 0; r < R; ++r) {
+        out[R] += full[r] * full[r];
+        if (resid != 0.0) out[r] += resid * full[r];
+      }
+    }
+  });
+  for (size_t block = 0; block < num_blocks; ++block) {
+    const double* out = partial.data() + block * (rank + 1);
+    for (size_t r = 0; r < rank; ++r) (*temporal_grad)[r] += out[r];
+    *temporal_trace += out[rank];
+  }
+}
+
 }  // namespace
 
 Matrix CooMttkrp(const CooList& coo, const std::vector<double>& values,
@@ -246,6 +352,126 @@ double CooResidualNorm(const CooList& coo, const std::vector<double>& values,
                        ThreadPool* pool) {
   return std::sqrt(
       CooResidualSquaredNorm(coo, values, factors, num_threads, pool));
+}
+
+std::vector<double> CooKruskalGather(const CooList& coo,
+                                     const std::vector<Matrix>& factors,
+                                     const std::vector<double>& temporal_row,
+                                     size_t num_threads, ThreadPool* pool) {
+  const size_t rank = factors.empty() ? 0 : factors[0].cols();
+  CheckFactors(coo, factors, rank);
+  SOFIA_CHECK_EQ(temporal_row.size(), rank);
+
+  std::vector<double> out(coo.nnz());
+  const std::vector<FactorView> views = MakeViews(factors);
+  DispatchRank(rank, [&](auto tag) {
+    CooKruskalGatherImpl<decltype(tag)::value>(
+        coo, views, temporal_row.data(), num_threads, pool, rank, &out);
+  });
+  return out;
+}
+
+StepGradients CooStepGradients(const CooList& coo,
+                               const std::vector<double>& residuals,
+                               const std::vector<Matrix>& factors,
+                               const std::vector<double>& temporal_row,
+                               size_t num_threads, ThreadPool* pool) {
+  SOFIA_CHECK_EQ(residuals.size(), coo.nnz());
+  const size_t rank = factors.empty() ? 0 : factors[0].cols();
+  CheckFactors(coo, factors, rank);
+  SOFIA_CHECK_EQ(temporal_row.size(), rank);
+
+  StepGradients g;
+  g.row_grads.reserve(factors.size());
+  g.row_trace.resize(factors.size());
+  for (size_t n = 0; n < factors.size(); ++n) {
+    g.row_grads.emplace_back(factors[n].rows(), rank, 0.0);
+    g.row_trace[n].assign(factors[n].rows(), 0.0);
+  }
+  g.temporal_grad.assign(rank, 0.0);
+
+  const std::vector<FactorView> views = MakeViews(factors);
+  DispatchRank(rank, [&](auto tag) {
+    for (size_t mode = 0; mode < factors.size(); ++mode) {
+      SOFIA_CHECK(coo.has_mode_bucket(mode));
+      CooModeGradientImpl<decltype(tag)::value>(
+          coo, residuals, views, temporal_row.data(), mode, num_threads, pool,
+          rank, &g.row_grads[mode], &g.row_trace[mode]);
+    }
+    CooTemporalGradientImpl<decltype(tag)::value>(
+        coo, residuals, views, num_threads, pool, rank, &g.temporal_grad,
+        &g.temporal_trace);
+  });
+  return g;
+}
+
+StepGradients DenseStepGradients(const DenseTensor& y, const Mask& omega,
+                                 const DenseTensor& outliers,
+                                 const DenseTensor& forecast,
+                                 const std::vector<Matrix>& factors,
+                                 const std::vector<double>& temporal_row) {
+  SOFIA_CHECK(y.shape() == omega.shape());
+  SOFIA_CHECK(y.shape() == outliers.shape());
+  SOFIA_CHECK(y.shape() == forecast.shape());
+  const size_t num_modes = factors.size();
+  const size_t rank = factors.empty() ? 0 : factors[0].cols();
+  SOFIA_CHECK_EQ(temporal_row.size(), rank);
+
+  StepGradients g;
+  g.row_grads.reserve(num_modes);
+  g.row_trace.resize(num_modes);
+  for (size_t n = 0; n < num_modes; ++n) {
+    g.row_grads.emplace_back(factors[n].rows(), rank, 0.0);
+    g.row_trace[n].assign(factors[n].rows(), 0.0);
+  }
+  g.temporal_grad.assign(rank, 0.0);
+
+  // One pass over the dense index space; prefix/suffix products give every
+  // leave-one-out Hadamard product in O(N R) per observed entry.
+  const Shape& shape = y.shape();
+  std::vector<size_t> idx(shape.order(), 0);
+  std::vector<double> prefix((num_modes + 1) * rank);
+  std::vector<double> suffix((num_modes + 1) * rank);
+  for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
+    if (omega.Get(linear)) {
+      const double resid = y[linear] - outliers[linear] - forecast[linear];
+      for (size_t r = 0; r < rank; ++r) prefix[r] = 1.0;
+      for (size_t l = 0; l < num_modes; ++l) {
+        const double* row = factors[l].Row(idx[l]);
+        double* cur = &prefix[l * rank];
+        double* nxt = &prefix[(l + 1) * rank];
+        for (size_t r = 0; r < rank; ++r) nxt[r] = cur[r] * row[r];
+      }
+      for (size_t r = 0; r < rank; ++r) {
+        suffix[num_modes * rank + r] = 1.0;
+      }
+      for (size_t l = num_modes; l-- > 0;) {
+        const double* row = factors[l].Row(idx[l]);
+        double* cur = &suffix[(l + 1) * rank];
+        double* nxt = &suffix[l * rank];
+        for (size_t r = 0; r < rank; ++r) nxt[r] = cur[r] * row[r];
+      }
+      // Full product (all non-temporal modes) feeds the temporal gradient.
+      const double* full = &prefix[num_modes * rank];
+      for (size_t r = 0; r < rank; ++r) {
+        g.temporal_trace += full[r] * full[r];
+        if (resid != 0.0) g.temporal_grad[r] += resid * full[r];
+      }
+      for (size_t l = 0; l < num_modes; ++l) {
+        double* grow = g.row_grads[l].Row(idx[l]);
+        double& trace = g.row_trace[l][idx[l]];
+        const double* pre = &prefix[l * rank];
+        const double* suf = &suffix[(l + 1) * rank];
+        for (size_t r = 0; r < rank; ++r) {
+          const double reg = pre[r] * suf[r] * temporal_row[r];
+          trace += reg * reg;
+          if (resid != 0.0) grow[r] += resid * reg;
+        }
+      }
+    }
+    shape.Next(&idx);
+  }
+  return g;
 }
 
 double CooDataNorm(const std::vector<double>& values) {

@@ -64,6 +64,53 @@ double CooResidualNorm(const CooList& coo, const std::vector<double>& values,
                        const std::vector<Matrix>& factors,
                        size_t num_threads = 1, ThreadPool* pool = nullptr);
 
+/// Gather of the Kruskal slice [[{factors}; temporal_row]] at the observed
+/// entries: out[k] = sum_r temporal_row[r] * prod_l factors[l](i_l, r) for
+/// every record k — the Eq. (20) forecast evaluated only on Ω_t. Blocked
+/// over records; each record's value is independent of the partition, so
+/// results are bitwise identical for every thread count.
+std::vector<double> CooKruskalGather(const CooList& coo,
+                                     const std::vector<Matrix>& factors,
+                                     const std::vector<double>& temporal_row,
+                                     size_t num_threads = 1,
+                                     ThreadPool* pool = nullptr);
+
+/// Everything the dynamic update (Algorithm 3 lines 7-9) accumulates over
+/// the observed entries of one incoming slice: per-row gradients of the
+/// non-temporal factors (Eq. (24)), the data gradient of the temporal row
+/// (Eq. (25)), and the Gauss-Newton curvature traces that drive the
+/// normalized-step cap (see SofiaConfig::normalized_step).
+struct StepGradients {
+  std::vector<Matrix> row_grads;  ///< One (rows x R) gradient per mode.
+  std::vector<std::vector<double>> row_trace;  ///< tr(H_row) per mode row.
+  std::vector<double> temporal_grad;           ///< Length R.
+  double temporal_trace = 0.0;                 ///< tr(H) of the row solve.
+};
+
+/// Accumulate StepGradients from a slice CooList (`factors` are the
+/// non-temporal factor matrices; `residuals` holds the record-aligned
+/// Ω ⊛ (Y - O - Ŷ) values). One O(|Ω_t| N R) pass per mode plus a blocked
+/// reduction for the temporal terms — Lemma 2's per-step cost. Row blocks
+/// are owned by mode slices and the reduction combines fixed-size record
+/// blocks in order, so results are bitwise identical for every thread
+/// count. Requires a CooList built with mode buckets.
+StepGradients CooStepGradients(const CooList& coo,
+                               const std::vector<double>& residuals,
+                               const std::vector<Matrix>& factors,
+                               const std::vector<double>& temporal_row,
+                               size_t num_threads = 1,
+                               ThreadPool* pool = nullptr);
+
+/// Dense-scan reference for CooStepGradients (and the fallback selected by
+/// SofiaConfig::use_sparse_kernels = false): one pass over the full index
+/// space with prefix/suffix leave-one-out products, exactly the seed
+/// implementation of SofiaModel::Step.
+StepGradients DenseStepGradients(const DenseTensor& y, const Mask& omega,
+                                 const DenseTensor& outliers,
+                                 const DenseTensor& forecast,
+                                 const std::vector<Matrix>& factors,
+                                 const std::vector<double>& temporal_row);
+
 /// ||values||_2 — e.g. the masked data norm ||Ω ⊛ Y*||_F of the fitness
 /// denominator when `values` is a GatherResidual result.
 double CooDataNorm(const std::vector<double>& values);

@@ -79,7 +79,7 @@ TEST(ScoreOutlierDetectionTest, SofiaStreamDetectionQuality) {
   DetectionScore total;
   for (size_t t = w; t < truth.size(); ++t) {
     SofiaStepResult out = model.Step(stream.slices[t], stream.masks[t]);
-    Accumulate(&total, ScoreOutlierDetection(out.outliers,
+    Accumulate(&total, ScoreOutlierDetection(out.outliers(),
                                              stream.outlier_positions[t],
                                              stream.masks[t], threshold));
   }

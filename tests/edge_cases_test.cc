@@ -57,13 +57,13 @@ TEST(EdgeCaseTest, StepWithFullyMissingSliceFallsBackToForecast) {
   // seasonal forecast without corrupting any state.
   Mask empty(f.truth[0].shape(), false);
   SofiaStepResult out = model.Step(f.stream.slices[w + 1], empty);
-  EXPECT_LT(NormalizedResidualError(out.imputed, f.truth[w + 1]), 0.3);
-  EXPECT_EQ(out.outliers.CountNonZero(0.0), 0u);
+  EXPECT_LT(NormalizedResidualError(out.imputed(), f.truth[w + 1]), 0.3);
+  EXPECT_EQ(out.outliers().CountNonZero(0.0), 0u);
 
   // And the model keeps working on the next observed slice.
   SofiaStepResult next =
       model.Step(f.stream.slices[w + 2], f.stream.masks[w + 2]);
-  EXPECT_LT(NormalizedResidualError(next.imputed, f.truth[w + 2]), 0.3);
+  EXPECT_LT(NormalizedResidualError(next.imputed(), f.truth[w + 2]), 0.3);
 }
 
 TEST(EdgeCaseTest, LongOutageDoesNotDestabilizeModel) {
@@ -76,7 +76,7 @@ TEST(EdgeCaseTest, LongOutageDoesNotDestabilizeModel) {
   }
   SofiaStepResult out =
       model.Step(f.stream.slices[w + 12], f.stream.masks[w + 12]);
-  EXPECT_LT(NormalizedResidualError(out.imputed, f.truth[w + 12]), 0.5);
+  EXPECT_LT(NormalizedResidualError(out.imputed(), f.truth[w + 12]), 0.5);
 }
 
 TEST(EdgeCaseTest, StepRejectsWrongSliceShape) {
@@ -132,7 +132,7 @@ TEST(EdgeCaseTest, PeriodOneStreamDegradesGracefully) {
   SofiaModel model = SofiaModel::Initialize(is, im, f.config);
   for (size_t t = w; t < w + 10; ++t) {
     SofiaStepResult out = model.Step(f.stream.slices[t], f.stream.masks[t]);
-    EXPECT_TRUE(std::isfinite(out.imputed.FrobeniusNorm()));
+    EXPECT_TRUE(std::isfinite(out.imputed().FrobeniusNorm()));
   }
 }
 

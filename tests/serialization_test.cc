@@ -69,10 +69,51 @@ TEST(SerializationTest, RestoredModelContinuesStreamIdentically) {
   for (size_t t = 28; t < 40; ++t) {
     SofiaStepResult a = f.model.Step(f.stream.slices[t], f.stream.masks[t]);
     SofiaStepResult b = restored.Step(f.stream.slices[t], f.stream.masks[t]);
-    DenseTensor diff = a.imputed - b.imputed;
+    DenseTensor diff = a.imputed() - b.imputed();
     EXPECT_DOUBLE_EQ(diff.FrobeniusNorm(), 0.0) << "t=" << t;
-    DenseTensor odiff = a.outliers - b.outliers;
+    DenseTensor odiff = a.outliers() - b.outliers();
     EXPECT_DOUBLE_EQ(odiff.FrobeniusNorm(), 0.0) << "t=" << t;
+  }
+}
+
+TEST(SerializationTest, RoundtripAfterRingWraparound) {
+  // Step past a full period so the seasonal ring (season_pos_), the
+  // temporal-row ring (row_pos_/row_history_), and the error-scale tensor
+  // all hold genuinely streamed state — freshly-initialized models leave
+  // those at their seed values.
+  Fixture f = MakeFixture(67);
+  const size_t w = f.config.InitWindow();
+  const size_t m = f.config.period;
+  for (size_t t = w; t < w + m + 3; ++t) {
+    f.model.Step(f.stream.slices[t], f.stream.masks[t]);
+  }
+  std::stringstream buffer;
+  f.model.Serialize(buffer);
+  SofiaModel restored = SofiaModel::Deserialize(buffer);
+
+  // season_pos_ alignment: the next seasonal component must be the same slot.
+  EXPECT_EQ(restored.next_season(), f.model.next_season());
+  EXPECT_EQ(restored.level(), f.model.level());
+  EXPECT_EQ(restored.trend(), f.model.trend());
+  EXPECT_EQ(restored.last_temporal_row(), f.model.last_temporal_row());
+  // sigma_ round-trips exactly (max_digits10 text encoding).
+  DenseTensor sdiff = restored.error_scale() - f.model.error_scale();
+  EXPECT_DOUBLE_EQ(sdiff.FrobeniusNorm(), 0.0);
+
+  // row_history_/row_pos_ feed the λ2 seasonal coupling of Eq. (25): over
+  // the next full period every ring slot is consumed, so bitwise-identical
+  // stepping proves the whole ring (and its rotation) round-tripped.
+  for (size_t t = w + m + 3; t < w + 2 * m + 4; ++t) {
+    SofiaStepResult a = f.model.Step(f.stream.slices[t], f.stream.masks[t]);
+    SofiaStepResult b = restored.Step(f.stream.slices[t], f.stream.masks[t]);
+    DenseTensor idiff = a.imputed() - b.imputed();
+    EXPECT_DOUBLE_EQ(idiff.FrobeniusNorm(), 0.0) << "t=" << t;
+    DenseTensor fdiff = a.forecast() - b.forecast();
+    EXPECT_DOUBLE_EQ(fdiff.FrobeniusNorm(), 0.0) << "t=" << t;
+    EXPECT_EQ(a.observed_outliers(), b.observed_outliers()) << "t=" << t;
+    EXPECT_EQ(restored.next_season(), f.model.next_season()) << "t=" << t;
+    EXPECT_EQ(restored.last_temporal_row(), f.model.last_temporal_row())
+        << "t=" << t;
   }
 }
 
@@ -90,6 +131,23 @@ TEST(SerializationTest, PreservesConfigAndHwState) {
     EXPECT_DOUBLE_EQ(restored.hw_params()[r].alpha,
                      f.model.hw_params()[r].alpha);
   }
+}
+
+TEST(SerializationTest, KernelPathKnobsRoundTrip) {
+  // Step's summation order differs between the kernel paths at the ulp
+  // level, so the selected path must survive a checkpoint for the restored
+  // model to continue the stream bit-for-bit. num_threads is deliberately
+  // runtime-only: results are thread-count invariant and the worker count
+  // belongs to the restoring machine.
+  Fixture f = MakeFixture(69);
+  f.model.set_use_sparse_kernels(false);
+  f.model.set_num_threads(3);
+  std::stringstream buffer;
+  f.model.Serialize(buffer);
+  SofiaModel restored = SofiaModel::Deserialize(buffer);
+  EXPECT_FALSE(restored.config().use_sparse_kernels);
+  EXPECT_TRUE(restored.config().reuse_step_pattern);
+  EXPECT_EQ(restored.config().num_threads, 0u);
 }
 
 TEST(SerializationTest, RejectsGarbageInput) {

@@ -54,7 +54,7 @@ TEST(SofiaModelTest, TracksCleanStreamAccurately) {
   std::vector<double> nre;
   for (size_t t = p.config.InitWindow(); t < p.truth.size(); ++t) {
     SofiaStepResult out = model.Step(stream.slices[t], stream.masks[t]);
-    nre.push_back(NormalizedResidualError(out.imputed, p.truth[t]));
+    nre.push_back(NormalizedResidualError(out.imputed(), p.truth[t]));
   }
   EXPECT_LT(Mean(nre), 0.05);
 }
@@ -66,7 +66,7 @@ TEST(SofiaModelTest, ImputesMissingEntries) {
   std::vector<double> nre;
   for (size_t t = p.config.InitWindow(); t < p.truth.size(); ++t) {
     SofiaStepResult out = model.Step(stream.slices[t], stream.masks[t]);
-    nre.push_back(NormalizedResidualError(out.imputed, p.truth[t]));
+    nre.push_back(NormalizedResidualError(out.imputed(), p.truth[t]));
   }
   // 40% of entries were never observed, yet the slice error stays small.
   EXPECT_LT(Mean(nre), 0.12);
@@ -87,9 +87,9 @@ TEST(SofiaModelTest, DetectsInjectedSpikeAndShieldsImputation) {
   SofiaStepResult out = model.Step(spiked, stream.masks[t]);
 
   // Eq. (21): nearly the whole spike lands in the outlier tensor...
-  EXPECT_GT(out.outliers[3], 0.8 * magnitude);
+  EXPECT_GT(out.outliers()[3], 0.8 * magnitude);
   // ...and the imputed value stays near the truth, not the spike.
-  EXPECT_LT(std::fabs(out.imputed[3] - p.truth[t][3]),
+  EXPECT_LT(std::fabs(out.imputed()[3] - p.truth[t][3]),
             0.05 * magnitude);
 }
 
@@ -100,8 +100,8 @@ TEST(SofiaModelTest, OutlierFreeInliersPassUntouched) {
   const size_t w = p.config.InitWindow();
   SofiaStepResult out = model.Step(stream.slices[w], stream.masks[w]);
   // On a clean in-distribution slice, O_t should be (almost) all zero.
-  EXPECT_LT(out.outliers.CountNonZero(1e-9),
-            out.outliers.NumElements() / 10);
+  EXPECT_LT(out.outliers().CountNonZero(1e-9),
+            out.outliers().NumElements() / 10);
 }
 
 TEST(SofiaModelTest, TrendUpdateMatchesEquation26b) {
@@ -209,7 +209,7 @@ TEST(SofiaModelTest, AblationWithoutRejectionLeaksOutliers) {
     std::vector<double> nre;
     for (size_t t = w; t < p.truth.size(); ++t) {
       SofiaStepResult out = model.Step(stream.slices[t], stream.masks[t]);
-      nre.push_back(NormalizedResidualError(out.imputed, p.truth[t]));
+      nre.push_back(NormalizedResidualError(out.imputed(), p.truth[t]));
     }
     return Mean(nre);
   };

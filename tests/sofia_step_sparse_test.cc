@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "core/sofia_model.hpp"
+#include "linalg/vector_ops.hpp"
+#include "tensor/kruskal.hpp"
+#include "tensor/sparse_kernels.hpp"
+#include "util/rng.hpp"
+
+namespace sofia {
+namespace {
+
+/// Dense≡sparse parity harness for the dynamic update: the dense-scan
+/// reference path and the CooList kernel path must produce the same
+/// imputed/outlier/forecast slices and the same Holt-Winters state to
+/// ≤ 1e-12, and the sparse path must be bitwise identical for every thread
+/// count (the PR-1 determinism contract).
+
+constexpr double kTol = 1e-12;
+
+Mask RandomMask(const Shape& shape, double density, Rng& rng) {
+  Mask omega(shape, false);
+  for (size_t k = 0; k < shape.NumElements(); ++k) {
+    omega.Set(k, rng.Bernoulli(density));
+  }
+  return omega;
+}
+
+/// Seasonal rank-R slices of arbitrary order: random non-temporal factors
+/// and sinusoidal temporal rows, so Initialize() sees real HW structure.
+std::vector<DenseTensor> MakeSlices(const std::vector<size_t>& dims,
+                                    size_t rank, size_t period, size_t count,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Matrix> factors;
+  for (size_t d : dims) {
+    factors.push_back(Matrix::Random(d, rank, rng, 0.0, 1.0));
+  }
+  std::vector<DenseTensor> slices;
+  slices.reserve(count);
+  std::vector<double> row(rank);
+  for (size_t t = 0; t < count; ++t) {
+    for (size_t r = 0; r < rank; ++r) {
+      const double phase = 2.0 * M_PI * static_cast<double>(t) /
+                           static_cast<double>(period);
+      row[r] = std::sin(phase + static_cast<double>(r)) + 1.5 +
+               0.3 * static_cast<double>(r);
+    }
+    slices.push_back(KruskalSlice(factors, row));
+  }
+  return slices;
+}
+
+SofiaConfig MakeConfig(size_t rank, size_t period) {
+  SofiaConfig config;
+  config.rank = rank;
+  config.period = period;
+  config.init_seasons = 3;
+  config.max_init_iterations = 4;
+  config.max_als_iterations = 20;
+  return config;
+}
+
+SofiaModel MakeModel(const std::vector<size_t>& dims, size_t rank,
+                     uint64_t seed) {
+  SofiaConfig config = MakeConfig(rank, /*period=*/4);
+  config.seed = seed;
+  const size_t w = config.InitWindow();
+  std::vector<DenseTensor> slices = MakeSlices(dims, rank, config.period,
+                                               w, seed);
+  Rng rng(seed + 1);
+  std::vector<Mask> masks;
+  for (size_t t = 0; t < w; ++t) {
+    masks.push_back(RandomMask(slices[t].shape(), 0.8, rng));
+  }
+  return SofiaModel::Initialize(slices, masks, config);
+}
+
+/// Checkpoint-based clone: Serialize/Deserialize restores the exact
+/// streaming state, so both kernel paths start from identical bits.
+SofiaModel Clone(const SofiaModel& model) {
+  std::stringstream buffer;
+  model.Serialize(buffer);
+  return SofiaModel::Deserialize(buffer);
+}
+
+double MaxAbsDiff(const DenseTensor& a, const DenseTensor& b) {
+  DenseTensor diff = a;
+  diff -= b;
+  return diff.MaxAbs();
+}
+
+void ExpectStateNear(const SofiaModel& a, const SofiaModel& b, double tol) {
+  EXPECT_LE(MaxAbsDiffVec(a.level(), b.level()), tol);
+  EXPECT_LE(MaxAbsDiffVec(a.trend(), b.trend()), tol);
+  EXPECT_LE(MaxAbsDiffVec(a.next_season(), b.next_season()), tol);
+  EXPECT_LE(MaxAbsDiffVec(a.last_temporal_row(), b.last_temporal_row()), tol);
+  EXPECT_LE(MaxAbsDiff(a.error_scale(), b.error_scale()), tol);
+}
+
+/// Step a dense-path and a sparse-path clone of one model through the same
+/// slices and compare every per-step output and all HW state.
+void RunStepParity(const std::vector<size_t>& dims, size_t rank,
+                   double missing, uint64_t seed) {
+  SCOPED_TRACE(::testing::Message() << "rank=" << rank
+                                    << " missing=" << missing
+                                    << " seed=" << seed);
+  SofiaModel base = MakeModel(dims, rank, seed);
+  SofiaModel dense = Clone(base);
+  dense.set_use_sparse_kernels(false);
+  SofiaModel sparse = Clone(base);
+  sparse.set_use_sparse_kernels(true);
+  sparse.set_num_threads(2);
+
+  const size_t kSteps = 5;
+  std::vector<DenseTensor> slices =
+      MakeSlices(dims, rank, /*period=*/4, 12 + kSteps, seed + 7);
+  Rng rng(seed + 13);
+  for (size_t t = 0; t < kSteps; ++t) {
+    DenseTensor y = slices[12 + t];
+    // One spiked entry per step exercises the Huber clip of Eq. (21).
+    if (y.NumElements() > 0) y[t % y.NumElements()] += 25.0;
+    Mask omega = RandomMask(y.shape(), 1.0 - missing, rng);
+
+    SofiaStepResult a = dense.Step(y, omega);
+    SofiaStepResult b = sparse.Step(y, omega);
+
+    const double scale = 1.0 + a.imputed().MaxAbs();
+    EXPECT_LE(MaxAbsDiff(a.forecast(), b.forecast()), kTol * scale);
+    EXPECT_LE(MaxAbsDiff(a.outliers(), b.outliers()), kTol * scale);
+    EXPECT_LE(MaxAbsDiff(a.imputed(), b.imputed()), kTol * scale);
+    ASSERT_EQ(a.num_observed(), b.num_observed());
+    EXPECT_EQ(a.observed_indices(), b.observed_indices());
+    ExpectStateNear(dense, sparse, kTol * scale);
+  }
+}
+
+TEST(SofiaStepSparseTest, DenseSparseStepParityOrderThree) {
+  uint64_t seed = 510;
+  for (size_t rank : {1u, 3u, 8u}) {
+    for (double missing : {0.0, 0.5, 0.99}) {
+      RunStepParity({6, 5}, rank, missing, seed++);
+    }
+  }
+}
+
+TEST(SofiaStepSparseTest, DenseSparseStepParityOrderFour) {
+  uint64_t seed = 530;
+  for (size_t rank : {2u, 5u}) {
+    for (double missing : {0.0, 0.5, 0.99}) {
+      RunStepParity({4, 3, 3}, rank, missing, seed++);
+    }
+  }
+}
+
+/// The sparse path must be bitwise identical for every thread count: work
+/// units (mode slices, fixed record blocks) are owned by single threads and
+/// combined in a thread-count-independent order.
+TEST(SofiaStepSparseTest, StepBitwiseDeterministicAcrossThreadCounts) {
+  const std::vector<size_t> dims = {7, 6};
+  SofiaModel base = MakeModel(dims, /*rank=*/4, 551);
+  const size_t kSteps = 4;
+  std::vector<DenseTensor> slices = MakeSlices(dims, 4, 4, 12 + kSteps, 557);
+
+  std::vector<SofiaModel> models;
+  for (size_t threads : {1u, 2u, 8u}) {
+    SofiaModel m = Clone(base);
+    m.set_use_sparse_kernels(true);
+    m.set_num_threads(threads);
+    models.push_back(std::move(m));
+  }
+  Rng rng(559);
+  for (size_t t = 0; t < kSteps; ++t) {
+    const DenseTensor& y = slices[12 + t];
+    Mask omega = RandomMask(y.shape(), 0.4, rng);
+    SofiaStepResult ref = models[0].Step(y, omega);
+    for (size_t i = 1; i < models.size(); ++i) {
+      SofiaStepResult out = models[i].Step(y, omega);
+      EXPECT_EQ(MaxAbsDiff(ref.imputed(), out.imputed()), 0.0);
+      EXPECT_EQ(ref.observed_outliers(), out.observed_outliers());
+      EXPECT_EQ(ref.observed_forecast(), out.observed_forecast());
+      EXPECT_EQ(ref.temporal_row(), out.temporal_row());
+      EXPECT_EQ(models[0].level(), models[i].level());
+      EXPECT_EQ(models[0].trend(), models[i].trend());
+    }
+  }
+}
+
+/// Kernel-level parity: CooStepGradients against the dense-scan reference,
+/// at several densities and orders, plus thread determinism.
+TEST(SofiaStepSparseTest, CooStepGradientsMatchDenseReference) {
+  Rng rng(571);
+  for (const auto& dims : {std::vector<size_t>{7, 5},
+                           std::vector<size_t>{4, 3, 5}}) {
+    Shape shape(dims);
+    const size_t rank = 4;
+    std::vector<Matrix> factors;
+    for (size_t d : dims) {
+      factors.push_back(Matrix::RandomNormal(d, rank, rng));
+    }
+    std::vector<double> u_hat = rng.NormalVector(rank);
+    DenseTensor y = DenseTensor::RandomNormal(shape, rng);
+    DenseTensor o = DenseTensor::RandomNormal(shape, rng, 0.2);
+    for (double density : {0.0, 0.1, 0.6, 1.0}) {
+      Mask omega = RandomMask(shape, density, rng);
+      DenseTensor forecast = KruskalSlice(factors, u_hat);
+      StepGradients dense =
+          DenseStepGradients(y, omega, o, forecast, factors, u_hat);
+
+      CooList coo = CooList::Build(omega);
+      std::vector<double> resid(coo.nnz());
+      for (size_t k = 0; k < coo.nnz(); ++k) {
+        const size_t lin = coo.LinearIndex(k);
+        resid[k] = y[lin] - o[lin] - forecast[lin];
+      }
+      StepGradients sparse =
+          CooStepGradients(coo, resid, factors, u_hat, /*num_threads=*/1);
+      StepGradients threaded =
+          CooStepGradients(coo, resid, factors, u_hat, /*num_threads=*/4);
+
+      ASSERT_EQ(dense.row_grads.size(), sparse.row_grads.size());
+      for (size_t n = 0; n < dense.row_grads.size(); ++n) {
+        EXPECT_LE(sparse.row_grads[n].MaxAbsDiff(dense.row_grads[n]), kTol);
+        EXPECT_LE(MaxAbsDiffVec(sparse.row_trace[n], dense.row_trace[n]),
+                  kTol);
+        // Thread-count invariance is exact, not approximate.
+        EXPECT_EQ(threaded.row_grads[n].MaxAbsDiff(sparse.row_grads[n]), 0.0);
+        EXPECT_EQ(threaded.row_trace[n], sparse.row_trace[n]);
+      }
+      EXPECT_LE(MaxAbsDiffVec(sparse.temporal_grad, dense.temporal_grad),
+                kTol);
+      EXPECT_NEAR(sparse.temporal_trace, dense.temporal_trace, kTol);
+      EXPECT_EQ(threaded.temporal_grad, sparse.temporal_grad);
+      EXPECT_EQ(threaded.temporal_trace, sparse.temporal_trace);
+    }
+  }
+}
+
+TEST(SofiaStepSparseTest, CooKruskalGatherMatchesKruskalSlice) {
+  Rng rng(583);
+  Shape shape({6, 4, 3});
+  const size_t rank = 5;
+  std::vector<Matrix> factors;
+  for (size_t n = 0; n < shape.order(); ++n) {
+    factors.push_back(Matrix::RandomNormal(shape.dim(n), rank, rng));
+  }
+  std::vector<double> u_hat = rng.NormalVector(rank);
+  DenseTensor slice = KruskalSlice(factors, u_hat);
+  Mask omega = RandomMask(shape, 0.5, rng);
+  CooList coo = CooList::Build(omega);
+  std::vector<double> got = CooKruskalGather(coo, factors, u_hat);
+  ASSERT_EQ(got.size(), coo.nnz());
+  for (size_t k = 0; k < coo.nnz(); ++k) {
+    EXPECT_NEAR(got[k], slice[coo.LinearIndex(k)],
+                kTol * (1.0 + std::fabs(got[k])));
+  }
+  EXPECT_EQ(CooKruskalGather(coo, factors, u_hat, 4), got);
+}
+
+/// The mask-reuse fast path: consecutive steps with an identical mask (the
+/// fixed-sensor-outage case) build the CooList exactly once.
+TEST(SofiaStepSparseTest, IdenticalMasksReuseTheStepPattern) {
+  const std::vector<size_t> dims = {6, 5};
+  SofiaModel model = MakeModel(dims, /*rank=*/3, 591);
+  std::vector<DenseTensor> slices = MakeSlices(dims, 3, 4, 20, 593);
+  Rng rng(595);
+  Mask fixed = RandomMask(slices[0].shape(), 0.5, rng);
+
+  EXPECT_EQ(model.step_pattern_builds(), 0u);
+  for (size_t t = 12; t < 16; ++t) model.Step(slices[t], fixed);
+  EXPECT_EQ(model.step_pattern_builds(), 1u);
+
+  Mask changed = RandomMask(slices[0].shape(), 0.5, rng);
+  model.Step(slices[16], changed);
+  EXPECT_EQ(model.step_pattern_builds(), 2u);
+  model.Step(slices[17], changed);
+  EXPECT_EQ(model.step_pattern_builds(), 2u);
+  // Flipping one bit invalidates the cache.
+  changed.Set(0, !changed.Get(0));
+  model.Step(slices[18], changed);
+  EXPECT_EQ(model.step_pattern_builds(), 3u);
+}
+
+/// Copying a model branches the stream: learned state duplicates, derived
+/// caches (pattern cache, pool) reset, and both branches step bit-for-bit.
+TEST(SofiaStepSparseTest, CopiedModelStepsBitwiseIdentically) {
+  const std::vector<size_t> dims = {6, 5};
+  SofiaModel original = MakeModel(dims, /*rank=*/3, 611);
+  std::vector<DenseTensor> slices = MakeSlices(dims, 3, 4, 16, 613);
+  Rng rng(615);
+  Mask omega = RandomMask(slices[0].shape(), 0.5, rng);
+  original.Step(slices[12], omega);  // Warm the pattern cache first.
+
+  SofiaModel copy = original;
+  EXPECT_EQ(copy.step_pattern_builds(), 0u);  // Derived cache reset.
+  for (size_t t = 13; t < 16; ++t) {
+    SofiaStepResult a = original.Step(slices[t], omega);
+    SofiaStepResult b = copy.Step(slices[t], omega);
+    EXPECT_EQ(MaxAbsDiff(a.imputed(), b.imputed()), 0.0) << "t=" << t;
+    EXPECT_EQ(a.observed_outliers(), b.observed_outliers()) << "t=" << t;
+  }
+  EXPECT_EQ(original.level(), copy.level());
+  EXPECT_EQ(original.trend(), copy.trend());
+}
+
+/// Pure-forecasting / observed-entry workloads never materialize a dense
+/// slice on the sparse path; the accessors materialize on first touch.
+TEST(SofiaStepSparseTest, SparseStepResultIsLazyUntilAccessed) {
+  const std::vector<size_t> dims = {6, 5};
+  SofiaModel model = MakeModel(dims, /*rank=*/3, 601);
+  std::vector<DenseTensor> slices = MakeSlices(dims, 3, 4, 13, 603);
+  Rng rng(605);
+  Mask omega = RandomMask(slices[0].shape(), 0.3, rng);
+
+  SofiaStepResult out = model.Step(slices[12], omega);
+  EXPECT_FALSE(out.imputed_materialized());
+  EXPECT_FALSE(out.outliers_materialized());
+  EXPECT_FALSE(out.forecast_materialized());
+  EXPECT_EQ(out.num_observed(), omega.CountObserved());
+
+  // First touch materializes; the dense views agree with the sparse ones.
+  const DenseTensor& o = out.outliers();
+  EXPECT_TRUE(out.outliers_materialized());
+  for (size_t k = 0; k < out.num_observed(); ++k) {
+    EXPECT_EQ(o[out.observed_indices()[k]], out.observed_outliers()[k]);
+  }
+  const DenseTensor& f = out.forecast();
+  for (size_t k = 0; k < out.num_observed(); ++k) {
+    EXPECT_NEAR(f[out.observed_indices()[k]], out.observed_forecast()[k],
+                kTol * (1.0 + std::fabs(out.observed_forecast()[k])));
+  }
+  EXPECT_EQ(out.imputed().shape(), slices[12].shape());
+  EXPECT_TRUE(out.imputed_materialized());
+}
+
+}  // namespace
+}  // namespace sofia
