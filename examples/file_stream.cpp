@@ -9,6 +9,7 @@
 //   4. Run SOFIA over the stream and report imputation quality.
 //
 // Usage: file_stream [--path=/tmp/sofia_demo_stream.csv]
+//                    [--num_threads=0] [--use_sparse_kernels=true]
 
 #include <algorithm>
 #include <cstdio>
@@ -82,6 +83,10 @@ int main(int argc, char** argv) {
   Dataset as_loaded = traffic;  // Ground truth for scoring only.
   SofiaConfig config = MakeExperimentConfig(as_loaded, corrupted);
   config.period = period;
+  config.num_threads = static_cast<size_t>(
+      flags.GetInt("num_threads", static_cast<int64_t>(config.num_threads)));
+  config.use_sparse_kernels =
+      flags.GetBool("use_sparse_kernels", config.use_sparse_kernels);
   SofiaStream method(config);
   CorruptedStream stream;
   stream.slices = loaded.slices;

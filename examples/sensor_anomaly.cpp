@@ -8,6 +8,7 @@
 // injected faults.
 //
 // Usage: sensor_anomaly [--fault_rate=10] [--magnitude=5]
+//                       [--num_threads=0] [--use_sparse_kernels=true]
 
 #include <cmath>
 #include <cstdio>
@@ -32,6 +33,10 @@ int main(int argc, char** argv) {
       Corrupt(lab.slices, {20.0, fault_rate, magnitude}, /*seed=*/11);
 
   SofiaConfig config = MakeExperimentConfig(lab, stream);
+  config.num_threads = static_cast<size_t>(
+      flags.GetInt("num_threads", static_cast<int64_t>(config.num_threads)));
+  config.use_sparse_kernels =
+      flags.GetBool("use_sparse_kernels", config.use_sparse_kernels);
   const size_t window = config.InitWindow();
   std::vector<DenseTensor> init_slices(stream.slices.begin(),
                                        stream.slices.begin() + window);

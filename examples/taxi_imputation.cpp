@@ -7,6 +7,7 @@
 // show what the outlier/seasonality machinery buys.
 //
 // Usage: taxi_imputation [--missing=50] [--outliers=20] [--magnitude=4]
+//                        [--num_threads=0] [--use_sparse_kernels=true]
 
 #include <cstdio>
 
@@ -36,11 +37,24 @@ int main(int argc, char** argv) {
               taxi.slices[0].shape().ToString().c_str(), taxi.period,
               taxi.slices.size(), setting.ToString().c_str());
 
-  SofiaStream sofia_method(MakeExperimentConfig(taxi, stream));
+  // Kernel-path knobs, shared by SOFIA and the baseline: both run their
+  // per-step work on the observed-entry kernels unless told otherwise.
+  const size_t num_threads =
+      static_cast<size_t>(flags.GetInt("num_threads", 0));
+  const bool use_sparse_kernels = flags.GetBool("use_sparse_kernels", true);
+
+  SofiaConfig config = MakeExperimentConfig(taxi, stream);
+  config.num_threads = num_threads;
+  config.use_sparse_kernels = use_sparse_kernels;
+  SofiaStream sofia_method(config);
   StreamRunResult sofia_res =
       RunImputation(&sofia_method, stream, taxi.slices);
 
-  OnlineSgd sgd(OnlineSgdOptions{.rank = taxi.rank});
+  OnlineSgdOptions sgd_options;
+  sgd_options.rank = taxi.rank;
+  sgd_options.num_threads = num_threads;
+  sgd_options.use_sparse_kernels = use_sparse_kernels;
+  OnlineSgd sgd(sgd_options);
   StreamRunResult sgd_res = RunImputation(&sgd, stream, taxi.slices);
 
   Table table({"method", "RAE", "RAE post-init", "ART (s/subtensor)"});

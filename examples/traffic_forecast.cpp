@@ -8,6 +8,7 @@
 // one full future season.
 //
 // Usage: traffic_forecast [--missing=30] [--seed=3]
+//                         [--num_threads=0] [--use_sparse_kernels=true]
 
 #include <cstdio>
 
@@ -36,8 +37,15 @@ int main(int argc, char** argv) {
   CorruptedStream smf_stream =
       Corrupt(traffic.slices, {0.0, 20.0, 5.0}, seed + 1);
 
+  // Kernel-path knobs, shared by SOFIA and SMF.
+  const size_t num_threads =
+      static_cast<size_t>(flags.GetInt("num_threads", 0));
+  const bool use_sparse_kernels = flags.GetBool("use_sparse_kernels", true);
+
   // Train SOFIA on the corrupted prefix.
   SofiaConfig config = MakeExperimentConfig(traffic, sofia_stream);
+  config.num_threads = num_threads;
+  config.use_sparse_kernels = use_sparse_kernels;
   const size_t window = config.InitWindow();
   std::vector<DenseTensor> init_slices(sofia_stream.slices.begin(),
                                        sofia_stream.slices.begin() + window);
@@ -49,7 +57,12 @@ int main(int argc, char** argv) {
   }
 
   // Train SMF on its fully observed prefix.
-  Smf smf(SmfOptions{.rank = traffic.rank, .period = traffic.period});
+  SmfOptions smf_options;
+  smf_options.rank = traffic.rank;
+  smf_options.period = traffic.period;
+  smf_options.num_threads = num_threads;
+  smf_options.use_sparse_kernels = use_sparse_kernels;
+  Smf smf(smf_options);
   for (size_t t = 0; t < train; ++t) {
     smf.Step(smf_stream.slices[t], smf_stream.masks[t]);
   }

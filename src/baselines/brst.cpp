@@ -1,6 +1,7 @@
 #include "baselines/brst.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "baselines/common.hpp"
 #include "linalg/solve.hpp"
@@ -9,14 +10,60 @@
 namespace sofia {
 
 DenseTensor BrstLite::Step(const DenseTensor& y, const Mask& omega) {
+  return StepShared(y, omega, nullptr, /*materialize=*/true);
+}
+
+DenseTensor BrstLite::Step(const DenseTensor& y, const Mask& omega,
+                           std::shared_ptr<const CooList> pattern) {
+  return StepShared(y, omega, std::move(pattern), /*materialize=*/true);
+}
+
+void BrstLite::Observe(const DenseTensor& y, const Mask& omega) {
+  StepShared(y, omega, nullptr, /*materialize=*/false);
+}
+
+DenseTensor BrstLite::StepShared(const DenseTensor& y, const Mask& omega,
+                                 std::shared_ptr<const CooList> pattern,
+                                 bool materialize) {
   const size_t rank = options_.rank;
   if (factors_.empty()) {
     factors_ = RandomNontemporalFactors(y.shape(), rank, options_.seed);
     ard_precision_.assign(rank, 1.0);
   }
+  const double nu = options_.student_nu;
 
-  // Temporal row with ARD-weighted ridge: strongly-pruned columns are
-  // pinned near zero.
+  if (sweep_.sparse()) {
+    sweep_.BeginStep(y, omega, std::move(pattern));
+    const std::vector<double>& values = sweep_.values();
+
+    // Temporal row with ARD-weighted ridge: strongly-pruned columns are
+    // pinned near zero.
+    NormalSystem sys = sweep_.TemporalSystem(factors_, values);
+    for (size_t r = 0; r < rank; ++r) {
+      sys.b(r, r) += options_.ridge + noise_var_ * ard_precision_[r];
+    }
+    std::vector<double> w = SolveRidge(sys.b, sys.c);
+
+    // Student-t responsibility gating: heavy residuals get weight ~ nu/r².
+    // The gated pseudo-residuals g_k then drive the same gradient
+    // accumulation as the dense scan, restricted to the records.
+    std::vector<double> g = sweep_.Reconstruct(factors_, w);
+    double weighted_sq = 0.0, weight_sum = 0.0;
+    for (size_t k = 0; k < g.size(); ++k) {
+      const double resid = values[k] - g[k];
+      const double gate =
+          (nu + 1.0) / (nu + resid * resid / std::max(noise_var_, 1e-12));
+      weighted_sq += gate * resid * resid;
+      weight_sum += gate;
+      g[k] = gate * resid;
+    }
+    ModeGradients grads =
+        sweep_.Gradients(factors_, w, g, /*with_traces=*/false);
+    return FinishStep(std::move(w), std::move(grads.row_grads), weighted_sq,
+                      weight_sum, materialize);
+  }
+
+  // Dense-scan reference path.
   const Shape& shape = y.shape();
   Matrix b(rank, rank);
   std::vector<double> c(rank, 0.0);
@@ -45,7 +92,6 @@ DenseTensor BrstLite::Step(const DenseTensor& y, const Mask& omega) {
   std::vector<double> w = SolveRidge(b, c);
 
   // Student-t responsibility gating: heavy residuals get weight ~ nu/r².
-  const double nu = options_.student_nu;
   std::vector<Matrix> grads;
   grads.reserve(factors_.size());
   for (const Matrix& f : factors_) grads.emplace_back(f.rows(), rank, 0.0);
@@ -70,18 +116,14 @@ DenseTensor BrstLite::Step(const DenseTensor& y, const Mask& omega) {
       const double g = gate * resid;
       for (size_t l = 0; l < factors_.size(); ++l) {
         double* grow = grads[l].Row(idx[l]);
-        const double* frow = factors_[l].Row(idx[l]);
         for (size_t r = 0; r < rank; ++r) {
-          // d recon / d u^(l)_r = h_r / u^(l)_r when the entry is nonzero;
-          // recompute the leave-one-out product otherwise.
-          double loo;
-          if (frow[r] != 0.0) {
-            loo = h[r] / frow[r];
-          } else {
-            loo = w[r];
-            for (size_t l2 = 0; l2 < factors_.size(); ++l2) {
-              if (l2 != l) loo *= factors_[l2](idx[l2], r);
-            }
+          // d recon / d u^(l)_r: the leave-one-out product seeded with w
+          // and multiplied through in mode order — the exact accumulation
+          // of the observed-entry kernel (CooModeGradients), so the two
+          // paths agree bitwise.
+          double loo = w[r];
+          for (size_t l2 = 0; l2 < factors_.size(); ++l2) {
+            if (l2 != l) loo *= factors_[l2](idx[l2], r);
           }
           grow[r] += g * loo;
         }
@@ -89,6 +131,15 @@ DenseTensor BrstLite::Step(const DenseTensor& y, const Mask& omega) {
     }
     shape.Next(&idx);
   }
+  return FinishStep(std::move(w), std::move(grads), weighted_sq, weight_sum,
+                    materialize);
+}
+
+DenseTensor BrstLite::FinishStep(std::vector<double> w,
+                                 std::vector<Matrix> grads,
+                                 double weighted_sq, double weight_sum,
+                                 bool materialize) {
+  const size_t rank = options_.rank;
   // MAP gradient step with the ARD Gaussian prior: besides the data term,
   // each column r decays by its precision γ_r. Low-energy columns get a
   // large γ, decay further, and spiral into pruning — the rank-collapse
@@ -124,6 +175,7 @@ DenseTensor BrstLite::Step(const DenseTensor& y, const Mask& omega) {
                         std::max(energy, 1e-12);
   }
 
+  if (!materialize) return DenseTensor();
   // Zero out the temporal weight of pruned columns in the reconstruction.
   for (size_t r = 0; r < rank; ++r) {
     double energy = 0.0;

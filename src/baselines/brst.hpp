@@ -2,8 +2,10 @@
 #define SOFIA_BASELINES_BRST_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "baselines/observed_sweep.hpp"
 #include "eval/streaming_method.hpp"
 #include "linalg/matrix.hpp"
 
@@ -29,15 +31,30 @@ struct BrstOptions {
   double ard_strength = 1.0;   ///< Scale of the ARD precision update.
   double prune_threshold = 1e-3;  ///< Column-energy cutoff for pruning.
   uint64_t seed = 19;
+  /// Worker threads for the observed-entry kernels (0 = hardware
+  /// concurrency); results are bitwise identical for every setting.
+  size_t num_threads = 1;
+  /// Route the ARD temporal solve and the gated gradient pass through the
+  /// ObservedSweep core (O(|Ω_t| N R) per step); false selects the
+  /// dense-scan reference path.
+  bool use_sparse_kernels = true;
 };
 
 /// BRST-lite streaming method (no init window).
 class BrstLite : public StreamingMethod {
  public:
-  explicit BrstLite(BrstOptions options) : options_(options) {}
+  explicit BrstLite(BrstOptions options)
+      : options_(options),
+        sweep_(ObservedSweepOptions{options.num_threads,
+                                    options.use_sparse_kernels}) {}
 
   std::string name() const override { return "BRST"; }
   DenseTensor Step(const DenseTensor& y, const Mask& omega) override;
+  DenseTensor Step(const DenseTensor& y, const Mask& omega,
+                   std::shared_ptr<const CooList> pattern) override;
+  /// Advances the factors / ARD / noise state without the output-only
+  /// pruned KruskalSlice reconstruction — the forecast-protocol fast path.
+  void Observe(const DenseTensor& y, const Mask& omega) override;
 
   /// Number of columns whose energy survives the ARD prune (the paper's
   /// estimated rank; expected to collapse under heavy corruption).
@@ -46,7 +63,20 @@ class BrstLite : public StreamingMethod {
   const std::vector<Matrix>& factors() const { return factors_; }
 
  private:
+  DenseTensor StepShared(const DenseTensor& y, const Mask& omega,
+                         std::shared_ptr<const CooList> pattern,
+                         bool materialize);
+  /// Shared tail of both paths: MAP gradient application with ARD decay,
+  /// noise-variance smoothing, the ARD precision update, and (when
+  /// `materialize`) the pruned reconstruction. Takes `grads` by value so
+  /// both call sites move their gradients in and the learning-rate scaling
+  /// happens in place.
+  DenseTensor FinishStep(std::vector<double> w, std::vector<Matrix> grads,
+                         double weighted_sq, double weight_sum,
+                         bool materialize);
+
   BrstOptions options_;
+  ObservedSweep sweep_;
   std::vector<Matrix> factors_;
   std::vector<double> ard_precision_;  ///< γ_r per column.
   double noise_var_ = 1.0;             ///< Running residual variance σ².

@@ -143,24 +143,16 @@ SliceRowSystems BuildSliceRowSystems(const DenseTensor& y, const Mask& omega,
   ForEachObserved(
       y, omega, subtract, factors,
       [&](const std::vector<size_t>& idx, size_t, double value,
-          const std::vector<double>& full) {
-        // full = ⊛_l u^(l); divide out this mode's row via recomputation to
-        // stay correct when entries are zero: rebuild the leave-one-out
-        // product directly.
-        const double* mode_row = factors[mode].Row(idx[mode]);
-        for (size_t r = 0; r < rank; ++r) {
-          // Leave-one-out: recompute cheaply when the row entry is nonzero,
-          // otherwise fall back to a full product scan.
-          double loo;
-          if (mode_row[r] != 0.0) {
-            loo = full[r] / mode_row[r];
-          } else {
-            loo = 1.0;
-            for (size_t l = 0; l < factors.size(); ++l) {
-              if (l != mode) loo *= factors[l](idx[l], r);
-            }
-          }
-          h[r] = loo * w[r];
+          const std::vector<double>&) {
+        // Leave-one-out regressor h = w ⊛ (⊛_{l != mode} u^(l)), seeded
+        // with w and multiplied through in mode order — the exact
+        // accumulation the observed-entry kernel (CooWeightedRowSystems)
+        // performs, so the two paths agree bitwise.
+        for (size_t r = 0; r < rank; ++r) h[r] = w[r];
+        for (size_t l = 0; l < factors.size(); ++l) {
+          if (l == mode) continue;
+          const double* row = factors[l].Row(idx[l]);
+          for (size_t r = 0; r < rank; ++r) h[r] *= row[r];
         }
         Matrix& b = sys.b[idx[mode]];
         std::vector<double>& c = sys.c[idx[mode]];

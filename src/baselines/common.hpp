@@ -1,15 +1,17 @@
 #ifndef SOFIA_BASELINES_COMMON_H_
 #define SOFIA_BASELINES_COMMON_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "linalg/solve.hpp"
 #include "tensor/dense_tensor.hpp"
 #include "tensor/mask.hpp"
 
 /// \file common.hpp
-/// \brief Shared kernels for the streaming baselines.
+/// \brief Shared dense-scan kernels for the streaming baselines.
 ///
 /// Every streaming CP method repeats the same two motifs on each incoming
 /// slice: (a) solve for the temporal row w_t given the non-temporal factors
@@ -17,6 +19,11 @@
 /// entries), and (b) push the factors toward the residual (gradient or
 /// closed-form row updates). These helpers implement both motifs once, with
 /// leave-one-out factor products computed via prefix/suffix arrays.
+///
+/// They walk the full dense index space and now serve as the parity-tested
+/// reference path (`use_sparse_kernels = false`) for the observed-entry
+/// implementations in baselines/observed_sweep.hpp, which realize the same
+/// motifs in O(|Ω_t|) per pass.
 
 namespace sofia {
 
@@ -57,6 +64,25 @@ SliceRowSystems BuildSliceRowSystems(const DenseTensor& y, const Mask& omega,
                                      const std::vector<Matrix>& factors,
                                      const std::vector<double>& w,
                                      size_t mode);
+
+/// Closed-form proximal row updates of MAST / OR-MSTC:
+/// u_i <- (B_i + μI)^{-1} (c_i + μ u_i^prev) for every row of `u`, via the
+/// shared ProximalRowSolve (linalg/solve.hpp) — the same arithmetic the
+/// fused observed-entry kernel (CooProximalRowUpdates) runs, so the two
+/// paths stay bitwise aligned. Templated so it accepts both the dense
+/// SliceRowSystems and the observed-entry RowSystems (any type with
+/// aligned `b` / `c` vectors).
+template <typename Systems>
+void ApplyProximalRowUpdates(const Systems& sys, const Matrix& previous,
+                             double mu, Matrix* u) {
+  const size_t rank = u->cols();
+  std::vector<double> a(rank * rank);
+  std::vector<double> rhs(rank);
+  for (size_t i = 0; i < u->rows(); ++i) {
+    ProximalRowSolve(sys.b[i].data(), sys.c[i].data(), previous.Row(i), mu,
+                     rank, a.data(), rhs.data(), u->Row(i));
+  }
+}
 
 }  // namespace sofia
 

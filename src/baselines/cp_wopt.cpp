@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
+#include "baselines/observed_sweep.hpp"
 #include "optim/lbfgsb.hpp"
 #include "tensor/coo_list.hpp"
 #include "tensor/kruskal.hpp"
@@ -131,31 +133,34 @@ std::vector<Matrix> CooGradient(const CooList& coo,
 
 /// Objective adapter for the quasi-Newton solver with analytic gradients.
 /// The mask never changes across iterates, so the COO structure and the
-/// gathered observed values are compacted exactly once.
+/// gathered observed values are compacted exactly once (or adopted from a
+/// caller that already shares the pattern, e.g. a comparison run).
 class CpWoptObjective : public Objective {
  public:
   CpWoptObjective(const DenseTensor& y, const Mask& omega, size_t rank,
-                  size_t num_threads)
+                  size_t num_threads, std::shared_ptr<const CooList> pattern)
       : shape_(y.shape()),
-        coo_(CooList::Build(omega, /*with_mode_buckets=*/false)),
-        values_(coo_.Gather(y)),
+        coo_(pattern != nullptr
+                 ? std::move(pattern)
+                 : MakeSharedPattern(omega, /*with_mode_buckets=*/false)),
+        values_(coo_->Gather(y)),
         rank_(rank),
         pool_(ResolveNumThreads(num_threads)) {}
 
   double Value(const std::vector<double>& x) const override {
-    return CooLoss(coo_, values_, Unpack(x, shape_, rank_), 1, &pool_);
+    return CooLoss(*coo_, values_, Unpack(x, shape_, rank_), 1, &pool_);
   }
 
   void Gradient(const std::vector<double>& x,
                 std::vector<double>* grad) const override {
     std::vector<Matrix> g =
-        CooGradient(coo_, values_, Unpack(x, shape_, rank_), 1, &pool_);
+        CooGradient(*coo_, values_, Unpack(x, shape_, rank_), 1, &pool_);
     *grad = Pack(g);
   }
 
  private:
   Shape shape_;
-  CooList coo_;
+  std::shared_ptr<const CooList> coo_;
   std::vector<double> values_;
   size_t rank_;
   // One pool for the whole quasi-Newton run: every iterate issues a Value
@@ -165,22 +170,36 @@ class CpWoptObjective : public Objective {
 
 }  // namespace
 
+double CpWoptLoss(const CooList& coo, const std::vector<double>& values,
+                  const std::vector<Matrix>& factors) {
+  return CooLoss(coo, values, factors, 1);
+}
+
+std::vector<Matrix> CpWoptGradient(const CooList& coo,
+                                   const std::vector<double>& values,
+                                   const std::vector<Matrix>& factors) {
+  return CooGradient(coo, values, factors, 1);
+}
+
 double CpWoptLoss(const DenseTensor& y, const Mask& omega,
                   const std::vector<Matrix>& factors) {
   SOFIA_CHECK(y.shape() == omega.shape());
-  const CooList coo = CooList::Build(omega, /*with_mode_buckets=*/false);
-  return CooLoss(coo, coo.Gather(y), factors, 1);
+  const std::shared_ptr<const CooList> coo =
+      MakeSharedPattern(omega, /*with_mode_buckets=*/false);
+  return CpWoptLoss(*coo, coo->Gather(y), factors);
 }
 
 std::vector<Matrix> CpWoptGradient(const DenseTensor& y, const Mask& omega,
                                    const std::vector<Matrix>& factors) {
   SOFIA_CHECK(y.shape() == omega.shape());
-  const CooList coo = CooList::Build(omega, /*with_mode_buckets=*/false);
-  return CooGradient(coo, coo.Gather(y), factors, 1);
+  const std::shared_ptr<const CooList> coo =
+      MakeSharedPattern(omega, /*with_mode_buckets=*/false);
+  return CpWoptGradient(*coo, coo->Gather(y), factors);
 }
 
 CpWoptResult CpWopt(const DenseTensor& y, const Mask& omega,
-                    const CpWoptOptions& options) {
+                    const CpWoptOptions& options,
+                    std::shared_ptr<const CooList> pattern) {
   SOFIA_CHECK(y.shape() == omega.shape());
   Rng rng(options.seed);
   std::vector<Matrix> init;
@@ -188,7 +207,8 @@ CpWoptResult CpWopt(const DenseTensor& y, const Mask& omega,
     init.push_back(Matrix::Random(y.dim(mode), options.rank, rng, 0.0, 1.0));
   }
 
-  CpWoptObjective objective(y, omega, options.rank, options.num_threads);
+  CpWoptObjective objective(y, omega, options.rank, options.num_threads,
+                            std::move(pattern));
   const size_t n = ParameterCount(y.shape(), options.rank);
   const std::vector<double> lower(n, -std::numeric_limits<double>::infinity());
   const std::vector<double> upper(n, std::numeric_limits<double>::infinity());

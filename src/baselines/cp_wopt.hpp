@@ -2,9 +2,11 @@
 #define SOFIA_BASELINES_CP_WOPT_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "tensor/coo_list.hpp"
 #include "tensor/dense_tensor.hpp"
 #include "tensor/mask.hpp"
 
@@ -41,15 +43,27 @@ struct CpWoptResult {
   bool converged = false;
 };
 
-/// Factorizes the incomplete tensor `y` from a random start.
+/// Factorizes the incomplete tensor `y` from a random start. `pattern` may
+/// hold a prebuilt CooList of `omega` (e.g. the shared per-step pattern of a
+/// comparison run); when null the pattern is compacted once internally and
+/// reused across every quasi-Newton iterate.
 CpWoptResult CpWopt(const DenseTensor& y, const Mask& omega,
-                    const CpWoptOptions& options);
+                    const CpWoptOptions& options,
+                    std::shared_ptr<const CooList> pattern = nullptr);
 
 /// The masked loss and its analytic gradient (exposed for testing: the
-/// gradient is validated against finite differences).
+/// gradient is validated against finite differences). The dense-pair
+/// overloads compact `omega` once via the shared build helper; callers that
+/// evaluate both on the same mask should prebuild the pattern and use the
+/// record-aligned overloads (`values` as in CooList::Gather).
 double CpWoptLoss(const DenseTensor& y, const Mask& omega,
                   const std::vector<Matrix>& factors);
+double CpWoptLoss(const CooList& coo, const std::vector<double>& values,
+                  const std::vector<Matrix>& factors);
 std::vector<Matrix> CpWoptGradient(const DenseTensor& y, const Mask& omega,
+                                   const std::vector<Matrix>& factors);
+std::vector<Matrix> CpWoptGradient(const CooList& coo,
+                                   const std::vector<double>& values,
                                    const std::vector<Matrix>& factors);
 
 }  // namespace sofia

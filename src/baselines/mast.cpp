@@ -1,5 +1,7 @@
 #include "baselines/mast.hpp"
 
+#include <utility>
+
 #include "baselines/common.hpp"
 #include "linalg/solve.hpp"
 #include "tensor/kruskal.hpp"
@@ -7,15 +9,51 @@
 namespace sofia {
 
 DenseTensor Mast::Step(const DenseTensor& y, const Mask& omega) {
+  return StepShared(y, omega, nullptr, /*materialize=*/true);
+}
+
+DenseTensor Mast::Step(const DenseTensor& y, const Mask& omega,
+                       std::shared_ptr<const CooList> pattern) {
+  return StepShared(y, omega, std::move(pattern), /*materialize=*/true);
+}
+
+void Mast::Observe(const DenseTensor& y, const Mask& omega) {
+  StepShared(y, omega, nullptr, /*materialize=*/false);
+}
+
+DenseTensor Mast::StepShared(const DenseTensor& y, const Mask& omega,
+                             std::shared_ptr<const CooList> pattern,
+                             bool materialize) {
   if (factors_.empty()) {
     factors_ = RandomNontemporalFactors(y.shape(), options_.rank,
                                         options_.seed);
   }
-  const size_t rank = options_.rank;
+  if (!sweep_.sparse()) return StepDense(y, omega, materialize);
+
+  const double mu = options_.prox_weight;
+  const std::vector<Matrix> previous = factors_;
+  sweep_.BeginStep(y, omega, std::move(pattern));
+  const std::vector<double>& values = sweep_.values();
+
+  std::vector<double> w(options_.rank, 0.0);
+  for (int iter = 0; iter < options_.inner_iterations; ++iter) {
+    w = sweep_.SolveTemporalRow(factors_, values, options_.ridge);
+    for (size_t mode = 0; mode < factors_.size(); ++mode) {
+      sweep_.ProximalRowSweep(factors_, w, values, mode, previous[mode], mu,
+                              &factors_[mode]);
+    }
+  }
+  if (!materialize) return DenseTensor();
+  w = sweep_.SolveTemporalRow(factors_, values, options_.ridge);
+  return KruskalSlice(factors_, w);
+}
+
+DenseTensor Mast::StepDense(const DenseTensor& y, const Mask& omega,
+                            bool materialize) {
   const double mu = options_.prox_weight;
   const std::vector<Matrix> previous = factors_;
 
-  std::vector<double> w(rank, 0.0);
+  std::vector<double> w(options_.rank, 0.0);
   for (int iter = 0; iter < options_.inner_iterations; ++iter) {
     w = SolveTemporalRow(y, omega, nullptr, factors_, options_.ridge);
     // Closed-form proximal row updates:
@@ -23,19 +61,10 @@ DenseTensor Mast::Step(const DenseTensor& y, const Mask& omega) {
     for (size_t mode = 0; mode < factors_.size(); ++mode) {
       SliceRowSystems sys =
           BuildSliceRowSystems(y, omega, nullptr, factors_, w, mode);
-      Matrix& u = factors_[mode];
-      for (size_t i = 0; i < u.rows(); ++i) {
-        Matrix b = sys.b[i];
-        std::vector<double> c = sys.c[i];
-        const double* prev_row = previous[mode].Row(i);
-        for (size_t r = 0; r < rank; ++r) {
-          b(r, r) += mu;
-          c[r] += mu * prev_row[r];
-        }
-        u.SetRow(i, SolveRidge(b, c));
-      }
+      ApplyProximalRowUpdates(sys, previous[mode], mu, &factors_[mode]);
     }
   }
+  if (!materialize) return DenseTensor();
   w = SolveTemporalRow(y, omega, nullptr, factors_, options_.ridge);
   return KruskalSlice(factors_, w);
 }

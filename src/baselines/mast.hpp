@@ -2,8 +2,10 @@
 #define SOFIA_BASELINES_MAST_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "baselines/observed_sweep.hpp"
 #include "eval/streaming_method.hpp"
 #include "linalg/matrix.hpp"
 
@@ -26,20 +28,42 @@ struct MastOptions {
   double ridge = 1e-6;       ///< Tikhonov weight of the temporal solve.
   int inner_iterations = 2;  ///< Alternating rounds per slice.
   uint64_t seed = 13;
+  /// Worker threads for the observed-entry kernels (0 = hardware
+  /// concurrency); results are bitwise identical for every setting.
+  size_t num_threads = 1;
+  /// Route the inner loops through the ObservedSweep core (O(|Ω_t|) per
+  /// pass); false selects the dense-scan reference path.
+  bool use_sparse_kernels = true;
 };
 
 /// MAST streaming method (temporal growth only; no init window).
 class Mast : public StreamingMethod {
  public:
-  explicit Mast(MastOptions options) : options_(options) {}
+  explicit Mast(MastOptions options)
+      : options_(options),
+        sweep_(ObservedSweepOptions{options.num_threads,
+                                    options.use_sparse_kernels}) {}
 
   std::string name() const override { return "MAST"; }
   DenseTensor Step(const DenseTensor& y, const Mask& omega) override;
+  DenseTensor Step(const DenseTensor& y, const Mask& omega,
+                   std::shared_ptr<const CooList> pattern) override;
+  /// Advances the factors without the output-only tail (the final temporal
+  /// re-solve and the dense KruskalSlice reconstruction exist purely for
+  /// the returned estimate) — the forecast-protocol fast path.
+  void Observe(const DenseTensor& y, const Mask& omega) override;
 
   const std::vector<Matrix>& factors() const { return factors_; }
 
  private:
+  DenseTensor StepShared(const DenseTensor& y, const Mask& omega,
+                         std::shared_ptr<const CooList> pattern,
+                         bool materialize);
+  DenseTensor StepDense(const DenseTensor& y, const Mask& omega,
+                        bool materialize);
+
   MastOptions options_;
+  ObservedSweep sweep_;
   std::vector<Matrix> factors_;
 };
 

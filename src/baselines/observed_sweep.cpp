@@ -1,0 +1,102 @@
+#include "baselines/observed_sweep.hpp"
+
+#include <utility>
+
+#include "linalg/solve.hpp"
+#include "util/check.hpp"
+
+namespace sofia {
+
+std::shared_ptr<const CooList> MakeSharedPattern(const Mask& omega,
+                                                 bool with_mode_buckets) {
+  return std::make_shared<const CooList>(
+      CooList::Build(omega, with_mode_buckets));
+}
+
+void ObservedSweep::BeginStep(const DenseTensor& y, const Mask& omega,
+                              std::shared_ptr<const CooList> shared) {
+  SOFIA_CHECK(y.shape() == omega.shape());
+  if (shared != nullptr) {
+    SOFIA_CHECK(shared->shape() == omega.shape());
+    coo_ = std::move(shared);
+    // Seed the reuse cache so a later unshared step with the same mask can
+    // still skip its rebuild. The guard keeps the common fixed-mask case
+    // free of the O(volume) mask copy (the comparison is a cheap byte
+    // scan, the copy an allocation).
+    if (!(mask_valid_ && mask_ == omega)) {
+      mask_ = omega;
+      mask_valid_ = true;
+    }
+  } else {
+    const bool reusable = options_.reuse_step_pattern && mask_valid_ &&
+                          coo_ != nullptr && mask_ == omega;
+    if (!reusable) {
+      coo_ = MakeSharedPattern(omega, options_.with_mode_buckets);
+      mask_ = omega;
+      mask_valid_ = true;
+      ++pattern_builds_;
+    }
+  }
+  values_ = coo_->Gather(y);
+}
+
+const CooList& ObservedSweep::pattern() const {
+  SOFIA_CHECK(coo_ != nullptr) << "ObservedSweep used before BeginStep";
+  return *coo_;
+}
+
+ThreadPool* ObservedSweep::Pool() const {
+  if (resolved_threads_ <= 1) return nullptr;
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(resolved_threads_);
+  return pool_.get();
+}
+
+NormalSystem ObservedSweep::TemporalSystem(
+    const std::vector<Matrix>& factors,
+    const std::vector<double>& vals) const {
+  return CooNormalSystem(pattern(), vals, factors, /*num_threads=*/1, Pool());
+}
+
+std::vector<double> ObservedSweep::SolveTemporalRow(
+    const std::vector<Matrix>& factors, const std::vector<double>& vals,
+    double ridge) const {
+  NormalSystem sys = TemporalSystem(factors, vals);
+  for (size_t r = 0; r < sys.c.size(); ++r) sys.b(r, r) += ridge;
+  return SolveRidge(sys.b, sys.c);
+}
+
+RowSystems ObservedSweep::WeightedRowSystems(
+    const std::vector<Matrix>& factors, const std::vector<double>& w,
+    const std::vector<double>& vals, size_t mode) const {
+  return CooWeightedRowSystems(pattern(), vals, factors, w, mode,
+                               /*num_threads=*/1, Pool());
+}
+
+void ObservedSweep::ProximalRowSweep(const std::vector<Matrix>& factors,
+                                     const std::vector<double>& w,
+                                     const std::vector<double>& vals,
+                                     size_t mode, const Matrix& previous,
+                                     double mu, Matrix* u) const {
+  CooProximalRowUpdates(pattern(), vals, factors, w, mode, previous, mu, u,
+                        /*num_threads=*/1, Pool());
+}
+
+ModeGradients ObservedSweep::Gradients(
+    const std::vector<Matrix>& factors, const std::vector<double>& w,
+    const std::vector<double>& residuals, bool with_traces) const {
+  return CooModeGradients(pattern(), residuals, factors, w, /*num_threads=*/1,
+                          Pool(), with_traces);
+}
+
+std::vector<double> ObservedSweep::Reconstruct(
+    const std::vector<Matrix>& factors, const std::vector<double>& w) const {
+  return CooKruskalGather(pattern(), factors, w, /*num_threads=*/1, Pool());
+}
+
+std::vector<double> ObservedSweep::SliceReconstruct(
+    const std::vector<Matrix>& factors, const std::vector<double>& w) const {
+  return CooKruskalSliceGather(pattern(), factors, w, /*num_threads=*/1,
+                               Pool());
+}
+
+}  // namespace sofia

@@ -1,5 +1,7 @@
 #include "baselines/olstec.hpp"
 
+#include <utility>
+
 #include "baselines/common.hpp"
 #include "linalg/vector_ops.hpp"
 #include "tensor/kruskal.hpp"
@@ -7,7 +9,67 @@
 
 namespace sofia {
 
+/// One entry's RLS update, applied to every mode's factor row: the regressor
+/// is h = w ⊛ (⊛_{l != mode} u^(l)) and the target is the entry value; P and
+/// the row are updated with exponential forgetting. Entries must be visited
+/// in the same (ascending linear) order on both paths — the update is
+/// order-dependent, which is also why the sweep stays sequential.
+template <typename IndexArray>
+void Olstec::RlsUpdate(const IndexArray& idx, double value,
+                       const std::vector<double>& w, std::vector<double>* h_buf,
+                       std::vector<double>* ph_buf) {
+  const size_t rank = options_.rank;
+  const double lambda_f = options_.forgetting;
+  std::vector<double>& h = *h_buf;
+  std::vector<double>& ph = *ph_buf;
+  for (size_t mode = 0; mode < factors_.size(); ++mode) {
+    for (size_t r = 0; r < rank; ++r) {
+      double p = w[r];
+      for (size_t l = 0; l < factors_.size(); ++l) {
+        if (l != mode) p *= factors_[l](idx[l], r);
+      }
+      h[r] = p;
+    }
+    Matrix& p_mat = cov_[mode][idx[mode]];
+    // Gain k = P h / (λ_f + h^T P h); P <- (P - k h^T P) / λ_f.
+    for (size_t r = 0; r < rank; ++r) {
+      const double* prow = p_mat.Row(r);
+      double s = 0.0;
+      for (size_t q = 0; q < rank; ++q) s += prow[q] * h[q];
+      ph[r] = s;
+    }
+    const double denom = lambda_f + Dot(h, ph);
+    double* urow = factors_[mode].Row(idx[mode]);
+    double pred = 0.0;
+    for (size_t r = 0; r < rank; ++r) pred += urow[r] * h[r];
+    const double err = value - pred;
+    for (size_t r = 0; r < rank; ++r) {
+      const double gain = ph[r] / denom;
+      urow[r] += gain * err;
+      double* prow = p_mat.Row(r);
+      for (size_t q = 0; q < rank; ++q) {
+        prow[q] = (prow[q] - gain * ph[q]) / lambda_f;
+      }
+    }
+  }
+}
+
 DenseTensor Olstec::Step(const DenseTensor& y, const Mask& omega) {
+  return StepShared(y, omega, nullptr, /*materialize=*/true);
+}
+
+DenseTensor Olstec::Step(const DenseTensor& y, const Mask& omega,
+                         std::shared_ptr<const CooList> pattern) {
+  return StepShared(y, omega, std::move(pattern), /*materialize=*/true);
+}
+
+void Olstec::Observe(const DenseTensor& y, const Mask& omega) {
+  StepShared(y, omega, nullptr, /*materialize=*/false);
+}
+
+DenseTensor Olstec::StepShared(const DenseTensor& y, const Mask& omega,
+                               std::shared_ptr<const CooList> pattern,
+                               bool materialize) {
   const size_t rank = options_.rank;
   if (factors_.empty()) {
     factors_ = RandomNontemporalFactors(y.shape(), rank, options_.seed);
@@ -17,53 +79,46 @@ DenseTensor Olstec::Step(const DenseTensor& y, const Mask& omega) {
                                              options_.delta);
     }
   }
+  if (!sweep_.sparse()) return StepDense(y, omega, materialize);
 
+  sweep_.BeginStep(y, omega, std::move(pattern));
+  const CooList& coo = sweep_.pattern();
+  const std::vector<double>& values = sweep_.values();
+
+  std::vector<double> w =
+      sweep_.SolveTemporalRow(factors_, values, options_.ridge);
+
+  // Row-wise RLS sweep over the compacted records, in ascending linear
+  // order (the bucket-free record order) — exactly the dense scan's visit
+  // order restricted to Ω_t.
+  std::vector<double> h(rank), ph(rank);
+  for (size_t k = 0; k < coo.nnz(); ++k) {
+    RlsUpdate(coo.Coords(k), values[k], w, &h, &ph);
+  }
+
+  if (!materialize) return DenseTensor();
+  // Re-solve the temporal row against the refreshed factors.
+  w = sweep_.SolveTemporalRow(factors_, values, options_.ridge);
+  return KruskalSlice(factors_, w);
+}
+
+DenseTensor Olstec::StepDense(const DenseTensor& y, const Mask& omega,
+                              bool materialize) {
+  const size_t rank = options_.rank;
   std::vector<double> w =
       SolveTemporalRow(y, omega, nullptr, factors_, options_.ridge);
 
-  // Row-wise RLS sweep over the observed entries: for each entry and each
-  // mode, the regressor is h = w ⊛ (⊛_{l != mode} u^(l)) and the target is
-  // the entry value; P and the row are updated with exponential forgetting.
   const Shape& shape = y.shape();
-  const double lambda_f = options_.forgetting;
   std::vector<size_t> idx(shape.order(), 0);
   std::vector<double> h(rank), ph(rank);
   for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
     if (omega.Get(linear)) {
-      for (size_t mode = 0; mode < factors_.size(); ++mode) {
-        for (size_t r = 0; r < rank; ++r) {
-          double p = w[r];
-          for (size_t l = 0; l < factors_.size(); ++l) {
-            if (l != mode) p *= factors_[l](idx[l], r);
-          }
-          h[r] = p;
-        }
-        Matrix& p_mat = cov_[mode][idx[mode]];
-        // Gain k = P h / (λ_f + h^T P h); P <- (P - k h^T P) / λ_f.
-        for (size_t r = 0; r < rank; ++r) {
-          const double* prow = p_mat.Row(r);
-          double s = 0.0;
-          for (size_t q = 0; q < rank; ++q) s += prow[q] * h[q];
-          ph[r] = s;
-        }
-        const double denom = lambda_f + Dot(h, ph);
-        double* urow = factors_[mode].Row(idx[mode]);
-        double pred = 0.0;
-        for (size_t r = 0; r < rank; ++r) pred += urow[r] * h[r];
-        const double err = y[linear] - pred;
-        for (size_t r = 0; r < rank; ++r) {
-          const double gain = ph[r] / denom;
-          urow[r] += gain * err;
-          double* prow = p_mat.Row(r);
-          for (size_t q = 0; q < rank; ++q) {
-            prow[q] = (prow[q] - gain * ph[q]) / lambda_f;
-          }
-        }
-      }
+      RlsUpdate(idx, y[linear], w, &h, &ph);
     }
     shape.Next(&idx);
   }
 
+  if (!materialize) return DenseTensor();
   // Re-solve the temporal row against the refreshed factors.
   w = SolveTemporalRow(y, omega, nullptr, factors_, options_.ridge);
   return KruskalSlice(factors_, w);

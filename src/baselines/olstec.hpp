@@ -2,8 +2,10 @@
 #define SOFIA_BASELINES_OLSTEC_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "baselines/observed_sweep.hpp"
 #include "eval/streaming_method.hpp"
 #include "linalg/matrix.hpp"
 
@@ -25,20 +27,56 @@ struct OlstecOptions {
   double delta = 10.0;       ///< P_i is initialized to delta * I.
   double ridge = 1e-6;       ///< Tikhonov weight of the temporal solve.
   uint64_t seed = 11;
+  /// Worker threads for the observed-entry kernels (0 = hardware
+  /// concurrency). Only the temporal solves parallelize — the RLS sweep is
+  /// order-dependent and stays sequential over the observed records —
+  /// so results are bitwise identical for every setting.
+  size_t num_threads = 1;
+  /// Route the step through the ObservedSweep core: the RLS sweep walks the
+  /// |Ω_t| compacted records (same ascending linear order as the dense
+  /// scan) instead of the full index space. False selects the original
+  /// dense scan (the reference path).
+  bool use_sparse_kernels = true;
 };
 
 /// OLSTEC streaming method (no init window).
 class Olstec : public StreamingMethod {
  public:
-  explicit Olstec(OlstecOptions options) : options_(options) {}
+  explicit Olstec(OlstecOptions options)
+      : options_(options),
+        // No bucketed motifs: the temporal solves are record-blocked and
+        // the RLS sweep is a sequential record loop.
+        sweep_(ObservedSweepOptions{options.num_threads,
+                                    options.use_sparse_kernels,
+                                    /*reuse_step_pattern=*/true,
+                                    /*with_mode_buckets=*/false}) {}
 
   std::string name() const override { return "OLSTEC"; }
   DenseTensor Step(const DenseTensor& y, const Mask& omega) override;
+  DenseTensor Step(const DenseTensor& y, const Mask& omega,
+                   std::shared_ptr<const CooList> pattern) override;
+  /// Advances the RLS state without the output-only tail (the temporal
+  /// re-solve and KruskalSlice exist purely for the returned estimate) —
+  /// the forecast-protocol fast path.
+  void Observe(const DenseTensor& y, const Mask& omega) override;
 
   const std::vector<Matrix>& factors() const { return factors_; }
 
  private:
+  DenseTensor StepShared(const DenseTensor& y, const Mask& omega,
+                         std::shared_ptr<const CooList> pattern,
+                         bool materialize);
+  DenseTensor StepDense(const DenseTensor& y, const Mask& omega,
+                        bool materialize);
+  /// The entry-wise RLS update of one observed entry (shared by both
+  /// paths; `idx[l]` is the mode-l index, `value` the observed entry).
+  template <typename IndexArray>
+  void RlsUpdate(const IndexArray& idx, double value,
+                 const std::vector<double>& w, std::vector<double>* h,
+                 std::vector<double>* ph);
+
   OlstecOptions options_;
+  ObservedSweep sweep_;
   std::vector<Matrix> factors_;
   /// cov_[mode][row] is the R x R inverse covariance P of that factor row.
   std::vector<std::vector<Matrix>> cov_;

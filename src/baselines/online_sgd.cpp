@@ -1,28 +1,20 @@
 #include "baselines/online_sgd.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "baselines/common.hpp"
 #include "tensor/kruskal.hpp"
 
 namespace sofia {
 
-DenseTensor OnlineSgd::Step(const DenseTensor& y, const Mask& omega) {
-  if (factors_.empty()) {
-    factors_ = RandomNontemporalFactors(y.shape(), options_.rank,
-                                        options_.seed);
-  }
-  // Temporal row: regularized LS on the observed entries.
-  std::vector<double> w =
-      SolveTemporalRow(y, omega, nullptr, factors_, options_.ridge);
-
+void OnlineSgd::ApplyGradients(
+    const std::vector<Matrix>& grads,
+    const std::vector<std::vector<double>>& traces) {
   // One SGD step on each non-temporal factor (all gradients at the current
   // iterate, applied simultaneously). The step is capped at the per-row
   // stability bound 0.5 / tr(H_row) — the paper tuned each baseline's step
   // by grid search, and an uncapped 0.1 step diverges on small slices.
-  std::vector<std::vector<double>> traces;
-  std::vector<Matrix> grads =
-      FactorGradients(y, omega, nullptr, factors_, w, &traces);
   for (size_t l = 0; l < factors_.size(); ++l) {
     for (size_t i = 0; i < factors_[l].rows(); ++i) {
       const double trace = traces[l][i];
@@ -36,7 +28,53 @@ DenseTensor OnlineSgd::Step(const DenseTensor& y, const Mask& omega) {
       }
     }
   }
-  return KruskalSlice(factors_, w);
+}
+
+DenseTensor OnlineSgd::Step(const DenseTensor& y, const Mask& omega) {
+  return StepShared(y, omega, nullptr, /*materialize=*/true);
+}
+
+DenseTensor OnlineSgd::Step(const DenseTensor& y, const Mask& omega,
+                            std::shared_ptr<const CooList> pattern) {
+  return StepShared(y, omega, std::move(pattern), /*materialize=*/true);
+}
+
+void OnlineSgd::Observe(const DenseTensor& y, const Mask& omega) {
+  StepShared(y, omega, nullptr, /*materialize=*/false);
+}
+
+DenseTensor OnlineSgd::StepShared(const DenseTensor& y, const Mask& omega,
+                                  std::shared_ptr<const CooList> pattern,
+                                  bool materialize) {
+  if (factors_.empty()) {
+    factors_ = RandomNontemporalFactors(y.shape(), options_.rank,
+                                        options_.seed);
+  }
+  if (!sweep_.sparse()) {
+    // Temporal row: regularized LS on the observed entries.
+    std::vector<double> w =
+        SolveTemporalRow(y, omega, nullptr, factors_, options_.ridge);
+    std::vector<std::vector<double>> traces;
+    std::vector<Matrix> grads =
+        FactorGradients(y, omega, nullptr, factors_, w, &traces);
+    ApplyGradients(grads, traces);
+    return materialize ? KruskalSlice(factors_, w) : DenseTensor();
+  }
+
+  sweep_.BeginStep(y, omega, std::move(pattern));
+  const std::vector<double>& values = sweep_.values();
+  std::vector<double> w =
+      sweep_.SolveTemporalRow(factors_, values, options_.ridge);
+
+  // Residuals at the current iterate, then per-row gradients + curvature
+  // traces — FactorGradients over the |Ω_t| records only.
+  std::vector<double> residuals = sweep_.Reconstruct(factors_, w);
+  for (size_t k = 0; k < residuals.size(); ++k) {
+    residuals[k] = values[k] - residuals[k];
+  }
+  ModeGradients g = sweep_.Gradients(factors_, w, residuals);
+  ApplyGradients(g.row_grads, g.row_trace);
+  return materialize ? KruskalSlice(factors_, w) : DenseTensor();
 }
 
 }  // namespace sofia

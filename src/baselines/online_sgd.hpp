@@ -2,8 +2,10 @@
 #define SOFIA_BASELINES_ONLINE_SGD_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "baselines/observed_sweep.hpp"
 #include "eval/streaming_method.hpp"
 #include "linalg/matrix.hpp"
 
@@ -24,20 +26,44 @@ struct OnlineSgdOptions {
   double learning_rate = 0.1;  ///< SGD step on the factors.
   double ridge = 1e-6;         ///< Tikhonov weight of the temporal solve.
   uint64_t seed = 7;
+  /// Worker threads for the observed-entry kernels (0 = hardware
+  /// concurrency); results are bitwise identical for every setting.
+  size_t num_threads = 1;
+  /// Route the temporal solve and gradient accumulation through the
+  /// ObservedSweep core (O(|Ω_t| N R) per step); false selects the
+  /// dense-scan reference path.
+  bool use_sparse_kernels = true;
 };
 
 /// OnlineSGD streaming method (no init window).
 class OnlineSgd : public StreamingMethod {
  public:
-  explicit OnlineSgd(OnlineSgdOptions options) : options_(options) {}
+  explicit OnlineSgd(OnlineSgdOptions options)
+      : options_(options),
+        sweep_(ObservedSweepOptions{options.num_threads,
+                                    options.use_sparse_kernels}) {}
 
   std::string name() const override { return "OnlineSGD"; }
   DenseTensor Step(const DenseTensor& y, const Mask& omega) override;
+  DenseTensor Step(const DenseTensor& y, const Mask& omega,
+                   std::shared_ptr<const CooList> pattern) override;
+  /// Advances the factors without materializing the dense KruskalSlice
+  /// estimate (output-only) — the forecast-protocol fast path.
+  void Observe(const DenseTensor& y, const Mask& omega) override;
 
   const std::vector<Matrix>& factors() const { return factors_; }
 
  private:
+  DenseTensor StepShared(const DenseTensor& y, const Mask& omega,
+                         std::shared_ptr<const CooList> pattern,
+                         bool materialize);
+  /// Capped SGD application shared by both paths (`grads` holds the descent
+  /// accumulation, `traces` the per-row curvature).
+  void ApplyGradients(const std::vector<Matrix>& grads,
+                      const std::vector<std::vector<double>>& traces);
+
   OnlineSgdOptions options_;
+  ObservedSweep sweep_;
   std::vector<Matrix> factors_;  ///< Lazily created on the first slice.
 };
 

@@ -1,5 +1,7 @@
 #include "baselines/or_mstc.hpp"
 
+#include <utility>
+
 #include "baselines/common.hpp"
 #include "core/sofia_als.hpp"  // SoftThreshold
 #include "linalg/solve.hpp"
@@ -8,10 +10,68 @@
 namespace sofia {
 
 DenseTensor OrMstc::Step(const DenseTensor& y, const Mask& omega) {
+  return StepShared(y, omega, nullptr, /*materialize=*/true);
+}
+
+DenseTensor OrMstc::Step(const DenseTensor& y, const Mask& omega,
+                         std::shared_ptr<const CooList> pattern) {
+  return StepShared(y, omega, std::move(pattern), /*materialize=*/true);
+}
+
+void OrMstc::Observe(const DenseTensor& y, const Mask& omega) {
+  StepShared(y, omega, nullptr, /*materialize=*/false);
+}
+
+DenseTensor OrMstc::StepShared(const DenseTensor& y, const Mask& omega,
+                               std::shared_ptr<const CooList> pattern,
+                               bool materialize) {
   if (factors_.empty()) {
     factors_ = RandomNontemporalFactors(y.shape(), options_.rank,
                                         options_.seed);
   }
+  if (!sweep_.sparse()) return StepDense(y, omega, materialize);
+
+  const size_t rank = options_.rank;
+  const double mu = options_.prox_weight;
+  const std::vector<Matrix> previous = factors_;
+  sweep_.BeginStep(y, omega, std::move(pattern));
+  const std::vector<double>& values = sweep_.values();
+  const size_t nnz = values.size();
+
+  // The sparse slab is record-aligned: outliers exist only at observed
+  // entries, so the dense O_t tensor of the reference path is never built.
+  std::vector<double> outliers(nnz, 0.0);
+  std::vector<double> ystar(nnz, 0.0);
+  auto refresh_ystar = [&]() {
+    for (size_t k = 0; k < nnz; ++k) ystar[k] = values[k] - outliers[k];
+  };
+
+  std::vector<double> w(rank, 0.0);
+  for (int iter = 0; iter < options_.inner_iterations; ++iter) {
+    refresh_ystar();
+    w = sweep_.SolveTemporalRow(factors_, ystar, options_.ridge);
+    for (size_t mode = 0; mode < factors_.size(); ++mode) {
+      sweep_.ProximalRowSweep(factors_, w, ystar, mode, previous[mode], mu,
+                              &factors_[mode]);
+    }
+    // Sparse slab: soft-threshold the observed residual. SliceReconstruct
+    // reproduces the dense path's KruskalSlice entry arithmetic, keeping
+    // the slab decisions aligned with the reference (bitwise whenever the
+    // temporal solves agree bitwise — see CooNormalSystem's blocking note).
+    const std::vector<double> recon = sweep_.SliceReconstruct(factors_, w);
+    for (size_t k = 0; k < nnz; ++k) {
+      outliers[k] = SoftThreshold(values[k] - recon[k],
+                                  options_.outlier_lambda);
+    }
+  }
+  if (!materialize) return DenseTensor();
+  refresh_ystar();
+  w = sweep_.SolveTemporalRow(factors_, ystar, options_.ridge);
+  return KruskalSlice(factors_, w);
+}
+
+DenseTensor OrMstc::StepDense(const DenseTensor& y, const Mask& omega,
+                              bool materialize) {
   const size_t rank = options_.rank;
   const double mu = options_.prox_weight;
   const std::vector<Matrix> previous = factors_;
@@ -23,17 +83,7 @@ DenseTensor OrMstc::Step(const DenseTensor& y, const Mask& omega) {
     for (size_t mode = 0; mode < factors_.size(); ++mode) {
       SliceRowSystems sys =
           BuildSliceRowSystems(y, omega, &outliers, factors_, w, mode);
-      Matrix& u = factors_[mode];
-      for (size_t i = 0; i < u.rows(); ++i) {
-        Matrix b = sys.b[i];
-        std::vector<double> c = sys.c[i];
-        const double* prev_row = previous[mode].Row(i);
-        for (size_t r = 0; r < rank; ++r) {
-          b(r, r) += mu;
-          c[r] += mu * prev_row[r];
-        }
-        u.SetRow(i, SolveRidge(b, c));
-      }
+      ApplyProximalRowUpdates(sys, previous[mode], mu, &factors_[mode]);
     }
     // Sparse slab: soft-threshold the observed residual.
     DenseTensor recon = KruskalSlice(factors_, w);
@@ -43,6 +93,7 @@ DenseTensor OrMstc::Step(const DenseTensor& y, const Mask& omega) {
                                  : 0.0;
     }
   }
+  if (!materialize) return DenseTensor();
   w = SolveTemporalRow(y, omega, &outliers, factors_, options_.ridge);
   return KruskalSlice(factors_, w);
 }

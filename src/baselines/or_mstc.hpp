@@ -2,8 +2,10 @@
 #define SOFIA_BASELINES_OR_MSTC_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "baselines/observed_sweep.hpp"
 #include "eval/streaming_method.hpp"
 #include "linalg/matrix.hpp"
 
@@ -28,20 +30,44 @@ struct OrMstcOptions {
   double ridge = 1e-6;
   int inner_iterations = 3;
   uint64_t seed = 17;
+  /// Worker threads for the observed-entry kernels (0 = hardware
+  /// concurrency); results are bitwise identical for every setting.
+  size_t num_threads = 1;
+  /// Route the inner loops through the ObservedSweep core — including the
+  /// outlier slab, which lives only at observed entries and is kept as a
+  /// record-aligned vector instead of a dense tensor. False selects the
+  /// dense-scan reference path.
+  bool use_sparse_kernels = true;
 };
 
 /// OR-MSTC streaming method (no init window).
 class OrMstc : public StreamingMethod {
  public:
-  explicit OrMstc(OrMstcOptions options) : options_(options) {}
+  explicit OrMstc(OrMstcOptions options)
+      : options_(options),
+        sweep_(ObservedSweepOptions{options.num_threads,
+                                    options.use_sparse_kernels}) {}
 
   std::string name() const override { return "OR-MSTC"; }
   DenseTensor Step(const DenseTensor& y, const Mask& omega) override;
+  DenseTensor Step(const DenseTensor& y, const Mask& omega,
+                   std::shared_ptr<const CooList> pattern) override;
+  /// Advances the factors without the output-only tail (the final temporal
+  /// re-solve and the dense reconstruction exist purely for the returned
+  /// estimate) — the forecast-protocol fast path.
+  void Observe(const DenseTensor& y, const Mask& omega) override;
 
   const std::vector<Matrix>& factors() const { return factors_; }
 
  private:
+  DenseTensor StepShared(const DenseTensor& y, const Mask& omega,
+                         std::shared_ptr<const CooList> pattern,
+                         bool materialize);
+  DenseTensor StepDense(const DenseTensor& y, const Mask& omega,
+                        bool materialize);
+
   OrMstcOptions options_;
+  ObservedSweep sweep_;
   std::vector<Matrix> factors_;
 };
 

@@ -1,6 +1,7 @@
 #include "baselines/smf.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "linalg/solve.hpp"
 #include "util/check.hpp"
@@ -9,6 +10,21 @@
 namespace sofia {
 
 DenseTensor Smf::Step(const DenseTensor& y, const Mask& omega) {
+  return StepShared(y, omega, nullptr, /*materialize=*/true);
+}
+
+DenseTensor Smf::Step(const DenseTensor& y, const Mask& omega,
+                      std::shared_ptr<const CooList> pattern) {
+  return StepShared(y, omega, std::move(pattern), /*materialize=*/true);
+}
+
+void Smf::Observe(const DenseTensor& y, const Mask& omega) {
+  StepShared(y, omega, nullptr, /*materialize=*/false);
+}
+
+DenseTensor Smf::StepShared(const DenseTensor& y, const Mask& omega,
+                            std::shared_ptr<const CooList> pattern,
+                            bool materialize) {
   const size_t rank = options_.rank;
   const size_t m = options_.period;
   if (loadings_.empty()) {
@@ -22,16 +38,34 @@ DenseTensor Smf::Step(const DenseTensor& y, const Mask& omega) {
   }
   SOFIA_CHECK(y.shape() == slice_shape_);
 
-  // Latent weights: ridge LS of the observed entries against A's rows.
+  const bool sparse = sweep_.sparse();
+  if (sparse) sweep_.BeginStep(y, omega, std::move(pattern));
+
+  // Latent weights: ridge LS of the observed entries against A's rows. The
+  // loading rows are keyed by the linear entry index, so the sparse path
+  // walks the compacted records (same ascending order as the dense scan).
   Matrix b(rank, rank);
   std::vector<double> c(rank, 0.0);
-  for (size_t k = 0; k < y.NumElements(); ++k) {
-    if (!omega.Get(k)) continue;
-    const double* arow = loadings_.Row(k);
-    for (size_t r = 0; r < rank; ++r) {
-      c[r] += y[k] * arow[r];
-      double* brow = b.Row(r);
-      for (size_t q = 0; q < rank; ++q) brow[q] += arow[r] * arow[q];
+  if (sparse) {
+    const CooList& coo = sweep_.pattern();
+    const std::vector<double>& values = sweep_.values();
+    for (size_t k = 0; k < coo.nnz(); ++k) {
+      const double* arow = loadings_.Row(coo.LinearIndex(k));
+      for (size_t r = 0; r < rank; ++r) {
+        c[r] += values[k] * arow[r];
+        double* brow = b.Row(r);
+        for (size_t q = 0; q < rank; ++q) brow[q] += arow[r] * arow[q];
+      }
+    }
+  } else {
+    for (size_t k = 0; k < y.NumElements(); ++k) {
+      if (!omega.Get(k)) continue;
+      const double* arow = loadings_.Row(k);
+      for (size_t r = 0; r < rank; ++r) {
+        c[r] += y[k] * arow[r];
+        double* brow = b.Row(r);
+        for (size_t q = 0; q < rank; ++q) brow[q] += arow[r] * arow[q];
+      }
     }
   }
   for (size_t r = 0; r < rank; ++r) b(r, r) += options_.ridge;
@@ -67,14 +101,30 @@ DenseTensor Smf::Step(const DenseTensor& y, const Mask& omega) {
   const double mu = w_energy > 0.0
                         ? std::min(options_.learning_rate, 0.5 / w_energy)
                         : options_.learning_rate;
-  for (size_t k = 0; k < y.NumElements(); ++k) {
-    if (!omega.Get(k)) continue;
-    double* arow = loadings_.Row(k);
-    double recon = 0.0;
-    for (size_t r = 0; r < rank; ++r) recon += arow[r] * w[r];
-    const double resid = y[k] - recon;
-    for (size_t r = 0; r < rank; ++r) {
-      arow[r] += 2.0 * mu * resid * w[r];
+  if (sparse) {
+    // Every record owns a distinct loading row (linear indices are unique
+    // within a slice), so the drift touches only |Ω_t| rows.
+    const CooList& coo = sweep_.pattern();
+    const std::vector<double>& values = sweep_.values();
+    for (size_t k = 0; k < coo.nnz(); ++k) {
+      double* arow = loadings_.Row(coo.LinearIndex(k));
+      double recon = 0.0;
+      for (size_t r = 0; r < rank; ++r) recon += arow[r] * w[r];
+      const double resid = values[k] - recon;
+      for (size_t r = 0; r < rank; ++r) {
+        arow[r] += 2.0 * mu * resid * w[r];
+      }
+    }
+  } else {
+    for (size_t k = 0; k < y.NumElements(); ++k) {
+      if (!omega.Get(k)) continue;
+      double* arow = loadings_.Row(k);
+      double recon = 0.0;
+      for (size_t r = 0; r < rank; ++r) recon += arow[r] * w[r];
+      const double resid = y[k] - recon;
+      for (size_t r = 0; r < rank; ++r) {
+        arow[r] += 2.0 * mu * resid * w[r];
+      }
     }
   }
 
@@ -107,6 +157,8 @@ DenseTensor Smf::Step(const DenseTensor& y, const Mask& omega) {
   }
   season_pos_ = (season_pos_ + 1) % m;
   ++steps_seen_;
+
+  if (!materialize) return DenseTensor();
 
   // Reconstruction A w.
   DenseTensor recon(slice_shape_);

@@ -2,8 +2,10 @@
 #define SOFIA_BASELINES_SMF_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "baselines/observed_sweep.hpp"
 #include "eval/streaming_method.hpp"
 #include "linalg/matrix.hpp"
 
@@ -29,21 +31,47 @@ struct SmfOptions {
   double trend_beta = 0.05;    ///< Trend smoothing.
   double season_gamma = 0.3;   ///< Seasonal smoothing.
   uint64_t seed = 23;
+  /// Worker threads for the observed-entry kernels (0 = hardware
+  /// concurrency). SMF's loading rows are keyed by the linear entry index,
+  /// so its sparse sweeps are sequential record loops — results are
+  /// bitwise identical for every setting.
+  size_t num_threads = 1;
+  /// Route the latent LS accumulation and the loading drift through the
+  /// compacted record list (O(|Ω_t| R) per pass); false selects the
+  /// dense-scan reference path.
+  bool use_sparse_kernels = true;
 };
 
 /// SMF streaming method (forecast-capable; no init window).
 class Smf : public StreamingMethod {
  public:
-  explicit Smf(SmfOptions options) : options_(options) {}
+  explicit Smf(SmfOptions options)
+      : options_(options),
+        // No bucketed motifs: both sweeps are linear-indexed record loops.
+        sweep_(ObservedSweepOptions{options.num_threads,
+                                    options.use_sparse_kernels,
+                                    /*reuse_step_pattern=*/true,
+                                    /*with_mode_buckets=*/false}) {}
 
   std::string name() const override { return "SMF"; }
   DenseTensor Step(const DenseTensor& y, const Mask& omega) override;
+  DenseTensor Step(const DenseTensor& y, const Mask& omega,
+                   std::shared_ptr<const CooList> pattern) override;
+  /// Advances loadings and level/trend/seasonal state without the
+  /// output-only dense reconstruction A w — the forecast-protocol fast
+  /// path (what the Fig. 6 protocol actually drives).
+  void Observe(const DenseTensor& y, const Mask& omega) override;
 
   bool SupportsForecast() const override { return true; }
   DenseTensor Forecast(size_t h) const override;
 
  private:
+  DenseTensor StepShared(const DenseTensor& y, const Mask& omega,
+                         std::shared_ptr<const CooList> pattern,
+                         bool materialize);
+
   SmfOptions options_;
+  ObservedSweep sweep_;
   Shape slice_shape_;
   Matrix loadings_;  ///< A: (prod slice dims) x R.
   // Level/trend/seasonal state of the latent weights (vector HW form).

@@ -1,10 +1,47 @@
 #include "eval/stream_runner.hpp"
 
+#include <memory>
+
+#include "baselines/observed_sweep.hpp"
 #include "eval/metrics.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
 namespace sofia {
+
+namespace {
+
+/// Shared init-window phase of RunImputation / RunImputationComparison:
+/// feed the first `window` slices to Initialize(), time it, and score the
+/// returned completions into `result->nre`. No-op when window == 0.
+void ScoreInitWindow(StreamingMethod* method, const CorruptedStream& stream,
+                     const std::vector<DenseTensor>& truth, size_t window,
+                     StreamRunResult* result) {
+  if (window == 0) return;
+  std::vector<DenseTensor> init_slices(stream.slices.begin(),
+                                       stream.slices.begin() + window);
+  std::vector<Mask> init_masks(stream.masks.begin(),
+                               stream.masks.begin() + window);
+  Stopwatch init_timer;
+  std::vector<DenseTensor> completed =
+      method->Initialize(init_slices, init_masks);
+  result->init_seconds = init_timer.ElapsedSeconds();
+  SOFIA_CHECK_EQ(completed.size(), window);
+  for (size_t t = 0; t < window; ++t) {
+    result->nre.push_back(NormalizedResidualError(completed[t], truth[t]));
+  }
+}
+
+/// Shared aggregate metrics: RAE over everything, RAE excluding the init
+/// window, mean per-step time.
+void FinalizeRunMetrics(size_t window, StreamRunResult* result) {
+  result->rae = Mean(result->nre);
+  result->rae_post_init = Mean(std::vector<double>(
+      result->nre.begin() + static_cast<long>(window), result->nre.end()));
+  result->art_seconds = Mean(result->step_seconds);
+}
+
+}  // namespace
 
 StreamRunResult RunImputation(StreamingMethod* method,
                               const CorruptedStream& stream,
@@ -16,21 +53,7 @@ StreamRunResult RunImputation(StreamingMethod* method,
 
   StreamRunResult result;
   result.nre.reserve(total);
-
-  if (window > 0) {
-    std::vector<DenseTensor> init_slices(stream.slices.begin(),
-                                         stream.slices.begin() + window);
-    std::vector<Mask> init_masks(stream.masks.begin(),
-                                 stream.masks.begin() + window);
-    Stopwatch init_timer;
-    std::vector<DenseTensor> completed =
-        method->Initialize(init_slices, init_masks);
-    result.init_seconds = init_timer.ElapsedSeconds();
-    SOFIA_CHECK_EQ(completed.size(), window);
-    for (size_t t = 0; t < window; ++t) {
-      result.nre.push_back(NormalizedResidualError(completed[t], truth[t]));
-    }
-  }
+  ScoreInitWindow(method, stream, truth, window, &result);
 
   result.step_seconds.reserve(total - window);
   for (size_t t = window; t < total; ++t) {
@@ -40,11 +63,58 @@ StreamRunResult RunImputation(StreamingMethod* method,
     result.nre.push_back(NormalizedResidualError(imputed, truth[t]));
   }
 
-  result.rae = Mean(result.nre);
-  result.rae_post_init = Mean(std::vector<double>(
-      result.nre.begin() + static_cast<long>(window), result.nre.end()));
-  result.art_seconds = Mean(result.step_seconds);
+  FinalizeRunMetrics(window, &result);
   return result;
+}
+
+std::vector<MethodRunResult> RunImputationComparison(
+    const std::vector<StreamingMethod*>& methods,
+    const CorruptedStream& stream, const std::vector<DenseTensor>& truth) {
+  SOFIA_CHECK_EQ(stream.slices.size(), truth.size());
+  const size_t total = truth.size();
+
+  std::vector<MethodRunResult> out(methods.size());
+  std::vector<size_t> windows(methods.size(), 0);
+  for (size_t m = 0; m < methods.size(); ++m) {
+    StreamingMethod* method = methods[m];
+    out[m].name = method->name();
+    const size_t window = method->init_window();
+    SOFIA_CHECK_LE(window, total);
+    windows[m] = window;
+    out[m].run.nre.reserve(total);
+    out[m].run.step_seconds.reserve(total - window);
+    ScoreInitWindow(method, stream, truth, window, &out[m].run);
+  }
+
+  // Shared step loop: one CooList per distinct consecutive mask, handed to
+  // every method due a step at time t. Built lazily against the cached
+  // mask, so steps that fall inside every method's init window (where
+  // nobody consumes the hint) never pay the compaction.
+  std::shared_ptr<const CooList> pattern;
+  Mask pattern_mask;
+  for (size_t t = 0; t < total; ++t) {
+    const Mask& omega = stream.masks[t];
+    bool due = false;
+    for (size_t m = 0; m < methods.size() && !due; ++m) due = t >= windows[m];
+    if (!due) continue;
+    if (pattern == nullptr || pattern_mask != omega) {
+      pattern = MakeSharedPattern(omega);
+      pattern_mask = omega;
+    }
+    for (size_t m = 0; m < methods.size(); ++m) {
+      if (t < windows[m]) continue;
+      Stopwatch timer;
+      DenseTensor imputed =
+          methods[m]->Step(stream.slices[t], omega, pattern);
+      out[m].run.step_seconds.push_back(timer.ElapsedSeconds());
+      out[m].run.nre.push_back(NormalizedResidualError(imputed, truth[t]));
+    }
+  }
+
+  for (size_t m = 0; m < methods.size(); ++m) {
+    FinalizeRunMetrics(windows[m], &out[m].run);
+  }
+  return out;
 }
 
 double RunForecast(StreamingMethod* method, const CorruptedStream& stream,

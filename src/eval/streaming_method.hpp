@@ -1,9 +1,11 @@
 #ifndef SOFIA_EVAL_STREAMING_METHOD_H_
 #define SOFIA_EVAL_STREAMING_METHOD_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "tensor/coo_list.hpp"
 #include "tensor/dense_tensor.hpp"
 #include "tensor/mask.hpp"
 
@@ -36,6 +38,16 @@ class StreamingMethod {
 
   /// Consumes one subtensor; returns the imputed (completed) estimate.
   virtual DenseTensor Step(const DenseTensor& y, const Mask& omega) = 0;
+
+  /// Step with an externally built coordinate pattern of `omega` (with mode
+  /// buckets). Comparison runners build each slice's CooList once and share
+  /// it across every method per step; methods on the ObservedSweep core
+  /// override this to skip their own build. The default ignores the hint.
+  virtual DenseTensor Step(const DenseTensor& y, const Mask& omega,
+                           std::shared_ptr<const CooList> pattern) {
+    (void)pattern;
+    return Step(y, omega);
+  }
 
   /// Consumes one subtensor when the caller does not need the imputed
   /// estimate (the forecasting protocol): methods with a lazy step result

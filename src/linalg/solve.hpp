@@ -39,6 +39,26 @@ std::vector<double> SolveRidge(const Matrix& a, const std::vector<double>& b,
 /// Cholesky factor L (lower) with A = L L^T. Returns false if not SPD.
 bool CholeskyFactorize(const Matrix& a, Matrix* l);
 
+/// Allocation-free SPD solve: factor `a` (row-major n x n, overwritten with
+/// L in its lower triangle) and solve into `rhs` in place. Returns false on
+/// a non-positive pivot, leaving the caller to fall back to a pivoted
+/// solver. For the hot small-R row solves (one per factor row per sweep)
+/// where per-solve heap traffic would dominate the arithmetic.
+bool CholeskySolveInPlace(double* a, double* rhs, size_t n);
+
+/// Proximal ridge row solve `out = (B + μI)^{-1} (c + μ prev)` on raw
+/// n-sized buffers (B row-major n x n). Single source of the arithmetic
+/// shared by the dense and observed-entry MAST / OR-MSTC row updates, so
+/// the two kernel paths stay bitwise aligned: an exactly-empty system
+/// (B = 0, c = 0, μ != 0) short-circuits to the scalar divide the solve
+/// reduces to, the SPD case goes through CholeskySolveInPlace in the
+/// caller-provided scratch (each n * n and n doubles), and anything
+/// irregular (μ = 0 with rank-deficient B) falls back to SolveRidge.
+/// `out` may alias `prev`.
+void ProximalRowSolve(const double* b, const double* c, const double* prev,
+                      double mu, size_t n, double* a_scratch,
+                      double* rhs_scratch, double* out);
+
 /// Solve SPD `A x = b` via Cholesky; falls back to LU when not SPD.
 std::vector<double> SolveSpd(const Matrix& a, const std::vector<double>& b);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <type_traits>
 
+#include "linalg/solve.hpp"
 #include "tensor/kruskal.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
@@ -76,6 +77,21 @@ struct RankBuffer<0> {
   std::vector<double> dynamic;
 };
 
+/// Scratch R x R matrix, same storage policy.
+template <size_t kR>
+struct RankSquareBuffer {
+  double* get(size_t) { return fixed; }
+  double fixed[kR * kR];
+};
+template <>
+struct RankSquareBuffer<0> {
+  double* get(size_t rank) {
+    dynamic.resize(rank * rank);
+    return dynamic.data();
+  }
+  std::vector<double> dynamic;
+};
+
 template <size_t kR>
 void CooMttkrpImpl(const CooList& coo, const std::vector<double>& values,
                    const std::vector<FactorView>& views, size_t mode,
@@ -108,42 +124,125 @@ void CooMttkrpImpl(const CooList& coo, const std::vector<double>& values,
   });
 }
 
+/// Accumulate one mode slice's normal equations into raw b/c buffers
+/// (assumed zeroed by the caller): h = weights ⊛ leave-one-out product
+/// (weights == nullptr starts h at 1 — the plain Theorem-1 systems), rank-1
+/// updates on the upper triangle, mirrored once at the end. The single
+/// source of this arithmetic for both the materialized row-system kernels
+/// and the fused proximal updates, so the two stay bitwise aligned.
 template <size_t kR>
-void CooRowSystemsImpl(const CooList& coo, const std::vector<double>& values,
-                       const std::vector<FactorView>& views, size_t mode,
-                       size_t num_threads, ThreadPool* pool, size_t rank,
-                       RowSystems* sys) {
+void AccumulateSliceRowSystem(const CooList& coo,
+                              const std::vector<double>& values,
+                              const std::vector<FactorView>& views,
+                              const double* weights, size_t mode,
+                              size_t slice, size_t rank, double* h,
+                              double* bdata, double* c) {
   const std::vector<uint32_t>& order = coo.ModeOrder(mode);
   const std::vector<size_t>& ptr = coo.SlicePtr(mode);
   const size_t num_modes = views.size();
-  // One task per mode slice (= one output row system): the h h^T rank-1
-  // update touches only the upper triangle, mirrored once per row after the
-  // slice's records are drained.
+  const size_t R = kR == 0 ? rank : kR;
+  for (size_t p = ptr[slice]; p < ptr[slice + 1]; ++p) {
+    const size_t k = order[p];
+    const uint32_t* idx = coo.Coords(k);
+    for (size_t r = 0; r < R; ++r) h[r] = weights ? weights[r] : 1.0;
+    for (size_t l = 0; l < num_modes; ++l) {
+      if (l == mode) continue;
+      const double* row = views[l].data + idx[l] * views[l].cols;
+      for (size_t r = 0; r < R; ++r) h[r] *= row[r];
+    }
+    const double ystar = values[k];
+    for (size_t r = 0; r < R; ++r) {
+      const double hr = h[r];
+      c[r] += ystar * hr;
+      double* brow = bdata + r * R;
+      for (size_t q = r; q < R; ++q) brow[q] += hr * h[q];
+    }
+  }
+  for (size_t r = 0; r < R; ++r) {
+    for (size_t q = r + 1; q < R; ++q) bdata[q * R + r] = bdata[r * R + q];
+  }
+}
+
+/// Shared accumulation of CooRowSystems / CooWeightedRowSystems: one task
+/// per mode slice (= one output row system), so no two threads ever write
+/// the same accumulator.
+template <size_t kR>
+void CooRowSystemsImpl(const CooList& coo, const std::vector<double>& values,
+                       const std::vector<FactorView>& views,
+                       const double* weights, size_t mode, size_t num_threads,
+                       ThreadPool* pool, size_t rank, RowSystems* sys) {
   RunTasks(pool, num_threads, sys->b.size(), [&](size_t slice) {
     const size_t R = kR == 0 ? rank : kR;
     RankBuffer<kR> buf;
+    AccumulateSliceRowSystem<kR>(coo, values, views, weights, mode, slice,
+                                 rank, buf.get(R), sys->b[slice].data(),
+                                 sys->c[slice].data());
+  });
+}
+
+/// Fused row-system accumulation + proximal solve of one mode. Per task
+/// (= one mode slice = one output row): accumulate B/c via the shared
+/// AccumulateSliceRowSystem, then hand the system to the shared
+/// ProximalRowSolve in stack buffers — the same routines the materialized
+/// kernels and the dense path's ApplyProximalRowUpdates run, so the paths
+/// stay bitwise aligned.
+template <size_t kR>
+void CooProximalRowUpdatesImpl(const CooList& coo,
+                               const std::vector<double>& values,
+                               const std::vector<FactorView>& views,
+                               const double* weights, size_t mode,
+                               const Matrix& previous, double mu,
+                               size_t num_threads, ThreadPool* pool,
+                               size_t rank, Matrix* u) {
+  RunTasks(pool, num_threads, u->rows(), [&](size_t slice) {
+    const size_t R = kR == 0 ? rank : kR;
+    RankBuffer<kR> hbuf, cbuf, rhsbuf;
+    RankSquareBuffer<kR> bbuf, abuf;
+    double* b = bbuf.get(R);
+    double* c = cbuf.get(R);
+    for (size_t e = 0; e < R * R; ++e) b[e] = 0.0;
+    for (size_t r = 0; r < R; ++r) c[r] = 0.0;
+    AccumulateSliceRowSystem<kR>(coo, values, views, weights, mode, slice,
+                                 rank, hbuf.get(R), b, c);
+    ProximalRowSolve(b, c, previous.Row(slice), mu, R, abuf.get(R),
+                     rhsbuf.get(R), u->Row(slice));
+  });
+}
+
+/// Blocked accumulation of the slice-global temporal system: each block owns
+/// a packed [B | c] accumulator of R*R + R doubles, combined in block order
+/// by the caller. Per record the full R x R matrix is accumulated in the
+/// dense-scan order (c then each row of B), so a single-block run matches
+/// baselines/common.hpp's SolveTemporalRow accumulation bitwise.
+template <size_t kR>
+void CooNormalSystemImpl(const CooList& coo, const std::vector<double>& values,
+                         const std::vector<FactorView>& views,
+                         size_t num_threads, ThreadPool* pool, size_t rank,
+                         std::vector<double>* partial) {
+  const size_t num_modes = views.size();
+  const size_t num_blocks = (coo.nnz() + kReductionBlock - 1) / kReductionBlock;
+  RunTasks(pool, num_threads, num_blocks, [&](size_t block) {
+    const size_t R = kR == 0 ? rank : kR;
+    RankBuffer<kR> buf;
     double* h = buf.get(R);
-    double* bdata = sys->b[slice].data();
-    double* c = sys->c[slice].data();
-    for (size_t p = ptr[slice]; p < ptr[slice + 1]; ++p) {
-      const size_t k = order[p];
+    double* out = partial->data() + block * (R * R + R);  // [B rows | c].
+    const size_t begin = block * kReductionBlock;
+    const size_t end = std::min(begin + kReductionBlock, coo.nnz());
+    for (size_t k = begin; k < end; ++k) {
       const uint32_t* idx = coo.Coords(k);
       for (size_t r = 0; r < R; ++r) h[r] = 1.0;
       for (size_t l = 0; l < num_modes; ++l) {
-        if (l == mode) continue;
         const double* row = views[l].data + idx[l] * views[l].cols;
         for (size_t r = 0; r < R; ++r) h[r] *= row[r];
       }
-      const double ystar = values[k];
+      const double v = values[k];
+      double* c = out + R * R;
       for (size_t r = 0; r < R; ++r) {
         const double hr = h[r];
-        c[r] += ystar * hr;
-        double* brow = bdata + r * R;
-        for (size_t q = r; q < R; ++q) brow[q] += hr * h[q];
+        c[r] += v * hr;
+        double* brow = out + r * R;
+        for (size_t q = 0; q < R; ++q) brow[q] += hr * h[q];
       }
-    }
-    for (size_t r = 0; r < R; ++r) {
-      for (size_t q = r + 1; q < R; ++q) bdata[q * R + r] = bdata[r * R + q];
     }
   });
 }
@@ -206,10 +305,46 @@ void CooKruskalGatherImpl(const CooList& coo,
   });
 }
 
+/// KruskalSlice-order gather: chain = fold of the non-leading modes from
+/// highest to lowest (KhatriRaoChain's accumulation order), then
+/// u^(0) · (w ⊛ chain) — bit-for-bit the arithmetic of KruskalFromChain.
+template <size_t kR>
+void CooKruskalSliceGatherImpl(const CooList& coo,
+                               const std::vector<FactorView>& views,
+                               const double* temporal_row, size_t num_threads,
+                               ThreadPool* pool, size_t rank,
+                               std::vector<double>* out) {
+  const size_t num_modes = views.size();
+  const size_t num_blocks = (coo.nnz() + kReductionBlock - 1) / kReductionBlock;
+  RunTasks(pool, num_threads, num_blocks, [&](size_t block) {
+    const size_t R = kR == 0 ? rank : kR;
+    RankBuffer<kR> buf;
+    double* chain = buf.get(R);
+    const size_t begin = block * kReductionBlock;
+    const size_t end = std::min(begin + kReductionBlock, coo.nnz());
+    for (size_t k = begin; k < end; ++k) {
+      const uint32_t* idx = coo.Coords(k);
+      for (size_t r = 0; r < R; ++r) chain[r] = 1.0;
+      for (size_t l = num_modes; l-- > 1;) {
+        const double* row = views[l].data + idx[l] * views[l].cols;
+        for (size_t r = 0; r < R; ++r) chain[r] *= row[r];
+      }
+      const double* lead = views[0].data + idx[0] * views[0].cols;
+      double v = 0.0;
+      for (size_t r = 0; r < R; ++r) {
+        v += lead[r] * (temporal_row[r] * chain[r]);
+      }
+      (*out)[k] = v;
+    }
+  });
+}
+
 /// Gradient + curvature trace of one non-temporal mode: each task owns one
 /// mode slice (= one gradient row and one trace scalar), with records in
-/// ascending linear order within the slice.
-template <size_t kR>
+/// ascending linear order within the slice. `kTrace = false` compiles out
+/// the curvature accumulation for consumers that only want gradients
+/// (BRST's gated MAP step).
+template <size_t kR, bool kTrace = true>
 void CooModeGradientImpl(const CooList& coo,
                          const std::vector<double>& residuals,
                          const std::vector<FactorView>& views,
@@ -236,11 +371,11 @@ void CooModeGradientImpl(const CooList& coo,
       }
       const double resid = residuals[k];
       for (size_t r = 0; r < R; ++r) {
-        tr += h[r] * h[r];
+        if constexpr (kTrace) tr += h[r] * h[r];
         if (resid != 0.0) grow[r] += resid * h[r];
       }
     }
-    (*trace)[slice] = tr;
+    if constexpr (kTrace) (*trace)[slice] = tr;
   });
 }
 
@@ -318,10 +453,126 @@ RowSystems CooRowSystems(const CooList& coo, const std::vector<double>& values,
   sys.c.assign(coo.shape().dim(mode), std::vector<double>(rank, 0.0));
   const std::vector<FactorView> views = MakeViews(factors);
   DispatchRank(rank, [&](auto tag) {
-    CooRowSystemsImpl<decltype(tag)::value>(coo, values, views, mode,
+    CooRowSystemsImpl<decltype(tag)::value>(coo, values, views,
+                                            /*weights=*/nullptr, mode,
                                             num_threads, pool, rank, &sys);
   });
   return sys;
+}
+
+RowSystems CooWeightedRowSystems(const CooList& coo,
+                                 const std::vector<double>& values,
+                                 const std::vector<Matrix>& factors,
+                                 const std::vector<double>& temporal_row,
+                                 size_t mode, size_t num_threads,
+                                 ThreadPool* pool) {
+  SOFIA_CHECK_LT(mode, coo.order());
+  SOFIA_CHECK_EQ(values.size(), coo.nnz());
+  SOFIA_CHECK(coo.has_mode_bucket(mode));
+  const size_t rank = factors.empty() ? 0 : factors[0].cols();
+  CheckFactors(coo, factors, rank);
+  SOFIA_CHECK_EQ(temporal_row.size(), rank);
+
+  RowSystems sys;
+  sys.b.assign(coo.shape().dim(mode), Matrix(rank, rank));
+  sys.c.assign(coo.shape().dim(mode), std::vector<double>(rank, 0.0));
+  const std::vector<FactorView> views = MakeViews(factors);
+  DispatchRank(rank, [&](auto tag) {
+    CooRowSystemsImpl<decltype(tag)::value>(coo, values, views,
+                                            temporal_row.data(), mode,
+                                            num_threads, pool, rank, &sys);
+  });
+  return sys;
+}
+
+void CooProximalRowUpdates(const CooList& coo,
+                           const std::vector<double>& values,
+                           const std::vector<Matrix>& factors,
+                           const std::vector<double>& temporal_row,
+                           size_t mode, const Matrix& previous, double mu,
+                           Matrix* u, size_t num_threads, ThreadPool* pool) {
+  SOFIA_CHECK_LT(mode, coo.order());
+  SOFIA_CHECK_EQ(values.size(), coo.nnz());
+  SOFIA_CHECK(coo.has_mode_bucket(mode));
+  const size_t rank = factors.empty() ? 0 : factors[0].cols();
+  CheckFactors(coo, factors, rank);
+  SOFIA_CHECK_EQ(temporal_row.size(), rank);
+  SOFIA_CHECK_EQ(u->rows(), coo.shape().dim(mode));
+  SOFIA_CHECK_EQ(u->cols(), rank);
+  SOFIA_CHECK_EQ(previous.rows(), u->rows());
+  SOFIA_CHECK_EQ(previous.cols(), rank);
+
+  const std::vector<FactorView> views = MakeViews(factors);
+  DispatchRank(rank, [&](auto tag) {
+    CooProximalRowUpdatesImpl<decltype(tag)::value>(
+        coo, values, views, temporal_row.data(), mode, previous, mu,
+        num_threads, pool, rank, u);
+  });
+}
+
+NormalSystem CooNormalSystem(const CooList& coo,
+                             const std::vector<double>& values,
+                             const std::vector<Matrix>& factors,
+                             size_t num_threads, ThreadPool* pool) {
+  SOFIA_CHECK_EQ(values.size(), coo.nnz());
+  const size_t rank = factors.empty() ? 0 : factors[0].cols();
+  CheckFactors(coo, factors, rank);
+
+  const size_t num_blocks = (coo.nnz() + kReductionBlock - 1) / kReductionBlock;
+  std::vector<double> partial(num_blocks * (rank * rank + rank), 0.0);
+  const std::vector<FactorView> views = MakeViews(factors);
+  DispatchRank(rank, [&](auto tag) {
+    CooNormalSystemImpl<decltype(tag)::value>(coo, values, views, num_threads,
+                                              pool, rank, &partial);
+  });
+
+  NormalSystem sys;
+  sys.b = Matrix(rank, rank);
+  sys.c.assign(rank, 0.0);
+  for (size_t block = 0; block < num_blocks; ++block) {
+    const double* out = partial.data() + block * (rank * rank + rank);
+    double* bdata = sys.b.data();
+    for (size_t e = 0; e < rank * rank; ++e) bdata[e] += out[e];
+    for (size_t r = 0; r < rank; ++r) sys.c[r] += out[rank * rank + r];
+  }
+  return sys;
+}
+
+ModeGradients CooModeGradients(const CooList& coo,
+                               const std::vector<double>& residuals,
+                               const std::vector<Matrix>& factors,
+                               const std::vector<double>& temporal_row,
+                               size_t num_threads, ThreadPool* pool,
+                               bool with_traces) {
+  SOFIA_CHECK_EQ(residuals.size(), coo.nnz());
+  const size_t rank = factors.empty() ? 0 : factors[0].cols();
+  CheckFactors(coo, factors, rank);
+  SOFIA_CHECK_EQ(temporal_row.size(), rank);
+
+  ModeGradients g;
+  g.row_grads.reserve(factors.size());
+  g.row_trace.resize(factors.size());
+  for (size_t n = 0; n < factors.size(); ++n) {
+    g.row_grads.emplace_back(factors[n].rows(), rank, 0.0);
+    if (with_traces) g.row_trace[n].assign(factors[n].rows(), 0.0);
+  }
+
+  const std::vector<FactorView> views = MakeViews(factors);
+  DispatchRank(rank, [&](auto tag) {
+    for (size_t mode = 0; mode < factors.size(); ++mode) {
+      SOFIA_CHECK(coo.has_mode_bucket(mode));
+      if (with_traces) {
+        CooModeGradientImpl<decltype(tag)::value, true>(
+            coo, residuals, views, temporal_row.data(), mode, num_threads,
+            pool, rank, &g.row_grads[mode], &g.row_trace[mode]);
+      } else {
+        CooModeGradientImpl<decltype(tag)::value, false>(
+            coo, residuals, views, temporal_row.data(), mode, num_threads,
+            pool, rank, &g.row_grads[mode], nullptr);
+      }
+    }
+  });
+  return g;
 }
 
 double CooResidualSquaredNorm(const CooList& coo,
@@ -366,6 +617,23 @@ std::vector<double> CooKruskalGather(const CooList& coo,
   const std::vector<FactorView> views = MakeViews(factors);
   DispatchRank(rank, [&](auto tag) {
     CooKruskalGatherImpl<decltype(tag)::value>(
+        coo, views, temporal_row.data(), num_threads, pool, rank, &out);
+  });
+  return out;
+}
+
+std::vector<double> CooKruskalSliceGather(
+    const CooList& coo, const std::vector<Matrix>& factors,
+    const std::vector<double>& temporal_row, size_t num_threads,
+    ThreadPool* pool) {
+  const size_t rank = factors.empty() ? 0 : factors[0].cols();
+  CheckFactors(coo, factors, rank);
+  SOFIA_CHECK_EQ(temporal_row.size(), rank);
+
+  std::vector<double> out(coo.nnz());
+  const std::vector<FactorView> views = MakeViews(factors);
+  DispatchRank(rank, [&](auto tag) {
+    CooKruskalSliceGatherImpl<decltype(tag)::value>(
         coo, views, temporal_row.data(), num_threads, pool, rank, &out);
   });
   return out;

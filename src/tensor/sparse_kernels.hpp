@@ -34,6 +34,24 @@ struct RowSystems {
   std::vector<std::vector<double>> c;  // One R vector per row.
 };
 
+/// Slice-global normal equations: B = Σ h h^T and c = Σ values[k] h over all
+/// observed entries, with h the full Hadamard product of the factor rows at
+/// the entry. This is the regressor system of every baseline's temporal-row
+/// solve (see baselines/common.hpp's SolveTemporalRow).
+struct NormalSystem {
+  Matrix b;
+  std::vector<double> c;
+};
+
+/// Per-mode factor gradients of 0.5 ||Ω ⊛ (Y* - [[factors; w]])||^2 at the
+/// current iterate, plus the per-row Gauss-Newton curvature traces used to
+/// cap SGD steps — the observed-entry counterpart of baselines/common.hpp's
+/// FactorGradients.
+struct ModeGradients {
+  std::vector<Matrix> row_grads;               ///< One (rows x R) per mode.
+  std::vector<std::vector<double>> row_trace;  ///< Σ reg² per mode row.
+};
+
 /// MTTKRP over observed entries: row i of the result accumulates
 /// values[k] * h_k for every record k in mode-`mode` slice i. Equals
 /// MaskedMttkrp on the dense pair the CooList was built from. Requires a
@@ -50,6 +68,64 @@ Matrix CooMttkrp(const CooList& coo, const std::vector<double>& values,
 RowSystems CooRowSystems(const CooList& coo, const std::vector<double>& values,
                          const std::vector<Matrix>& factors, size_t mode,
                          size_t num_threads = 1, ThreadPool* pool = nullptr);
+
+/// Accumulate the slice-global temporal normal equations from observed
+/// entries: h_k is the Hadamard product over *all* modes' factor rows at
+/// record k (multiplied in mode order, matching the dense scan), and the
+/// full R x R matrix is accumulated per record in the dense order so the
+/// result matches baselines/common.hpp's SolveTemporalRow accumulation.
+/// Blocked over fixed-size record ranges with partials combined in block
+/// order — bitwise identical for every thread count. Works on bucket-less
+/// CooLists.
+NormalSystem CooNormalSystem(const CooList& coo,
+                             const std::vector<double>& values,
+                             const std::vector<Matrix>& factors,
+                             size_t num_threads = 1, ThreadPool* pool = nullptr);
+
+/// CooRowSystems with the temporal weight folded into the regressor:
+/// h = temporal_row ⊛ (⊛_{l != mode} u^(l)_{i_l}) — the per-row systems of
+/// the MAST / OR-MSTC closed-form row updates (baselines/common.hpp's
+/// BuildSliceRowSystems). Requires a CooList built with mode buckets.
+RowSystems CooWeightedRowSystems(const CooList& coo,
+                                 const std::vector<double>& values,
+                                 const std::vector<Matrix>& factors,
+                                 const std::vector<double>& temporal_row,
+                                 size_t mode, size_t num_threads = 1,
+                                 ThreadPool* pool = nullptr);
+
+/// Fused CooWeightedRowSystems + proximal row solve: for every row i of
+/// `mode`, accumulate B_i = Σ h h^T and c_i = Σ vals h from the row's
+/// records and immediately solve u_i <- (B_i + μI)^{-1} (c_i + μ u_i^prev)
+/// in stack buffers, writing the rows of `u` in place — the MAST / OR-MSTC
+/// closed-form row update (baselines/common.hpp's ApplyProximalRowUpdates,
+/// replicated bitwise: empty-system short-circuit, in-place Cholesky,
+/// SolveRidge fallback) without materializing the row-system table, whose
+/// Σ_n I_n per-sweep heap allocations dominate sparse slices. `u` may alias
+/// `factors[mode]`: the regressors only read the *other* modes' rows, and
+/// each task owns exactly its output row. Requires mode buckets.
+void CooProximalRowUpdates(const CooList& coo,
+                           const std::vector<double>& values,
+                           const std::vector<Matrix>& factors,
+                           const std::vector<double>& temporal_row,
+                           size_t mode, const Matrix& previous, double mu,
+                           Matrix* u, size_t num_threads = 1,
+                           ThreadPool* pool = nullptr);
+
+/// Accumulate every mode's gradient rows and curvature traces from
+/// record-aligned residuals: grow[r] += residuals[k] * h_r and
+/// trace += h_r² with h = temporal_row ⊛ leave-one-out product — the
+/// observed-entry FactorGradients of the SGD-style baselines. One mode
+/// slice per task (owner-per-unit), so results are bitwise identical for
+/// every thread count. Requires a CooList built with mode buckets.
+/// `with_traces = false` skips the curvature accumulation entirely
+/// (row_trace stays empty) for consumers that only need gradients.
+ModeGradients CooModeGradients(const CooList& coo,
+                               const std::vector<double>& residuals,
+                               const std::vector<Matrix>& factors,
+                               const std::vector<double>& temporal_row,
+                               size_t num_threads = 1,
+                               ThreadPool* pool = nullptr,
+                               bool with_traces = true);
 
 /// ||Ω ⊛ (Y* - X̂)||_F^2 with X̂ = [[factors]], without materializing X̂.
 /// `values` holds the gathered Y* entries. Works on bucket-less CooLists.
@@ -74,6 +150,17 @@ std::vector<double> CooKruskalGather(const CooList& coo,
                                      const std::vector<double>& temporal_row,
                                      size_t num_threads = 1,
                                      ThreadPool* pool = nullptr);
+
+/// CooKruskalGather variant that replicates the KruskalSlice (Khatri-Rao
+/// chain) evaluation order bitwise: out[k] = Σ_r u^(0)_r (w_r ((u^(N-1) ⊛
+/// u^(N-2)) ⊛ ... ⊛ u^(1))_r). Use when a dense reference path thresholds a
+/// materialized KruskalSlice residual (e.g. OR-MSTC's outlier slab), so the
+/// sparse path reproduces the exact same bits at the observed entries.
+std::vector<double> CooKruskalSliceGather(const CooList& coo,
+                                          const std::vector<Matrix>& factors,
+                                          const std::vector<double>& temporal_row,
+                                          size_t num_threads = 1,
+                                          ThreadPool* pool = nullptr);
 
 /// Everything the dynamic update (Algorithm 3 lines 7-9) accumulates over
 /// the observed entries of one incoming slice: per-row gradients of the

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
+#include "baselines/observed_sweep.hpp"
 #include "data/synthetic.hpp"
 #include "eval/metrics.hpp"
 #include "util/rng.hpp"
@@ -57,6 +59,51 @@ TEST(CpWoptTest, CompletesIncompleteLowRankTensor) {
   CpWoptResult res =
       CpWopt(syn.tensor, omega, CpWoptOptions{.rank = 2, .seed = 49});
   EXPECT_LT(NormalizedResidualError(res.completed, syn.tensor), 0.1);
+}
+
+TEST(CpWoptTest, SharedPatternOverloadsMatchDensePairEntryPoints) {
+  Rng rng(53);
+  std::vector<Matrix> factors = {Matrix::RandomNormal(4, 2, rng),
+                                 Matrix::RandomNormal(3, 2, rng),
+                                 Matrix::RandomNormal(2, 2, rng)};
+  DenseTensor y = DenseTensor::RandomNormal(Shape({4, 3, 2}), rng);
+  Mask omega(y.shape(), true);
+  for (size_t k = 0; k < omega.shape().NumElements(); ++k) {
+    if (rng.Bernoulli(0.3)) omega.Set(k, false);
+  }
+
+  // One pattern, gathered once, reused for both the loss and the gradient
+  // (the build-once path the comparison runner takes).
+  std::shared_ptr<const CooList> pattern =
+      MakeSharedPattern(omega, /*with_mode_buckets=*/false);
+  std::vector<double> values = pattern->Gather(y);
+
+  EXPECT_EQ(CpWoptLoss(*pattern, values, factors),
+            CpWoptLoss(y, omega, factors));
+  std::vector<Matrix> shared_grads = CpWoptGradient(*pattern, values, factors);
+  std::vector<Matrix> dense_grads = CpWoptGradient(y, omega, factors);
+  ASSERT_EQ(shared_grads.size(), dense_grads.size());
+  for (size_t l = 0; l < shared_grads.size(); ++l) {
+    EXPECT_EQ(shared_grads[l].MaxAbsDiff(dense_grads[l]), 0.0);
+  }
+}
+
+TEST(CpWoptTest, SharedPatternRunMatchesInternalBuild) {
+  SyntheticTensor syn = MakeSinusoidTensor(5, 4, 10, 2, 5, 55);
+  Mask omega(syn.tensor.shape(), true);
+  Rng rng(56);
+  for (size_t k = 0; k < omega.shape().NumElements(); ++k) {
+    if (rng.Bernoulli(0.3)) omega.Set(k, false);
+  }
+  CpWoptOptions options{.rank = 2, .max_iterations = 30, .seed = 57};
+  CpWoptResult internal = CpWopt(syn.tensor, omega, options);
+  CpWoptResult shared =
+      CpWopt(syn.tensor, omega, options, MakeSharedPattern(omega));
+  EXPECT_EQ(internal.loss, shared.loss);
+  EXPECT_EQ(internal.iterations, shared.iterations);
+  DenseTensor diff = internal.completed;
+  diff -= shared.completed;
+  EXPECT_EQ(diff.MaxAbs(), 0.0);
 }
 
 TEST(CpWoptTest, LossDecreasesFromRandomStart) {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "baselines/mast.hpp"
+#include "baselines/online_sgd.hpp"
 #include "data/synthetic.hpp"
 #include "eval/metrics.hpp"
 
@@ -86,6 +90,69 @@ TEST(StreamRunnerTest, InitWindowIsScoredFromInitializeOutput) {
   EXPECT_DOUBLE_EQ(res.rae, 16.0);
   EXPECT_DOUBLE_EQ(res.rae_post_init, 32.0);
   EXPECT_EQ(res.step_seconds.size(), 4u);
+}
+
+std::vector<DenseTensor> SinusoidTruth(size_t steps, uint64_t seed) {
+  SyntheticTensor syn = MakeSinusoidTensor(6, 5, steps, 3, 4, seed);
+  std::vector<DenseTensor> truth;
+  for (size_t t = 0; t < steps; ++t) {
+    truth.push_back(syn.tensor.SliceLastMode(t));
+  }
+  return truth;
+}
+
+TEST(StreamRunnerTest, ComparisonModeMatchesIndividualRuns) {
+  // The shared per-step CooList must be invisible in the results: every
+  // method scores exactly what its individual RunImputation run scores.
+  std::vector<DenseTensor> truth = SinusoidTruth(16, 41);
+  CorruptedStream stream = Corrupt(truth, {30.0, 5.0, 2.0}, 42);
+
+  OnlineSgdOptions sgd_options;
+  sgd_options.rank = 3;
+  MastOptions mast_options;
+  mast_options.rank = 3;
+
+  OnlineSgd sgd_solo(sgd_options);
+  Mast mast_solo(mast_options);
+  StreamRunResult sgd_run = RunImputation(&sgd_solo, stream, truth);
+  StreamRunResult mast_run = RunImputation(&mast_solo, stream, truth);
+
+  OnlineSgd sgd_shared(sgd_options);
+  Mast mast_shared(mast_options);
+  std::vector<StreamingMethod*> methods = {&sgd_shared, &mast_shared};
+  std::vector<MethodRunResult> comparison =
+      RunImputationComparison(methods, stream, truth);
+
+  ASSERT_EQ(comparison.size(), 2u);
+  EXPECT_EQ(comparison[0].name, "OnlineSGD");
+  EXPECT_EQ(comparison[1].name, "MAST");
+  ASSERT_EQ(comparison[0].run.nre.size(), sgd_run.nre.size());
+  ASSERT_EQ(comparison[1].run.nre.size(), mast_run.nre.size());
+  for (size_t t = 0; t < truth.size(); ++t) {
+    // Identical bits: the shared pattern equals the internally built one.
+    EXPECT_EQ(comparison[0].run.nre[t], sgd_run.nre[t]) << "t=" << t;
+    EXPECT_EQ(comparison[1].run.nre[t], mast_run.nre[t]) << "t=" << t;
+  }
+}
+
+TEST(StreamRunnerTest, ComparisonModeHonorsInitWindows) {
+  std::vector<DenseTensor> truth = ConstantTruth(8, 3.0);
+  CorruptedStream stream = Corrupt(truth, {0.0, 0.0, 0.0}, 43);
+  ConstantMethod windowed(99.0, 4);  // Init returns observed data: NRE 0.
+  ConstantMethod plain(3.0, 0);      // Perfect from the first step.
+  std::vector<StreamingMethod*> methods = {&windowed, &plain};
+  std::vector<MethodRunResult> res =
+      RunImputationComparison(methods, stream, truth);
+
+  EXPECT_TRUE(windowed.initialized_);
+  EXPECT_EQ(windowed.steps_, 4);  // Only post-window slices hit Step().
+  EXPECT_EQ(plain.steps_, 8);
+  ASSERT_EQ(res[0].run.nre.size(), 8u);
+  for (size_t t = 0; t < 4; ++t) EXPECT_DOUBLE_EQ(res[0].run.nre[t], 0.0);
+  for (size_t t = 4; t < 8; ++t) EXPECT_DOUBLE_EQ(res[0].run.nre[t], 32.0);
+  EXPECT_DOUBLE_EQ(res[0].run.rae_post_init, 32.0);
+  EXPECT_EQ(res[0].run.step_seconds.size(), 4u);
+  EXPECT_DOUBLE_EQ(res[1].run.rae, 0.0);
 }
 
 TEST(StreamRunnerTest, ForecastProtocolComputesAfeOnHeldOutTail) {
