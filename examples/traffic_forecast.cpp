@@ -14,6 +14,7 @@
 
 #include "baselines/smf.hpp"
 #include "core/sofia_stream.hpp"
+#include "eval/step_result.hpp"
 #include "data/corruption.hpp"
 #include "data/dataset_sim.hpp"
 #include "eval/experiment.hpp"
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
                                sofia_stream.masks.begin() + window);
   SofiaModel model = SofiaModel::Initialize(init_slices, init_masks, config);
   for (size_t t = window; t < train; ++t) {
+    // The step result is lazy: training never materializes a dense slice.
     model.Step(sofia_stream.slices[t], sofia_stream.masks[t]);
   }
 
@@ -64,20 +66,34 @@ int main(int argc, char** argv) {
   smf_options.use_sparse_kernels = use_sparse_kernels;
   Smf smf(smf_options);
   for (size_t t = 0; t < train; ++t) {
-    smf.Step(smf_stream.slices[t], smf_stream.masks[t]);
+    // Forecast-only pass: Observe() skips even the lazy estimate handle.
+    smf.Observe(smf_stream.slices[t], smf_stream.masks[t]);
   }
 
   std::printf("Forecasting %zu steps of %s traffic (SOFIA trained with "
               "%.0f%% missing + 20%% outliers; SMF fully observed + "
               "outliers)\n\n",
               horizon, traffic.slices[0].shape().ToString().c_str(), missing);
+  // Score every horizon at one shared sample of held-out entries, read
+  // through lazy forecast handles — the Fig. 6 protocol without a single
+  // dense forecast tensor.
+  Mask sample(traffic.slices[0].shape(), false);
+  for (size_t k = 0; k < sample.shape().NumElements(); k += 3) {
+    sample.Set(k, true);  // Every third entry.
+  }
+  CooList held_out = CooList::Build(sample, /*with_mode_buckets=*/false);
+
   Table table({"h", "SOFIA NRE", "SMF NRE"});
   double sofia_sum = 0.0, smf_sum = 0.0;
+  std::vector<double> est, ref;
   for (size_t h = 1; h <= horizon; ++h) {
     const DenseTensor& truth = traffic.slices[train + h - 1];
-    const double sofia_nre =
-        NormalizedResidualError(model.Forecast(h), truth);
-    const double smf_nre = NormalizedResidualError(smf.Forecast(h), truth);
+    held_out.GatherInto(truth, &ref);
+    StepResult::Kruskal(model.nontemporal_factors(), model.ForecastRow(h))
+        .GatherAtInto(held_out, &est);
+    const double sofia_nre = GatheredNre(AccumulateGatheredError(est, ref));
+    smf.ForecastLazy(h).GatherAtInto(held_out, &est);
+    const double smf_nre = GatheredNre(AccumulateGatheredError(est, ref));
     sofia_sum += sofia_nre;
     smf_sum += smf_nre;
     table.AddRow({std::to_string(h), Table::Num(sofia_nre),

@@ -5,26 +5,21 @@
 
 #include "baselines/common.hpp"
 #include "linalg/solve.hpp"
-#include "tensor/kruskal.hpp"
 
 namespace sofia {
 
-DenseTensor BrstLite::Step(const DenseTensor& y, const Mask& omega) {
-  return StepShared(y, omega, nullptr, /*materialize=*/true);
-}
-
-DenseTensor BrstLite::Step(const DenseTensor& y, const Mask& omega,
-                           std::shared_ptr<const CooList> pattern) {
-  return StepShared(y, omega, std::move(pattern), /*materialize=*/true);
+StepResult BrstLite::StepLazy(const DenseTensor& y, const Mask& omega,
+                              std::shared_ptr<const CooList> pattern) {
+  return StepShared(y, omega, std::move(pattern), /*want_result=*/true);
 }
 
 void BrstLite::Observe(const DenseTensor& y, const Mask& omega) {
-  StepShared(y, omega, nullptr, /*materialize=*/false);
+  StepShared(y, omega, nullptr, /*want_result=*/false);
 }
 
-DenseTensor BrstLite::StepShared(const DenseTensor& y, const Mask& omega,
-                                 std::shared_ptr<const CooList> pattern,
-                                 bool materialize) {
+StepResult BrstLite::StepShared(const DenseTensor& y, const Mask& omega,
+                                std::shared_ptr<const CooList> pattern,
+                                bool want_result) {
   const size_t rank = options_.rank;
   if (factors_.empty()) {
     factors_ = RandomNontemporalFactors(y.shape(), rank, options_.seed);
@@ -60,7 +55,7 @@ DenseTensor BrstLite::StepShared(const DenseTensor& y, const Mask& omega,
     ModeGradients grads =
         sweep_.Gradients(factors_, w, g, /*with_traces=*/false);
     return FinishStep(std::move(w), std::move(grads.row_grads), weighted_sq,
-                      weight_sum, materialize);
+                      weight_sum, want_result);
   }
 
   // Dense-scan reference path.
@@ -132,13 +127,13 @@ DenseTensor BrstLite::StepShared(const DenseTensor& y, const Mask& omega,
     shape.Next(&idx);
   }
   return FinishStep(std::move(w), std::move(grads), weighted_sq, weight_sum,
-                    materialize);
+                    want_result);
 }
 
-DenseTensor BrstLite::FinishStep(std::vector<double> w,
-                                 std::vector<Matrix> grads,
-                                 double weighted_sq, double weight_sum,
-                                 bool materialize) {
+StepResult BrstLite::FinishStep(std::vector<double> w,
+                                std::vector<Matrix> grads,
+                                double weighted_sq, double weight_sum,
+                                bool want_result) {
   const size_t rank = options_.rank;
   // MAP gradient step with the ARD Gaussian prior: besides the data term,
   // each column r decays by its precision γ_r. Low-energy columns get a
@@ -175,14 +170,14 @@ DenseTensor BrstLite::FinishStep(std::vector<double> w,
                         std::max(energy, 1e-12);
   }
 
-  if (!materialize) return DenseTensor();
+  if (!want_result) return StepResult();
   // Zero out the temporal weight of pruned columns in the reconstruction.
   for (size_t r = 0; r < rank; ++r) {
     double energy = 0.0;
     for (const Matrix& f : factors_) energy += f.ColNorm(r) * f.ColNorm(r);
     if (energy < options_.prune_threshold) w[r] = 0.0;
   }
-  return KruskalSlice(factors_, w);
+  return StepResult::Kruskal(factors_, std::move(w));
 }
 
 size_t BrstLite::EffectiveRank() const {

@@ -49,12 +49,17 @@ class BrstLite : public StreamingMethod {
                                     options.use_sparse_kernels}) {}
 
   std::string name() const override { return "BRST"; }
-  DenseTensor Step(const DenseTensor& y, const Mask& omega) override;
-  DenseTensor Step(const DenseTensor& y, const Mask& omega,
-                   std::shared_ptr<const CooList> pattern) override;
-  /// Advances the factors / ARD / noise state without the output-only
-  /// pruned KruskalSlice reconstruction — the forecast-protocol fast path.
+  /// Lazy step: the refreshed factors + ARD-pruned temporal row as a
+  /// Kruskal-view StepResult (no dense reconstruction).
+  StepResult StepLazy(const DenseTensor& y, const Mask& omega,
+                      std::shared_ptr<const CooList> pattern =
+                          nullptr) override;
+  /// Advances the factors / ARD / noise state without building the
+  /// output-only estimate handle — the forecast-protocol fast path.
   void Observe(const DenseTensor& y, const Mask& omega) override;
+  void AdoptWorkerPool(std::shared_ptr<ThreadPool> pool) override {
+    sweep_.AdoptPool(std::move(pool));
+  }
 
   /// Number of columns whose energy survives the ARD prune (the paper's
   /// estimated rank; expected to collapse under heavy corruption).
@@ -63,17 +68,17 @@ class BrstLite : public StreamingMethod {
   const std::vector<Matrix>& factors() const { return factors_; }
 
  private:
-  DenseTensor StepShared(const DenseTensor& y, const Mask& omega,
-                         std::shared_ptr<const CooList> pattern,
-                         bool materialize);
+  StepResult StepShared(const DenseTensor& y, const Mask& omega,
+                        std::shared_ptr<const CooList> pattern,
+                        bool want_result);
   /// Shared tail of both paths: MAP gradient application with ARD decay,
   /// noise-variance smoothing, the ARD precision update, and (when
-  /// `materialize`) the pruned reconstruction. Takes `grads` by value so
-  /// both call sites move their gradients in and the learning-rate scaling
-  /// happens in place.
-  DenseTensor FinishStep(std::vector<double> w, std::vector<Matrix> grads,
-                         double weighted_sq, double weight_sum,
-                         bool materialize);
+  /// `want_result`) the pruned Kruskal-view handle. Takes `grads` by value
+  /// so both call sites move their gradients in and the learning-rate
+  /// scaling happens in place.
+  StepResult FinishStep(std::vector<double> w, std::vector<Matrix> grads,
+                        double weighted_sq, double weight_sum,
+                        bool want_result);
 
   BrstOptions options_;
   ObservedSweep sweep_;

@@ -197,14 +197,21 @@ std::vector<Matrix> CpWoptGradient(const DenseTensor& y, const Mask& omega,
   return CpWoptGradient(*coo, coo->Gather(y), factors);
 }
 
-CpWoptResult CpWopt(const DenseTensor& y, const Mask& omega,
-                    const CpWoptOptions& options,
-                    std::shared_ptr<const CooList> pattern) {
+CpWoptResult CpWoptFactorize(const DenseTensor& y, const Mask& omega,
+                             const CpWoptOptions& options,
+                             std::shared_ptr<const CooList> pattern,
+                             const std::vector<Matrix>* initial) {
   SOFIA_CHECK(y.shape() == omega.shape());
-  Rng rng(options.seed);
   std::vector<Matrix> init;
-  for (size_t mode = 0; mode < y.order(); ++mode) {
-    init.push_back(Matrix::Random(y.dim(mode), options.rank, rng, 0.0, 1.0));
+  if (initial != nullptr) {
+    SOFIA_CHECK_EQ(initial->size(), y.order());
+    init = *initial;
+  } else {
+    Rng rng(options.seed);
+    for (size_t mode = 0; mode < y.order(); ++mode) {
+      init.push_back(
+          Matrix::Random(y.dim(mode), options.rank, rng, 0.0, 1.0));
+    }
   }
 
   CpWoptObjective objective(y, omega, options.rank, options.num_threads,
@@ -220,10 +227,18 @@ CpWoptResult CpWopt(const DenseTensor& y, const Mask& omega,
 
   CpWoptResult result;
   result.factors = Unpack(solved.x, y.shape(), options.rank);
-  result.completed = KruskalTensor(result.factors);
   result.loss = solved.f;
   result.iterations = solved.iterations;
   result.converged = solved.converged;
+  return result;
+}
+
+CpWoptResult CpWopt(const DenseTensor& y, const Mask& omega,
+                    const CpWoptOptions& options,
+                    std::shared_ptr<const CooList> pattern) {
+  CpWoptResult result =
+      CpWoptFactorize(y, omega, options, std::move(pattern), nullptr);
+  result.completed = KruskalTensor(result.factors);
   return result;
 }
 

@@ -51,6 +51,16 @@ CpWoptResult CpWopt(const DenseTensor& y, const Mask& omega,
                     const CpWoptOptions& options,
                     std::shared_ptr<const CooList> pattern = nullptr);
 
+/// Like CpWopt but leaves `completed` empty (no O(volume R) Kruskal
+/// materialization — the streaming adapter wraps the factors in a lazy
+/// StepResult instead) and optionally warm-starts from `initial` factors
+/// (must match y's mode shapes and the configured rank). Null `initial`
+/// draws the same random start as CpWopt.
+CpWoptResult CpWoptFactorize(const DenseTensor& y, const Mask& omega,
+                             const CpWoptOptions& options,
+                             std::shared_ptr<const CooList> pattern = nullptr,
+                             const std::vector<Matrix>* initial = nullptr);
+
 /// The masked loss and its analytic gradient (exposed for testing: the
 /// gradient is validated against finite differences). The dense-pair
 /// overloads compact `omega` once via the shared build helper; callers that

@@ -1,0 +1,31 @@
+#include "baselines/cp_wopt_stream.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace sofia {
+
+StepResult CpWoptStream::StepLazy(const DenseTensor& y, const Mask& omega,
+                                  std::shared_ptr<const CooList> pattern) {
+  SOFIA_CHECK(y.shape() == omega.shape());
+  CpWoptOptions batch_options;
+  batch_options.rank = options_.rank;
+  batch_options.max_iterations = options_.iterations_per_step;
+  batch_options.gradient_tolerance = options_.gradient_tolerance;
+  batch_options.seed = options_.seed;
+  batch_options.num_threads = options_.num_threads;
+
+  const std::vector<Matrix>* warm =
+      factors_.empty() ? nullptr : &factors_;
+  CpWoptResult solved = CpWoptFactorize(y, omega, batch_options,
+                                        std::move(pattern), warm);
+  factors_ = std::move(solved.factors);
+
+  // The slice *is* the full Kruskal product of its own factors: a Kruskal
+  // view with unit combination weights.
+  return StepResult::Kruskal(factors_,
+                             std::vector<double>(options_.rank, 1.0));
+}
+
+}  // namespace sofia

@@ -1,16 +1,17 @@
 #include "baselines/cphw.hpp"
 
 #include "baselines/batch_als.hpp"
-#include "tensor/kruskal.hpp"
 #include "util/check.hpp"
 
 namespace sofia {
 
-DenseTensor Cphw::Step(const DenseTensor& y, const Mask& omega) {
-  history_.push_back(y);
+StepResult Cphw::StepLazy(const DenseTensor& y, const Mask& omega,
+                          std::shared_ptr<const CooList> pattern) {
+  (void)pattern;  // CPHW does no per-step observed-entry math.
+  history_.push_back(std::make_shared<const DenseTensor>(y));
   mask_history_.push_back(omega);
   fitted_ = false;
-  return omega.Apply(y);
+  return StepResult::Masked(history_.back(), omega);
 }
 
 void Cphw::FitIfNeeded() const {
@@ -38,7 +39,7 @@ void Cphw::FitIfNeeded() const {
   fitted_ = true;
 }
 
-DenseTensor Cphw::Forecast(size_t h) const {
+StepResult Cphw::ForecastLazy(size_t h) const {
   SOFIA_CHECK_GE(h, 1u);
   FitIfNeeded();
   std::vector<double> row(options_.rank);
@@ -46,7 +47,7 @@ DenseTensor Cphw::Forecast(size_t h) const {
     HoltWinters hw = ModelFromFit(hw_fits_[r], options_.period);
     row[r] = hw.Forecast(h);
   }
-  return KruskalSlice(nontemporal_, row);
+  return StepResult::Kruskal(nontemporal_, std::move(row));
 }
 
 }  // namespace sofia

@@ -2,6 +2,7 @@
 #define SOFIA_BASELINES_CPHW_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "eval/streaming_method.hpp"
@@ -37,17 +38,25 @@ class Cphw : public StreamingMethod {
   std::string name() const override { return "CPHW"; }
 
   /// Stores the slice; the "estimate" is the observed data itself (CPHW is
-  /// a forecasting method, not an imputation competitor in the paper).
-  DenseTensor Step(const DenseTensor& y, const Mask& omega) override;
+  /// a forecasting method, not an imputation competitor in the paper) —
+  /// returned as a lazy masked view sharing the stored history slice, so
+  /// no O(volume) Ω ⊛ Y tensor is built unless someone materializes it.
+  StepResult StepLazy(const DenseTensor& y, const Mask& omega,
+                      std::shared_ptr<const CooList> pattern =
+                          nullptr) override;
 
   bool SupportsForecast() const override { return true; }
-  DenseTensor Forecast(size_t h) const override;
+  /// Lazy HW-extrapolated Kruskal view (fits the batch factorization on
+  /// first use after new data).
+  StepResult ForecastLazy(size_t h) const override;
 
  private:
   void FitIfNeeded() const;
 
   CphwOptions options_;
-  std::vector<DenseTensor> history_;
+  /// Accumulated history, shared with the StepLazy handles (one copy per
+  /// incoming slice, zero per handle).
+  std::vector<std::shared_ptr<const DenseTensor>> history_;
   std::vector<Mask> mask_history_;
 
   // Lazily-computed factorization + HW fits (invalidated by new data).

@@ -4,31 +4,26 @@
 
 #include "baselines/common.hpp"
 #include "linalg/solve.hpp"
-#include "tensor/kruskal.hpp"
 
 namespace sofia {
 
-DenseTensor Mast::Step(const DenseTensor& y, const Mask& omega) {
-  return StepShared(y, omega, nullptr, /*materialize=*/true);
-}
-
-DenseTensor Mast::Step(const DenseTensor& y, const Mask& omega,
-                       std::shared_ptr<const CooList> pattern) {
-  return StepShared(y, omega, std::move(pattern), /*materialize=*/true);
+StepResult Mast::StepLazy(const DenseTensor& y, const Mask& omega,
+                          std::shared_ptr<const CooList> pattern) {
+  return StepShared(y, omega, std::move(pattern), /*want_result=*/true);
 }
 
 void Mast::Observe(const DenseTensor& y, const Mask& omega) {
-  StepShared(y, omega, nullptr, /*materialize=*/false);
+  StepShared(y, omega, nullptr, /*want_result=*/false);
 }
 
-DenseTensor Mast::StepShared(const DenseTensor& y, const Mask& omega,
-                             std::shared_ptr<const CooList> pattern,
-                             bool materialize) {
+StepResult Mast::StepShared(const DenseTensor& y, const Mask& omega,
+                            std::shared_ptr<const CooList> pattern,
+                            bool want_result) {
   if (factors_.empty()) {
     factors_ = RandomNontemporalFactors(y.shape(), options_.rank,
                                         options_.seed);
   }
-  if (!sweep_.sparse()) return StepDense(y, omega, materialize);
+  if (!sweep_.sparse()) return StepDense(y, omega, want_result);
 
   const double mu = options_.prox_weight;
   const std::vector<Matrix> previous = factors_;
@@ -43,13 +38,13 @@ DenseTensor Mast::StepShared(const DenseTensor& y, const Mask& omega,
                               &factors_[mode]);
     }
   }
-  if (!materialize) return DenseTensor();
+  if (!want_result) return StepResult();
   w = sweep_.SolveTemporalRow(factors_, values, options_.ridge);
-  return KruskalSlice(factors_, w);
+  return StepResult::Kruskal(factors_, std::move(w));
 }
 
-DenseTensor Mast::StepDense(const DenseTensor& y, const Mask& omega,
-                            bool materialize) {
+StepResult Mast::StepDense(const DenseTensor& y, const Mask& omega,
+                           bool want_result) {
   const double mu = options_.prox_weight;
   const std::vector<Matrix> previous = factors_;
 
@@ -64,9 +59,9 @@ DenseTensor Mast::StepDense(const DenseTensor& y, const Mask& omega,
       ApplyProximalRowUpdates(sys, previous[mode], mu, &factors_[mode]);
     }
   }
-  if (!materialize) return DenseTensor();
+  if (!want_result) return StepResult();
   w = SolveTemporalRow(y, omega, nullptr, factors_, options_.ridge);
-  return KruskalSlice(factors_, w);
+  return StepResult::Kruskal(factors_, std::move(w));
 }
 
 }  // namespace sofia

@@ -45,22 +45,27 @@ class Mast : public StreamingMethod {
                                     options.use_sparse_kernels}) {}
 
   std::string name() const override { return "MAST"; }
-  DenseTensor Step(const DenseTensor& y, const Mask& omega) override;
-  DenseTensor Step(const DenseTensor& y, const Mask& omega,
-                   std::shared_ptr<const CooList> pattern) override;
+  /// Lazy step: the refreshed factors + final temporal row as a
+  /// Kruskal-view StepResult (no dense reconstruction).
+  StepResult StepLazy(const DenseTensor& y, const Mask& omega,
+                      std::shared_ptr<const CooList> pattern =
+                          nullptr) override;
   /// Advances the factors without the output-only tail (the final temporal
-  /// re-solve and the dense KruskalSlice reconstruction exist purely for
-  /// the returned estimate) — the forecast-protocol fast path.
+  /// re-solve exists purely for the returned estimate) — the
+  /// forecast-protocol fast path.
   void Observe(const DenseTensor& y, const Mask& omega) override;
+  void AdoptWorkerPool(std::shared_ptr<ThreadPool> pool) override {
+    sweep_.AdoptPool(std::move(pool));
+  }
 
   const std::vector<Matrix>& factors() const { return factors_; }
 
  private:
-  DenseTensor StepShared(const DenseTensor& y, const Mask& omega,
-                         std::shared_ptr<const CooList> pattern,
-                         bool materialize);
-  DenseTensor StepDense(const DenseTensor& y, const Mask& omega,
-                        bool materialize);
+  StepResult StepShared(const DenseTensor& y, const Mask& omega,
+                        std::shared_ptr<const CooList> pattern,
+                        bool want_result);
+  StepResult StepDense(const DenseTensor& y, const Mask& omega,
+                       bool want_result);
 
   MastOptions options_;
   ObservedSweep sweep_;

@@ -37,7 +37,7 @@ void ObservedSweep::BeginStep(const DenseTensor& y, const Mask& omega,
       ++pattern_builds_;
     }
   }
-  values_ = coo_->Gather(y);
+  coo_->GatherInto(y, &values_);
 }
 
 const CooList& ObservedSweep::pattern() const {
@@ -46,6 +46,11 @@ const CooList& ObservedSweep::pattern() const {
 }
 
 ThreadPool* ObservedSweep::Pool() const {
+  if (external_pool_ != nullptr) {
+    // A shared single-thread pool is equivalent to the serial path; skip
+    // its dispatch entirely so adoption never slows serial methods down.
+    return external_pool_->num_threads() > 1 ? external_pool_.get() : nullptr;
+  }
   if (resolved_threads_ <= 1) return nullptr;
   if (!pool_) pool_ = std::make_unique<ThreadPool>(resolved_threads_);
   return pool_.get();
@@ -93,10 +98,11 @@ std::vector<double> ObservedSweep::Reconstruct(
   return CooKruskalGather(pattern(), factors, w, /*num_threads=*/1, Pool());
 }
 
-std::vector<double> ObservedSweep::SliceReconstruct(
+const std::vector<double>& ObservedSweep::SliceReconstruct(
     const std::vector<Matrix>& factors, const std::vector<double>& w) const {
-  return CooKruskalSliceGather(pattern(), factors, w, /*num_threads=*/1,
-                               Pool());
+  CooKruskalSliceGather(pattern(), factors, w, &slice_gather_scratch_,
+                        /*num_threads=*/1, Pool());
+  return slice_gather_scratch_;
 }
 
 }  // namespace sofia

@@ -80,9 +80,17 @@ class ObservedSweep {
   /// Bind to the incoming slice: adopt `shared` when given (comparison
   /// mode), else reuse the cached pattern if the mask is unchanged, else
   /// build a fresh CooList with mode buckets. Always re-gathers the
-  /// observed values of `y`.
+  /// observed values of `y` (into a buffer reused across steps).
   void BeginStep(const DenseTensor& y, const Mask& omega,
                  std::shared_ptr<const CooList> shared = nullptr);
+
+  /// Adopt an externally owned worker pool (one shared pool per comparison
+  /// run instead of a lazily spawned pool per method). Kernel results are
+  /// bitwise identical for every pool size, so adoption never changes a
+  /// method's output. Pass nullptr to fall back to the internal pool.
+  void AdoptPool(std::shared_ptr<ThreadPool> pool) {
+    external_pool_ = std::move(pool);
+  }
 
   /// The bound pattern (valid after BeginStep).
   const CooList& pattern() const;
@@ -139,13 +147,16 @@ class ObservedSweep {
 
   /// Like Reconstruct, but replicating the KruskalSlice chain evaluation
   /// order bitwise (CooKruskalSliceGather) — for paths whose dense
-  /// reference thresholds a materialized KruskalSlice residual.
-  std::vector<double> SliceReconstruct(const std::vector<Matrix>& factors,
-                                       const std::vector<double>& w) const;
+  /// reference thresholds a materialized KruskalSlice residual. The result
+  /// lives in a scratch buffer reused across calls and steps; it stays
+  /// valid until the next SliceReconstruct on this sweep.
+  const std::vector<double>& SliceReconstruct(
+      const std::vector<Matrix>& factors, const std::vector<double>& w) const;
 
  private:
-  /// Lazily spawned worker pool; nullptr (serial kernels) when a single
-  /// thread is requested, so cheap baselines never pay for workers.
+  /// The adopted pool when one was handed in; otherwise the lazily spawned
+  /// internal pool, or nullptr (serial kernels) when a single thread is
+  /// requested, so cheap baselines never pay for workers.
   ThreadPool* Pool() const;
 
   ObservedSweepOptions options_;
@@ -156,6 +167,8 @@ class ObservedSweep {
   bool mask_valid_ = false;
   size_t pattern_builds_ = 0;
   mutable std::unique_ptr<ThreadPool> pool_;
+  std::shared_ptr<ThreadPool> external_pool_;
+  mutable std::vector<double> slice_gather_scratch_;
 };
 
 }  // namespace sofia

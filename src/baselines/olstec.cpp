@@ -4,7 +4,6 @@
 
 #include "baselines/common.hpp"
 #include "linalg/vector_ops.hpp"
-#include "tensor/kruskal.hpp"
 #include "util/check.hpp"
 
 namespace sofia {
@@ -54,22 +53,18 @@ void Olstec::RlsUpdate(const IndexArray& idx, double value,
   }
 }
 
-DenseTensor Olstec::Step(const DenseTensor& y, const Mask& omega) {
-  return StepShared(y, omega, nullptr, /*materialize=*/true);
-}
-
-DenseTensor Olstec::Step(const DenseTensor& y, const Mask& omega,
-                         std::shared_ptr<const CooList> pattern) {
-  return StepShared(y, omega, std::move(pattern), /*materialize=*/true);
+StepResult Olstec::StepLazy(const DenseTensor& y, const Mask& omega,
+                            std::shared_ptr<const CooList> pattern) {
+  return StepShared(y, omega, std::move(pattern), /*want_result=*/true);
 }
 
 void Olstec::Observe(const DenseTensor& y, const Mask& omega) {
-  StepShared(y, omega, nullptr, /*materialize=*/false);
+  StepShared(y, omega, nullptr, /*want_result=*/false);
 }
 
-DenseTensor Olstec::StepShared(const DenseTensor& y, const Mask& omega,
-                               std::shared_ptr<const CooList> pattern,
-                               bool materialize) {
+StepResult Olstec::StepShared(const DenseTensor& y, const Mask& omega,
+                              std::shared_ptr<const CooList> pattern,
+                              bool want_result) {
   const size_t rank = options_.rank;
   if (factors_.empty()) {
     factors_ = RandomNontemporalFactors(y.shape(), rank, options_.seed);
@@ -79,7 +74,7 @@ DenseTensor Olstec::StepShared(const DenseTensor& y, const Mask& omega,
                                              options_.delta);
     }
   }
-  if (!sweep_.sparse()) return StepDense(y, omega, materialize);
+  if (!sweep_.sparse()) return StepDense(y, omega, want_result);
 
   sweep_.BeginStep(y, omega, std::move(pattern));
   const CooList& coo = sweep_.pattern();
@@ -96,14 +91,15 @@ DenseTensor Olstec::StepShared(const DenseTensor& y, const Mask& omega,
     RlsUpdate(coo.Coords(k), values[k], w, &h, &ph);
   }
 
-  if (!materialize) return DenseTensor();
-  // Re-solve the temporal row against the refreshed factors.
+  if (!want_result) return StepResult();
+  // Re-solve the temporal row against the refreshed factors; the estimate
+  // stays lazy as the (factors, row) Kruskal structure.
   w = sweep_.SolveTemporalRow(factors_, values, options_.ridge);
-  return KruskalSlice(factors_, w);
+  return StepResult::Kruskal(factors_, std::move(w));
 }
 
-DenseTensor Olstec::StepDense(const DenseTensor& y, const Mask& omega,
-                              bool materialize) {
+StepResult Olstec::StepDense(const DenseTensor& y, const Mask& omega,
+                             bool want_result) {
   const size_t rank = options_.rank;
   std::vector<double> w =
       SolveTemporalRow(y, omega, nullptr, factors_, options_.ridge);
@@ -118,10 +114,10 @@ DenseTensor Olstec::StepDense(const DenseTensor& y, const Mask& omega,
     shape.Next(&idx);
   }
 
-  if (!materialize) return DenseTensor();
+  if (!want_result) return StepResult();
   // Re-solve the temporal row against the refreshed factors.
   w = SolveTemporalRow(y, omega, nullptr, factors_, options_.ridge);
-  return KruskalSlice(factors_, w);
+  return StepResult::Kruskal(factors_, std::move(w));
 }
 
 }  // namespace sofia

@@ -52,22 +52,27 @@ class Olstec : public StreamingMethod {
                                     /*with_mode_buckets=*/false}) {}
 
   std::string name() const override { return "OLSTEC"; }
-  DenseTensor Step(const DenseTensor& y, const Mask& omega) override;
-  DenseTensor Step(const DenseTensor& y, const Mask& omega,
-                   std::shared_ptr<const CooList> pattern) override;
+  /// Lazy step: the refreshed factors + re-solved temporal row as a
+  /// Kruskal-view StepResult (no dense reconstruction).
+  StepResult StepLazy(const DenseTensor& y, const Mask& omega,
+                      std::shared_ptr<const CooList> pattern =
+                          nullptr) override;
   /// Advances the RLS state without the output-only tail (the temporal
-  /// re-solve and KruskalSlice exist purely for the returned estimate) —
-  /// the forecast-protocol fast path.
+  /// re-solve exists purely for the returned estimate) — the
+  /// forecast-protocol fast path.
   void Observe(const DenseTensor& y, const Mask& omega) override;
+  void AdoptWorkerPool(std::shared_ptr<ThreadPool> pool) override {
+    sweep_.AdoptPool(std::move(pool));
+  }
 
   const std::vector<Matrix>& factors() const { return factors_; }
 
  private:
-  DenseTensor StepShared(const DenseTensor& y, const Mask& omega,
-                         std::shared_ptr<const CooList> pattern,
-                         bool materialize);
-  DenseTensor StepDense(const DenseTensor& y, const Mask& omega,
-                        bool materialize);
+  StepResult StepShared(const DenseTensor& y, const Mask& omega,
+                        std::shared_ptr<const CooList> pattern,
+                        bool want_result);
+  StepResult StepDense(const DenseTensor& y, const Mask& omega,
+                       bool want_result);
   /// The entry-wise RLS update of one observed entry (shared by both
   /// paths; `idx[l]` is the mode-l index, `value` the observed entry).
   template <typename IndexArray>

@@ -4,7 +4,6 @@
 #include <utility>
 
 #include "baselines/common.hpp"
-#include "tensor/kruskal.hpp"
 
 namespace sofia {
 
@@ -30,22 +29,18 @@ void OnlineSgd::ApplyGradients(
   }
 }
 
-DenseTensor OnlineSgd::Step(const DenseTensor& y, const Mask& omega) {
-  return StepShared(y, omega, nullptr, /*materialize=*/true);
-}
-
-DenseTensor OnlineSgd::Step(const DenseTensor& y, const Mask& omega,
-                            std::shared_ptr<const CooList> pattern) {
-  return StepShared(y, omega, std::move(pattern), /*materialize=*/true);
+StepResult OnlineSgd::StepLazy(const DenseTensor& y, const Mask& omega,
+                               std::shared_ptr<const CooList> pattern) {
+  return StepShared(y, omega, std::move(pattern), /*want_result=*/true);
 }
 
 void OnlineSgd::Observe(const DenseTensor& y, const Mask& omega) {
-  StepShared(y, omega, nullptr, /*materialize=*/false);
+  StepShared(y, omega, nullptr, /*want_result=*/false);
 }
 
-DenseTensor OnlineSgd::StepShared(const DenseTensor& y, const Mask& omega,
-                                  std::shared_ptr<const CooList> pattern,
-                                  bool materialize) {
+StepResult OnlineSgd::StepShared(const DenseTensor& y, const Mask& omega,
+                                 std::shared_ptr<const CooList> pattern,
+                                 bool want_result) {
   if (factors_.empty()) {
     factors_ = RandomNontemporalFactors(y.shape(), options_.rank,
                                         options_.seed);
@@ -58,7 +53,8 @@ DenseTensor OnlineSgd::StepShared(const DenseTensor& y, const Mask& omega,
     std::vector<Matrix> grads =
         FactorGradients(y, omega, nullptr, factors_, w, &traces);
     ApplyGradients(grads, traces);
-    return materialize ? KruskalSlice(factors_, w) : DenseTensor();
+    return want_result ? StepResult::Kruskal(factors_, std::move(w))
+                       : StepResult();
   }
 
   sweep_.BeginStep(y, omega, std::move(pattern));
@@ -74,7 +70,8 @@ DenseTensor OnlineSgd::StepShared(const DenseTensor& y, const Mask& omega,
   }
   ModeGradients g = sweep_.Gradients(factors_, w, residuals);
   ApplyGradients(g.row_grads, g.row_trace);
-  return materialize ? KruskalSlice(factors_, w) : DenseTensor();
+  return want_result ? StepResult::Kruskal(factors_, std::move(w))
+                     : StepResult();
 }
 
 }  // namespace sofia

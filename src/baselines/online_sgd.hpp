@@ -44,19 +44,24 @@ class OnlineSgd : public StreamingMethod {
                                     options.use_sparse_kernels}) {}
 
   std::string name() const override { return "OnlineSGD"; }
-  DenseTensor Step(const DenseTensor& y, const Mask& omega) override;
-  DenseTensor Step(const DenseTensor& y, const Mask& omega,
-                   std::shared_ptr<const CooList> pattern) override;
-  /// Advances the factors without materializing the dense KruskalSlice
-  /// estimate (output-only) — the forecast-protocol fast path.
+  /// Lazy step: the refreshed factors + temporal row as a Kruskal-view
+  /// StepResult (no dense reconstruction).
+  StepResult StepLazy(const DenseTensor& y, const Mask& omega,
+                      std::shared_ptr<const CooList> pattern =
+                          nullptr) override;
+  /// Advances the factors without building the estimate handle at all —
+  /// the forecast-protocol fast path.
   void Observe(const DenseTensor& y, const Mask& omega) override;
+  void AdoptWorkerPool(std::shared_ptr<ThreadPool> pool) override {
+    sweep_.AdoptPool(std::move(pool));
+  }
 
   const std::vector<Matrix>& factors() const { return factors_; }
 
  private:
-  DenseTensor StepShared(const DenseTensor& y, const Mask& omega,
-                         std::shared_ptr<const CooList> pattern,
-                         bool materialize);
+  StepResult StepShared(const DenseTensor& y, const Mask& omega,
+                        std::shared_ptr<const CooList> pattern,
+                        bool want_result);
   /// Capped SGD application shared by both paths (`grads` holds the descent
   /// accumulation, `traces` the per-row curvature).
   void ApplyGradients(const std::vector<Matrix>& grads,

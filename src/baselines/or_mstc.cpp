@@ -9,27 +9,23 @@
 
 namespace sofia {
 
-DenseTensor OrMstc::Step(const DenseTensor& y, const Mask& omega) {
-  return StepShared(y, omega, nullptr, /*materialize=*/true);
-}
-
-DenseTensor OrMstc::Step(const DenseTensor& y, const Mask& omega,
-                         std::shared_ptr<const CooList> pattern) {
-  return StepShared(y, omega, std::move(pattern), /*materialize=*/true);
+StepResult OrMstc::StepLazy(const DenseTensor& y, const Mask& omega,
+                            std::shared_ptr<const CooList> pattern) {
+  return StepShared(y, omega, std::move(pattern), /*want_result=*/true);
 }
 
 void OrMstc::Observe(const DenseTensor& y, const Mask& omega) {
-  StepShared(y, omega, nullptr, /*materialize=*/false);
+  StepShared(y, omega, nullptr, /*want_result=*/false);
 }
 
-DenseTensor OrMstc::StepShared(const DenseTensor& y, const Mask& omega,
-                               std::shared_ptr<const CooList> pattern,
-                               bool materialize) {
+StepResult OrMstc::StepShared(const DenseTensor& y, const Mask& omega,
+                              std::shared_ptr<const CooList> pattern,
+                              bool want_result) {
   if (factors_.empty()) {
     factors_ = RandomNontemporalFactors(y.shape(), options_.rank,
                                         options_.seed);
   }
-  if (!sweep_.sparse()) return StepDense(y, omega, materialize);
+  if (!sweep_.sparse()) return StepDense(y, omega, want_result);
 
   const size_t rank = options_.rank;
   const double mu = options_.prox_weight;
@@ -58,20 +54,20 @@ DenseTensor OrMstc::StepShared(const DenseTensor& y, const Mask& omega,
     // reproduces the dense path's KruskalSlice entry arithmetic, keeping
     // the slab decisions aligned with the reference (bitwise whenever the
     // temporal solves agree bitwise — see CooNormalSystem's blocking note).
-    const std::vector<double> recon = sweep_.SliceReconstruct(factors_, w);
+    const std::vector<double>& recon = sweep_.SliceReconstruct(factors_, w);
     for (size_t k = 0; k < nnz; ++k) {
       outliers[k] = SoftThreshold(values[k] - recon[k],
                                   options_.outlier_lambda);
     }
   }
-  if (!materialize) return DenseTensor();
+  if (!want_result) return StepResult();
   refresh_ystar();
   w = sweep_.SolveTemporalRow(factors_, ystar, options_.ridge);
-  return KruskalSlice(factors_, w);
+  return StepResult::Kruskal(factors_, std::move(w));
 }
 
-DenseTensor OrMstc::StepDense(const DenseTensor& y, const Mask& omega,
-                              bool materialize) {
+StepResult OrMstc::StepDense(const DenseTensor& y, const Mask& omega,
+                             bool want_result) {
   const size_t rank = options_.rank;
   const double mu = options_.prox_weight;
   const std::vector<Matrix> previous = factors_;
@@ -93,9 +89,9 @@ DenseTensor OrMstc::StepDense(const DenseTensor& y, const Mask& omega,
                                  : 0.0;
     }
   }
-  if (!materialize) return DenseTensor();
+  if (!want_result) return StepResult();
   w = SolveTemporalRow(y, omega, &outliers, factors_, options_.ridge);
-  return KruskalSlice(factors_, w);
+  return StepResult::Kruskal(factors_, std::move(w));
 }
 
 }  // namespace sofia

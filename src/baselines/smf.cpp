@@ -9,34 +9,36 @@
 
 namespace sofia {
 
-DenseTensor Smf::Step(const DenseTensor& y, const Mask& omega) {
-  return StepShared(y, omega, nullptr, /*materialize=*/true);
-}
-
-DenseTensor Smf::Step(const DenseTensor& y, const Mask& omega,
-                      std::shared_ptr<const CooList> pattern) {
-  return StepShared(y, omega, std::move(pattern), /*materialize=*/true);
+StepResult Smf::StepLazy(const DenseTensor& y, const Mask& omega,
+                         std::shared_ptr<const CooList> pattern) {
+  return StepShared(y, omega, std::move(pattern), /*want_result=*/true);
 }
 
 void Smf::Observe(const DenseTensor& y, const Mask& omega) {
-  StepShared(y, omega, nullptr, /*materialize=*/false);
+  StepShared(y, omega, nullptr, /*want_result=*/false);
 }
 
-DenseTensor Smf::StepShared(const DenseTensor& y, const Mask& omega,
-                            std::shared_ptr<const CooList> pattern,
-                            bool materialize) {
+StepResult Smf::StepShared(const DenseTensor& y, const Mask& omega,
+                           std::shared_ptr<const CooList> pattern,
+                           bool want_result) {
   const size_t rank = options_.rank;
   const size_t m = options_.period;
-  if (loadings_.empty()) {
+  if (loadings_ == nullptr) {
     slice_shape_ = y.shape();
     Rng rng(options_.seed);
-    loadings_ =
-        Matrix::Random(slice_shape_.NumElements(), rank, rng, 0.0, 1.0);
+    loadings_ = std::make_shared<Matrix>(
+        Matrix::Random(slice_shape_.NumElements(), rank, rng, 0.0, 1.0));
     level_.assign(rank, 0.0);
     trend_.assign(rank, 0.0);
     season_.assign(m, std::vector<double>(rank, 0.0));
+  } else if (loadings_.use_count() > 1) {
+    // A StepLazy/ForecastLazy handle still references the snapshot; clone
+    // before the in-place drift (copy-on-write — the protocol loop drops
+    // its handle before the next step, so this never fires there).
+    loadings_ = std::make_shared<Matrix>(*loadings_);
   }
   SOFIA_CHECK(y.shape() == slice_shape_);
+  Matrix& loadings = *loadings_;
 
   const bool sparse = sweep_.sparse();
   if (sparse) sweep_.BeginStep(y, omega, std::move(pattern));
@@ -50,7 +52,7 @@ DenseTensor Smf::StepShared(const DenseTensor& y, const Mask& omega,
     const CooList& coo = sweep_.pattern();
     const std::vector<double>& values = sweep_.values();
     for (size_t k = 0; k < coo.nnz(); ++k) {
-      const double* arow = loadings_.Row(coo.LinearIndex(k));
+      const double* arow = loadings.Row(coo.LinearIndex(k));
       for (size_t r = 0; r < rank; ++r) {
         c[r] += values[k] * arow[r];
         double* brow = b.Row(r);
@@ -60,7 +62,7 @@ DenseTensor Smf::StepShared(const DenseTensor& y, const Mask& omega,
   } else {
     for (size_t k = 0; k < y.NumElements(); ++k) {
       if (!omega.Get(k)) continue;
-      const double* arow = loadings_.Row(k);
+      const double* arow = loadings.Row(k);
       for (size_t r = 0; r < rank; ++r) {
         c[r] += y[k] * arow[r];
         double* brow = b.Row(r);
@@ -107,7 +109,7 @@ DenseTensor Smf::StepShared(const DenseTensor& y, const Mask& omega,
     const CooList& coo = sweep_.pattern();
     const std::vector<double>& values = sweep_.values();
     for (size_t k = 0; k < coo.nnz(); ++k) {
-      double* arow = loadings_.Row(coo.LinearIndex(k));
+      double* arow = loadings.Row(coo.LinearIndex(k));
       double recon = 0.0;
       for (size_t r = 0; r < rank; ++r) recon += arow[r] * w[r];
       const double resid = values[k] - recon;
@@ -118,7 +120,7 @@ DenseTensor Smf::StepShared(const DenseTensor& y, const Mask& omega,
   } else {
     for (size_t k = 0; k < y.NumElements(); ++k) {
       if (!omega.Get(k)) continue;
-      double* arow = loadings_.Row(k);
+      double* arow = loadings.Row(k);
       double recon = 0.0;
       for (size_t r = 0; r < rank; ++r) recon += arow[r] * w[r];
       const double resid = y[k] - recon;
@@ -158,36 +160,23 @@ DenseTensor Smf::StepShared(const DenseTensor& y, const Mask& omega,
   season_pos_ = (season_pos_ + 1) % m;
   ++steps_seen_;
 
-  if (!materialize) return DenseTensor();
+  if (!want_result) return StepResult();
 
-  // Reconstruction A w.
-  DenseTensor recon(slice_shape_);
-  for (size_t k = 0; k < recon.NumElements(); ++k) {
-    const double* arow = loadings_.Row(k);
-    double v = 0.0;
-    for (size_t r = 0; r < rank; ++r) v += arow[r] * w[r];
-    recon[k] = v;
-  }
-  return recon;
+  // Reconstruction A w, kept lazy as the (loadings, weights) linear map.
+  return StepResult::LinearMap(loadings_, std::move(w), slice_shape_);
 }
 
-DenseTensor Smf::Forecast(size_t h) const {
-  SOFIA_CHECK(!loadings_.empty()) << "SMF has consumed no data";
+StepResult Smf::ForecastLazy(size_t h) const {
+  SOFIA_CHECK(loadings_ != nullptr) << "SMF has consumed no data";
   SOFIA_CHECK_GE(h, 1u);
   const size_t rank = options_.rank;
   const size_t m = options_.period;
   const std::vector<double>& s = season_[(season_pos_ + (h - 1)) % m];
-  DenseTensor out(slice_shape_);
-  for (size_t k = 0; k < out.NumElements(); ++k) {
-    const double* arow = loadings_.Row(k);
-    double v = 0.0;
-    for (size_t r = 0; r < rank; ++r) {
-      v += arow[r] *
-           (level_[r] + static_cast<double>(h) * trend_[r] + s[r]);
-    }
-    out[k] = v;
+  std::vector<double> w(rank);
+  for (size_t r = 0; r < rank; ++r) {
+    w[r] = level_[r] + static_cast<double>(h) * trend_[r] + s[r];
   }
-  return out;
+  return StepResult::LinearMap(loadings_, std::move(w), slice_shape_);
 }
 
 }  // namespace sofia

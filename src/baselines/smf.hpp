@@ -54,26 +54,35 @@ class Smf : public StreamingMethod {
                                     /*with_mode_buckets=*/false}) {}
 
   std::string name() const override { return "SMF"; }
-  DenseTensor Step(const DenseTensor& y, const Mask& omega) override;
-  DenseTensor Step(const DenseTensor& y, const Mask& omega,
-                   std::shared_ptr<const CooList> pattern) override;
-  /// Advances loadings and level/trend/seasonal state without the
-  /// output-only dense reconstruction A w — the forecast-protocol fast
-  /// path (what the Fig. 6 protocol actually drives).
+  /// Lazy step: the drifted loadings + latent weights as a linear-map
+  /// StepResult (vec(X̂) = A w — no dense reconstruction).
+  StepResult StepLazy(const DenseTensor& y, const Mask& omega,
+                      std::shared_ptr<const CooList> pattern =
+                          nullptr) override;
+  /// Advances loadings and level/trend/seasonal state without building the
+  /// output-only estimate handle — the forecast-protocol fast path (what
+  /// the Fig. 6 protocol actually drives).
   void Observe(const DenseTensor& y, const Mask& omega) override;
+  void AdoptWorkerPool(std::shared_ptr<ThreadPool> pool) override {
+    sweep_.AdoptPool(std::move(pool));
+  }
 
   bool SupportsForecast() const override { return true; }
-  DenseTensor Forecast(size_t h) const override;
+  /// Lazy forecast: A (l + h b + s) as a linear-map handle.
+  StepResult ForecastLazy(size_t h) const override;
 
  private:
-  DenseTensor StepShared(const DenseTensor& y, const Mask& omega,
-                         std::shared_ptr<const CooList> pattern,
-                         bool materialize);
+  StepResult StepShared(const DenseTensor& y, const Mask& omega,
+                        std::shared_ptr<const CooList> pattern,
+                        bool want_result);
 
   SmfOptions options_;
   ObservedSweep sweep_;
   Shape slice_shape_;
-  Matrix loadings_;  ///< A: (prod slice dims) x R.
+  /// A: (prod slice dims) x R. Held through a shared_ptr so StepLazy /
+  /// ForecastLazy handles snapshot it without copying; the step clones
+  /// copy-on-write only when a live handle still references it.
+  std::shared_ptr<Matrix> loadings_;
   // Level/trend/seasonal state of the latent weights (vector HW form).
   std::vector<double> level_, trend_;
   std::vector<std::vector<double>> season_;

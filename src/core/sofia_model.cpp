@@ -108,6 +108,7 @@ SofiaModel SofiaModel::Initialize(const std::vector<DenseTensor>& slices,
 }
 
 ThreadPool* SofiaModel::StepPool() {
+  if (external_pool_ != nullptr) return external_pool_.get();
   if (!pool_) {
     pool_ = std::make_unique<ThreadPool>(
         ResolveNumThreads(config_.num_threads));
@@ -115,16 +116,26 @@ ThreadPool* SofiaModel::StepPool() {
   return pool_.get();
 }
 
-const CooList& SofiaModel::StepPattern(const Mask& omega) {
-  const bool reusable = config_.reuse_step_pattern && step_coo_valid_ &&
+const CooList& SofiaModel::StepPattern(const Mask& omega,
+                                       std::shared_ptr<const CooList> shared) {
+  if (shared != nullptr) {
+    SOFIA_CHECK(shared->shape() == omega.shape());
+    step_coo_ = std::move(shared);
+    // Seed the reuse cache so a later unshared step with the same mask
+    // still skips its rebuild (same guard as ObservedSweep::BeginStep: the
+    // comparison is a cheap count-guarded byte scan, the copy an
+    // allocation).
+    if (step_mask_ != omega) step_mask_ = omega;
+    return *step_coo_;
+  }
+  const bool reusable = config_.reuse_step_pattern && step_coo_ != nullptr &&
                         step_mask_ == omega;
   if (!reusable) {
-    step_coo_ = CooList::Build(omega);
+    step_coo_ = std::make_shared<const CooList>(CooList::Build(omega));
     step_mask_ = omega;
-    step_coo_valid_ = true;
     ++step_pattern_builds_;
   }
-  return step_coo_;
+  return *step_coo_;
 }
 
 void SofiaModel::AccumulateDense(const DenseTensor& y, const Mask& omega,
@@ -186,12 +197,13 @@ void SofiaModel::AccumulateDense(const DenseTensor& y, const Mask& omega,
 
 void SofiaModel::AccumulateSparse(const DenseTensor& y, const Mask& omega,
                                   const std::vector<double>& u_hat,
+                                  std::shared_ptr<const CooList> pattern,
                                   StepGradients* grads,
                                   SofiaStepResult* result) {
   const double k_huber = config_.huber_k;
   const double ck = config_.biweight_ck;
   ThreadPool* pool = StepPool();
-  const CooList& coo = StepPattern(omega);
+  const CooList& coo = StepPattern(omega, std::move(pattern));
   const size_t nnz = coo.nnz();
 
   // Line 4 restricted to Ω_t: the Eq. (20) forecast at observed entries.
@@ -236,6 +248,11 @@ void SofiaModel::AccumulateSparse(const DenseTensor& y, const Mask& omega,
 }
 
 SofiaStepResult SofiaModel::Step(const DenseTensor& y, const Mask& omega) {
+  return Step(y, omega, nullptr);
+}
+
+SofiaStepResult SofiaModel::Step(const DenseTensor& y, const Mask& omega,
+                                 std::shared_ptr<const CooList> pattern) {
   SOFIA_CHECK(y.shape() == omega.shape());
   SOFIA_CHECK(y.shape() == sigma_.shape());
   const size_t rank = config_.rank;
@@ -258,7 +275,7 @@ SofiaStepResult SofiaModel::Step(const DenseTensor& y, const Mask& omega) {
   // everything below is shared.
   StepGradients grads;
   if (config_.use_sparse_kernels) {
-    AccumulateSparse(y, omega, u_hat, &grads, &result);
+    AccumulateSparse(y, omega, u_hat, std::move(pattern), &grads, &result);
   } else {
     AccumulateDense(y, omega, u_hat, &grads, &result);
   }
@@ -328,6 +345,10 @@ SofiaStepResult SofiaModel::Step(const DenseTensor& y, const Mask& omega) {
 }
 
 DenseTensor SofiaModel::Forecast(size_t h) const {
+  return KruskalSlice(factors_, ForecastRow(h));
+}
+
+std::vector<double> SofiaModel::ForecastRow(size_t h) const {
   SOFIA_CHECK_GE(h, 1u);
   const size_t rank = config_.rank;
   const size_t m = config_.period;
@@ -338,7 +359,7 @@ DenseTensor SofiaModel::Forecast(size_t h) const {
   for (size_t r = 0; r < rank; ++r) {
     u_hat[r] = level_[r] + static_cast<double>(h) * trend_[r] + s[r];
   }
-  return KruskalSlice(factors_, u_hat);
+  return u_hat;
 }
 
 DenseTensor SofiaModel::Reconstruct(

@@ -64,6 +64,10 @@ class SofiaStepResult {
   }
   /// The updated temporal row u^(N)_t.
   const std::vector<double>& temporal_row() const { return u_new_; }
+  /// Post-update non-temporal factor snapshot — together with
+  /// temporal_row() this is the Kruskal structure of imputed(), which the
+  /// pipeline-wide lazy StepResult carries instead of the dense tensor.
+  const std::vector<Matrix>& factors() const { return factors_after_; }
 
  private:
   friend class SofiaModel;
@@ -112,8 +116,19 @@ class SofiaModel {
   /// The dense-scan path is kept as the parity-tested reference.
   SofiaStepResult Step(const DenseTensor& y, const Mask& omega);
 
+  /// Step with an externally built coordinate pattern of `omega`: the
+  /// internal cache is a shared_ptr, so SOFIA adopts the comparison
+  /// runner's per-step build outright instead of re-compacting the same
+  /// mask itself. Null `pattern` behaves exactly like the two-arg Step.
+  SofiaStepResult Step(const DenseTensor& y, const Mask& omega,
+                       std::shared_ptr<const CooList> pattern);
+
   /// h-step-ahead forecast Ŷ_{t+h|t} (Eq. (28)); h >= 1.
   DenseTensor Forecast(size_t h) const;
+
+  /// Temporal row û_{t+h|t} of the Eq. (28) forecast — the Kruskal weights
+  /// of Forecast(h), for consumers that keep the forecast lazy.
+  std::vector<double> ForecastRow(size_t h) const;
 
   /// Reconstruction [[{U^(n)}; u]] for the given temporal row (diagnostics).
   DenseTensor Reconstruct(const std::vector<double>& temporal_row) const;
@@ -143,8 +158,16 @@ class SofiaModel {
     pool_.reset();
   }
   /// Number of CooList builds Step() has performed; with reuse_step_pattern
-  /// a run of identical masks costs one build total.
+  /// a run of identical masks costs one build total, and steps that adopt a
+  /// shared pattern never build at all.
   size_t step_pattern_builds() const { return step_pattern_builds_; }
+
+  /// Adopt an externally owned worker pool for the sparse Step kernels (one
+  /// shared pool per comparison run). Bitwise-neutral; nullptr restores the
+  /// internal pool.
+  void AdoptPool(std::shared_ptr<ThreadPool> pool) {
+    external_pool_ = std::move(pool);
+  }
 
   /// Checkpoints the full streaming state (config, factors, HW components,
   /// temporal-row history, error-scale tensor) to a text stream. Restoring
@@ -171,10 +194,13 @@ class SofiaModel {
   /// Observed-entry accumulation via the CooList layer; fills only the
   /// result's observed-entry views.
   void AccumulateSparse(const DenseTensor& y, const Mask& omega,
-                        const std::vector<double>& u_hat, StepGradients* grads,
-                        SofiaStepResult* result);
-  /// The cached (or freshly built) coordinate list of `omega`.
-  const CooList& StepPattern(const Mask& omega);
+                        const std::vector<double>& u_hat,
+                        std::shared_ptr<const CooList> pattern,
+                        StepGradients* grads, SofiaStepResult* result);
+  /// The cached (or freshly built) coordinate list of `omega`; adopts
+  /// `shared` outright when given.
+  const CooList& StepPattern(const Mask& omega,
+                             std::shared_ptr<const CooList> shared);
   ThreadPool* StepPool();
 
   SofiaConfig config_;
@@ -197,12 +223,13 @@ class SofiaModel {
   DenseTensor sigma_;  ///< Error-scale tensor Σ̂_t (slice shape).
 
   // Working state of the sparse Step path (derived, never serialized): the
-  // last mask's coordinate list and the kernel worker pool.
+  // last mask's coordinate list (a shared_ptr, so comparison runners can
+  // hand their per-step build straight in) and the kernel worker pool.
   Mask step_mask_;
-  CooList step_coo_;
-  bool step_coo_valid_ = false;
+  std::shared_ptr<const CooList> step_coo_;
   size_t step_pattern_builds_ = 0;
   std::unique_ptr<ThreadPool> pool_;
+  std::shared_ptr<ThreadPool> external_pool_;
 };
 
 }  // namespace sofia

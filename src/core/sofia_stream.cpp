@@ -1,5 +1,7 @@
 #include "core/sofia_stream.hpp"
 
+#include <utility>
+
 #include "util/check.hpp"
 
 namespace sofia {
@@ -8,6 +10,7 @@ std::vector<DenseTensor> SofiaStream::Initialize(
     const std::vector<DenseTensor>& slices, const std::vector<Mask>& masks) {
   model_ = std::make_unique<SofiaModel>(
       SofiaModel::Initialize(slices, masks, config_, ablation_));
+  if (adopted_pool_ != nullptr) model_->AdoptPool(adopted_pool_);
   std::vector<DenseTensor> completed;
   completed.reserve(slices.size());
   const DenseTensor& batch = model_->init_completed();
@@ -17,9 +20,11 @@ std::vector<DenseTensor> SofiaStream::Initialize(
   return completed;
 }
 
-DenseTensor SofiaStream::Step(const DenseTensor& y, const Mask& omega) {
+StepResult SofiaStream::StepLazy(const DenseTensor& y, const Mask& omega,
+                                 std::shared_ptr<const CooList> pattern) {
   SOFIA_CHECK(model_ != nullptr) << "SofiaStream::Initialize must run first";
-  return model_->Step(y, omega).imputed();
+  SofiaStepResult out = model_->Step(y, omega, std::move(pattern));
+  return StepResult::Kruskal(out.factors(), out.temporal_row());
 }
 
 void SofiaStream::Observe(const DenseTensor& y, const Mask& omega) {
@@ -27,9 +32,15 @@ void SofiaStream::Observe(const DenseTensor& y, const Mask& omega) {
   model_->Step(y, omega);  // The lazy result never materializes a slice.
 }
 
-DenseTensor SofiaStream::Forecast(size_t h) const {
+StepResult SofiaStream::ForecastLazy(size_t h) const {
   SOFIA_CHECK(model_ != nullptr) << "SofiaStream::Initialize must run first";
-  return model_->Forecast(h);
+  return StepResult::Kruskal(model_->nontemporal_factors(),
+                             model_->ForecastRow(h));
+}
+
+void SofiaStream::AdoptWorkerPool(std::shared_ptr<ThreadPool> pool) {
+  adopted_pool_ = std::move(pool);
+  if (model_ != nullptr) model_->AdoptPool(adopted_pool_);
 }
 
 const SofiaModel& SofiaStream::model() const {

@@ -30,7 +30,13 @@ class SofiaStream : public StreamingMethod {
       const std::vector<DenseTensor>& slices,
       const std::vector<Mask>& masks) override;
 
-  DenseTensor Step(const DenseTensor& y, const Mask& omega) override;
+  /// Lazy step: the model's post-update Kruskal structure (factors +
+  /// temporal row) wrapped as a StepResult — no dense reconstruction. A
+  /// shared pattern is adopted by the model's shared_ptr pattern cache, so
+  /// comparison runs never re-compact the mask inside SOFIA either.
+  StepResult StepLazy(const DenseTensor& y, const Mask& omega,
+                      std::shared_ptr<const CooList> pattern =
+                          nullptr) override;
 
   /// Advances the model without materializing the dense reconstruction —
   /// with the sparse kernel path this keeps a forecast-only pass at
@@ -38,7 +44,9 @@ class SofiaStream : public StreamingMethod {
   void Observe(const DenseTensor& y, const Mask& omega) override;
 
   bool SupportsForecast() const override { return true; }
-  DenseTensor Forecast(size_t h) const override;
+  StepResult ForecastLazy(size_t h) const override;
+
+  void AdoptWorkerPool(std::shared_ptr<ThreadPool> pool) override;
 
   /// The underlying model (valid after Initialize()).
   const SofiaModel& model() const;
@@ -48,6 +56,7 @@ class SofiaStream : public StreamingMethod {
   SofiaAblation ablation_;
   std::string name_;
   std::unique_ptr<SofiaModel> model_;
+  std::shared_ptr<ThreadPool> adopted_pool_;  ///< Applied to the model.
 };
 
 }  // namespace sofia

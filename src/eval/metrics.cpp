@@ -39,6 +39,25 @@ double RunningAverageError(const std::vector<double>& nre) {
   return Mean(nre);
 }
 
+GatheredError AccumulateGatheredError(const std::vector<double>& estimate,
+                                      const std::vector<double>& reference) {
+  SOFIA_CHECK_EQ(estimate.size(), reference.size());
+  GatheredError e;
+  for (size_t k = 0; k < estimate.size(); ++k) {
+    const double d = estimate[k] - reference[k];
+    e.err_sq += d * d;
+    e.ref_sq += reference[k] * reference[k];
+  }
+  e.count = estimate.size();
+  return e;
+}
+
+double GatheredNre(const GatheredError& error) {
+  if (error.count == 0) return 0.0;
+  if (error.ref_sq == 0.0) return error.err_sq == 0.0 ? 0.0 : 1.0;
+  return std::sqrt(error.err_sq / error.ref_sq);
+}
+
 double AverageForecastingError(const std::vector<DenseTensor>& forecasts,
                                const std::vector<DenseTensor>& truth) {
   SOFIA_CHECK_EQ(forecasts.size(), truth.size());

@@ -25,6 +25,33 @@ double MissingOnlyResidualError(const DenseTensor& estimate,
 /// Running average error: mean of per-step NREs.
 double RunningAverageError(const std::vector<double>& nre);
 
+/// Squared-error accumulator over a gathered (record-aligned) entry set —
+/// the scoring primitive of the lazy eval protocols, which read estimates
+/// only at observed / held-out entries via CooList gathers instead of
+/// densifying them.
+struct GatheredError {
+  double err_sq = 0.0;    ///< Σ (estimate - reference)².
+  double ref_sq = 0.0;    ///< Σ reference².
+  size_t count = 0;       ///< Entries accumulated.
+
+  /// Merge another accumulator (e.g. observed + held-out partitions).
+  GatheredError& operator+=(const GatheredError& other) {
+    err_sq += other.err_sq;
+    ref_sq += other.ref_sq;
+    count += other.count;
+    return *this;
+  }
+};
+
+/// Accumulate estimate-vs-reference squared errors over aligned gathers.
+GatheredError AccumulateGatheredError(const std::vector<double>& estimate,
+                                      const std::vector<double>& reference);
+
+/// NRE of an accumulator: sqrt(err_sq / ref_sq), with the same degenerate
+/// conventions as the dense metrics (empty set → 0; zero reference norm →
+/// 0 if the error is 0, else 1).
+double GatheredNre(const GatheredError& error);
+
 /// Average forecasting error: mean NRE of h-step-ahead forecasts.
 double AverageForecastingError(const std::vector<DenseTensor>& forecasts,
                                const std::vector<DenseTensor>& truth);

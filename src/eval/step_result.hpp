@@ -1,0 +1,124 @@
+#ifndef SOFIA_EVAL_STEP_RESULT_H_
+#define SOFIA_EVAL_STEP_RESULT_H_
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "tensor/coo_list.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/mask.hpp"
+#include "util/parallel.hpp"
+
+/// \file step_result.hpp
+/// \brief Pipeline-wide lazy per-step estimate handle.
+///
+/// Every streaming method's per-step estimate is a *structured* object — a
+/// Kruskal slice [[{U^(n)}; w]], a linear map A w (SMF), or the masked input
+/// itself (CPHW) — whose dense materialization costs O(volume R) while the
+/// eval protocols only ever read a few observed/held-out entries. StepResult
+/// carries the structure instead of the materialized tensor: the gather
+/// accessors evaluate the estimate only where it is read (O(|pattern| N R)
+/// via the observed-entry kernels), and the dense tensor is materialized at
+/// most once, on the first imputed() call. A process-wide materialization
+/// counter lets the protocols *prove* they stayed on the lazy path (see
+/// tests/step_result_test.cc).
+///
+/// The gather accessors replicate the dense materialization's arithmetic
+/// bitwise (CooKruskalSliceGather mirrors KruskalSlice's Khatri-Rao chain
+/// order; the linear-map and masked kinds share their loops with the dense
+/// writers), so scoring from gathers and scoring from a materialized tensor
+/// produce identical bits — the lazy ≡ forced-dense parity the eval
+/// protocols assert.
+
+namespace sofia {
+
+/// Lazy handle to one step's (or forecast's) dense estimate.
+class StepResult {
+ public:
+  /// Empty handle (no estimate — e.g. an Observe-style advance).
+  StepResult() = default;
+
+  /// Kruskal view [[{factors}; temporal_row]] — SOFIA and every CP baseline.
+  static StepResult Kruskal(std::vector<Matrix> factors,
+                            std::vector<double> temporal_row);
+
+  /// Linear-map view vec(X̂) = loadings · weights over `shape` — SMF's
+  /// matrix-stream estimate (one loading row per linear entry index). The
+  /// loading matrix is shared, not copied: producers whose loadings mutate
+  /// in place snapshot copy-on-write (clone only while a handle is alive),
+  /// so the steady-state step never pays the O(volume R) matrix copy.
+  static StepResult LinearMap(std::shared_ptr<const Matrix> loadings,
+                              std::vector<double> weights, Shape shape);
+
+  /// Masked-data view Ω ⊛ Y — CPHW's "estimate" is the observed data
+  /// itself. Shares `y` (no copy); zero at unobserved entries.
+  static StepResult Masked(std::shared_ptr<const DenseTensor> y, Mask omega);
+
+  /// Pre-materialized estimate (compatibility fallback: methods that have
+  /// not adopted the lazy pipeline, or a forced-dense eval path). Reading
+  /// imputed() on a Dense result does not count as a materialization.
+  static StepResult Dense(DenseTensor value);
+
+  /// Whether this handle carries an estimate at all.
+  bool valid() const { return kind_ != Kind::kEmpty; }
+  /// Shape of the estimated slice.
+  const Shape& shape() const { return shape_; }
+
+  /// The dense estimate, materialized and cached on first call. Counts
+  /// toward materializations() unless the result was constructed Dense.
+  const DenseTensor& imputed() const;
+  /// imputed() moved out of the handle (avoids the copy in the thin
+  /// Step-compatibility wrappers). The handle is empty afterwards.
+  DenseTensor ReleaseImputed();
+  /// Whether the dense tensor exists (Dense kind, or imputed() was called).
+  bool materialized() const { return dense_.has_value(); }
+
+  /// Estimate at one multi-index (lazy spot read; may differ from the
+  /// materialized entry in the last bit — the chain evaluation order of the
+  /// bulk kernels is not the per-entry order).
+  double at(const std::vector<size_t>& indices) const;
+
+  /// Estimate at every record of `pattern`, record-aligned — the bulk read
+  /// the eval protocols score from. Bitwise identical to gathering from
+  /// imputed(). An optional pool threads the Kruskal gathers.
+  std::vector<double> GatherAt(const CooList& pattern,
+                               ThreadPool* pool = nullptr) const;
+  /// GatherAt into a caller-owned buffer (resized) — scratch reuse across
+  /// steps for the protocol loops.
+  void GatherAtInto(const CooList& pattern, std::vector<double>* out,
+                    ThreadPool* pool = nullptr) const;
+  /// Convenience overload for the shared per-step pattern handed around by
+  /// the comparison runner.
+  std::vector<double> GatherObserved(
+      const std::shared_ptr<const CooList>& pattern,
+      ThreadPool* pool = nullptr) const;
+
+  /// Process-wide count of dense materializations triggered by imputed() on
+  /// lazy (non-Dense) results. The lazy eval protocols assert this stays
+  /// flat across a run.
+  static size_t materializations();
+  static void ResetMaterializations();
+
+ private:
+  enum class Kind { kEmpty, kKruskal, kLinearMap, kMasked, kDense };
+
+  Kind kind_ = Kind::kEmpty;
+  Shape shape_;
+  // Kruskal view.
+  std::vector<Matrix> factors_;
+  std::vector<double> row_;
+  // Linear-map view (factors_ unused; row_ holds the weights).
+  std::shared_ptr<const Matrix> loadings_;
+  // Masked view.
+  std::shared_ptr<const DenseTensor> data_;
+  Mask omega_;
+  // Materialization cache (eager for Kind::kDense).
+  mutable std::optional<DenseTensor> dense_;
+};
+
+}  // namespace sofia
+
+#endif  // SOFIA_EVAL_STEP_RESULT_H_

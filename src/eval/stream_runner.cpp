@@ -1,6 +1,7 @@
 #include "eval/stream_runner.hpp"
 
 #include <memory>
+#include <utility>
 
 #include "baselines/observed_sweep.hpp"
 #include "eval/metrics.hpp"
@@ -11,13 +12,14 @@ namespace sofia {
 
 namespace {
 
-/// Shared init-window phase of RunImputation / RunImputationComparison:
-/// feed the first `window` slices to Initialize(), time it, and score the
-/// returned completions into `result->nre`. No-op when window == 0.
-void ScoreInitWindow(StreamingMethod* method, const CorruptedStream& stream,
-                     const std::vector<DenseTensor>& truth, size_t window,
-                     StreamRunResult* result) {
-  if (window == 0) return;
+/// Shared init-window phase of the imputation protocols: feed the first
+/// `window` slices to Initialize(), time it, and return the completions.
+/// Empty when window == 0.
+std::vector<DenseTensor> RunInitWindow(StreamingMethod* method,
+                                       const CorruptedStream& stream,
+                                       size_t window,
+                                       StreamRunResult* result) {
+  if (window == 0) return {};
   std::vector<DenseTensor> init_slices(stream.slices.begin(),
                                        stream.slices.begin() + window);
   std::vector<Mask> init_masks(stream.masks.begin(),
@@ -27,9 +29,7 @@ void ScoreInitWindow(StreamingMethod* method, const CorruptedStream& stream,
       method->Initialize(init_slices, init_masks);
   result->init_seconds = init_timer.ElapsedSeconds();
   SOFIA_CHECK_EQ(completed.size(), window);
-  for (size_t t = 0; t < window; ++t) {
-    result->nre.push_back(NormalizedResidualError(completed[t], truth[t]));
-  }
+  return completed;
 }
 
 /// Shared aggregate metrics: RAE over everything, RAE excluding the init
@@ -39,6 +39,66 @@ void FinalizeRunMetrics(size_t window, StreamRunResult* result) {
   result->rae_post_init = Mean(std::vector<double>(
       result->nre.begin() + static_cast<long>(window), result->nre.end()));
   result->art_seconds = Mean(result->step_seconds);
+}
+
+/// Held-out eval pattern of a mask: the missing entries, capped at
+/// `max_entries` by an evenly strided deterministic pick (0 = no cap).
+/// Bucket-less — only the gather kernels ever touch it.
+std::shared_ptr<const CooList> BuildEvalPattern(const Mask& omega,
+                                                size_t max_entries) {
+  const size_t volume = omega.shape().NumElements();
+  const size_t missing = volume - omega.CountObserved();
+  Mask eval(omega.shape(), false);
+  if (missing > 0) {
+    if (max_entries == 0 || missing <= max_entries) {
+      for (size_t k = 0; k < volume; ++k) {
+        if (!omega.Get(k)) eval.Set(k, true);
+      }
+    } else {
+      // Pick missing entries number 0, stride, 2*stride, ... in missing
+      // enumeration order — deterministic and spread across the whole
+      // slice. Ceil stride so the picks span the full missing set (a
+      // floor stride would cluster them at the low linear indices
+      // whenever max_entries < missing < 2 * max_entries), at the cost
+      // of sometimes taking slightly fewer than max_entries.
+      const size_t stride = (missing + max_entries - 1) / max_entries;
+      size_t seen = 0, taken = 0;
+      for (size_t k = 0; k < volume && taken < max_entries; ++k) {
+        if (omega.Get(k)) continue;
+        if (seen % stride == 0) {
+          eval.Set(k, true);
+          ++taken;
+        }
+        ++seen;
+      }
+    }
+  }
+  return std::make_shared<const CooList>(
+      CooList::Build(eval, /*with_mode_buckets=*/false));
+}
+
+/// Per-step scoring scratch shared across methods and steps.
+struct ScoreScratch {
+  std::vector<double> est_observed, est_missing;
+  std::vector<double> truth_observed, truth_missing;
+};
+
+/// Score one estimate handle at the observed + held-out patterns; appends
+/// the three NRE series entries.
+void ScoreStep(const StepResult& estimate, const CooList& observed,
+               const CooList& held_out, ThreadPool* pool,
+               ScoreScratch* scratch, StreamRunResult* result) {
+  estimate.GatherAtInto(observed, &scratch->est_observed, pool);
+  estimate.GatherAtInto(held_out, &scratch->est_missing, pool);
+  const GatheredError obs_err = AccumulateGatheredError(
+      scratch->est_observed, scratch->truth_observed);
+  const GatheredError miss_err = AccumulateGatheredError(
+      scratch->est_missing, scratch->truth_missing);
+  GatheredError total = obs_err;
+  total += miss_err;
+  result->observed_nre.push_back(GatheredNre(obs_err));
+  result->missing_nre.push_back(GatheredNre(miss_err));
+  result->nre.push_back(GatheredNre(total));
 }
 
 }  // namespace
@@ -53,7 +113,11 @@ StreamRunResult RunImputation(StreamingMethod* method,
 
   StreamRunResult result;
   result.nre.reserve(total);
-  ScoreInitWindow(method, stream, truth, window, &result);
+  std::vector<DenseTensor> completed =
+      RunInitWindow(method, stream, window, &result);
+  for (size_t t = 0; t < window; ++t) {
+    result.nre.push_back(NormalizedResidualError(completed[t], truth[t]));
+  }
 
   result.step_seconds.reserve(total - window);
   for (size_t t = window; t < total; ++t) {
@@ -69,50 +133,80 @@ StreamRunResult RunImputation(StreamingMethod* method,
 
 std::vector<MethodRunResult> RunImputationComparison(
     const std::vector<StreamingMethod*>& methods,
-    const CorruptedStream& stream, const std::vector<DenseTensor>& truth) {
+    const CorruptedStream& stream, const std::vector<DenseTensor>& truth,
+    const StreamEvalOptions& options) {
   SOFIA_CHECK_EQ(stream.slices.size(), truth.size());
   const size_t total = truth.size();
 
+  // One worker pool for the whole run: adopted by every method (instead of
+  // one lazily spawned pool each) and used for the scoring gathers. A
+  // 1-thread pool degrades to the serial path inside the consumers.
+  auto pool = std::make_shared<ThreadPool>(
+      ResolveNumThreads(options.num_threads));
+  ThreadPool* gather_pool = pool->num_threads() > 1 ? pool.get() : nullptr;
+
   std::vector<MethodRunResult> out(methods.size());
   std::vector<size_t> windows(methods.size(), 0);
+  std::vector<std::vector<DenseTensor>> completions(methods.size());
   for (size_t m = 0; m < methods.size(); ++m) {
     StreamingMethod* method = methods[m];
+    method->AdoptWorkerPool(pool);
     out[m].name = method->name();
     const size_t window = method->init_window();
     SOFIA_CHECK_LE(window, total);
     windows[m] = window;
     out[m].run.nre.reserve(total);
     out[m].run.step_seconds.reserve(total - window);
-    ScoreInitWindow(method, stream, truth, window, &out[m].run);
+    completions[m] = RunInitWindow(method, stream, window, &out[m].run);
   }
 
-  // Shared step loop: one CooList per distinct consecutive mask, handed to
-  // every method due a step at time t. Built lazily against the cached
-  // mask, so steps that fall inside every method's init window (where
-  // nobody consumes the hint) never pay the compaction.
+  // Shared step loop: per distinct consecutive mask, one observed CooList
+  // (with mode buckets, for the methods' kernels) and one held-out eval
+  // pattern — the only O(volume) work of the loop. Truth values at both
+  // patterns are gathered once per step and shared across methods.
   std::shared_ptr<const CooList> pattern;
+  std::shared_ptr<const CooList> eval_pattern;
   Mask pattern_mask;
+  bool pattern_valid = false;
+  ScoreScratch scratch;
   for (size_t t = 0; t < total; ++t) {
     const Mask& omega = stream.masks[t];
-    bool due = false;
-    for (size_t m = 0; m < methods.size() && !due; ++m) due = t >= windows[m];
-    if (!due) continue;
-    if (pattern == nullptr || pattern_mask != omega) {
+    if (!pattern_valid || pattern_mask != omega) {
       pattern = MakeSharedPattern(omega);
+      eval_pattern = BuildEvalPattern(omega, options.max_eval_entries);
       pattern_mask = omega;
+      pattern_valid = true;
     }
+    pattern->GatherInto(truth[t], &scratch.truth_observed);
+    eval_pattern->GatherInto(truth[t], &scratch.truth_missing);
     for (size_t m = 0; m < methods.size(); ++m) {
-      if (t < windows[m]) continue;
+      if (t < windows[m]) {
+        // Init-window slice: score the stored completion at the same entry
+        // sets (Dense handles do not count as lazy materializations).
+        StepResult completed =
+            StepResult::Dense(std::move(completions[m][t]));
+        ScoreStep(completed, *pattern, *eval_pattern, gather_pool, &scratch,
+                  &out[m].run);
+        continue;
+      }
+      StepResult estimate;
       Stopwatch timer;
-      DenseTensor imputed =
-          methods[m]->Step(stream.slices[t], omega, pattern);
+      if (options.force_dense) {
+        estimate =
+            StepResult::Dense(methods[m]->Step(stream.slices[t], omega,
+                                               pattern));
+      } else {
+        estimate = methods[m]->StepLazy(stream.slices[t], omega, pattern);
+      }
       out[m].run.step_seconds.push_back(timer.ElapsedSeconds());
-      out[m].run.nre.push_back(NormalizedResidualError(imputed, truth[t]));
+      ScoreStep(estimate, *pattern, *eval_pattern, gather_pool, &scratch,
+                &out[m].run);
     }
   }
 
   for (size_t m = 0; m < methods.size(); ++m) {
     FinalizeRunMetrics(windows[m], &out[m].run);
+    methods[m]->AdoptWorkerPool(nullptr);
   }
   return out;
 }
@@ -149,6 +243,52 @@ double RunForecast(StreamingMethod* method, const CorruptedStream& stream,
     future.push_back(truth[train + h - 1]);
   }
   return AverageForecastingError(forecasts, future);
+}
+
+double RunForecast(StreamingMethod* method, const CorruptedStream& stream,
+                   const std::vector<DenseTensor>& truth, size_t horizon,
+                   const StreamEvalOptions& options) {
+  SOFIA_CHECK_EQ(stream.slices.size(), truth.size());
+  SOFIA_CHECK_LT(horizon, truth.size());
+  SOFIA_CHECK(method->SupportsForecast())
+      << method->name() << " cannot forecast";
+  const size_t train = truth.size() - horizon;
+  const size_t window = method->init_window();
+  SOFIA_CHECK_LE(window, train);
+
+  if (window > 0) {
+    std::vector<DenseTensor> init_slices(stream.slices.begin(),
+                                         stream.slices.begin() + window);
+    std::vector<Mask> init_masks(stream.masks.begin(),
+                                 stream.masks.begin() + window);
+    method->Initialize(init_slices, init_masks);
+  }
+  for (size_t t = window; t < train; ++t) {
+    method->Observe(stream.slices[t], stream.masks[t]);
+  }
+
+  // Held-out scoring pattern: a deterministic ≤ max_eval_entries sample of
+  // the slice index space, shared by every horizon (an all-observed mask's
+  // "missing" set is empty, so sample the complement of an all-missing
+  // one — i.e. every entry, strided).
+  const Mask nothing_observed(truth[train].shape(), false);
+  std::shared_ptr<const CooList> eval_pattern =
+      BuildEvalPattern(nothing_observed, options.max_eval_entries);
+
+  std::vector<double> est, ref;
+  double sum = 0.0;
+  for (size_t h = 1; h <= horizon; ++h) {
+    const DenseTensor& future = truth[train + h - 1];
+    eval_pattern->GatherInto(future, &ref);
+    if (options.force_dense) {
+      StepResult forecast = StepResult::Dense(method->Forecast(h));
+      forecast.GatherAtInto(*eval_pattern, &est);
+    } else {
+      method->ForecastLazy(h).GatherAtInto(*eval_pattern, &est);
+    }
+    sum += GatheredNre(AccumulateGatheredError(est, ref));
+  }
+  return sum / static_cast<double>(horizon);
 }
 
 }  // namespace sofia

@@ -1,6 +1,7 @@
 #ifndef SOFIA_EVAL_STREAM_RUNNER_H_
 #define SOFIA_EVAL_STREAM_RUNNER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -10,15 +11,50 @@
 
 /// \file stream_runner.hpp
 /// \brief Drives a StreamingMethod through a corrupted stream and collects
-/// the Section VI-A metrics (NRE series, RAE, ART, AFE). The comparison
-/// runner drives several methods through the *same* stream, compacting each
-/// slice's observed-entry pattern once and sharing it across all methods.
+/// the Section VI-A metrics (NRE series, RAE, ART, AFE).
+///
+/// Two protocol generations coexist:
+///  - RunImputation keeps the original dense protocol (materialize every
+///    estimate, full-volume NRE) for the paper-figure benches.
+///  - RunImputationComparison and the options-taking RunForecast are the
+///    lazy pipeline: methods return StepResult handles, and all scoring
+///    reads estimates only at observed and held-out entries through CooList
+///    gathers — per step, one shared pattern build per distinct mask is the
+///    only full-index-space work anywhere in the loop, and no method's
+///    estimate is ever densified (counter-verified in
+///    tests/step_result_test.cc).
 
 namespace sofia {
 
+/// Knobs of the lazy eval protocols.
+struct StreamEvalOptions {
+  /// Drive the materializing Step()/Forecast() wrappers and score from the
+  /// dense estimates (gathered at the same entries). The scores are bitwise
+  /// identical to the lazy path — this exists as the parity/benchmark
+  /// reference, not as a better answer.
+  bool force_dense = false;
+  /// Per-step cap on the *held-out* (missing) entries scored: when a step
+  /// has more missing entries than this, an evenly strided deterministic
+  /// subset of that size is scored instead (the OLSTEC-style sampled
+  /// evaluation). 0 scores every missing entry.
+  size_t max_eval_entries = 1024;
+  /// Size of the one shared kernel worker pool of a comparison run (0 =
+  /// hardware concurrency), offered to every method via AdoptWorkerPool and
+  /// used for the scoring gathers. Results are bitwise identical for every
+  /// setting.
+  size_t num_threads = 1;
+};
+
 /// Per-run measurements.
 struct StreamRunResult {
-  std::vector<double> nre;           ///< NRE at every time step (incl. init).
+  /// NRE at every time step (incl. init) over the *scored* entry set: for
+  /// the dense protocol the full slice, for the lazy protocols observed ∪
+  /// sampled-missing entries.
+  std::vector<double> nre;
+  /// Lazy protocols only: NRE restricted to the observed entries Ω_t, and
+  /// to the held-out (sampled missing) entries — the imputation targets.
+  std::vector<double> observed_nre;
+  std::vector<double> missing_nre;
   double rae = 0.0;                  ///< Mean NRE over the whole stream.
   double rae_post_init = 0.0;        ///< Mean NRE excluding the init window.
   double art_seconds = 0.0;          ///< Mean per-step time, init excluded.
@@ -26,43 +62,59 @@ struct StreamRunResult {
   std::vector<double> step_seconds;  ///< Per-step wall times (post-init).
 };
 
-/// Imputation protocol (Figs. 3-5): run `method` over the corrupted stream,
-/// compare each imputed slice against the ground truth. The init window (if
-/// any) is timed separately and its slices are scored from Initialize()'s
-/// completions.
+/// Imputation protocol (Figs. 3-5), dense generation: run `method` over the
+/// corrupted stream, compare each materialized imputed slice against the
+/// ground truth over the full volume. The init window (if any) is timed
+/// separately and its slices are scored from Initialize()'s completions.
 StreamRunResult RunImputation(StreamingMethod* method,
                               const CorruptedStream& stream,
                               const std::vector<DenseTensor>& truth);
 
-/// Forecasting protocol (Fig. 6): feed all but the last `horizon` slices,
-/// then forecast h = 1..horizon and return the AFE against the held-out
-/// ground truth.
+/// Forecasting protocol (Fig. 6), dense generation: feed all but the last
+/// `horizon` slices, then forecast h = 1..horizon and return the AFE
+/// against the held-out ground truth over the full volume.
 double RunForecast(StreamingMethod* method, const CorruptedStream& stream,
                    const std::vector<DenseTensor>& truth, size_t horizon);
+
+/// Forecasting protocol, lazy generation: the training prefix advances via
+/// Observe(), and each ForecastLazy(h) handle is scored against the held-out
+/// truth only at a deterministic sample of ≤ max_eval_entries entries per
+/// slice, gathered through one CooList shared by every horizon. With
+/// force_dense the same entries are read from materialized forecasts — the
+/// AFE is bitwise identical.
+double RunForecast(StreamingMethod* method, const CorruptedStream& stream,
+                   const std::vector<DenseTensor>& truth, size_t horizon,
+                   const StreamEvalOptions& options);
 
 /// One method's measurements within a comparison run.
 struct MethodRunResult {
   std::string name;    ///< StreamingMethod::name() at run time.
-  StreamRunResult run; ///< Same metrics as RunImputation.
+  StreamRunResult run; ///< Same metrics as StreamRunResult above.
 };
 
-/// Multi-method imputation comparison: every method consumes the same
-/// corrupted stream, slice by slice. Each slice's CooList is built at most
-/// once (with the mask-reuse cache of the sparse streaming step: identical
-/// consecutive masks skip even that single build) and shared across the
-/// methods via StreamingMethod::Step(y, omega, pattern), so for every
-/// method on the ObservedSweep core the per-step O(volume) compaction cost
-/// is paid once per distinct mask instead of once per method per step.
-/// Methods that ignore the hint (SOFIA, whose model keeps its own internal
-/// pattern cache; dense-path baselines) still run correctly — any pattern
-/// work they do themselves simply counts toward their own step time. The
-/// shared build happens outside the per-method timers, so `art_seconds`
-/// measures each method's own step cost; methods with an init window are
-/// initialized on their own window prefix first and scored identically to
-/// RunImputation.
+/// Multi-method imputation comparison — the lazy pipeline. Every method
+/// consumes the same corrupted stream, slice by slice:
+///  - per distinct consecutive mask, the runner builds the observed-entry
+///    CooList once and a held-out eval pattern (≤ max_eval_entries sampled
+///    missing entries) once, and shares both across all methods — the only
+///    O(volume) work in the loop;
+///  - each method due a step returns a lazy StepResult via StepLazy(y,
+///    omega, pattern) (or a materialized estimate when force_dense), and is
+///    scored by gathering the estimate at the observed and held-out
+///    patterns: per-step NRE over observed, held-out, and their union, with
+///    zero full-volume reconstructions on the lazy path;
+///  - one shared worker pool (options.num_threads) is adopted by every
+///    method and drives the scoring gathers, instead of one lazily spawned
+///    pool per method;
+///  - methods with an init window are initialized on their own window
+///    prefix first; their init slices are scored from Initialize()'s
+///    completions at the same entry sets.
+/// The shared builds happen outside the per-method timers, so `art_seconds`
+/// measures each method's own step cost.
 std::vector<MethodRunResult> RunImputationComparison(
     const std::vector<StreamingMethod*>& methods,
-    const CorruptedStream& stream, const std::vector<DenseTensor>& truth);
+    const CorruptedStream& stream, const std::vector<DenseTensor>& truth,
+    const StreamEvalOptions& options = {});
 
 }  // namespace sofia
 

@@ -1,5 +1,7 @@
 #include "eval/streaming_method.hpp"
 
+#include <utility>
+
 #include "util/check.hpp"
 
 namespace sofia {
@@ -12,7 +14,20 @@ std::vector<DenseTensor> StreamingMethod::Initialize(
   return {};
 }
 
+DenseTensor StreamingMethod::Step(const DenseTensor& y, const Mask& omega) {
+  return StepLazy(y, omega).ReleaseImputed();
+}
+
+DenseTensor StreamingMethod::Step(const DenseTensor& y, const Mask& omega,
+                                  std::shared_ptr<const CooList> pattern) {
+  return StepLazy(y, omega, std::move(pattern)).ReleaseImputed();
+}
+
 DenseTensor StreamingMethod::Forecast(size_t h) const {
+  return ForecastLazy(h).ReleaseImputed();
+}
+
+StepResult StreamingMethod::ForecastLazy(size_t h) const {
   (void)h;
   SOFIA_CHECK(false) << name() << " does not support forecasting";
   return {};

@@ -5,17 +5,24 @@
 #include <string>
 #include <vector>
 
+#include "eval/step_result.hpp"
 #include "tensor/coo_list.hpp"
 #include "tensor/dense_tensor.hpp"
 #include "tensor/mask.hpp"
+#include "util/parallel.hpp"
 
 /// \file streaming_method.hpp
 /// \brief Common interface for SOFIA and all streaming competitors.
 ///
-/// A method consumes subtensors one at a time and returns an imputed
-/// estimate for each. Methods with a start-up phase (SOFIA, MAST, OR-MSTC)
-/// declare an init window; the runner feeds those slices to Initialize() and
-/// excludes the time spent there from the ART metric, as the paper does.
+/// A method consumes subtensors one at a time and returns a lazy StepResult
+/// handle for each — the estimate's *structure* (factors + temporal row,
+/// loadings + weights, masked data), not an O(volume R) materialized
+/// tensor. Consumers that need the dense estimate call imputed() on the
+/// handle; the eval protocols instead read it only at the entries they
+/// score, through the handle's gather accessors. Methods with a start-up
+/// phase (SOFIA, MAST, OR-MSTC) declare an init window; the runner feeds
+/// those slices to Initialize() and excludes the time spent there from the
+/// ART metric, as the paper does.
 
 namespace sofia {
 
@@ -36,32 +43,49 @@ class StreamingMethod {
   virtual std::vector<DenseTensor> Initialize(
       const std::vector<DenseTensor>& slices, const std::vector<Mask>& masks);
 
-  /// Consumes one subtensor; returns the imputed (completed) estimate.
-  virtual DenseTensor Step(const DenseTensor& y, const Mask& omega) = 0;
+  /// Primary per-step API: consume one subtensor, return the lazy estimate
+  /// handle. `pattern` may hold an externally built coordinate pattern of
+  /// `omega` (with mode buckets) — comparison runners build each slice's
+  /// CooList once and share it across every method per step; methods on the
+  /// ObservedSweep core (and SOFIA's shared_ptr pattern cache) adopt it to
+  /// skip their own build, others ignore it.
+  virtual StepResult StepLazy(const DenseTensor& y, const Mask& omega,
+                              std::shared_ptr<const CooList> pattern =
+                                  nullptr) = 0;
 
-  /// Step with an externally built coordinate pattern of `omega` (with mode
-  /// buckets). Comparison runners build each slice's CooList once and share
-  /// it across every method per step; methods on the ObservedSweep core
-  /// override this to skip their own build. The default ignores the hint.
+  /// Thin materializing wrappers for compatibility: StepLazy + imputed().
+  virtual DenseTensor Step(const DenseTensor& y, const Mask& omega);
   virtual DenseTensor Step(const DenseTensor& y, const Mask& omega,
-                           std::shared_ptr<const CooList> pattern) {
-    (void)pattern;
-    return Step(y, omega);
-  }
+                           std::shared_ptr<const CooList> pattern);
 
-  /// Consumes one subtensor when the caller does not need the imputed
-  /// estimate (the forecasting protocol): methods with a lazy step result
-  /// (SOFIA's sparse path) override this to skip materializing the dense
-  /// reconstruction. Default delegates to Step().
+  /// Consumes one subtensor when the caller does not need the estimate at
+  /// all (the forecasting protocol): methods override this to also skip the
+  /// output-only tail work (final temporal re-solves) that even a lazy
+  /// handle requires. Default discards the StepLazy handle unmaterialized.
   virtual void Observe(const DenseTensor& y, const Mask& omega) {
-    Step(y, omega);
+    StepLazy(y, omega);
   }
 
   /// Whether Forecast() is implemented.
   virtual bool SupportsForecast() const { return false; }
 
   /// h-step-ahead forecast past the last consumed subtensor (h >= 1).
+  /// Thin materializing wrapper over ForecastLazy().
   virtual DenseTensor Forecast(size_t h) const;
+
+  /// Lazy h-step-ahead forecast handle; the forecast protocol scores it at
+  /// held-out entries only. Must be overridden (together with
+  /// SupportsForecast) by forecast-capable methods.
+  virtual StepResult ForecastLazy(size_t h) const;
+
+  /// Adopt a shared worker pool for the observed-entry kernels (one pool
+  /// per comparison run instead of one lazily spawned pool per method).
+  /// Results are bitwise identical with or without it — the kernels'
+  /// work units are owner-partitioned for every thread count. Default:
+  /// ignore (dense-only methods have no kernel work to thread).
+  virtual void AdoptWorkerPool(std::shared_ptr<ThreadPool> pool) {
+    (void)pool;
+  }
 };
 
 }  // namespace sofia

@@ -79,10 +79,16 @@ CooList CooList::BuildForMode(const Mask& omega, size_t mode) {
 }
 
 std::vector<double> CooList::Gather(const DenseTensor& x) const {
-  SOFIA_CHECK(x.shape() == shape_);
-  std::vector<double> values(nnz());
-  for (size_t k = 0; k < linear_.size(); ++k) values[k] = x[linear_[k]];
+  std::vector<double> values;
+  GatherInto(x, &values);
   return values;
+}
+
+void CooList::GatherInto(const DenseTensor& x,
+                         std::vector<double>* values) const {
+  SOFIA_CHECK(x.shape() == shape_);
+  values->resize(nnz());
+  for (size_t k = 0; k < linear_.size(); ++k) (*values)[k] = x[linear_[k]];
 }
 
 std::vector<double> CooList::GatherResidual(const DenseTensor& y,

@@ -72,6 +72,9 @@ class CooList {
 
   /// Gather x[k] for every record, aligned with record order.
   std::vector<double> Gather(const DenseTensor& x) const;
+  /// Gather into a caller-owned buffer (resized to nnz) so per-step
+  /// consumers can reuse scratch across steps instead of reallocating.
+  void GatherInto(const DenseTensor& x, std::vector<double>* values) const;
   /// Gather (y - o)[k] for every record — the y* of Theorem 1.
   std::vector<double> GatherResidual(const DenseTensor& y,
                                      const DenseTensor& o) const;

@@ -74,6 +74,22 @@ DenseTensor DenseTensor::StackSlices(const std::vector<DenseTensor>& slices) {
   return out;
 }
 
+DenseTensor DenseTensor::StackSlices(
+    const std::vector<std::shared_ptr<const DenseTensor>>& slices) {
+  SOFIA_CHECK(!slices.empty());
+  SOFIA_CHECK(slices[0] != nullptr);
+  const Shape& slice_shape = slices[0]->shape();
+  const size_t slice_elems = slice_shape.NumElements();
+  DenseTensor out(slice_shape.AppendMode(slices.size()));
+  for (size_t t = 0; t < slices.size(); ++t) {
+    SOFIA_CHECK(slices[t] != nullptr);
+    SOFIA_CHECK(slices[t]->shape() == slice_shape);
+    std::copy(slices[t]->data_.begin(), slices[t]->data_.end(),
+              out.data_.begin() + t * slice_elems);
+  }
+  return out;
+}
+
 DenseTensor DenseTensor::SliceLastMode(size_t t) const {
   SOFIA_CHECK_GE(order(), 1u);
   const size_t last = order() - 1;

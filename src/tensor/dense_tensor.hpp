@@ -1,6 +1,7 @@
 #ifndef SOFIA_TENSOR_DENSE_TENSOR_H_
 #define SOFIA_TENSOR_DENSE_TENSOR_H_
 
+#include <memory>
 #include <vector>
 
 #include "tensor/shape.hpp"
@@ -63,6 +64,11 @@ class DenseTensor {
   /// Concatenate (N-1)-way slices along a new trailing temporal mode. All
   /// slices must share a shape; the result has order N.
   static DenseTensor StackSlices(const std::vector<DenseTensor>& slices);
+  /// StackSlices over shared slices (one copy into the stack, none to
+  /// adapt the container) — for consumers that hold their history through
+  /// shared_ptr so lazy views can reference it (CPHW).
+  static DenseTensor StackSlices(
+      const std::vector<std::shared_ptr<const DenseTensor>>& slices);
 
   /// Extract the t-th slice of the trailing mode as an (N-1)-way tensor.
   DenseTensor SliceLastMode(size_t t) const;

@@ -9,12 +9,16 @@ namespace sofia {
 
 Mask::Mask(Shape shape, bool observed)
     : shape_(std::move(shape)),
-      bits_(shape_.NumElements(), observed ? 1 : 0) {}
+      bits_(shape_.NumElements(), observed ? 1 : 0),
+      count_(observed ? bits_.size() : 0) {}
 
 size_t Mask::CountObserved() const {
-  size_t c = 0;
-  for (uint8_t b : bits_) c += b;
-  return c;
+  if (count_ == kCountUnknown) {
+    size_t c = 0;
+    for (uint8_t b : bits_) c += b;
+    count_ = c;
+  }
+  return count_;
 }
 
 double Mask::ObservedFraction() const {
@@ -60,6 +64,7 @@ Mask Mask::StackSlices(const std::vector<Mask>& slices) {
     std::copy(slices[t].bits_.begin(), slices[t].bits_.end(),
               out.bits_.begin() + t * slice_elems);
   }
+  out.count_ = kCountUnknown;  // Bits were written behind Set()'s back.
   return out;
 }
 
@@ -72,6 +77,7 @@ Mask Mask::SliceLastMode(size_t t) const {
   Mask out(slice_shape, false);
   std::copy(bits_.begin() + t * slice_elems,
             bits_.begin() + (t + 1) * slice_elems, out.bits_.begin());
+  out.count_ = kCountUnknown;  // Bits were written behind Set()'s back.
   return out;
 }
 

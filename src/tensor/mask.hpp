@@ -22,13 +22,17 @@ class Mask {
   const Shape& shape() const { return shape_; }
 
   bool Get(size_t linear) const { return bits_[linear] != 0; }
-  void Set(size_t linear, bool observed) { bits_[linear] = observed ? 1 : 0; }
+  void Set(size_t linear, bool observed) {
+    bits_[linear] = observed ? 1 : 0;
+    count_ = kCountUnknown;
+  }
 
   bool At(const std::vector<size_t>& idx) const {
     return Get(shape_.Linearize(idx));
   }
 
-  /// Number of observed entries (|Ω|).
+  /// Number of observed entries (|Ω|). Computed once and cached; any Set()
+  /// invalidates the cache, so repeated counts on a frozen mask are O(1).
   size_t CountObserved() const;
 
   /// Fraction of observed entries in [0, 1].
@@ -49,17 +53,28 @@ class Mask {
   /// Slice of the trailing mode (mirrors DenseTensor::SliceLastMode).
   Mask SliceLastMode(size_t t) const;
 
-  /// Same shape and same observed set. Cheap (one memcmp-style pass over the
-  /// indicator bytes); lets consumers that cache mask-derived structures
-  /// (e.g. the streaming CooList of SofiaModel::Step) detect reuse.
+  /// Same shape and same observed set. When both sides carry a cached
+  /// observed count (any prior CountObserved() on a frozen mask), unequal
+  /// counts reject in O(1) before the element scan — so the mask-reuse
+  /// caches (SofiaModel::Step, ObservedSweep::BeginStep, the comparison
+  /// runner) pay the byte compare only for masks that could actually match.
   bool operator==(const Mask& other) const {
-    return shape_ == other.shape_ && bits_ == other.bits_;
+    if (!(shape_ == other.shape_)) return false;
+    if (count_ != kCountUnknown && other.count_ != kCountUnknown &&
+        count_ != other.count_) {
+      return false;
+    }
+    return bits_ == other.bits_;
   }
   bool operator!=(const Mask& other) const { return !(*this == other); }
 
  private:
+  /// Sentinel for "observed count not computed yet".
+  static constexpr size_t kCountUnknown = static_cast<size_t>(-1);
+
   Shape shape_;
   std::vector<uint8_t> bits_;
+  mutable size_t count_ = kCountUnknown;  ///< CountObserved() cache.
 };
 
 }  // namespace sofia

@@ -626,17 +626,26 @@ std::vector<double> CooKruskalSliceGather(
     const CooList& coo, const std::vector<Matrix>& factors,
     const std::vector<double>& temporal_row, size_t num_threads,
     ThreadPool* pool) {
+  std::vector<double> out;
+  CooKruskalSliceGather(coo, factors, temporal_row, &out, num_threads, pool);
+  return out;
+}
+
+void CooKruskalSliceGather(const CooList& coo,
+                           const std::vector<Matrix>& factors,
+                           const std::vector<double>& temporal_row,
+                           std::vector<double>* out, size_t num_threads,
+                           ThreadPool* pool) {
   const size_t rank = factors.empty() ? 0 : factors[0].cols();
   CheckFactors(coo, factors, rank);
   SOFIA_CHECK_EQ(temporal_row.size(), rank);
 
-  std::vector<double> out(coo.nnz());
+  out->resize(coo.nnz());
   const std::vector<FactorView> views = MakeViews(factors);
   DispatchRank(rank, [&](auto tag) {
     CooKruskalSliceGatherImpl<decltype(tag)::value>(
-        coo, views, temporal_row.data(), num_threads, pool, rank, &out);
+        coo, views, temporal_row.data(), num_threads, pool, rank, out);
   });
-  return out;
 }
 
 StepGradients CooStepGradients(const CooList& coo,

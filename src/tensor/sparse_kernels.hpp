@@ -162,6 +162,16 @@ std::vector<double> CooKruskalSliceGather(const CooList& coo,
                                           size_t num_threads = 1,
                                           ThreadPool* pool = nullptr);
 
+/// CooKruskalSliceGather into a caller-owned buffer (resized to nnz): hot
+/// per-step consumers (OR-MSTC's slab loop, the lazy StepResult gathers of
+/// the eval protocols) reuse one scratch vector across steps instead of
+/// allocating a fresh result per call.
+void CooKruskalSliceGather(const CooList& coo,
+                           const std::vector<Matrix>& factors,
+                           const std::vector<double>& temporal_row,
+                           std::vector<double>* out, size_t num_threads = 1,
+                           ThreadPool* pool = nullptr);
+
 /// Everything the dynamic update (Algorithm 3 lines 7-9) accumulates over
 /// the observed entries of one incoming slice: per-row gradients of the
 /// non-temporal factors (Eq. (24)), the data gradient of the temporal row

@@ -53,5 +53,46 @@ TEST(MaskTest, StackAndSliceRoundtrip) {
   EXPECT_TRUE(b_back.Get(2));
 }
 
+TEST(MaskTest, CountCacheTracksMutation) {
+  // CountObserved is cached; Set() invalidates; every construction path
+  // (fill, stack, slice) reports the true count afterwards.
+  Mask m(Shape({4, 4}), false);
+  EXPECT_EQ(m.CountObserved(), 0u);
+  m.Set(3, true);
+  EXPECT_EQ(m.CountObserved(), 1u);
+  m.Set(3, false);
+  m.Set(5, true);
+  m.Set(6, true);
+  EXPECT_EQ(m.CountObserved(), 2u);
+  Mask copy = m;  // The cache travels with copies.
+  EXPECT_EQ(copy.CountObserved(), 2u);
+  copy.Set(7, true);
+  EXPECT_EQ(copy.CountObserved(), 3u);
+  EXPECT_EQ(m.CountObserved(), 2u);
+}
+
+TEST(MaskTest, EqualityEarlyExitsOnCachedCounts) {
+  // Masks with cached, different observed counts must compare unequal
+  // (the O(1) reject of the mask-reuse caches) — and equal-count masks
+  // still fall through to the exact byte comparison.
+  Mask a(Shape({8, 8}), false);
+  Mask b(Shape({8, 8}), false);
+  a.Set(0, true);
+  b.Set(0, true);
+  b.Set(1, true);
+  EXPECT_EQ(a.CountObserved(), 1u);  // Prime both caches.
+  EXPECT_EQ(b.CountObserved(), 2u);
+  EXPECT_TRUE(a != b);
+  b.Set(1, false);
+  EXPECT_TRUE(a == b);
+  // Same count, different support: the byte scan must still catch it.
+  Mask c(Shape({8, 8}), false);
+  c.Set(5, true);
+  EXPECT_EQ(c.CountObserved(), 1u);
+  EXPECT_TRUE(a != c);
+  // Shape mismatch rejects before anything else.
+  EXPECT_TRUE(a != Mask(Shape({8, 9}), false));
+}
+
 }  // namespace
 }  // namespace sofia

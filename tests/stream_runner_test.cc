@@ -33,15 +33,16 @@ class ConstantMethod : public StreamingMethod {
     return out;
   }
 
-  DenseTensor Step(const DenseTensor& y, const Mask&) override {
+  StepResult StepLazy(const DenseTensor& y, const Mask&,
+                      std::shared_ptr<const CooList>) override {
     ++steps_;
     last_shape_ = y.shape();
-    return DenseTensor(y.shape(), value_);
+    return StepResult::Dense(DenseTensor(y.shape(), value_));
   }
 
   bool SupportsForecast() const override { return true; }
-  DenseTensor Forecast(size_t) const override {
-    return DenseTensor(last_shape_, value_);
+  StepResult ForecastLazy(size_t) const override {
+    return StepResult::Dense(DenseTensor(last_shape_, value_));
   }
 
   bool initialized_ = false;
@@ -101,9 +102,10 @@ std::vector<DenseTensor> SinusoidTruth(size_t steps, uint64_t seed) {
   return truth;
 }
 
-TEST(StreamRunnerTest, ComparisonModeMatchesIndividualRuns) {
-  // The shared per-step CooList must be invisible in the results: every
-  // method scores exactly what its individual RunImputation run scores.
+TEST(StreamRunnerTest, ComparisonLazyMatchesForcedDenseBitwise) {
+  // The lazy pipeline must be invisible in the scores: driving StepLazy and
+  // gathering from the structured handles yields the same bits as
+  // materializing every estimate and reading the same entries.
   std::vector<DenseTensor> truth = SinusoidTruth(16, 41);
   CorruptedStream stream = Corrupt(truth, {30.0, 5.0, 2.0}, 42);
 
@@ -112,26 +114,32 @@ TEST(StreamRunnerTest, ComparisonModeMatchesIndividualRuns) {
   MastOptions mast_options;
   mast_options.rank = 3;
 
-  OnlineSgd sgd_solo(sgd_options);
-  Mast mast_solo(mast_options);
-  StreamRunResult sgd_run = RunImputation(&sgd_solo, stream, truth);
-  StreamRunResult mast_run = RunImputation(&mast_solo, stream, truth);
+  StreamEvalOptions lazy_options;
+  OnlineSgd sgd_lazy(sgd_options);
+  Mast mast_lazy(mast_options);
+  std::vector<StreamingMethod*> lazy_methods = {&sgd_lazy, &mast_lazy};
+  std::vector<MethodRunResult> lazy =
+      RunImputationComparison(lazy_methods, stream, truth, lazy_options);
 
-  OnlineSgd sgd_shared(sgd_options);
-  Mast mast_shared(mast_options);
-  std::vector<StreamingMethod*> methods = {&sgd_shared, &mast_shared};
-  std::vector<MethodRunResult> comparison =
-      RunImputationComparison(methods, stream, truth);
+  StreamEvalOptions dense_options;
+  dense_options.force_dense = true;
+  OnlineSgd sgd_dense(sgd_options);
+  Mast mast_dense(mast_options);
+  std::vector<StreamingMethod*> dense_methods = {&sgd_dense, &mast_dense};
+  std::vector<MethodRunResult> dense =
+      RunImputationComparison(dense_methods, stream, truth, dense_options);
 
-  ASSERT_EQ(comparison.size(), 2u);
-  EXPECT_EQ(comparison[0].name, "OnlineSGD");
-  EXPECT_EQ(comparison[1].name, "MAST");
-  ASSERT_EQ(comparison[0].run.nre.size(), sgd_run.nre.size());
-  ASSERT_EQ(comparison[1].run.nre.size(), mast_run.nre.size());
-  for (size_t t = 0; t < truth.size(); ++t) {
-    // Identical bits: the shared pattern equals the internally built one.
-    EXPECT_EQ(comparison[0].run.nre[t], sgd_run.nre[t]) << "t=" << t;
-    EXPECT_EQ(comparison[1].run.nre[t], mast_run.nre[t]) << "t=" << t;
+  ASSERT_EQ(lazy.size(), 2u);
+  EXPECT_EQ(lazy[0].name, "OnlineSGD");
+  EXPECT_EQ(lazy[1].name, "MAST");
+  for (size_t m = 0; m < lazy.size(); ++m) {
+    ASSERT_EQ(lazy[m].run.nre.size(), truth.size());
+    ASSERT_EQ(dense[m].run.nre.size(), truth.size());
+    for (size_t t = 0; t < truth.size(); ++t) {
+      EXPECT_EQ(lazy[m].run.nre[t], dense[m].run.nre[t]) << "t=" << t;
+      EXPECT_EQ(lazy[m].run.observed_nre[t], dense[m].run.observed_nre[t]);
+      EXPECT_EQ(lazy[m].run.missing_nre[t], dense[m].run.missing_nre[t]);
+    }
   }
 }
 
@@ -145,14 +153,36 @@ TEST(StreamRunnerTest, ComparisonModeHonorsInitWindows) {
       RunImputationComparison(methods, stream, truth);
 
   EXPECT_TRUE(windowed.initialized_);
-  EXPECT_EQ(windowed.steps_, 4);  // Only post-window slices hit Step().
+  EXPECT_EQ(windowed.steps_, 4);  // Only post-window slices hit StepLazy().
   EXPECT_EQ(plain.steps_, 8);
   ASSERT_EQ(res[0].run.nre.size(), 8u);
+  // Fully observed stream: the scored set is exactly Ω, and a constant
+  // estimate vs constant truth has the same NRE on any entry subset, so
+  // the expectations match the dense protocol's values.
   for (size_t t = 0; t < 4; ++t) EXPECT_DOUBLE_EQ(res[0].run.nre[t], 0.0);
   for (size_t t = 4; t < 8; ++t) EXPECT_DOUBLE_EQ(res[0].run.nre[t], 32.0);
+  for (size_t t = 0; t < 8; ++t) {
+    EXPECT_DOUBLE_EQ(res[0].run.missing_nre[t], 0.0);  // Nothing missing.
+  }
   EXPECT_DOUBLE_EQ(res[0].run.rae_post_init, 32.0);
   EXPECT_EQ(res[0].run.step_seconds.size(), 4u);
   EXPECT_DOUBLE_EQ(res[1].run.rae, 0.0);
+}
+
+TEST(StreamRunnerTest, ComparisonScoresObservedAndHeldOutPartitions) {
+  // 50% missing, wrong-by-2x constant estimate: the observed and held-out
+  // partitions both score |4-2|/2 = 1, and so does their union.
+  std::vector<DenseTensor> truth = ConstantTruth(6, 2.0);
+  CorruptedStream stream = Corrupt(truth, {50.0, 0.0, 0.0}, 44);
+  ConstantMethod method(4.0, 0);
+  std::vector<StreamingMethod*> methods = {&method};
+  std::vector<MethodRunResult> res =
+      RunImputationComparison(methods, stream, truth);
+  for (size_t t = 0; t < truth.size(); ++t) {
+    EXPECT_NEAR(res[0].run.nre[t], 1.0, 1e-12);
+    EXPECT_NEAR(res[0].run.observed_nre[t], 1.0, 1e-12);
+    EXPECT_NEAR(res[0].run.missing_nre[t], 1.0, 1e-12);
+  }
 }
 
 TEST(StreamRunnerTest, ForecastProtocolComputesAfeOnHeldOutTail) {
@@ -162,6 +192,22 @@ TEST(StreamRunnerTest, ForecastProtocolComputesAfeOnHeldOutTail) {
   const double afe = RunForecast(&method, stream, truth, /*horizon=*/3);
   EXPECT_NEAR(afe, 0.5, 1e-12);
   EXPECT_EQ(method.steps_, 7);  // Only the training prefix is consumed.
+}
+
+TEST(StreamRunnerTest, SampledForecastProtocolMatchesDenseOnConstants) {
+  // Constant forecasts vs constant truth: the sampled held-out NRE equals
+  // the full-volume NRE, and the lazy and forced-dense routes agree.
+  std::vector<DenseTensor> truth = ConstantTruth(10, 2.0);
+  CorruptedStream stream = Corrupt(truth, {0.0, 0.0, 0.0}, 4);
+  StreamEvalOptions options;
+  options.max_eval_entries = 4;  // Fewer than the 6 entries per slice.
+  ConstantMethod lazy(3.0, 0);
+  const double lazy_afe = RunForecast(&lazy, stream, truth, 3, options);
+  options.force_dense = true;
+  ConstantMethod dense(3.0, 0);
+  const double dense_afe = RunForecast(&dense, stream, truth, 3, options);
+  EXPECT_NEAR(lazy_afe, 0.5, 1e-12);
+  EXPECT_EQ(lazy_afe, dense_afe);
 }
 
 }  // namespace
