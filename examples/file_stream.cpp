@@ -10,6 +10,7 @@
 //
 // Usage: file_stream [--path=/tmp/sofia_demo_stream.csv]
 //                    [--num_threads=0] [--use_sparse_kernels=true]
+//                    [--storage=coo|csf]
 
 #include <algorithm>
 #include <cstdio>
@@ -87,6 +88,10 @@ int main(int argc, char** argv) {
       flags.GetInt("num_threads", static_cast<int64_t>(config.num_threads)));
   config.use_sparse_kernels =
       flags.GetBool("use_sparse_kernels", config.use_sparse_kernels);
+  // --storage=csf routes the per-step pattern through the CSF fiber-tree
+  // backend (tensor/csf_tensor.hpp) instead of the flat CooList.
+  config.pattern_storage = ParsePatternStorage(
+      flags.GetString("storage", PatternStorageName(config.pattern_storage)));
   SofiaStream method(config);
   CorruptedStream stream;
   stream.slices = loaded.slices;

@@ -15,6 +15,7 @@
 // Usage: taxi_imputation [--missing=50] [--outliers=20] [--magnitude=4]
 //                        [--num_threads=0] [--use_sparse_kernels=true]
 //                        [--eval_cap=1024] [--force_dense=false]
+//                        [--storage=coo|csf]
 
 #include <cstdio>
 
@@ -48,13 +49,19 @@ int main(int argc, char** argv) {
 
   // Kernel-path knobs, shared by SOFIA and the baseline: both run their
   // per-step work on the observed-entry kernels unless told otherwise.
+  // --storage=csf compiles each shared per-step pattern into CSF fiber
+  // trees (tensor/csf_tensor.hpp) and routes every method's kernels
+  // through the fiber-reuse backend.
   const size_t num_threads =
       static_cast<size_t>(flags.GetInt("num_threads", 0));
   const bool use_sparse_kernels = flags.GetBool("use_sparse_kernels", true);
+  const PatternStorage storage =
+      ParsePatternStorage(flags.GetString("storage", "coo"));
 
   SofiaConfig config = MakeExperimentConfig(taxi, stream);
   config.num_threads = num_threads;
   config.use_sparse_kernels = use_sparse_kernels;
+  config.pattern_storage = storage;
   SofiaStream sofia_method(config);
 
   OnlineSgdOptions sgd_options;
@@ -70,6 +77,7 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("eval_cap", 1024));
   options.force_dense = flags.GetBool("force_dense", false);
   options.num_threads = num_threads;
+  options.pattern_storage = storage;
 
   StepResult::ResetMaterializations();
   std::vector<StreamingMethod*> methods = {&sofia_method, &sgd};

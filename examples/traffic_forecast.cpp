@@ -9,6 +9,7 @@
 //
 // Usage: traffic_forecast [--missing=30] [--seed=3]
 //                         [--num_threads=0] [--use_sparse_kernels=true]
+//                         [--storage=coo|csf]
 
 #include <cstdio>
 
@@ -38,15 +39,20 @@ int main(int argc, char** argv) {
   CorruptedStream smf_stream =
       Corrupt(traffic.slices, {0.0, 20.0, 5.0}, seed + 1);
 
-  // Kernel-path knobs, shared by SOFIA and SMF.
+  // Kernel-path knobs, shared by SOFIA and SMF. --storage=csf selects the
+  // compressed-sparse-fiber pattern backend for SOFIA's training steps
+  // (SMF streams the raw record list, so the knob is a no-op there).
   const size_t num_threads =
       static_cast<size_t>(flags.GetInt("num_threads", 0));
   const bool use_sparse_kernels = flags.GetBool("use_sparse_kernels", true);
+  const PatternStorage storage =
+      ParsePatternStorage(flags.GetString("storage", "coo"));
 
   // Train SOFIA on the corrupted prefix.
   SofiaConfig config = MakeExperimentConfig(traffic, sofia_stream);
   config.num_threads = num_threads;
   config.use_sparse_kernels = use_sparse_kernels;
+  config.pattern_storage = storage;
   const size_t window = config.InitWindow();
   std::vector<DenseTensor> init_slices(sofia_stream.slices.begin(),
                                        sofia_stream.slices.begin() + window);

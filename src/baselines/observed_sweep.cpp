@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "linalg/solve.hpp"
+#include "tensor/csf_kernels.hpp"
 #include "util/check.hpp"
 
 namespace sofia {
@@ -20,23 +21,22 @@ void ObservedSweep::BeginStep(const DenseTensor& y, const Mask& omega,
     SOFIA_CHECK(shared->shape() == omega.shape());
     coo_ = std::move(shared);
     // Seed the reuse cache so a later unshared step with the same mask can
-    // still skip its rebuild. The guard keeps the common fixed-mask case
-    // free of the O(volume) mask copy (the comparison is a cheap byte
-    // scan, the copy an allocation).
-    if (!(mask_valid_ && mask_ == omega)) {
-      mask_ = omega;
-      mask_valid_ = true;
-    }
+    // still skip its rebuild. The cache is a SparseMask built from the
+    // records just adopted, so both the staleness check and the reseed are
+    // O(|Ω_t|) — never a dense indicator copy or byte scan.
+    if (!mask_.Matches(omega)) mask_ = SparseMask::FromCoo(*coo_);
   } else {
-    const bool reusable = options_.reuse_step_pattern && mask_valid_ &&
-                          coo_ != nullptr && mask_ == omega;
+    const bool reusable = options_.reuse_step_pattern && coo_ != nullptr &&
+                          mask_.Matches(omega);
     if (!reusable) {
       coo_ = MakeSharedPattern(omega, options_.with_mode_buckets);
-      mask_ = omega;
-      mask_valid_ = true;
+      mask_ = SparseMask::FromCoo(*coo_);
       ++pattern_builds_;
+    } else {
+      ++pattern_reuses_;
     }
   }
+  BindCsf(coo_, options_.pattern_storage, &csf_, &csf_source_);
   coo_->GatherInto(y, &values_);
 }
 
@@ -59,6 +59,9 @@ ThreadPool* ObservedSweep::Pool() const {
 NormalSystem ObservedSweep::TemporalSystem(
     const std::vector<Matrix>& factors,
     const std::vector<double>& vals) const {
+  if (csf_ != nullptr) {
+    return CsfNormalSystem(*csf_, vals, factors, /*num_threads=*/1, Pool());
+  }
   return CooNormalSystem(pattern(), vals, factors, /*num_threads=*/1, Pool());
 }
 
@@ -73,6 +76,10 @@ std::vector<double> ObservedSweep::SolveTemporalRow(
 RowSystems ObservedSweep::WeightedRowSystems(
     const std::vector<Matrix>& factors, const std::vector<double>& w,
     const std::vector<double>& vals, size_t mode) const {
+  if (csf_ != nullptr) {
+    return CsfWeightedRowSystems(*csf_, vals, factors, w, mode,
+                                 /*num_threads=*/1, Pool());
+  }
   return CooWeightedRowSystems(pattern(), vals, factors, w, mode,
                                /*num_threads=*/1, Pool());
 }
@@ -82,6 +89,11 @@ void ObservedSweep::ProximalRowSweep(const std::vector<Matrix>& factors,
                                      const std::vector<double>& vals,
                                      size_t mode, const Matrix& previous,
                                      double mu, Matrix* u) const {
+  if (csf_ != nullptr) {
+    CsfProximalRowUpdates(*csf_, vals, factors, w, mode, previous, mu, u,
+                          /*num_threads=*/1, Pool());
+    return;
+  }
   CooProximalRowUpdates(pattern(), vals, factors, w, mode, previous, mu, u,
                         /*num_threads=*/1, Pool());
 }
@@ -89,12 +101,19 @@ void ObservedSweep::ProximalRowSweep(const std::vector<Matrix>& factors,
 ModeGradients ObservedSweep::Gradients(
     const std::vector<Matrix>& factors, const std::vector<double>& w,
     const std::vector<double>& residuals, bool with_traces) const {
+  if (csf_ != nullptr) {
+    return CsfModeGradients(*csf_, residuals, factors, w, /*num_threads=*/1,
+                            Pool(), with_traces);
+  }
   return CooModeGradients(pattern(), residuals, factors, w, /*num_threads=*/1,
                           Pool(), with_traces);
 }
 
 std::vector<double> ObservedSweep::Reconstruct(
     const std::vector<Matrix>& factors, const std::vector<double>& w) const {
+  if (csf_ != nullptr) {
+    return CsfKruskalGather(*csf_, factors, w, /*num_threads=*/1, Pool());
+  }
   return CooKruskalGather(pattern(), factors, w, /*num_threads=*/1, Pool());
 }
 

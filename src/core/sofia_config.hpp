@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "tensor/pattern_storage.hpp"
 #include "timeseries/robust.hpp"
 
 /// \file sofia_config.hpp
@@ -55,10 +56,20 @@ struct SofiaConfig {
 
   /// Reuse the Step() coordinate list when the incoming mask is identical to
   /// the previous step's (the common case for fixed sensor outages): the
-  /// rebuild — the only O(volume) term of a sparse step — is replaced by one
-  /// cheap indicator comparison. Structure depends only on the mask, so the
-  /// reuse is exact. Disable to force a rebuild every step.
+  /// rebuild — the only O(volume) term of a sparse step — is replaced by an
+  /// O(|Ω_t|) SparseMask comparison. Structure depends only on the mask, so
+  /// the reuse is exact. Disable to force a rebuild every step.
   bool reuse_step_pattern = true;
+
+  /// Storage backend of the sparse Step pattern: kCsf compiles the cached
+  /// CooList into per-mode compressed-sparse-fiber trees
+  /// (tensor/csf_tensor.hpp) and runs the Step accumulations through the
+  /// fiber-reuse kernels (tensor/csf_kernels.hpp) — same O(|Ω_t| N R) bound
+  /// with partial Hadamard products hoisted per fiber. Agrees with the COO
+  /// backend to floating-point reassociation (≤1e-12, tests/csf_test.cc).
+  /// Runtime kernel knob like num_threads: not serialized; restore it by
+  /// hand when resuming a checkpoint that should keep the CSF bits.
+  PatternStorage pattern_storage = PatternStorage::kCoo;
 
   double lambda3_decay = 0.85;  ///< `d` of Algorithm 1 (threshold decay).
   double tolerance = 1e-4;      ///< Convergence tolerance (ALS + init loop).

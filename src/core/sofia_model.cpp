@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "tensor/csf_kernels.hpp"
 #include "tensor/kruskal.hpp"
 #include "tensor/sparse_kernels.hpp"
 #include "timeseries/hw_fit.hpp"
@@ -122,18 +123,22 @@ const CooList& SofiaModel::StepPattern(const Mask& omega,
     SOFIA_CHECK(shared->shape() == omega.shape());
     step_coo_ = std::move(shared);
     // Seed the reuse cache so a later unshared step with the same mask
-    // still skips its rebuild (same guard as ObservedSweep::BeginStep: the
-    // comparison is a cheap count-guarded byte scan, the copy an
-    // allocation).
-    if (step_mask_ != omega) step_mask_ = omega;
+    // still skips its rebuild (same guard as ObservedSweep::BeginStep;
+    // both the staleness check and the reseed are O(|Ω_t|) on the
+    // SparseMask cache — never a dense indicator copy or byte scan).
+    if (!step_mask_.Matches(omega)) {
+      step_mask_ = SparseMask::FromCoo(*step_coo_);
+    }
     return *step_coo_;
   }
   const bool reusable = config_.reuse_step_pattern && step_coo_ != nullptr &&
-                        step_mask_ == omega;
+                        step_mask_.Matches(omega);
   if (!reusable) {
     step_coo_ = std::make_shared<const CooList>(CooList::Build(omega));
-    step_mask_ = omega;
+    step_mask_ = SparseMask::FromCoo(*step_coo_);
     ++step_pattern_builds_;
+  } else {
+    ++step_pattern_reuses_;
   }
   return *step_coo_;
 }
@@ -205,10 +210,18 @@ void SofiaModel::AccumulateSparse(const DenseTensor& y, const Mask& omega,
   ThreadPool* pool = StepPool();
   const CooList& coo = StepPattern(omega, std::move(pattern));
   const size_t nnz = coo.nnz();
+  // CSF backend: shared patterns arrive pre-compiled when the comparison
+  // runner selected csf storage; a kCsf config compiles its own private
+  // trees (see BindCsf for the adopt/build/fallback policy).
+  const CsfTensor* csf =
+      BindCsf(step_coo_, config_.pattern_storage, &step_csf_,
+              &step_csf_source_);
 
   // Line 4 restricted to Ω_t: the Eq. (20) forecast at observed entries.
   std::vector<double> yv = coo.Gather(y);
-  std::vector<double> fv = CooKruskalGather(coo, factors_, u_hat, 1, pool);
+  std::vector<double> fv =
+      csf != nullptr ? CsfKruskalGather(*csf, factors_, u_hat, 1, pool)
+                     : CooKruskalGather(coo, factors_, u_hat, 1, pool);
 
   // Lines 5-6 per record (entries are independent, so the ablation ordering
   // applies record-wise exactly as in the dense reference).
@@ -239,7 +252,9 @@ void SofiaModel::AccumulateSparse(const DenseTensor& y, const Mask& omega,
   // R_t at observed entries, then the O(|Ω_t| N R) gradient pass (Lemma 2).
   std::vector<double> resid(nnz);
   for (size_t k = 0; k < nnz; ++k) resid[k] = yv[k] - ov[k] - fv[k];
-  *grads = CooStepGradients(coo, resid, factors_, u_hat, 1, pool);
+  *grads = csf != nullptr
+               ? CsfStepGradients(*csf, resid, factors_, u_hat, 1, pool)
+               : CooStepGradients(coo, resid, factors_, u_hat, 1, pool);
 
   result->factors_before_ = factors_;
   result->observed_ = coo.LinearIndices();

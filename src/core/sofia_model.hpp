@@ -12,6 +12,7 @@
 #include "tensor/coo_list.hpp"
 #include "tensor/dense_tensor.hpp"
 #include "tensor/mask.hpp"
+#include "tensor/sparse_mask.hpp"
 #include "timeseries/holt_winters.hpp"
 #include "util/parallel.hpp"
 
@@ -161,6 +162,9 @@ class SofiaModel {
   /// a run of identical masks costs one build total, and steps that adopt a
   /// shared pattern never build at all.
   size_t step_pattern_builds() const { return step_pattern_builds_; }
+  /// Unshared Step() calls that hit the mask-reuse cache instead of
+  /// rebuilding (the steady-state path; the compare is O(|Ω_t|)).
+  size_t step_pattern_reuses() const { return step_pattern_reuses_; }
 
   /// Adopt an externally owned worker pool for the sparse Step kernels (one
   /// shared pool per comparison run). Bitwise-neutral; nullptr restores the
@@ -223,11 +227,18 @@ class SofiaModel {
   DenseTensor sigma_;  ///< Error-scale tensor Σ̂_t (slice shape).
 
   // Working state of the sparse Step path (derived, never serialized): the
-  // last mask's coordinate list (a shared_ptr, so comparison runners can
-  // hand their per-step build straight in) and the kernel worker pool.
-  Mask step_mask_;
+  // last mask's indicator as a SparseMask (O(|Ω_t|) to store and compare —
+  // the dense Mask cache this replaces paid an O(volume) byte scan per
+  // reuse check), its coordinate list (a shared_ptr, so comparison runners
+  // can hand their per-step build straight in) and the kernel worker pool.
+  SparseMask step_mask_;
   std::shared_ptr<const CooList> step_coo_;
+  std::shared_ptr<const CsfTensor> step_csf_;  ///< Own-knob CSF cache.
+  /// Pattern step_csf_ was built for: shared_ptr identity, so a freed
+  /// pattern's reused address can never alias a stale tree cache.
+  std::shared_ptr<const CooList> step_csf_source_;
   size_t step_pattern_builds_ = 0;
+  size_t step_pattern_reuses_ = 0;
   std::unique_ptr<ThreadPool> pool_;
   std::shared_ptr<ThreadPool> external_pool_;
 };

@@ -8,6 +8,23 @@
 
 namespace sofia {
 
+namespace {
+
+/// Prime each mask's observed-count and content-hash caches at generation
+/// time, where the O(volume) pass folds into building the mask anyway.
+/// The streaming loops' mask-reuse checks (SparseMask::Matches needs the
+/// count; Mask::operator== uses count + hash for its O(1) rejects) then
+/// stay O(|Ω|) per step — a stream whose masks arrive cold would instead
+/// pay one full bit scan per step object inside the step loop.
+void PrimeMaskCaches(CorruptedStream* stream) {
+  for (const Mask& m : stream->masks) {
+    m.CountObserved();
+    m.ContentHash();
+  }
+}
+
+}  // namespace
+
 std::string CorruptionSetting::ToString() const {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "(%g,%g,%g)", missing_percent,
@@ -63,6 +80,7 @@ CorruptedStream Corrupt(const std::vector<DenseTensor>& truth,
     out.masks.push_back(std::move(omega));
     out.outlier_positions.push_back(std::move(outlier));
   }
+  PrimeMaskCaches(&out);
   return out;
 }
 
@@ -96,6 +114,7 @@ CorruptedStream CorruptWithOutages(const std::vector<DenseTensor>& truth,
       if (remaining[i] > 0) --remaining[i];
     }
   }
+  PrimeMaskCaches(&out);  // The outage Set()s invalidated Corrupt's primes.
   return out;
 }
 

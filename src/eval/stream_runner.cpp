@@ -5,6 +5,8 @@
 
 #include "baselines/observed_sweep.hpp"
 #include "eval/metrics.hpp"
+#include "tensor/csf_tensor.hpp"
+#include "tensor/sparse_mask.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
@@ -41,40 +43,49 @@ void FinalizeRunMetrics(size_t window, StreamRunResult* result) {
   result->art_seconds = Mean(result->step_seconds);
 }
 
-/// Held-out eval pattern of a mask: the missing entries, capped at
-/// `max_entries` by an evenly strided deterministic pick (0 = no cap).
-/// Bucket-less — only the gather kernels ever touch it.
-std::shared_ptr<const CooList> BuildEvalPattern(const Mask& omega,
+/// Held-out eval pattern derived from the observed pattern: the missing
+/// entries, capped at `max_entries` by an evenly strided deterministic pick
+/// (0 = no cap). Missing entries are enumerated as the *gaps* between the
+/// observed pattern's sorted records, so the build costs O(|Ω| + picks) —
+/// never a dense index-space walk (the old dense-mask build was the last
+/// O(volume) term of a mask-reuse step). Picks are missing-enumeration
+/// positions 0, stride, 2·stride, … with a ceil stride, identical to the
+/// dense walk it replaces. Bucket-less — only the gather kernels touch it.
+std::shared_ptr<const CooList> BuildEvalPattern(const CooList& observed,
                                                 size_t max_entries) {
-  const size_t volume = omega.shape().NumElements();
-  const size_t missing = volume - omega.CountObserved();
-  Mask eval(omega.shape(), false);
+  const size_t volume = observed.shape().NumElements();
+  const size_t missing = volume - observed.nnz();
+  std::vector<size_t> picks;
   if (missing > 0) {
-    if (max_entries == 0 || missing <= max_entries) {
-      for (size_t k = 0; k < volume; ++k) {
-        if (!omega.Get(k)) eval.Set(k, true);
+    // Ceil stride so the picks span the full missing set (a floor stride
+    // would cluster them at the low linear indices whenever max_entries <
+    // missing < 2 * max_entries), at the cost of sometimes taking slightly
+    // fewer than max_entries.
+    const size_t stride = (max_entries == 0 || missing <= max_entries)
+                              ? 1
+                              : (missing + max_entries - 1) / max_entries;
+    const size_t cap = stride == 1 ? missing : max_entries;
+    picks.reserve(cap);
+    size_t next = 0;    // Missing-enumeration position of the next pick.
+    size_t seen = 0;    // Missing entries enumerated so far.
+    size_t cursor = 0;  // Next linear index not yet classified.
+    auto scan_gap = [&](size_t begin, size_t end) {
+      const size_t len = end - begin;
+      while (picks.size() < cap && next < seen + len) {
+        picks.push_back(begin + (next - seen));
+        next += stride;
       }
-    } else {
-      // Pick missing entries number 0, stride, 2*stride, ... in missing
-      // enumeration order — deterministic and spread across the whole
-      // slice. Ceil stride so the picks span the full missing set (a
-      // floor stride would cluster them at the low linear indices
-      // whenever max_entries < missing < 2 * max_entries), at the cost
-      // of sometimes taking slightly fewer than max_entries.
-      const size_t stride = (missing + max_entries - 1) / max_entries;
-      size_t seen = 0, taken = 0;
-      for (size_t k = 0; k < volume && taken < max_entries; ++k) {
-        if (omega.Get(k)) continue;
-        if (seen % stride == 0) {
-          eval.Set(k, true);
-          ++taken;
-        }
-        ++seen;
-      }
+      seen += len;
+    };
+    for (size_t k = 0; k < observed.nnz() && picks.size() < cap; ++k) {
+      const size_t obs = observed.LinearIndex(k);
+      scan_gap(cursor, obs);
+      cursor = obs + 1;
     }
+    if (picks.size() < cap) scan_gap(cursor, volume);
   }
-  return std::make_shared<const CooList>(
-      CooList::Build(eval, /*with_mode_buckets=*/false));
+  return std::make_shared<const CooList>(CooList::FromIndices(
+      observed.shape(), std::move(picks), /*with_mode_buckets=*/false));
 }
 
 /// Per-step scoring scratch shared across methods and steps.
@@ -161,21 +172,39 @@ std::vector<MethodRunResult> RunImputationComparison(
   }
 
   // Shared step loop: per distinct consecutive mask, one observed CooList
-  // (with mode buckets, for the methods' kernels) and one held-out eval
-  // pattern — the only O(volume) work of the loop. Truth values at both
-  // patterns are gathered once per step and shared across methods.
+  // (with mode buckets, for the methods' kernels), its CSF compilation
+  // when the run's storage backend asks for one, and one held-out eval
+  // pattern (derived from the observed records, O(|Ω| + picks)) — the
+  // CooList compaction is the only O(volume) work of the loop, and only
+  // on mask change: the reuse cache is a SparseMask, so steady-state steps
+  // compare in O(|Ω_t|) (test-pinned via the telemetry below and
+  // Mask::deep_equality_scans). Truth values at both patterns are gathered
+  // once per step and shared across methods.
   std::shared_ptr<const CooList> pattern;
   std::shared_ptr<const CooList> eval_pattern;
-  Mask pattern_mask;
-  bool pattern_valid = false;
+  SparseMask pattern_mask;
+  size_t pattern_builds = 0;
+  size_t pattern_reuses = 0;
+  std::vector<size_t> pattern_delta_sizes;
   ScoreScratch scratch;
   for (size_t t = 0; t < total; ++t) {
     const Mask& omega = stream.masks[t];
-    if (!pattern_valid || pattern_mask != omega) {
+    if (!pattern_mask.valid() || !pattern_mask.Matches(omega)) {
       pattern = MakeSharedPattern(omega);
-      eval_pattern = BuildEvalPattern(omega, options.max_eval_entries);
-      pattern_mask = omega;
-      pattern_valid = true;
+      if (options.pattern_storage == PatternStorage::kCsf) {
+        EnsureCsf(*pattern);  // Attach once; every method adopts it.
+      }
+      eval_pattern = BuildEvalPattern(*pattern, options.max_eval_entries);
+      SparseMask next = SparseMask::FromCoo(*pattern);
+      // Rebuild telemetry: how far did the mask actually move? (The first
+      // build has no predecessor and logs no delta.)
+      if (pattern_mask.valid()) {
+        pattern_delta_sizes.push_back(pattern_mask.DeltaSize(next));
+      }
+      pattern_mask = std::move(next);
+      ++pattern_builds;
+    } else {
+      ++pattern_reuses;
     }
     pattern->GatherInto(truth[t], &scratch.truth_observed);
     eval_pattern->GatherInto(truth[t], &scratch.truth_missing);
@@ -206,6 +235,11 @@ std::vector<MethodRunResult> RunImputationComparison(
 
   for (size_t m = 0; m < methods.size(); ++m) {
     FinalizeRunMetrics(windows[m], &out[m].run);
+    // The pattern cache is shared, so every method reports the same
+    // rebuild telemetry.
+    out[m].run.pattern_builds = pattern_builds;
+    out[m].run.pattern_reuses = pattern_reuses;
+    out[m].run.pattern_delta_sizes = pattern_delta_sizes;
     methods[m]->AdoptWorkerPool(nullptr);
   }
   return out;
@@ -268,10 +302,11 @@ double RunForecast(StreamingMethod* method, const CorruptedStream& stream,
   }
 
   // Held-out scoring pattern: a deterministic ≤ max_eval_entries sample of
-  // the slice index space, shared by every horizon (an all-observed mask's
-  // "missing" set is empty, so sample the complement of an all-missing
+  // the slice index space, shared by every horizon (an all-observed
+  // pattern's "missing" set is empty, so sample the complement of an empty
   // one — i.e. every entry, strided).
-  const Mask nothing_observed(truth[train].shape(), false);
+  const CooList nothing_observed = CooList::FromIndices(
+      truth[train].shape(), {}, /*with_mode_buckets=*/false);
   std::shared_ptr<const CooList> eval_pattern =
       BuildEvalPattern(nothing_observed, options.max_eval_entries);
 

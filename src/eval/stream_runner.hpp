@@ -8,6 +8,7 @@
 #include "data/corruption.hpp"
 #include "eval/streaming_method.hpp"
 #include "tensor/dense_tensor.hpp"
+#include "tensor/pattern_storage.hpp"
 
 /// \file stream_runner.hpp
 /// \brief Drives a StreamingMethod through a corrupted stream and collects
@@ -43,6 +44,14 @@ struct StreamEvalOptions {
   /// used for the scoring gathers. Results are bitwise identical for every
   /// setting.
   size_t num_threads = 1;
+  /// Storage backend broadcast to every method: kCsf compiles each shared
+  /// per-step pattern into CSF fiber trees (once per distinct mask, outside
+  /// the per-method timers) and attaches them to the shared CooList, so
+  /// every adopting method's kernels walk the fiber-reuse backend. Scoring
+  /// gathers stay on the COO records either way (they are bitwise-pinned
+  /// to the dense materialization). Method outputs agree with the kCoo run
+  /// to floating-point reassociation (≤1e-12, tests/csf_test.cc).
+  PatternStorage pattern_storage = PatternStorage::kCoo;
 };
 
 /// Per-run measurements.
@@ -60,6 +69,18 @@ struct StreamRunResult {
   double art_seconds = 0.0;          ///< Mean per-step time, init excluded.
   double init_seconds = 0.0;         ///< Wall time of the init phase.
   std::vector<double> step_seconds;  ///< Per-step wall times (post-init).
+
+  // Pattern-rebuild telemetry of the comparison runner's shared per-mask
+  // cache (identical for every method of a run — the cache is shared).
+  // Steady-state streams (fixed sensor outages) show builds == 1 and
+  // reuses == steps - 1; mask churn is no longer silent: every rebuild
+  // after the first logs how far the mask actually moved.
+  size_t pattern_builds = 0;   ///< Shared pattern compactions performed.
+  size_t pattern_reuses = 0;   ///< Steps served by the cached pattern.
+  /// |Ω_prev Δ Ω_new| of every rebuild after the first (one entry per
+  /// rebuild) — the bitmap delta between the outgoing and incoming masks,
+  /// computed by an O(|Ω_prev| + |Ω_new|) merge walk.
+  std::vector<size_t> pattern_delta_sizes;
 };
 
 /// Imputation protocol (Figs. 3-5), dense generation: run `method` over the

@@ -33,14 +33,8 @@ CooList CooList::Build(const Mask& omega, bool with_mode_buckets) {
   coo.shape_ = shape;
   coo.order_ = shape.order();
   SOFIA_CHECK_GT(coo.order_, 0u);
-  for (size_t n = 0; n < coo.order_; ++n) {
-    SOFIA_CHECK_LT(shape.dim(n), std::numeric_limits<uint32_t>::max())
-        << "CooList coordinates are 32-bit";
-  }
 
   const size_t nnz = omega.CountObserved();
-  SOFIA_CHECK_LT(nnz, std::numeric_limits<uint32_t>::max())
-      << "CooList record indices are 32-bit";
   coo.linear_.reserve(nnz);
 
   // One dense pass over the mask bits; only the |Ω| hits pay for the
@@ -48,25 +42,56 @@ CooList CooList::Build(const Mask& omega, bool with_mode_buckets) {
   for (size_t linear = 0; linear < shape.NumElements(); ++linear) {
     if (omega.Get(linear)) coo.linear_.push_back(linear);
   }
-  coo.coords_.resize(nnz * coo.order_);
+  coo.FinishFromLinear(with_mode_buckets);
+  return coo;
+}
+
+CooList CooList::FromIndices(const Shape& shape, std::vector<size_t> sorted,
+                             bool with_mode_buckets) {
+  CooList coo;
+  coo.shape_ = shape;
+  coo.order_ = shape.order();
+  SOFIA_CHECK_GT(coo.order_, 0u);
+  coo.linear_ = std::move(sorted);
+  if (!coo.linear_.empty()) {
+    SOFIA_CHECK_LT(coo.linear_.back(), shape.NumElements());
+    for (size_t k = 1; k < coo.linear_.size(); ++k) {
+      SOFIA_CHECK_LT(coo.linear_[k - 1], coo.linear_[k])
+          << "CooList indices must be strictly ascending";
+    }
+  }
+  coo.FinishFromLinear(with_mode_buckets);
+  return coo;
+}
+
+void CooList::FinishFromLinear(bool with_mode_buckets) {
+  const Shape& shape = shape_;
+  for (size_t n = 0; n < order_; ++n) {
+    SOFIA_CHECK_LT(shape.dim(n), std::numeric_limits<uint32_t>::max())
+        << "CooList coordinates are 32-bit";
+  }
+  const size_t nnz = linear_.size();
+  SOFIA_CHECK_LT(nnz, std::numeric_limits<uint32_t>::max())
+      << "CooList record indices are 32-bit";
+
+  coords_.resize(nnz * order_);
   for (size_t k = 0; k < nnz; ++k) {
-    size_t rest = coo.linear_[k];
-    uint32_t* out = &coo.coords_[k * coo.order_];
-    for (size_t n = coo.order_; n-- > 0;) {
+    size_t rest = linear_[k];
+    uint32_t* out = &coords_[k * order_];
+    for (size_t n = order_; n-- > 0;) {
       const size_t i = rest / shape.stride(n);
       rest -= i * shape.stride(n);
       out[n] = static_cast<uint32_t>(i);
     }
   }
 
-  if (!with_mode_buckets) return coo;
+  if (!with_mode_buckets) return;
 
-  coo.mode_order_.resize(coo.order_);
-  coo.slice_ptr_.resize(coo.order_);
-  for (size_t n = 0; n < coo.order_; ++n) {
-    BucketMode(coo, n, &coo.slice_ptr_[n], &coo.mode_order_[n]);
+  mode_order_.resize(order_);
+  slice_ptr_.resize(order_);
+  for (size_t n = 0; n < order_; ++n) {
+    BucketMode(*this, n, &slice_ptr_[n], &mode_order_[n]);
   }
-  return coo;
 }
 
 CooList CooList::BuildForMode(const Mask& omega, size_t mode) {

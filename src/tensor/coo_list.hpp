@@ -2,6 +2,7 @@
 #define SOFIA_TENSOR_COO_LIST_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "tensor/dense_tensor.hpp"
@@ -29,6 +30,8 @@
 
 namespace sofia {
 
+class CsfTensor;
+
 /// Flat array of (multi-index, linear index) records for the observed
 /// entries of a mask, in ascending linear order, plus per-mode buckets.
 class CooList {
@@ -40,6 +43,14 @@ class CooList {
   /// skips the N per-mode bucket tables (O(N |Ω|) time and memory) for
   /// consumers that only stream the record list (gradients, norms).
   static CooList Build(const Mask& omega, bool with_mode_buckets = true);
+
+  /// Build directly from already-sorted ascending linear indices — O(|Ω|
+  /// order), no dense scan. This is the SparseMask → kernel-layer
+  /// conversion and the |Ω|-scaling eval-pattern build of the comparison
+  /// runner (which derives its held-out picks from the observed pattern's
+  /// gaps instead of re-walking the index space).
+  static CooList FromIndices(const Shape& shape, std::vector<size_t> sorted,
+                             bool with_mode_buckets = true);
 
   /// Like Build, but buckets only the given mode — for one-shot kernels
   /// (e.g. a single MaskedMttkrp) that never read the other modes' tables.
@@ -90,13 +101,28 @@ class CooList {
     return slice_ptr_[mode];
   }
 
+  /// Derived CSF storage attached to this pattern (see csf_tensor.hpp's
+  /// EnsureCsf): the fiber trees depend only on the records, so they are
+  /// built at most once per CooList and ride along with shared patterns —
+  /// every method of a comparison run reuses the first build. Null until a
+  /// CSF consumer attaches one.
+  const std::shared_ptr<const CsfTensor>& csf() const { return csf_; }
+  void AttachCsf(std::shared_ptr<const CsfTensor> csf) const {
+    csf_ = std::move(csf);
+  }
+
  private:
+  /// Shared tail of the factories: delinearize `linear_` into `coords_`
+  /// and (optionally) build the per-mode buckets.
+  void FinishFromLinear(bool with_mode_buckets);
+
   Shape shape_;
   size_t order_ = 0;
   std::vector<uint32_t> coords_;  // nnz * order, record-major.
   std::vector<size_t> linear_;    // nnz linear indices, ascending.
   std::vector<std::vector<uint32_t>> mode_order_;  // One permutation per mode.
   std::vector<std::vector<size_t>> slice_ptr_;     // One offset table per mode.
+  mutable std::shared_ptr<const CsfTensor> csf_;   // Lazy CSF attachment.
 };
 
 }  // namespace sofia

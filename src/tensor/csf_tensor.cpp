@@ -1,0 +1,116 @@
+#include "tensor/csf_tensor.hpp"
+
+#include "util/check.hpp"
+
+namespace sofia {
+
+namespace {
+
+/// One linear pass over the mode-`mode` bucket permutation: the bucket sort
+/// is stable over ascending linear indices, and the linearization is
+/// column-major (mode 0 has stride 1), so within a bucket the records are
+/// sorted lexicographically by the remaining modes in *descending* mode
+/// index. Ordering the tree levels the same way makes the permutation
+/// exactly the depth-first leaf order of the tree — a new node opens at
+/// every level from the first coordinate that differs from the previous
+/// record's path, and every fiber's leaves are consecutive. (The leaf
+/// level is therefore the lowest-index non-root mode; streams whose
+/// stride-1 mode is long get the deepest fiber reuse.)
+CsfTree BuildTree(const CooList& coo, size_t mode) {
+  const size_t order = coo.order();
+  CsfTree tree;
+  tree.root_mode = mode;
+  tree.level_mode.reserve(order);
+  tree.level_mode.push_back(mode);
+  for (size_t n = order; n-- > 0;) {
+    if (n != mode) tree.level_mode.push_back(n);
+  }
+
+  tree.ids.resize(order);
+  tree.ptr.resize(order >= 1 ? order - 1 : 0);
+  const std::vector<uint32_t>& perm = coo.ModeOrder(mode);
+  tree.ids[order - 1].reserve(perm.size());
+  tree.record.reserve(perm.size());
+
+  std::vector<uint32_t> open(order, 0);  // Coordinates of the open path.
+  for (size_t p = 0; p < perm.size(); ++p) {
+    const uint32_t* c = coo.Coords(perm[p]);
+    // First level whose coordinate leaves the open path (0 on the first
+    // record: everything opens). Distinct records always differ somewhere,
+    // so `split` lands at a real level for every p > 0 too.
+    size_t split = 0;
+    if (p > 0) {
+      while (split + 1 < order && c[tree.level_mode[split]] == open[split]) {
+        ++split;
+      }
+    }
+    for (size_t l = split; l < order; ++l) {
+      const uint32_t id = c[tree.level_mode[l]];
+      // A node's children start at the current end of the level below,
+      // recorded at open time (before any child is appended).
+      if (l + 1 < order) tree.ptr[l].push_back(tree.ids[l + 1].size());
+      tree.ids[l].push_back(id);
+      open[l] = id;
+    }
+    tree.record.push_back(perm[p]);
+  }
+  // Closing sentinels: past-the-end child offset of the last node per level.
+  for (size_t l = 0; l + 1 < order; ++l) {
+    tree.ptr[l].push_back(tree.ids[l + 1].size());
+  }
+  return tree;
+}
+
+}  // namespace
+
+CsfTensor CsfTensor::Build(const CooList& coo) {
+  SOFIA_CHECK_GT(coo.order(), 0u);
+  CsfTensor csf;
+  csf.shape_ = coo.shape();
+  csf.nnz_ = coo.nnz();
+  csf.trees_.reserve(coo.order());
+  for (size_t mode = 0; mode < coo.order(); ++mode) {
+    SOFIA_CHECK(coo.has_mode_bucket(mode))
+        << "CsfTensor::Build needs full mode buckets";
+    csf.trees_.push_back(BuildTree(coo, mode));
+  }
+  return csf;
+}
+
+const CsfTensor& EnsureCsf(const CooList& coo) { return *EnsureCsfShared(coo); }
+
+std::shared_ptr<const CsfTensor> EnsureCsfShared(const CooList& coo) {
+  if (coo.csf() == nullptr) {
+    coo.AttachCsf(std::make_shared<const CsfTensor>(CsfTensor::Build(coo)));
+  }
+  return coo.csf();
+}
+
+const CsfTensor* BindCsf(const std::shared_ptr<const CooList>& coo,
+                         PatternStorage storage,
+                         std::shared_ptr<const CsfTensor>* cache,
+                         std::shared_ptr<const CooList>* cache_source) {
+  if (coo->csf() != nullptr) {
+    *cache = coo->csf();
+    *cache_source = coo;
+    return cache->get();
+  }
+  const auto has_all_buckets = [&] {
+    for (size_t n = 0; n < coo->order(); ++n) {
+      if (!coo->has_mode_bucket(n)) return false;
+    }
+    return true;
+  };
+  if (storage != PatternStorage::kCsf || !has_all_buckets()) {
+    cache->reset();
+    cache_source->reset();
+    return nullptr;
+  }
+  if (*cache == nullptr || *cache_source != coo) {
+    *cache = std::make_shared<const CsfTensor>(CsfTensor::Build(*coo));
+    *cache_source = coo;
+  }
+  return cache->get();
+}
+
+}  // namespace sofia

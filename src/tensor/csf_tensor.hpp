@@ -1,0 +1,107 @@
+#ifndef SOFIA_TENSOR_CSF_TENSOR_H_
+#define SOFIA_TENSOR_CSF_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/coo_list.hpp"
+#include "tensor/pattern_storage.hpp"
+#include "tensor/shape.hpp"
+
+/// \file csf_tensor.hpp
+/// \brief Compressed-sparse-fiber storage of an observation pattern — the
+/// SPLATT recipe (Smith et al.) on top of the CooList layer.
+///
+/// A CooList answers "which entries are observed" as a flat record array;
+/// every COO kernel therefore recomputes the full leave-one-out Hadamard
+/// product per record, even though consecutive records usually share all but
+/// their last coordinate. A CsfTensor stores one fiber tree per mode: level
+/// 0 holds the (nonempty) root slices of that mode, each deeper level the
+/// distinct coordinate prefixes below it, and the leaves point back at the
+/// CooList records — so values stay record-aligned and shared with every
+/// other consumer of the pattern. The kernels in tensor/csf_kernels.hpp
+/// walk these trees and reuse the partial Hadamard products along shared
+/// fibers instead of rebuilding them per entry.
+///
+/// Like the CooList it is built from, a CsfTensor depends only on the mask:
+/// build once per distinct pattern (O(N |Ω|) — the record permutations are
+/// the CooList's existing mode buckets), reuse across steps and sweeps. The
+/// per-root-slab task partition of the kernels makes the trees the natural
+/// unit for multi-worker sharding (see ROADMAP).
+
+namespace sofia {
+
+/// One fiber tree, rooted at `root_mode`. Levels map to tensor modes via
+/// `level_mode`: root mode first, then the remaining modes by descending
+/// mode index — the lexicographic significance order of the column-major
+/// linearization, so the CooList's mode-bucket permutation is already the
+/// depth-first leaf order and building is one linear pass. For a tree of
+/// `order` levels:
+///  - `ids[l]` holds the coordinate (in mode level_mode[l]) of every node
+///    at level l, in traversal order;
+///  - `ptr[l]` (levels 0 .. order-2) holds ids[l].size() + 1 offsets into
+///    level l + 1: the children of node v are [ptr[l][v], ptr[l][v + 1]);
+///  - `record[v]` maps leaf v (level order-1) back to the CooList record
+///    whose value arrays the kernels read.
+struct CsfTree {
+  size_t root_mode = 0;
+  std::vector<size_t> level_mode;           ///< Level → tensor mode.
+  std::vector<std::vector<uint32_t>> ids;   ///< Per-level node coordinates.
+  std::vector<std::vector<size_t>> ptr;     ///< Per-level child offsets.
+  std::vector<uint32_t> record;             ///< Leaf → CooList record.
+
+  size_t num_roots() const { return ids.empty() ? 0 : ids[0].size(); }
+};
+
+/// Per-mode CSF trees over one observation pattern.
+class CsfTensor {
+ public:
+  CsfTensor() = default;
+
+  /// Build all order() trees from a CooList with full mode buckets —
+  /// O(N |Ω|) total, no dense scan (each tree is one pass over the
+  /// corresponding bucket permutation).
+  static CsfTensor Build(const CooList& coo);
+
+  const Shape& shape() const { return shape_; }
+  size_t order() const { return trees_.size(); }
+  /// Number of observed entries (|Ω|), equal to every tree's leaf count.
+  size_t nnz() const { return nnz_; }
+
+  /// The tree rooted at `mode` (kernels targeting mode-n rows walk tree n).
+  const CsfTree& tree(size_t mode) const { return trees_[mode]; }
+
+ private:
+  Shape shape_;
+  size_t nnz_ = 0;
+  std::vector<CsfTree> trees_;
+};
+
+/// The CSF attachment of `coo`, built on first use and cached on the
+/// CooList (CooList::csf), so shared patterns are compiled to CSF at most
+/// once per distinct mask no matter how many methods adopt them. Requires
+/// full mode buckets.
+const CsfTensor& EnsureCsf(const CooList& coo);
+
+/// Shared-pointer flavor of EnsureCsf for consumers that outlive the coo.
+std::shared_ptr<const CsfTensor> EnsureCsfShared(const CooList& coo);
+
+/// Bind the CSF backend for a freshly bound pattern — the policy shared by
+/// SofiaModel::Step and ObservedSweep::BeginStep. Adopts the trees already
+/// attached to the pattern (the comparison runner's broadcast knob);
+/// otherwise, when `storage` is kCsf and the pattern carries full mode
+/// buckets, compiles a private copy into (*cache, *cache_source), keyed on
+/// shared_ptr identity so mask reuse and shared-pattern repeats skip the
+/// rebuild — deliberately *not* attached to the (possibly shared) CooList,
+/// which would leak this consumer's storage choice into every other
+/// adopting method. Returns null for the COO backend, including
+/// bucket-less patterns, which the fiber build cannot compile.
+const CsfTensor* BindCsf(const std::shared_ptr<const CooList>& coo,
+                         PatternStorage storage,
+                         std::shared_ptr<const CsfTensor>* cache,
+                         std::shared_ptr<const CooList>* cache_source);
+
+}  // namespace sofia
+
+#endif  // SOFIA_TENSOR_CSF_TENSOR_H_

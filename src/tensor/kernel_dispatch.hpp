@@ -1,0 +1,91 @@
+#ifndef SOFIA_TENSOR_KERNEL_DISPATCH_H_
+#define SOFIA_TENSOR_KERNEL_DISPATCH_H_
+
+#include <type_traits>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+/// \file kernel_dispatch.hpp
+/// \brief Implementation helpers shared by the observed-entry kernel
+/// backends (tensor/sparse_kernels.cpp and tensor/csf_kernels.cpp): raw
+/// factor views, compile-time rank dispatch, and rank-sized scratch
+/// buffers. Internal to the kernel layer — include from .cpp files only.
+
+namespace sofia {
+namespace kernel {
+
+/// Records per task in the blocked reductions. Fixed (never derived from the
+/// thread count) so the partial-sum tree is identical for every num_threads.
+constexpr size_t kReductionBlock = 4096;
+
+/// Raw row-base view of a factor matrix, snapshotted before the record loop
+/// so the inner kernels touch plain pointers instead of Matrix methods.
+struct FactorView {
+  const double* data;
+  size_t cols;
+};
+
+inline std::vector<FactorView> MakeViews(const std::vector<Matrix>& factors) {
+  std::vector<FactorView> views(factors.size());
+  for (size_t n = 0; n < factors.size(); ++n) {
+    views[n] = {factors[n].data(), factors[n].cols()};
+  }
+  return views;
+}
+
+/// Invoke fn(integral_constant<size_t, R>) with R a compile-time copy of
+/// `rank` for the common small CP ranks, or 0 (= dynamic rank) otherwise.
+/// The fixed-rank instantiations let the compiler unroll and vectorize the
+/// R-length loops of the record kernels, which dominate the ALS sweep.
+template <typename Fn>
+void DispatchRank(size_t rank, Fn&& fn) {
+  switch (rank) {
+    case 1: fn(std::integral_constant<size_t, 1>{}); break;
+    case 2: fn(std::integral_constant<size_t, 2>{}); break;
+    case 3: fn(std::integral_constant<size_t, 3>{}); break;
+    case 4: fn(std::integral_constant<size_t, 4>{}); break;
+    case 5: fn(std::integral_constant<size_t, 5>{}); break;
+    case 6: fn(std::integral_constant<size_t, 6>{}); break;
+    case 8: fn(std::integral_constant<size_t, 8>{}); break;
+    case 10: fn(std::integral_constant<size_t, 10>{}); break;
+    case 12: fn(std::integral_constant<size_t, 12>{}); break;
+    case 16: fn(std::integral_constant<size_t, 16>{}); break;
+    default: fn(std::integral_constant<size_t, 0>{}); break;
+  }
+}
+
+/// Scratch R-vector: stack storage for fixed ranks, heap for dynamic.
+template <size_t kR>
+struct RankBuffer {
+  double* get(size_t) { return fixed; }
+  double fixed[kR];
+};
+template <>
+struct RankBuffer<0> {
+  double* get(size_t rank) {
+    dynamic.resize(rank);
+    return dynamic.data();
+  }
+  std::vector<double> dynamic;
+};
+
+/// Scratch R x R matrix, same storage policy.
+template <size_t kR>
+struct RankSquareBuffer {
+  double* get(size_t) { return fixed; }
+  double fixed[kR * kR];
+};
+template <>
+struct RankSquareBuffer<0> {
+  double* get(size_t rank) {
+    dynamic.resize(rank * rank);
+    return dynamic.data();
+  }
+  std::vector<double> dynamic;
+};
+
+}  // namespace kernel
+}  // namespace sofia
+
+#endif  // SOFIA_TENSOR_KERNEL_DISPATCH_H_

@@ -25,6 +25,7 @@ class Mask {
   void Set(size_t linear, bool observed) {
     bits_[linear] = observed ? 1 : 0;
     count_ = kCountUnknown;
+    hash_valid_ = false;
   }
 
   bool At(const std::vector<size_t>& idx) const {
@@ -53,20 +54,30 @@ class Mask {
   /// Slice of the trailing mode (mirrors DenseTensor::SliceLastMode).
   Mask SliceLastMode(size_t t) const;
 
-  /// Same shape and same observed set. When both sides carry a cached
-  /// observed count (any prior CountObserved() on a frozen mask), unequal
-  /// counts reject in O(1) before the element scan — so the mask-reuse
-  /// caches (SofiaModel::Step, ObservedSweep::BeginStep, the comparison
-  /// runner) pay the byte compare only for masks that could actually match.
-  bool operator==(const Mask& other) const {
-    if (!(shape_ == other.shape_)) return false;
-    if (count_ != kCountUnknown && other.count_ != kCountUnknown &&
-        count_ != other.count_) {
-      return false;
-    }
-    return bits_ == other.bits_;
-  }
+  /// 64-bit hash of the observed set (FNV-1a over the indicator bytes).
+  /// Computed once and cached; any Set() invalidates the cache. Equal masks
+  /// always hash equal; unequal masks collide with probability ~2^-64.
+  /// The operator== fast path below only fires when *both* sides carry a
+  /// cached hash, so producers of long-lived masks should prime it once at
+  /// construction time (the corruption stream builders do).
+  uint64_t ContentHash() const;
+
+  /// Same shape and same observed set. Two O(1) rejects run before the
+  /// element scan whenever both sides carry the corresponding cache:
+  /// unequal observed counts (any prior CountObserved() on a frozen mask),
+  /// then unequal content hashes (any prior ContentHash()) — so masks that
+  /// differ only near the end of the index space, which the count check
+  /// cannot separate, still reject without the almost-full byte scan. Only
+  /// masks that actually match (or collide, ~2^-64) pay the byte compare.
+  bool operator==(const Mask& other) const;
   bool operator!=(const Mask& other) const { return !(*this == other); }
+
+  /// Process-wide count of full byte-scan equality compares (the O(volume)
+  /// fallback of operator==). The steady-state streaming loops hold their
+  /// mask caches as SparseMask and must keep this flat — test-pinned in
+  /// tests/csf_test.cc, mirroring StepResult::materializations().
+  static size_t deep_equality_scans();
+  static void ResetDeepEqualityScans();
 
  private:
   /// Sentinel for "observed count not computed yet".
@@ -75,6 +86,8 @@ class Mask {
   Shape shape_;
   std::vector<uint8_t> bits_;
   mutable size_t count_ = kCountUnknown;  ///< CountObserved() cache.
+  mutable uint64_t hash_ = 0;             ///< ContentHash() cache.
+  mutable bool hash_valid_ = false;
 };
 
 }  // namespace sofia

@@ -1,0 +1,109 @@
+#include "tensor/sparse_mask.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/coo_list.hpp"
+#include "util/rng.hpp"
+
+namespace sofia {
+namespace {
+
+Mask RandomMask(const Shape& shape, double density, uint64_t seed) {
+  Rng rng(seed);
+  Mask omega(shape, false);
+  for (size_t k = 0; k < shape.NumElements(); ++k) {
+    omega.Set(k, rng.Bernoulli(density));
+  }
+  return omega;
+}
+
+TEST(SparseMaskTest, RoundTripsThroughDenseMask) {
+  for (double density : {0.0, 0.07, 0.5, 1.0}) {
+    Mask omega = RandomMask(Shape({5, 4, 3}), density, 11);
+    SparseMask sparse = SparseMask::FromMask(omega);
+    EXPECT_TRUE(sparse.valid());
+    EXPECT_EQ(sparse.nnz(), omega.CountObserved());
+    EXPECT_TRUE(sparse.ToMask() == omega);
+    EXPECT_TRUE(sparse.Matches(omega));
+  }
+}
+
+TEST(SparseMaskTest, FromIndicesAndFromCooAgree) {
+  Mask omega = RandomMask(Shape({6, 5}), 0.3, 13);
+  CooList coo = CooList::Build(omega);
+  SparseMask from_coo = SparseMask::FromCoo(coo);
+  SparseMask from_idx =
+      SparseMask::FromIndices(omega.shape(), omega.ObservedIndices());
+  EXPECT_TRUE(from_coo == from_idx);
+  EXPECT_TRUE(from_coo == SparseMask::FromMask(omega));
+}
+
+TEST(SparseMaskTest, DefaultConstructedIsInvalidAndMatchesNothing) {
+  SparseMask empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_FALSE(empty.Matches(Mask(Shape({2, 2}), false)));
+}
+
+TEST(SparseMaskTest, MatchesRejectsSubsetsAndSupersets) {
+  // Equal count + containment is the equality proof Matches relies on;
+  // strict subsets and supersets must both reject.
+  Mask omega(Shape({4, 4}), false);
+  omega.Set(1, true);
+  omega.Set(9, true);
+  SparseMask sparse = SparseMask::FromMask(omega);
+
+  Mask superset = omega;
+  superset.Set(12, true);
+  EXPECT_FALSE(sparse.Matches(superset));  // Count differs.
+
+  Mask shifted(Shape({4, 4}), false);
+  shifted.Set(1, true);
+  shifted.Set(10, true);  // Same count, different support.
+  EXPECT_FALSE(sparse.Matches(shifted));
+
+  EXPECT_FALSE(sparse.Matches(Mask(Shape({4, 5}), false)));  // Shape.
+  EXPECT_TRUE(sparse.Matches(omega));
+}
+
+TEST(SparseMaskTest, EqualityEarlyExitsOnSize) {
+  SparseMask a = SparseMask::FromIndices(Shape({3, 3}), {0, 4});
+  SparseMask b = SparseMask::FromIndices(Shape({3, 3}), {0, 4, 8});
+  SparseMask c = SparseMask::FromIndices(Shape({3, 3}), {0, 5});
+  EXPECT_TRUE(a != b);
+  EXPECT_TRUE(a != c);
+  EXPECT_TRUE(a == SparseMask::FromIndices(Shape({3, 3}), {0, 4}));
+}
+
+TEST(SparseMaskTest, DeltaSizeIsSymmetricDifference) {
+  SparseMask a = SparseMask::FromIndices(Shape({4, 4}), {0, 3, 7, 9});
+  SparseMask b = SparseMask::FromIndices(Shape({4, 4}), {3, 7, 10});
+  // A-only: {0, 9}; B-only: {10} -> delta 3, symmetric.
+  EXPECT_EQ(a.DeltaSize(b), 3u);
+  EXPECT_EQ(b.DeltaSize(a), 3u);
+  EXPECT_EQ(a.DeltaSize(a), 0u);
+  SparseMask empty = SparseMask::FromIndices(Shape({4, 4}), {});
+  EXPECT_EQ(a.DeltaSize(empty), a.nnz());
+}
+
+TEST(SparseMaskTest, CooFromIndicesMatchesDenseBuild) {
+  // The |Ω|-scaling CooList construction path must produce the identical
+  // structure (records, coords, buckets) as the dense-mask build.
+  Mask omega = RandomMask(Shape({4, 3, 5}), 0.25, 17);
+  CooList dense_built = CooList::Build(omega);
+  CooList from_idx =
+      CooList::FromIndices(omega.shape(), omega.ObservedIndices());
+  ASSERT_EQ(from_idx.nnz(), dense_built.nnz());
+  EXPECT_EQ(from_idx.LinearIndices(), dense_built.LinearIndices());
+  for (size_t k = 0; k < from_idx.nnz(); ++k) {
+    for (size_t n = 0; n < from_idx.order(); ++n) {
+      EXPECT_EQ(from_idx.Index(k, n), dense_built.Index(k, n));
+    }
+  }
+  for (size_t n = 0; n < from_idx.order(); ++n) {
+    EXPECT_EQ(from_idx.ModeOrder(n), dense_built.ModeOrder(n));
+    EXPECT_EQ(from_idx.SlicePtr(n), dense_built.SlicePtr(n));
+  }
+}
+
+}  // namespace
+}  // namespace sofia

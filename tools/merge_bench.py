@@ -19,12 +19,15 @@ import json
 import os
 import sys
 
-# Known artifacts in the order their PRs landed; unknown files sort after.
+# Known artifacts in the order their PRs landed; unknown files sort after
+# (every BENCH_*.json in --dir is globbed, so new artifacts fold in
+# automatically even before they are added here).
 KNOWN_ORDER = [
     "BENCH_kernels.json",    # PR 1: sparse observed-entry kernel layer.
     "BENCH_stream.json",     # PR 2: sparse streaming Step.
     "BENCH_baselines.json",  # PR 3: baselines on the ObservedSweep core.
     "BENCH_pipeline.json",   # PR 4: lazy StepResult eval pipeline.
+    "BENCH_csf.json",        # PR 5: CSF tensor-storage subsystem.
 ]
 
 
