@@ -10,13 +10,20 @@
 //
 // Usage: file_stream [--path=/tmp/sofia_demo_stream.csv]
 //                    [--num_threads=0] [--use_sparse_kernels=true]
-//                    [--storage=coo|csf]
+//                    [--storage=coo|csf] [--guard=off|skip|rollback|reinit]
+//
+// --guard wraps SOFIA in the StreamGuard fault-tolerance layer — real file
+// streams are exactly where NaN records and blackout slices show up (the
+// loader itself rejects malformed lines; the guard covers faults injected
+// after loading, e.g. by upstream preprocessing).
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "core/sofia_stream.hpp"
+#include "eval/stream_guard.hpp"
 #include "data/corruption.hpp"
 #include "data/dataset_sim.hpp"
 #include "data/stream_io.hpp"
@@ -92,13 +99,25 @@ int main(int argc, char** argv) {
   // backend (tensor/csf_tensor.hpp) instead of the flat CooList.
   config.pattern_storage = ParsePatternStorage(
       flags.GetString("storage", PatternStorageName(config.pattern_storage)));
-  SofiaStream method(config);
+  std::unique_ptr<StreamingMethod> method =
+      std::make_unique<SofiaStream>(config);
+  const std::string guard_name = flags.GetString("guard", "off");
+  if (guard_name != "off") {
+    StreamGuardOptions guard_options;
+    guard_options.policy = ParseGuardPolicy(guard_name);
+    method = std::make_unique<StreamGuard>(std::move(method), guard_options);
+  }
   CorruptedStream stream;
   stream.slices = loaded.slices;
   stream.masks = loaded.masks;
-  StreamRunResult res = RunImputation(&method, stream, traffic.slices);
+  StreamRunResult res = RunImputation(method.get(), stream, traffic.slices);
   std::printf("imputation RAE over the stream: %.4f (vs ~1.0 for "
               "zero-filling the gaps)\n", res.rae);
+  if (res.guarded) {
+    std::printf("guard: %zu input trips, %zu health trips, %zu recoveries\n",
+                res.guard.input_trips, res.guard.health_trips,
+                res.guard.recoveries);
+  }
   std::remove(path.c_str());
   return 0;
 }

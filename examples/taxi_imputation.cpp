@@ -16,16 +16,28 @@
 //                        [--num_threads=0] [--use_sparse_kernels=true]
 //                        [--eval_cap=1024] [--force_dense=false]
 //                        [--storage=coo|csf]
+//                        [--scenario=clean|bursty-outage|regime-change|
+//                                    structured-outliers|garbage-slices|
+//                                    combined-stress]
+//                        [--guard=off|skip|rollback|reinit]
+//
+// --scenario replaces the plain element-wise corruption with one of the
+// adversarial stream scenarios from data/scenarios.hpp; --guard wraps both
+// methods in a StreamGuard with the given degradation policy (try
+// --scenario=garbage-slices with and without --guard=rollback).
 
 #include <cstdio>
+#include <memory>
 
 #include "baselines/online_sgd.hpp"
 #include "core/sofia_stream.hpp"
 #include "data/corruption.hpp"
 #include "data/dataset_sim.hpp"
+#include "data/scenarios.hpp"
 #include "eval/experiment.hpp"
 #include "eval/metrics.hpp"
 #include "eval/step_result.hpp"
+#include "eval/stream_guard.hpp"
 #include "eval/stream_runner.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -40,12 +52,34 @@ int main(int argc, char** argv) {
 
   Dataset taxi = MakeChicagoTaxi(DatasetScale::kSmall);
   taxi.slices.resize(6 * taxi.period);
-  CorruptedStream stream = Corrupt(taxi.slices, setting, /*seed=*/7);
+
+  // --scenario= swaps the plain element corruption for an adversarial
+  // stream (outages, regime change, garbage slices, ...); the scoring
+  // truth comes from the scenario, which may transform it mid-stream.
+  const std::string scenario_name = flags.GetString("scenario", "");
+  CorruptedStream stream;
+  std::vector<DenseTensor> truth = taxi.slices;
+  if (scenario_name.empty()) {
+    stream = Corrupt(taxi.slices, setting, /*seed=*/7);
+  } else {
+    ScenarioOptions scenario_options;
+    scenario_options.element = setting;
+    // Faults go into the streamed phase: init is offline, where the guard
+    // fail-fasts on bad input by design (a data bug, not a stream fault).
+    scenario_options.garbage_offset = 3 * taxi.period + 4;
+    ScenarioStream scenario = MakeScenario(ParseScenario(scenario_name),
+                                           taxi.slices, scenario_options,
+                                           /*seed=*/7);
+    stream = std::move(scenario.stream);
+    truth = std::move(scenario.truth);
+  }
 
   std::printf("Chicago-style taxi stream: %s per slice, m=%zu, %zu steps, "
-              "setting %s\n\n",
+              "setting %s%s%s\n\n",
               taxi.slices[0].shape().ToString().c_str(), taxi.period,
-              taxi.slices.size(), setting.ToString().c_str());
+              taxi.slices.size(), setting.ToString().c_str(),
+              scenario_name.empty() ? "" : ", scenario ",
+              scenario_name.c_str());
 
   // Kernel-path knobs, shared by SOFIA and the baseline: both run their
   // per-step work on the observed-entry kernels unless told otherwise.
@@ -62,13 +96,29 @@ int main(int argc, char** argv) {
   config.num_threads = num_threads;
   config.use_sparse_kernels = use_sparse_kernels;
   config.pattern_storage = storage;
-  SofiaStream sofia_method(config);
+  auto sofia_owned = std::make_unique<SofiaStream>(config);
+  SofiaStream* sofia_method = sofia_owned.get();  // For the final model peek.
 
   OnlineSgdOptions sgd_options;
   sgd_options.rank = taxi.rank;
   sgd_options.num_threads = num_threads;
   sgd_options.use_sparse_kernels = use_sparse_kernels;
-  OnlineSgd sgd(sgd_options);
+
+  // --guard= wraps both methods in the fault-tolerance layer
+  // (eval/stream_guard.hpp): input validation, health watch, and the named
+  // degradation policy on trip.
+  const std::string guard_name = flags.GetString("guard", "off");
+  std::unique_ptr<StreamingMethod> sofia_runner = std::move(sofia_owned);
+  std::unique_ptr<StreamingMethod> sgd_runner =
+      std::make_unique<OnlineSgd>(sgd_options);
+  if (guard_name != "off") {
+    StreamGuardOptions guard_options;
+    guard_options.policy = ParseGuardPolicy(guard_name);
+    sofia_runner = std::make_unique<StreamGuard>(std::move(sofia_runner),
+                                                 guard_options);
+    sgd_runner = std::make_unique<StreamGuard>(std::move(sgd_runner),
+                                               guard_options);
+  }
 
   // Lazy comparison protocol: one shared pattern build per distinct mask
   // per step, scores from gathers, one shared worker pool for everyone.
@@ -80,9 +130,10 @@ int main(int argc, char** argv) {
   options.pattern_storage = storage;
 
   StepResult::ResetMaterializations();
-  std::vector<StreamingMethod*> methods = {&sofia_method, &sgd};
+  std::vector<StreamingMethod*> methods = {sofia_runner.get(),
+                                           sgd_runner.get()};
   std::vector<MethodRunResult> results =
-      RunImputationComparison(methods, stream, taxi.slices, options);
+      RunImputationComparison(methods, stream, truth, options);
 
   Table table({"method", "RAE", "RAE held-out", "RAE post-init",
                "ART (s/subtensor)"});
@@ -95,23 +146,32 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.ToString().c_str());
   std::printf("dense reconstructions during the comparison: %zu\n\n",
               StepResult::materializations());
+  for (const MethodRunResult& r : results) {
+    if (!r.run.guarded) continue;
+    std::printf("%s: %zu input trips, %zu health trips, %zu rollbacks, "
+                "%zu reinits, %zu recoveries\n",
+                r.name.c_str(), r.run.guard.input_trips,
+                r.run.guard.health_trips, r.run.guard.rollbacks,
+                r.run.guard.reinits, r.run.guard.recoveries);
+  }
+  if (guard_name != "off") std::printf("\n");
 
   // Show a few concrete recoveries: entries that were missing at the last
   // step, with SOFIA's imputed value vs the ground truth the model never
   // saw — spot reads through the lazy handle of the final model state.
-  const size_t last = taxi.slices.size() - 1;
+  const size_t last = truth.size() - 1;
   StepResult final_state = StepResult::Kruskal(
-      sofia_method.model().nontemporal_factors(),
-      sofia_method.model().last_temporal_row());
+      sofia_method->model().nontemporal_factors(),
+      sofia_method->model().last_temporal_row());
   std::printf("sample imputations at t=%zu (entries the model never saw):\n",
               last);
   size_t shown = 0;
-  const Shape& slice_shape = taxi.slices[last].shape();
+  const Shape& slice_shape = truth[last].shape();
   std::vector<size_t> idx(slice_shape.order(), 0);
-  for (size_t k = 0; k < taxi.slices[last].NumElements() && shown < 5; ++k) {
+  for (size_t k = 0; k < truth[last].NumElements() && shown < 5; ++k) {
     if (!stream.masks[last].Get(k)) {
       std::printf("  entry %3zu: truth %8.2f   imputed %8.2f\n", k,
-                  taxi.slices[last][k], final_state.at(idx));
+                  truth[last][k], final_state.at(idx));
       ++shown;
     }
     slice_shape.Next(&idx);

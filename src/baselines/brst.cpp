@@ -5,8 +5,25 @@
 
 #include "baselines/common.hpp"
 #include "linalg/solve.hpp"
+#include "util/check.hpp"
+#include "util/state_io.hpp"
 
 namespace sofia {
+
+void BrstLite::SaveState(std::ostream& out) const {
+  state_io::BeginState(out, "brst-lite", 1);
+  state_io::WriteMatrixList(out, factors_);
+  state_io::WriteVector(out, ard_precision_);
+  out << noise_var_ << '\n';
+}
+
+void BrstLite::RestoreState(std::istream& in) {
+  state_io::ReadStateHeader(in, "brst-lite", 1);
+  factors_ = state_io::ReadMatrixList(in);
+  ard_precision_ = state_io::ReadVector(in);
+  SOFIA_CHECK(static_cast<bool>(in >> noise_var_))
+      << "corrupt brst-lite checkpoint";
+}
 
 StepResult BrstLite::StepLazy(const DenseTensor& y, const Mask& omega,
                               std::shared_ptr<const CooList> pattern) {

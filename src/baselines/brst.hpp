@@ -65,6 +65,10 @@ class BrstLite : public StreamingMethod {
   /// estimated rank; expected to collapse under heavy corruption).
   size_t EffectiveRank() const;
 
+  bool SupportsStateCheckpoint() const override { return true; }
+  void SaveState(std::ostream& out) const override;
+  void RestoreState(std::istream& in) override;
+
   const std::vector<Matrix>& factors() const { return factors_; }
 
  private:

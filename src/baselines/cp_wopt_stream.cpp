@@ -3,8 +3,19 @@
 #include <utility>
 
 #include "util/check.hpp"
+#include "util/state_io.hpp"
 
 namespace sofia {
+
+void CpWoptStream::SaveState(std::ostream& out) const {
+  state_io::BeginState(out, "cp-wopt-stream", 1);
+  state_io::WriteMatrixList(out, factors_);
+}
+
+void CpWoptStream::RestoreState(std::istream& in) {
+  state_io::ReadStateHeader(in, "cp-wopt-stream", 1);
+  factors_ = state_io::ReadMatrixList(in);
+}
 
 StepResult CpWoptStream::StepLazy(const DenseTensor& y, const Mask& omega,
                                   std::shared_ptr<const CooList> pattern) {

@@ -47,6 +47,10 @@ class CpWoptStream : public StreamingMethod {
                       std::shared_ptr<const CooList> pattern =
                           nullptr) override;
 
+  bool SupportsStateCheckpoint() const override { return true; }
+  void SaveState(std::ostream& out) const override;
+  void RestoreState(std::istream& in) override;
+
   const std::vector<Matrix>& factors() const { return factors_; }
 
  private:

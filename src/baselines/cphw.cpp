@@ -2,8 +2,37 @@
 
 #include "baselines/batch_als.hpp"
 #include "util/check.hpp"
+#include "util/state_io.hpp"
 
 namespace sofia {
+
+void Cphw::SaveState(std::ostream& out) const {
+  state_io::BeginState(out, "cphw", 1);
+  out << history_.size() << '\n';
+  for (const auto& slice : history_) state_io::WriteTensor(out, *slice);
+  for (const Mask& mask : mask_history_) state_io::WriteMask(out, mask);
+}
+
+void Cphw::RestoreState(std::istream& in) {
+  state_io::ReadStateHeader(in, "cphw", 1);
+  size_t steps = 0;
+  SOFIA_CHECK(static_cast<bool>(in >> steps)) << "corrupt cphw checkpoint";
+  history_.clear();
+  history_.reserve(steps);
+  for (size_t t = 0; t < steps; ++t) {
+    history_.push_back(
+        std::make_shared<const DenseTensor>(state_io::ReadTensor(in)));
+  }
+  mask_history_.clear();
+  mask_history_.reserve(steps);
+  for (size_t t = 0; t < steps; ++t) {
+    mask_history_.push_back(state_io::ReadMask(in));
+  }
+  // The factorization is derived state: refit lazily on the next forecast.
+  fitted_ = false;
+  nontemporal_.clear();
+  hw_fits_.clear();
+}
 
 StepResult Cphw::StepLazy(const DenseTensor& y, const Mask& omega,
                           std::shared_ptr<const CooList> pattern) {

@@ -50,6 +50,12 @@ class Cphw : public StreamingMethod {
   /// first use after new data).
   StepResult ForecastLazy(size_t h) const override;
 
+  /// Checkpoints the accumulated history (the method's only durable state);
+  /// the batch factorization is derived and refits lazily after restore.
+  bool SupportsStateCheckpoint() const override { return true; }
+  void SaveState(std::ostream& out) const override;
+  void RestoreState(std::istream& in) override;
+
  private:
   void FitIfNeeded() const;
 

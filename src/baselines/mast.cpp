@@ -4,8 +4,19 @@
 
 #include "baselines/common.hpp"
 #include "linalg/solve.hpp"
+#include "util/state_io.hpp"
 
 namespace sofia {
+
+void Mast::SaveState(std::ostream& out) const {
+  state_io::BeginState(out, "mast", 1);
+  state_io::WriteMatrixList(out, factors_);
+}
+
+void Mast::RestoreState(std::istream& in) {
+  state_io::ReadStateHeader(in, "mast", 1);
+  factors_ = state_io::ReadMatrixList(in);
+}
 
 StepResult Mast::StepLazy(const DenseTensor& y, const Mask& omega,
                           std::shared_ptr<const CooList> pattern) {

@@ -5,8 +5,28 @@
 #include "baselines/common.hpp"
 #include "linalg/vector_ops.hpp"
 #include "util/check.hpp"
+#include "util/state_io.hpp"
 
 namespace sofia {
+
+void Olstec::SaveState(std::ostream& out) const {
+  state_io::BeginState(out, "olstec", 1);
+  state_io::WriteMatrixList(out, factors_);
+  out << cov_.size() << '\n';
+  for (const auto& mode_cov : cov_) state_io::WriteMatrixList(out, mode_cov);
+}
+
+void Olstec::RestoreState(std::istream& in) {
+  state_io::ReadStateHeader(in, "olstec", 1);
+  factors_ = state_io::ReadMatrixList(in);
+  size_t modes = 0;
+  SOFIA_CHECK(static_cast<bool>(in >> modes)) << "corrupt olstec checkpoint";
+  cov_.clear();
+  cov_.reserve(modes);
+  for (size_t n = 0; n < modes; ++n) {
+    cov_.push_back(state_io::ReadMatrixList(in));
+  }
+}
 
 /// One entry's RLS update, applied to every mode's factor row: the regressor
 /// is h = w ⊛ (⊛_{l != mode} u^(l)) and the target is the entry value; P and

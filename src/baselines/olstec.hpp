@@ -65,6 +65,10 @@ class Olstec : public StreamingMethod {
     sweep_.AdoptPool(std::move(pool));
   }
 
+  bool SupportsStateCheckpoint() const override { return true; }
+  void SaveState(std::ostream& out) const override;
+  void RestoreState(std::istream& in) override;
+
   const std::vector<Matrix>& factors() const { return factors_; }
 
  private:

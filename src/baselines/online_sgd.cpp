@@ -4,8 +4,19 @@
 #include <utility>
 
 #include "baselines/common.hpp"
+#include "util/state_io.hpp"
 
 namespace sofia {
+
+void OnlineSgd::SaveState(std::ostream& out) const {
+  state_io::BeginState(out, "online-sgd", 1);
+  state_io::WriteMatrixList(out, factors_);
+}
+
+void OnlineSgd::RestoreState(std::istream& in) {
+  state_io::ReadStateHeader(in, "online-sgd", 1);
+  factors_ = state_io::ReadMatrixList(in);
+}
 
 void OnlineSgd::ApplyGradients(
     const std::vector<Matrix>& grads,

@@ -6,8 +6,19 @@
 #include "core/sofia_als.hpp"  // SoftThreshold
 #include "linalg/solve.hpp"
 #include "tensor/kruskal.hpp"
+#include "util/state_io.hpp"
 
 namespace sofia {
+
+void OrMstc::SaveState(std::ostream& out) const {
+  state_io::BeginState(out, "or-mstc", 1);
+  state_io::WriteMatrixList(out, factors_);
+}
+
+void OrMstc::RestoreState(std::istream& in) {
+  state_io::ReadStateHeader(in, "or-mstc", 1);
+  factors_ = state_io::ReadMatrixList(in);
+}
 
 StepResult OrMstc::StepLazy(const DenseTensor& y, const Mask& omega,
                             std::shared_ptr<const CooList> pattern) {

@@ -6,8 +6,40 @@
 #include "linalg/solve.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/state_io.hpp"
 
 namespace sofia {
+
+void Smf::SaveState(std::ostream& out) const {
+  state_io::BeginState(out, "smf", 1);
+  state_io::WriteShape(out, slice_shape_);
+  out << (loadings_ != nullptr ? 1 : 0) << '\n';
+  if (loadings_ != nullptr) state_io::WriteMatrix(out, *loadings_);
+  state_io::WriteVector(out, level_);
+  state_io::WriteVector(out, trend_);
+  out << season_.size() << ' ' << season_pos_ << ' ' << steps_seen_ << '\n';
+  for (const auto& s : season_) state_io::WriteVector(out, s);
+}
+
+void Smf::RestoreState(std::istream& in) {
+  state_io::ReadStateHeader(in, "smf", 1);
+  slice_shape_ = state_io::ReadShape(in);
+  int has_loadings = 0;
+  SOFIA_CHECK(static_cast<bool>(in >> has_loadings))
+      << "corrupt smf checkpoint";
+  // A fresh shared_ptr (never reusing the old allocation) keeps any live
+  // StepLazy/ForecastLazy handles pointing at their snapshot.
+  loadings_ = has_loadings != 0
+                  ? std::make_shared<Matrix>(state_io::ReadMatrix(in))
+                  : nullptr;
+  level_ = state_io::ReadVector(in);
+  trend_ = state_io::ReadVector(in);
+  size_t seasons = 0;
+  SOFIA_CHECK(static_cast<bool>(in >> seasons >> season_pos_ >> steps_seen_))
+      << "corrupt smf checkpoint";
+  season_.resize(seasons);
+  for (auto& s : season_) s = state_io::ReadVector(in);
+}
 
 StepResult Smf::StepLazy(const DenseTensor& y, const Mask& omega,
                          std::shared_ptr<const CooList> pattern) {

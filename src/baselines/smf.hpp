@@ -71,6 +71,12 @@ class Smf : public StreamingMethod {
   /// Lazy forecast: A (l + h b + s) as a linear-map handle.
   StepResult ForecastLazy(size_t h) const override;
 
+  /// Restore rebuilds the loadings under a fresh shared_ptr, so live lazy
+  /// handles snapshotting the old matrix stay valid.
+  bool SupportsStateCheckpoint() const override { return true; }
+  void SaveState(std::ostream& out) const override;
+  void RestoreState(std::istream& in) override;
+
  private:
   StepResult StepShared(const DenseTensor& y, const Mask& omega,
                         std::shared_ptr<const CooList> pattern,

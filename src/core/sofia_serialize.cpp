@@ -1,10 +1,10 @@
-#include <iomanip>
 #include <istream>
 #include <ostream>
 #include <string>
 
 #include "core/sofia_model.hpp"
 #include "util/check.hpp"
+#include "util/state_io.hpp"
 
 /// \file sofia_serialize.cpp
 /// \brief Text checkpointing of SofiaModel (Serialize / Deserialize).
@@ -13,68 +13,14 @@
 /// fields in a fixed order (v2 appends the kernel-path knobs to the config
 /// block; v1 checkpoints still load, with the current defaults for those
 /// knobs). Doubles round-trip via max_digits10 so the restored model
-/// continues the stream bit-for-bit.
+/// continues the stream bit-for-bit. The field primitives live in
+/// util/state_io and are shared with every StreamingMethod::SaveState
+/// implementation.
 
 namespace sofia {
 
-namespace {
-
-void WriteVector(std::ostream& out, const std::vector<double>& v) {
-  out << v.size();
-  for (double x : v) out << ' ' << x;
-  out << '\n';
-}
-
-std::vector<double> ReadVector(std::istream& in) {
-  size_t n = 0;
-  SOFIA_CHECK(static_cast<bool>(in >> n)) << "corrupt checkpoint (vector)";
-  std::vector<double> v(n);
-  for (double& x : v) SOFIA_CHECK(static_cast<bool>(in >> x));
-  return v;
-}
-
-void WriteMatrix(std::ostream& out, const Matrix& m) {
-  out << m.rows() << ' ' << m.cols();
-  for (size_t k = 0; k < m.size(); ++k) out << ' ' << m.data()[k];
-  out << '\n';
-}
-
-Matrix ReadMatrix(std::istream& in) {
-  size_t rows = 0, cols = 0;
-  SOFIA_CHECK(static_cast<bool>(in >> rows >> cols))
-      << "corrupt checkpoint (matrix)";
-  Matrix m(rows, cols);
-  for (size_t k = 0; k < m.size(); ++k) {
-    SOFIA_CHECK(static_cast<bool>(in >> m.data()[k]));
-  }
-  return m;
-}
-
-void WriteTensor(std::ostream& out, const DenseTensor& t) {
-  out << t.order();
-  for (size_t n = 0; n < t.order(); ++n) out << ' ' << t.dim(n);
-  for (size_t k = 0; k < t.NumElements(); ++k) out << ' ' << t[k];
-  out << '\n';
-}
-
-DenseTensor ReadTensor(std::istream& in) {
-  size_t order = 0;
-  SOFIA_CHECK(static_cast<bool>(in >> order))
-      << "corrupt checkpoint (tensor)";
-  std::vector<size_t> dims(order);
-  for (size_t& d : dims) SOFIA_CHECK(static_cast<bool>(in >> d));
-  DenseTensor t((Shape(dims)));
-  for (size_t k = 0; k < t.NumElements(); ++k) {
-    SOFIA_CHECK(static_cast<bool>(in >> t[k]));
-  }
-  return t;
-}
-
-}  // namespace
-
 void SofiaModel::Serialize(std::ostream& out) const {
-  out << "sofia-model v2\n";
-  out << std::setprecision(17);
+  state_io::BeginState(out, "sofia-model", 2);
   out << config_.rank << ' ' << config_.period << ' '
       << config_.init_seasons << ' ' << config_.lambda1 << ' '
       << config_.lambda2 << ' ' << config_.lambda3 << ' ' << config_.mu
@@ -94,27 +40,24 @@ void SofiaModel::Serialize(std::ostream& out) const {
       << (ablation_.temporal_smoothness ? 1 : 0) << '\n';
 
   out << factors_.size() << '\n';
-  for (const Matrix& f : factors_) WriteMatrix(out, f);
+  for (const Matrix& f : factors_) state_io::WriteMatrix(out, f);
 
   out << hw_params_.size() << '\n';
   for (const HwParams& p : hw_params_) {
     out << p.alpha << ' ' << p.beta << ' ' << p.gamma << '\n';
   }
-  WriteVector(out, level_);
-  WriteVector(out, trend_);
+  state_io::WriteVector(out, level_);
+  state_io::WriteVector(out, trend_);
   out << season_.size() << ' ' << season_pos_ << '\n';
-  for (const auto& s : season_) WriteVector(out, s);
+  for (const auto& s : season_) state_io::WriteVector(out, s);
   out << row_history_.size() << ' ' << row_pos_ << '\n';
-  for (const auto& r : row_history_) WriteVector(out, r);
-  WriteVector(out, last_row_);
-  WriteTensor(out, sigma_);
+  for (const auto& r : row_history_) state_io::WriteVector(out, r);
+  state_io::WriteVector(out, last_row_);
+  state_io::WriteTensor(out, sigma_);
 }
 
 SofiaModel SofiaModel::Deserialize(std::istream& in) {
-  std::string tag, version;
-  SOFIA_CHECK(static_cast<bool>(in >> tag >> version) &&
-              tag == "sofia-model" && (version == "v1" || version == "v2"))
-      << "not a sofia-model checkpoint";
+  const int version = state_io::ReadStateHeader(in, "sofia-model", 2);
 
   SofiaModel model;
   int normalized = 0;
@@ -125,7 +68,7 @@ SofiaModel SofiaModel::Deserialize(std::istream& in) {
       model.config_.phi >> model.config_.factor_ridge >> normalized >>
       model.config_.huber_k >> model.config_.biweight_ck));
   model.config_.normalized_step = normalized != 0;
-  if (version == "v2") {
+  if (version >= 2) {
     int sparse = 1, reuse = 1;
     SOFIA_CHECK(static_cast<bool>(in >> sparse >> reuse));
     model.config_.use_sparse_kernels = sparse != 0;
@@ -140,7 +83,7 @@ SofiaModel SofiaModel::Deserialize(std::istream& in) {
   size_t num_factors = 0;
   SOFIA_CHECK(static_cast<bool>(in >> num_factors));
   for (size_t n = 0; n < num_factors; ++n) {
-    model.factors_.push_back(ReadMatrix(in));
+    model.factors_.push_back(state_io::ReadMatrix(in));
   }
 
   size_t num_params = 0;
@@ -149,18 +92,18 @@ SofiaModel SofiaModel::Deserialize(std::istream& in) {
   for (HwParams& p : model.hw_params_) {
     SOFIA_CHECK(static_cast<bool>(in >> p.alpha >> p.beta >> p.gamma));
   }
-  model.level_ = ReadVector(in);
-  model.trend_ = ReadVector(in);
+  model.level_ = state_io::ReadVector(in);
+  model.trend_ = state_io::ReadVector(in);
   size_t seasons = 0;
   SOFIA_CHECK(static_cast<bool>(in >> seasons >> model.season_pos_));
   model.season_.resize(seasons);
-  for (auto& s : model.season_) s = ReadVector(in);
+  for (auto& s : model.season_) s = state_io::ReadVector(in);
   size_t history = 0;
   SOFIA_CHECK(static_cast<bool>(in >> history >> model.row_pos_));
   model.row_history_.resize(history);
-  for (auto& r : model.row_history_) r = ReadVector(in);
-  model.last_row_ = ReadVector(in);
-  model.sigma_ = ReadTensor(in);
+  for (auto& r : model.row_history_) r = state_io::ReadVector(in);
+  model.last_row_ = state_io::ReadVector(in);
+  model.sigma_ = state_io::ReadTensor(in);
 
   SOFIA_CHECK_EQ(model.season_.size(), model.config_.period);
   SOFIA_CHECK_EQ(model.row_history_.size(), model.config_.period);

@@ -1,8 +1,11 @@
 #include "core/sofia_stream.hpp"
 
+#include <istream>
+#include <ostream>
 #include <utility>
 
 #include "util/check.hpp"
+#include "util/state_io.hpp"
 
 namespace sofia {
 
@@ -41,6 +44,25 @@ StepResult SofiaStream::ForecastLazy(size_t h) const {
 void SofiaStream::AdoptWorkerPool(std::shared_ptr<ThreadPool> pool) {
   adopted_pool_ = std::move(pool);
   if (model_ != nullptr) model_->AdoptPool(adopted_pool_);
+}
+
+void SofiaStream::SaveState(std::ostream& out) const {
+  state_io::BeginState(out, "sofia-stream", 1);
+  out << (model_ != nullptr ? 1 : 0) << '\n';
+  if (model_ != nullptr) model_->Serialize(out);
+}
+
+void SofiaStream::RestoreState(std::istream& in) {
+  state_io::ReadStateHeader(in, "sofia-stream", 1);
+  int has_model = 0;
+  SOFIA_CHECK(static_cast<bool>(in >> has_model))
+      << "corrupt sofia-stream checkpoint";
+  if (has_model == 0) {
+    model_.reset();
+    return;
+  }
+  model_ = std::make_unique<SofiaModel>(SofiaModel::Deserialize(in));
+  if (adopted_pool_ != nullptr) model_->AdoptPool(adopted_pool_);
 }
 
 const SofiaModel& SofiaStream::model() const {

@@ -48,6 +48,12 @@ class SofiaStream : public StreamingMethod {
 
   void AdoptWorkerPool(std::shared_ptr<ThreadPool> pool) override;
 
+  /// Checkpointing delegates to SofiaModel::Serialize/Deserialize behind a
+  /// model-present flag, so a pre-Initialize snapshot restores cleanly too.
+  bool SupportsStateCheckpoint() const override { return true; }
+  void SaveState(std::ostream& out) const override;
+  void RestoreState(std::istream& in) override;
+
   /// The underlying model (valid after Initialize()).
   const SofiaModel& model() const;
 

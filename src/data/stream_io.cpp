@@ -1,11 +1,48 @@
 #include "data/stream_io.hpp"
 
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "util/check.hpp"
 
 namespace sofia {
+
+namespace {
+
+/// strtoull with full validation: the whole field must be one non-negative
+/// integer — no sign, no trailing garbage, no empty field. std::stoull would
+/// throw on garbage (an unhelpful uncaught exception), silently accept
+/// "3abc", and wrap "-1" to a huge index.
+size_t ParseIndexField(const std::string& field, size_t line_number) {
+  SOFIA_CHECK(!field.empty() && field[0] != '-' && field[0] != '+')
+      << "bad index field '" << field << "' at line " << line_number;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(field.c_str(), &end, 10);
+  SOFIA_CHECK(end == field.c_str() + field.size())
+      << "bad index field '" << field << "' at line " << line_number;
+  return static_cast<size_t>(v);
+}
+
+/// strtod with full validation plus the finiteness contract: streaming
+/// methods must never see NaN/Inf payloads from the loader, so "nan"/"inf"
+/// (which strtod happily parses) are rejected here with the line and slice
+/// index instead of surfacing steps later as a poisoned factor row.
+double ParseValueField(const std::string& field, size_t line_number,
+                       size_t slice) {
+  SOFIA_CHECK(!field.empty()) << "empty value at line " << line_number;
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  SOFIA_CHECK(end == field.c_str() + field.size())
+      << "bad value '" << field << "' at line " << line_number;
+  SOFIA_CHECK(std::isfinite(v))
+      << "non-finite value '" << field << "' at line " << line_number
+      << " (slice " << slice << ")";
+  return v;
+}
+
+}  // namespace
 
 void WriteStreamCsv(std::ostream& out, const TensorStream& stream) {
   SOFIA_CHECK(!stream.slices.empty());
@@ -71,21 +108,23 @@ TensorStream ReadStreamCsv(std::istream& in) {
     std::string field;
     SOFIA_CHECK(static_cast<bool>(std::getline(record, field, ',')))
         << "bad record at line " << line_number;
-    const size_t t = static_cast<size_t>(std::stoull(field));
+    const size_t t = ParseIndexField(field, line_number);
     SOFIA_CHECK_LT(t, duration) << "time index out of range at line "
                                 << line_number;
     for (size_t n = 0; n < slice_shape.order(); ++n) {
       SOFIA_CHECK(static_cast<bool>(std::getline(record, field, ',')))
           << "bad record at line " << line_number;
-      idx[n] = static_cast<size_t>(std::stoull(field));
+      idx[n] = ParseIndexField(field, line_number);
       SOFIA_CHECK_LT(idx[n], slice_shape.dim(n))
           << "index out of range at line " << line_number;
     }
-    SOFIA_CHECK(static_cast<bool>(std::getline(record, field)))
+    SOFIA_CHECK(static_cast<bool>(std::getline(record, field, ',')))
         << "missing value at line " << line_number;
     const size_t linear = slice_shape.Linearize(idx);
-    stream.slices[t][linear] = std::stod(field);
+    stream.slices[t][linear] = ParseValueField(field, line_number, t);
     stream.masks[t].Set(linear, true);
+    SOFIA_CHECK(!static_cast<bool>(std::getline(record, field)))
+        << "extra fields after value at line " << line_number;
   }
   return stream;
 }

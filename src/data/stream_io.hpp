@@ -32,8 +32,11 @@ void WriteStreamCsv(std::ostream& out, const TensorStream& stream);
 bool WriteStreamCsvFile(const std::string& path, const TensorStream& stream);
 
 /// Parses the record format. The shape header is required; records may
-/// arrive in any order; duplicate records keep the last value. Out-of-range
-/// indices CHECK-fail with the offending line number.
+/// arrive in any order; duplicate records keep the last value. Malformed
+/// records CHECK-fail with the offending line number: out-of-range or
+/// non-numeric indices, unparsable values, extra trailing fields, and —
+/// because streaming methods must never see them — NaN/Inf values (reported
+/// with the line number and slice index).
 TensorStream ReadStreamCsv(std::istream& in);
 TensorStream ReadStreamCsvFile(const std::string& path);
 

@@ -1,6 +1,8 @@
 #include "eval/step_result.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <utility>
 
 #include "tensor/kruskal.hpp"
@@ -178,6 +180,32 @@ std::vector<double> StepResult::GatherObserved(
     const std::shared_ptr<const CooList>& pattern, ThreadPool* pool) const {
   SOFIA_CHECK(pattern != nullptr);
   return GatherAt(*pattern, pool);
+}
+
+double StepResult::MaxAbsComponent() const {
+  // NaN-propagating max: once a NaN is seen the result stays NaN, so a
+  // poisoned factor can never be masked by a later finite entry.
+  double max_abs = 0.0;
+  const auto acc = [&max_abs](double v) {
+    const double a = std::fabs(v);
+    if (a > max_abs || std::isnan(a)) max_abs = a;
+  };
+  switch (kind_) {
+    case Kind::kKruskal:
+      for (const Matrix& f : factors_) {
+        for (size_t k = 0; k < f.size(); ++k) acc(f.data()[k]);
+      }
+      for (double v : row_) acc(v);
+      break;
+    case Kind::kLinearMap:
+      for (double v : row_) acc(v);
+      break;
+    case Kind::kMasked:
+    case Kind::kDense:
+    case Kind::kEmpty:
+      break;  // Data-carrying or empty handles: no learned parameters.
+  }
+  return max_abs;
 }
 
 size_t StepResult::materializations() {

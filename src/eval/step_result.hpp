@@ -96,6 +96,14 @@ class StepResult {
       const std::shared_ptr<const CooList>& pattern,
       ThreadPool* pool = nullptr) const;
 
+  /// Largest |entry| across the handle's low-dimensional structure: the
+  /// factor matrices and combination weights of a Kruskal view, or the
+  /// weights of a linear-map view (its loadings are volume-sized and are
+  /// not scanned). 0 for masked/dense/empty handles — those carry data, not
+  /// learned parameters. StreamGuard's divergence watch reads this as an
+  /// O(sum I_n R) health probe without touching the dense estimate.
+  double MaxAbsComponent() const;
+
   /// Process-wide count of dense materializations triggered by imputed() on
   /// lazy (non-Dense) results. The lazy eval protocols assert this stays
   /// flat across a run.

@@ -43,6 +43,16 @@ void FinalizeRunMetrics(size_t window, StreamRunResult* result) {
   result->art_seconds = Mean(result->step_seconds);
 }
 
+/// Copies a StreamGuard's trip/recovery counters into the run result (a
+/// no-op for unguarded methods).
+void AttachGuardTelemetry(const StreamingMethod* method,
+                          StreamRunResult* result) {
+  if (const auto* guard = dynamic_cast<const StreamGuard*>(method)) {
+    result->guarded = true;
+    result->guard = guard->telemetry();
+  }
+}
+
 /// Held-out eval pattern derived from the observed pattern: the missing
 /// entries, capped at `max_entries` by an evenly strided deterministic pick
 /// (0 = no cap). Missing entries are enumerated as the *gaps* between the
@@ -139,6 +149,7 @@ StreamRunResult RunImputation(StreamingMethod* method,
   }
 
   FinalizeRunMetrics(window, &result);
+  AttachGuardTelemetry(method, &result);
   return result;
 }
 
@@ -240,6 +251,7 @@ std::vector<MethodRunResult> RunImputationComparison(
     out[m].run.pattern_builds = pattern_builds;
     out[m].run.pattern_reuses = pattern_reuses;
     out[m].run.pattern_delta_sizes = pattern_delta_sizes;
+    AttachGuardTelemetry(methods[m], &out[m].run);
     methods[m]->AdoptWorkerPool(nullptr);
   }
   return out;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "data/corruption.hpp"
+#include "eval/stream_guard.hpp"
 #include "eval/streaming_method.hpp"
 #include "tensor/dense_tensor.hpp"
 #include "tensor/pattern_storage.hpp"
@@ -81,6 +82,12 @@ struct StreamRunResult {
   /// rebuild) — the bitmap delta between the outgoing and incoming masks,
   /// computed by an O(|Ω_prev| + |Ω_new|) merge walk.
   std::vector<size_t> pattern_delta_sizes;
+
+  // Fault-tolerance telemetry, populated when the method is a StreamGuard
+  // wrapper. `guarded` distinguishes an unguarded run from a guarded run
+  // that simply saw zero trips.
+  bool guarded = false;
+  GuardTelemetry guard;
 };
 
 /// Imputation protocol (Figs. 3-5), dense generation: run `method` over the

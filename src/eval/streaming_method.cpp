@@ -14,6 +14,16 @@ std::vector<DenseTensor> StreamingMethod::Initialize(
   return {};
 }
 
+void StreamingMethod::SaveState(std::ostream& out) const {
+  (void)out;
+  SOFIA_CHECK(false) << name() << " does not support state checkpoints";
+}
+
+void StreamingMethod::RestoreState(std::istream& in) {
+  (void)in;
+  SOFIA_CHECK(false) << name() << " does not support state checkpoints";
+}
+
 DenseTensor StreamingMethod::Step(const DenseTensor& y, const Mask& omega) {
   return StepLazy(y, omega).ReleaseImputed();
 }

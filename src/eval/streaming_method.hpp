@@ -1,6 +1,7 @@
 #ifndef SOFIA_EVAL_STREAMING_METHOD_H_
 #define SOFIA_EVAL_STREAMING_METHOD_H_
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -77,6 +78,23 @@ class StreamingMethod {
   /// held-out entries only. Must be overridden (together with
   /// SupportsForecast) by forecast-capable methods.
   virtual StepResult ForecastLazy(size_t h) const;
+
+  /// Whether SaveState/RestoreState are implemented. All in-tree methods
+  /// support checkpointing; the default is false so external methods opt in
+  /// explicitly (StreamGuard's rollback/reinit policies require it).
+  virtual bool SupportsStateCheckpoint() const { return false; }
+
+  /// Serializes the method's complete mutable state as text (util/state_io
+  /// primitives; doubles via max_digits10). A later RestoreState on the
+  /// *same configuration* must continue the stream bit-for-bit — this is
+  /// the contract StreamGuard's rollback policy is built on. Configuration
+  /// (rank, period, solver options) is NOT part of the state; a checkpoint
+  /// only makes sense on a method constructed with the same options.
+  virtual void SaveState(std::ostream& out) const;
+
+  /// Inverse of SaveState: replaces the method's mutable state with the
+  /// checkpoint's. SOFIA_CHECK-fails on malformed input.
+  virtual void RestoreState(std::istream& in);
 
   /// Adopt a shared worker pool for the observed-entry kernels (one pool
   /// per comparison run instead of one lazily spawned pool per method).

@@ -7,6 +7,17 @@
 
 namespace sofia {
 
+namespace {
+
+bool AllFinite(const double* v, size_t n) {
+  for (size_t k = 0; k < n; ++k) {
+    if (!std::isfinite(v[k])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 LuFactors LuFactorize(const Matrix& a) {
   SOFIA_CHECK_EQ(a.rows(), a.cols());
   const size_t n = a.rows();
@@ -74,10 +85,21 @@ std::vector<double> SolveLinear(const Matrix& a, const std::vector<double>& b) {
 
 std::vector<double> SolveRidge(const Matrix& a, const std::vector<double>& b,
                                double eps) {
+  // A non-finite system has no meaningful solution at any shift, and LU's
+  // magnitude pivoting cannot flag it (fabs(NaN) compares false against
+  // every candidate). Fail soft with the documented zero solution instead
+  // of propagating NaN into a factor row or crashing the stream below.
+  if (!AllFinite(a.data(), a.size()) || !AllFinite(b.data(), b.size())) {
+    return std::vector<double>(b.size(), 0.0);
+  }
   LuFactors f = LuFactorize(a);
-  if (!f.singular) return LuSolve(f, b);
+  if (!f.singular) {
+    std::vector<double> x = LuSolve(f, b);
+    if (AllFinite(x.data(), x.size())) return x;
+  }
   // Shift relative to the matrix magnitude so the regularization survives
-  // rounding even for very large (or very small) Gram matrices.
+  // rounding even for very large (or very small) Gram matrices. An
+  // ill-conditioned solve that overflowed above retries here too.
   double scale = 0.0;
   for (size_t k = 0; k < a.size(); ++k) {
     scale = std::max(scale, std::fabs(a.data()[k]));
@@ -87,7 +109,10 @@ std::vector<double> SolveRidge(const Matrix& a, const std::vector<double>& b,
   for (int attempt = 0; attempt < 8; ++attempt) {
     for (size_t i = 0; i < shifted.rows(); ++i) shifted(i, i) += shift;
     f = LuFactorize(shifted);
-    if (!f.singular) return LuSolve(f, b);
+    if (!f.singular) {
+      std::vector<double> x = LuSolve(f, b);
+      if (AllFinite(x.data(), x.size())) return x;
+    }
     shift *= 100.0;
   }
   SOFIA_CHECK(false) << "SolveRidge: matrix stayed singular after shifting";
@@ -120,7 +145,9 @@ bool CholeskySolveInPlace(double* a, double* rhs, size_t n) {
     for (size_t k = i + 1; k < n; ++k) s -= a[k * n + i] * rhs[k];
     rhs[i] = s / a[i * n + i];
   }
-  return true;
+  // Finite pivots do not rule out a poisoned right-hand side (or NaN
+  // off-diagonals): report failure instead of handing back a NaN row.
+  return AllFinite(rhs, n);
 }
 
 void ProximalRowSolve(const double* b, const double* c, const double* prev,
@@ -164,7 +191,8 @@ bool CholeskyFactorize(const Matrix& a, Matrix* l) {
       double s = a(i, j);
       for (size_t k = 0; k < j; ++k) s -= (*l)(i, k) * (*l)(j, k);
       if (i == j) {
-        if (s <= 0.0) return false;
+        // !(s > 0) instead of s <= 0: a NaN diagonal must also fail.
+        if (!(s > 0.0)) return false;
         (*l)(i, i) = std::sqrt(s);
       } else {
         (*l)(i, j) = s / (*l)(j, j);

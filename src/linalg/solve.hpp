@@ -33,17 +33,24 @@ std::vector<double> SolveLinear(const Matrix& a, const std::vector<double>& b);
 
 /// Solve `A x = b` with a ridge `A + eps*I` retried on singular/ill systems.
 /// Used for factor-row updates where a slice may have too few observations.
+/// Never returns a non-finite solution: a system containing NaN/Inf (e.g. a
+/// Gram matrix accumulated from a poisoned slice) fails soft to the zero
+/// vector — the documented failure status — instead of propagating NaN into
+/// a factor row, and an overflowing solve retries through the ridge shifts.
 std::vector<double> SolveRidge(const Matrix& a, const std::vector<double>& b,
                                double eps = 1e-9);
 
-/// Cholesky factor L (lower) with A = L L^T. Returns false if not SPD.
+/// Cholesky factor L (lower) with A = L L^T. Returns false if not SPD
+/// (including NaN diagonals, which must not reach sqrt).
 bool CholeskyFactorize(const Matrix& a, Matrix* l);
 
 /// Allocation-free SPD solve: factor `a` (row-major n x n, overwritten with
 /// L in its lower triangle) and solve into `rhs` in place. Returns false on
-/// a non-positive pivot, leaving the caller to fall back to a pivoted
-/// solver. For the hot small-R row solves (one per factor row per sweep)
-/// where per-solve heap traffic would dominate the arithmetic.
+/// a non-positive (or NaN) pivot and on a non-finite solution — a finite
+/// pivot chain does not rule out a poisoned right-hand side — leaving the
+/// caller to fall back to a pivoted/ridge solver. For the hot small-R row
+/// solves (one per factor row per sweep) where per-solve heap traffic would
+/// dominate the arithmetic.
 bool CholeskySolveInPlace(double* a, double* rhs, size_t n);
 
 /// Proximal ridge row solve `out = (B + μI)^{-1} (c + μ prev)` on raw

@@ -1,0 +1,144 @@
+#include "util/state_io.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace sofia {
+namespace state_io {
+
+void BeginState(std::ostream& out, const char* tag, int version) {
+  out << tag << " v" << version << '\n';
+  out.precision(std::numeric_limits<double>::max_digits10);
+}
+
+int ReadStateHeader(std::istream& in, const char* tag, int max_version) {
+  std::string got_tag, got_version;
+  SOFIA_CHECK(static_cast<bool>(in >> got_tag >> got_version) &&
+              got_tag == tag)
+      << "not a " << tag << " checkpoint";
+  SOFIA_CHECK(got_version.size() >= 2 && got_version[0] == 'v')
+      << "malformed " << tag << " checkpoint version '" << got_version << "'";
+  const int version = std::stoi(got_version.substr(1));
+  SOFIA_CHECK(version >= 1 && version <= max_version)
+      << tag << " checkpoint version " << version << " unsupported (max "
+      << max_version << ")";
+  return version;
+}
+
+void WriteVector(std::ostream& out, const std::vector<double>& v) {
+  out << v.size();
+  for (double x : v) out << ' ' << x;
+  out << '\n';
+}
+
+std::vector<double> ReadVector(std::istream& in) {
+  size_t n = 0;
+  SOFIA_CHECK(static_cast<bool>(in >> n)) << "corrupt checkpoint (vector)";
+  std::vector<double> v(n);
+  for (double& x : v) {
+    SOFIA_CHECK(static_cast<bool>(in >> x)) << "corrupt checkpoint (vector)";
+  }
+  return v;
+}
+
+void WriteMatrix(std::ostream& out, const Matrix& m) {
+  out << m.rows() << ' ' << m.cols();
+  for (size_t k = 0; k < m.size(); ++k) out << ' ' << m.data()[k];
+  out << '\n';
+}
+
+Matrix ReadMatrix(std::istream& in) {
+  size_t rows = 0, cols = 0;
+  SOFIA_CHECK(static_cast<bool>(in >> rows >> cols))
+      << "corrupt checkpoint (matrix)";
+  Matrix m(rows, cols);
+  for (size_t k = 0; k < m.size(); ++k) {
+    SOFIA_CHECK(static_cast<bool>(in >> m.data()[k]))
+        << "corrupt checkpoint (matrix)";
+  }
+  return m;
+}
+
+void WriteMatrixList(std::ostream& out, const std::vector<Matrix>& ms) {
+  out << ms.size() << '\n';
+  for (const Matrix& m : ms) WriteMatrix(out, m);
+}
+
+std::vector<Matrix> ReadMatrixList(std::istream& in) {
+  size_t n = 0;
+  SOFIA_CHECK(static_cast<bool>(in >> n))
+      << "corrupt checkpoint (matrix list)";
+  std::vector<Matrix> ms;
+  ms.reserve(n);
+  for (size_t i = 0; i < n; ++i) ms.push_back(ReadMatrix(in));
+  return ms;
+}
+
+void WriteTensor(std::ostream& out, const DenseTensor& t) {
+  out << t.order();
+  for (size_t n = 0; n < t.order(); ++n) out << ' ' << t.dim(n);
+  for (size_t k = 0; k < t.NumElements(); ++k) out << ' ' << t[k];
+  out << '\n';
+}
+
+DenseTensor ReadTensor(std::istream& in) {
+  size_t order = 0;
+  SOFIA_CHECK(static_cast<bool>(in >> order)) << "corrupt checkpoint (tensor)";
+  std::vector<size_t> dims(order);
+  for (size_t& d : dims) {
+    SOFIA_CHECK(static_cast<bool>(in >> d)) << "corrupt checkpoint (tensor)";
+  }
+  DenseTensor t((Shape(dims)));
+  for (size_t k = 0; k < t.NumElements(); ++k) {
+    SOFIA_CHECK(static_cast<bool>(in >> t[k]))
+        << "corrupt checkpoint (tensor)";
+  }
+  return t;
+}
+
+void WriteShape(std::ostream& out, const Shape& shape) {
+  out << shape.order();
+  for (size_t n = 0; n < shape.order(); ++n) out << ' ' << shape.dim(n);
+  out << '\n';
+}
+
+Shape ReadShape(std::istream& in) {
+  size_t order = 0;
+  SOFIA_CHECK(static_cast<bool>(in >> order)) << "corrupt checkpoint (shape)";
+  std::vector<size_t> dims(order);
+  for (size_t& d : dims) {
+    SOFIA_CHECK(static_cast<bool>(in >> d)) << "corrupt checkpoint (shape)";
+  }
+  return Shape(dims);
+}
+
+void WriteMask(std::ostream& out, const Mask& mask) {
+  WriteShape(out, mask.shape());
+  const std::vector<size_t> observed = mask.ObservedIndices();
+  out << observed.size();
+  for (size_t k : observed) out << ' ' << k;
+  out << '\n';
+}
+
+Mask ReadMask(std::istream& in) {
+  const Shape shape = ReadShape(in);
+  size_t nnz = 0;
+  SOFIA_CHECK(static_cast<bool>(in >> nnz)) << "corrupt checkpoint (mask)";
+  Mask mask(shape, /*observed=*/false);
+  for (size_t i = 0; i < nnz; ++i) {
+    size_t linear = 0;
+    SOFIA_CHECK(static_cast<bool>(in >> linear))
+        << "corrupt checkpoint (mask)";
+    SOFIA_CHECK(linear < shape.NumElements())
+        << "corrupt checkpoint (mask index out of range)";
+    mask.Set(linear, true);
+  }
+  return mask;
+}
+
+}  // namespace state_io
+}  // namespace sofia

@@ -1,0 +1,58 @@
+#ifndef SOFIA_UTIL_STATE_IO_H_
+#define SOFIA_UTIL_STATE_IO_H_
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/mask.hpp"
+#include "tensor/shape.hpp"
+
+/// \file state_io.hpp
+/// \brief Text-serialization primitives shared by every streaming method's
+/// checkpoint format (StreamingMethod::SaveState/RestoreState and the
+/// SofiaModel v2 checkpoints).
+///
+/// All writers emit whitespace-separated fields; doubles round-trip via
+/// max_digits10 (the caller sets the stream precision once through
+/// BeginState), so a restored method continues the stream bit-for-bit.
+/// Readers SOFIA_CHECK-fail with the failing structure's name on truncated
+/// or malformed input instead of constructing partial state.
+
+namespace sofia {
+namespace state_io {
+
+/// Writes the "<tag> v<version>" header and sets the stream precision so
+/// every following double survives the text roundtrip exactly.
+void BeginState(std::ostream& out, const char* tag, int version);
+/// Reads and validates the header written by BeginState; returns the
+/// version. `max_version` guards against checkpoints from the future.
+int ReadStateHeader(std::istream& in, const char* tag, int max_version);
+
+void WriteVector(std::ostream& out, const std::vector<double>& v);
+std::vector<double> ReadVector(std::istream& in);
+
+void WriteMatrix(std::ostream& out, const Matrix& m);
+Matrix ReadMatrix(std::istream& in);
+
+/// Count-prefixed list of matrices (the factor set of a CP method).
+void WriteMatrixList(std::ostream& out, const std::vector<Matrix>& ms);
+std::vector<Matrix> ReadMatrixList(std::istream& in);
+
+void WriteTensor(std::ostream& out, const DenseTensor& t);
+DenseTensor ReadTensor(std::istream& in);
+
+void WriteShape(std::ostream& out, const Shape& shape);
+Shape ReadShape(std::istream& in);
+
+/// Masks serialize as the shape plus the ascending observed indices —
+/// O(|Ω|) text instead of one character per entry.
+void WriteMask(std::ostream& out, const Mask& mask);
+Mask ReadMask(std::istream& in);
+
+}  // namespace state_io
+}  // namespace sofia
+
+#endif  // SOFIA_UTIL_STATE_IO_H_

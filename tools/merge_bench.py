@@ -28,6 +28,7 @@ KNOWN_ORDER = [
     "BENCH_baselines.json",  # PR 3: baselines on the ObservedSweep core.
     "BENCH_pipeline.json",   # PR 4: lazy StepResult eval pipeline.
     "BENCH_csf.json",        # PR 5: CSF tensor-storage subsystem.
+    "BENCH_robustness.json", # PR 6: StreamGuard fault-tolerance layer.
 ]
 
 
