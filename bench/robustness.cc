@@ -237,9 +237,11 @@ int main(int argc, char** argv) {
                "of the nine methods keep every score finite, and the "
                "guard's summed trip/recovery telemetry. The "
                "guard_overhead_* map is guarded over unguarded wall time "
-               "with the default per-step checkpoint rotation (dominated "
-               "by O(state) serialization — quadratic for history-refit "
-               "methods like CPHW whose state is the stream so far); "
+               "with the default checkpoint cadence (every "
+               "checkpoint_every-th accepted step serialized into a reused "
+               "ring-slot buffer — the dominant cost is the O(state) "
+               "serialization, quadratic for history-refit methods like "
+               "CPHW whose state is the stream so far); "
                "guard_validation_overhead_* disables checkpointing "
                "(checkpoint_slots=0) and isolates the per-slice O(|omega|) "
                "validation scan + strided probe, the only cost the guard "

@@ -11,6 +11,8 @@
 // Usage: file_stream [--path=/tmp/sofia_demo_stream.csv]
 //                    [--num_threads=0] [--use_sparse_kernels=true]
 //                    [--storage=coo|csf] [--guard=off|skip|rollback|reinit]
+//                    [--simd=on|off] [--csf-leaf=default|auto]
+//                    [--csf-churn=0.25]
 //
 // --guard wraps SOFIA in the StreamGuard fault-tolerance layer — real file
 // streams are exactly where NaN records and blackout slices show up (the
@@ -29,6 +31,8 @@
 #include "data/stream_io.hpp"
 #include "eval/experiment.hpp"
 #include "eval/stream_runner.hpp"
+#include "tensor/csf_tensor.hpp"
+#include "tensor/simd.hpp"
 #include "timeseries/period.hpp"
 #include "util/flags.hpp"
 
@@ -99,6 +103,13 @@ int main(int argc, char** argv) {
   // backend (tensor/csf_tensor.hpp) instead of the flat CooList.
   config.pattern_storage = ParsePatternStorage(
       flags.GetString("storage", PatternStorageName(config.pattern_storage)));
+  // Kernel-ISA and CSF-maintenance knobs (tensor/simd.hpp,
+  // tensor/csf_tensor.hpp): scalar-vs-vector instantiations, per-tree
+  // leaf-mode selection, and the BuildDelta patch-vs-rebuild threshold.
+  simd::SetEnabled(
+      flags.GetString("simd", simd::Enabled() ? "on" : "off") == "on");
+  csf::SetAutoLeaf(flags.GetString("csf-leaf", "default") == "auto");
+  csf::SetDeltaMaxChurn(flags.GetDouble("csf-churn", csf::DeltaMaxChurn()));
   std::unique_ptr<StreamingMethod> method =
       std::make_unique<SofiaStream>(config);
   const std::string guard_name = flags.GetString("guard", "off");

@@ -16,6 +16,8 @@
 //                        [--num_threads=0] [--use_sparse_kernels=true]
 //                        [--eval_cap=1024] [--force_dense=false]
 //                        [--storage=coo|csf]
+//                        [--simd=on|off] [--csf-leaf=default|auto]
+//                        [--csf-churn=0.25]
 //                        [--scenario=clean|bursty-outage|regime-change|
 //                                    structured-outliers|garbage-slices|
 //                                    combined-stress]
@@ -39,6 +41,8 @@
 #include "eval/step_result.hpp"
 #include "eval/stream_guard.hpp"
 #include "eval/stream_runner.hpp"
+#include "tensor/csf_tensor.hpp"
+#include "tensor/simd.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -91,6 +95,15 @@ int main(int argc, char** argv) {
   const bool use_sparse_kernels = flags.GetBool("use_sparse_kernels", true);
   const PatternStorage storage =
       ParsePatternStorage(flags.GetString("storage", "coo"));
+  // Kernel-ISA and CSF-maintenance knobs (tensor/simd.hpp,
+  // tensor/csf_tensor.hpp): --simd=off forces the scalar kernel
+  // instantiations; --csf-leaf=auto picks each fiber tree's leaf mode by
+  // fewest distinct fibers; --csf-churn bounds the pattern-churn fraction
+  // BuildDelta patches incrementally instead of recompiling.
+  simd::SetEnabled(
+      flags.GetString("simd", simd::Enabled() ? "on" : "off") == "on");
+  csf::SetAutoLeaf(flags.GetString("csf-leaf", "default") == "auto");
+  csf::SetDeltaMaxChurn(flags.GetDouble("csf-churn", csf::DeltaMaxChurn()));
 
   SofiaConfig config = MakeExperimentConfig(taxi, stream);
   config.num_threads = num_threads;

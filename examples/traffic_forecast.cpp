@@ -9,7 +9,8 @@
 //
 // Usage: traffic_forecast [--missing=30] [--seed=3]
 //                         [--num_threads=0] [--use_sparse_kernels=true]
-//                         [--storage=coo|csf]
+//                         [--storage=coo|csf] [--simd=on|off]
+//                         [--csf-leaf=default|auto] [--csf-churn=0.25]
 
 #include <cstdio>
 
@@ -20,6 +21,8 @@
 #include "data/dataset_sim.hpp"
 #include "eval/experiment.hpp"
 #include "eval/metrics.hpp"
+#include "tensor/csf_tensor.hpp"
+#include "tensor/simd.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -47,6 +50,13 @@ int main(int argc, char** argv) {
   const bool use_sparse_kernels = flags.GetBool("use_sparse_kernels", true);
   const PatternStorage storage =
       ParsePatternStorage(flags.GetString("storage", "coo"));
+  // Kernel-ISA and CSF-maintenance knobs (tensor/simd.hpp,
+  // tensor/csf_tensor.hpp): scalar-vs-vector instantiations, per-tree
+  // leaf-mode selection, and the BuildDelta patch-vs-rebuild threshold.
+  simd::SetEnabled(
+      flags.GetString("simd", simd::Enabled() ? "on" : "off") == "on");
+  csf::SetAutoLeaf(flags.GetString("csf-leaf", "default") == "auto");
+  csf::SetDeltaMaxChurn(flags.GetDouble("csf-churn", csf::DeltaMaxChurn()));
 
   // Train SOFIA on the corrupted prefix.
   SofiaConfig config = MakeExperimentConfig(traffic, sofia_stream);

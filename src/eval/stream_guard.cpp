@@ -13,6 +13,39 @@ namespace sofia {
 
 namespace {
 
+/// streambuf that appends straight into a caller-owned string. Checkpoint
+/// slots pass their ring string here so a save serializes in place and
+/// reuses the slot's capacity — the previous ostringstream + `out.str()`
+/// deep copy allocated twice per accepted step and dominated guarded wall
+/// time for O(state)-heavy methods.
+class StringSink : public std::streambuf {
+ public:
+  explicit StringSink(std::string* out) : out_(out) {}
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      out_->push_back(traits_type::to_char_type(ch));
+    }
+    return traits_type::not_eof(ch);
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    out_->append(s, static_cast<size_t>(n));
+    return n;
+  }
+
+ private:
+  std::string* out_;
+};
+
+/// Serializes `method` state into `slot`, reusing its capacity.
+void SerializeInto(const StreamingMethod& method, std::string* slot) {
+  slot->clear();
+  StringSink sink(slot);
+  std::ostream out(&sink);
+  method.SaveState(out);
+}
+
 double WindowMean(const std::deque<double>& window) {
   if (window.empty()) return 0.0;
   double sum = 0.0;
@@ -61,16 +94,15 @@ bool StreamGuard::CanCheckpoint() const {
 }
 
 void StreamGuard::SaveCheckpoint() {
-  std::ostringstream out;
-  inner_->SaveState(out);
-  ring_[telemetry_.checkpoints_saved % ring_.size()] = out.str();
+  SerializeInto(*inner_, &ring_[telemetry_.checkpoints_saved % ring_.size()]);
   ++telemetry_.checkpoints_saved;
+  // A fresh health-accepted checkpoint is the new best rollback target:
+  // restart any in-episode walk-back from it.
+  episode_rollback_depth_ = 0;
 }
 
 void StreamGuard::CaptureReinitSnapshot() {
-  std::ostringstream out;
-  inner_->SaveState(out);
-  reinit_snapshot_ = out.str();
+  SerializeInto(*inner_, &reinit_snapshot_);
 }
 
 std::vector<DenseTensor> StreamGuard::Initialize(
@@ -120,16 +152,28 @@ bool StreamGuard::DegradeState() {
     case GuardPolicy::kSkipSlice:
       ++telemetry_.skips;
       return false;
-    case GuardPolicy::kRollback:
-      if (CanCheckpoint() && telemetry_.checkpoints_saved > 0) {
-        const size_t newest =
-            (telemetry_.checkpoints_saved - 1) % ring_.size();
-        std::istringstream in(ring_[newest]);
+    case GuardPolicy::kRollback: {
+      // Walk back through the ring across consecutive trips of one fault
+      // episode: the first trip restores the newest slot, a renewed trip
+      // (the restored checkpoint was itself poisoned, so the next step
+      // tripped again) the one before it, and so on until the ring's
+      // history is exhausted — then fall through to the reinit snapshot.
+      const size_t available =
+          std::min(telemetry_.checkpoints_saved, ring_.size());
+      if (CanCheckpoint() && episode_rollback_depth_ < available) {
+        const size_t slot =
+            (telemetry_.checkpoints_saved - 1 - episode_rollback_depth_) %
+            ring_.size();
+        ++episode_rollback_depth_;
+        std::istringstream in(ring_[slot]);
         inner_->RestoreState(in);
         ++telemetry_.rollbacks;
+        // The restored state predates the steps accepted since that save.
+        steps_since_checkpoint_ = 0;
         return true;  // The restored clock lags the stream by one slice.
       }
-      break;  // No checkpoint yet: fall through to the reinit snapshot.
+      break;  // History exhausted: fall through to the reinit snapshot.
+    }
     case GuardPolicy::kReinit:
       break;
   }
@@ -193,6 +237,7 @@ void StreamGuard::AcceptStep(double probe_nre, double norm) {
       ++telemetry_.recoveries;
       telemetry_.steps_to_recover.push_back(steps_since_fault_);
       steps_since_fault_ = 0;
+      episode_rollback_depth_ = 0;  // The episode's walk-back is over.
     }
   }
 }

@@ -86,9 +86,15 @@ struct StreamGuardOptions {
 
   // Checkpointing (kRollback / kReinit; ignored when the inner method
   // does not support state checkpoints).
-  /// Save a ring checkpoint every k-th accepted step.
-  size_t checkpoint_every = 1;
-  /// Ring-buffer slots (oldest overwritten; rollback restores the newest).
+  /// Save a ring checkpoint every k-th accepted step. A rollback then loses
+  /// at most `checkpoint_every - 1` accepted steps; the default trades that
+  /// bounded loss for 1/4 the O(state) serialization traffic (per-step
+  /// checkpointing dominated guarded wall time for history-refit methods).
+  size_t checkpoint_every = 4;
+  /// Ring-buffer slots (oldest overwritten). The first rollback of a fault
+  /// episode restores the newest slot; repeated trips within the episode
+  /// walk back to strictly older slots before falling to the reinit
+  /// snapshot, so a poisoned checkpoint is never restored twice in a row.
   size_t checkpoint_slots = 4;
 
   /// A fault episode ends when the NRE probe returns under this factor x
@@ -198,6 +204,9 @@ class StreamGuard : public StreamingMethod {
   size_t accepted_steps_ = 0;
 
   // Checkpoint ring (serialized inner states) + the kReinit snapshot.
+  // Slot strings are reused across saves (clear keeps capacity), so
+  // steady-state checkpointing is a serialize-in-place, not an allocate +
+  // deep-copy per step.
   std::vector<std::string> ring_;
   std::string reinit_snapshot_;
   size_t steps_since_checkpoint_ = 0;
@@ -206,6 +215,10 @@ class StreamGuard : public StreamingMethod {
   bool in_fault_ = false;
   size_t steps_since_fault_ = 0;  ///< Slices since the episode's last trip.
   double frozen_baseline_ = 0.0;  ///< Pre-fault NRE baseline of the episode.
+  /// Ring slots already consumed by rollbacks of the current episode: the
+  /// next rollback restores `checkpoints_saved - 1 - depth`. Reset when a
+  /// fresh (health-accepted) checkpoint lands or the episode closes.
+  size_t episode_rollback_depth_ = 0;
 
   std::vector<double> probe_scratch_;  ///< Probe y-values (reused).
   std::vector<size_t> probe_linear_;   ///< Probe linear indices (reused).

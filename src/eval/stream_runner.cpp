@@ -201,9 +201,13 @@ std::vector<MethodRunResult> RunImputationComparison(
   for (size_t t = 0; t < total; ++t) {
     const Mask& omega = stream.masks[t];
     if (!pattern_mask.valid() || !pattern_mask.Matches(omega)) {
+      std::shared_ptr<const CooList> previous = std::move(pattern);
       pattern = MakeSharedPattern(omega);
       if (options.pattern_storage == PatternStorage::kCsf) {
-        EnsureCsf(*pattern);  // Attach once; every method adopts it.
+        // Attach once (every method adopts it), patching the previous
+        // pattern's trees forward on low-churn mask changes instead of
+        // recompiling from scratch.
+        EnsureCsfDelta(*pattern, previous);
       }
       eval_pattern = BuildEvalPattern(*pattern, options.max_eval_entries);
       SparseMask next = SparseMask::FromCoo(*pattern);

@@ -4,6 +4,7 @@
 
 #include "linalg/solve.hpp"
 #include "tensor/kernel_dispatch.hpp"
+#include "tensor/simd.hpp"
 #include "util/check.hpp"
 
 namespace sofia {
@@ -38,7 +39,7 @@ struct LevelBuffer {
     dynamic.resize(doubles);
     return dynamic.data();
   }
-  double fixed[5 * 16];  // Up to order-4 trees at rank 16.
+  alignas(64) double fixed[5 * 16];  // Up to order-4 trees at rank 16.
   std::vector<double> dynamic;
 };
 
@@ -85,16 +86,16 @@ inline void MttkrpSubtreeFixed(const LevelView* lv, const double* values,
   if constexpr (kLevel + 1 == kOrder) {
     const double val = values[record[v]];
     if (val == 0.0) return;
-    for (size_t r = 0; r < R; ++r) acc[r] += val * row[r];
+    simd::MulAddIn(acc, val, row, R);
   } else {
     double* child = levels + (kLevel + 1) * R;
-    for (size_t r = 0; r < R; ++r) child[r] = 0.0;
+    simd::Fill(child, R, 0.0);
     const size_t end = L.ptr[v + 1];
     for (size_t w = L.ptr[v]; w < end; ++w) {
       MttkrpSubtreeFixed<kR, kLevel + 1, kOrder>(lv, values, record, w, rank,
                                                  levels, child);
     }
-    for (size_t r = 0; r < R; ++r) acc[r] += row[r] * child[r];
+    simd::MulArrAddIn(acc, row, child, R);
   }
 }
 
@@ -109,16 +110,16 @@ void MttkrpSubtreeDyn(const LevelView* lv, const double* values,
   if (l + 1 == order) {
     const double val = values[record[v]];
     if (val == 0.0) return;
-    for (size_t r = 0; r < R; ++r) acc[r] += val * row[r];
+    simd::MulAddIn(acc, val, row, R);
     return;
   }
   double* child = levels + (l + 1) * R;
-  for (size_t r = 0; r < R; ++r) child[r] = 0.0;
+  simd::Fill(child, R, 0.0);
   for (size_t w = L.ptr[v]; w < L.ptr[v + 1]; ++w) {
     MttkrpSubtreeDyn<kR>(lv, values, record, l + 1, w, order, rank, levels,
                          child);
   }
-  for (size_t r = 0; r < R; ++r) acc[r] += row[r] * child[r];
+  simd::MulArrAddIn(acc, row, child, R);
 }
 
 /// MTTKRP accumulation of one root node into its output row (the root
@@ -183,7 +184,7 @@ inline void PrefixDownFixed(const LevelView* lv, size_t v, size_t rank,
     leaf_fn(v, prefix, row);
   } else {
     double* next = levels + (kLevel + 1) * R;
-    for (size_t r = 0; r < R; ++r) next[r] = prefix[r] * row[r];
+    simd::MulTo(next, prefix, row, R);
     const size_t end = L.ptr[v + 1];
     for (size_t w = L.ptr[v]; w < end; ++w) {
       PrefixDownFixed<kR, kLevel + 1, kOrder>(lv, w, rank, next, levels,
@@ -204,7 +205,7 @@ void PrefixDownDyn(const LevelView* lv, size_t l, size_t v, size_t order,
     return;
   }
   double* next = levels + (l + 1) * R;
-  for (size_t r = 0; r < R; ++r) next[r] = prefix[r] * row[r];
+  simd::MulTo(next, prefix, row, R);
   for (size_t w = L.ptr[v]; w < L.ptr[v + 1]; ++w) {
     PrefixDownDyn<kR>(lv, l + 1, w, order, rank, next, levels, leaf_fn);
   }
@@ -278,13 +279,14 @@ void CsfMttkrpImpl(const CsfTensor& csf, const std::vector<double>& values,
   const std::vector<LevelView> lv = MakeLevelViews(t, views.data());
   const uint32_t* record = t.record.data();
   // One task per root node: each owns exactly its output row.
-  RunTasks(pool, num_threads, t.num_roots(), [&](size_t a) {
+  auto task = [&](size_t a) {
     const size_t R = kR == 0 ? rank : kR;
     LevelBuffer buf;
     double* levels = buf.get((order + 1) * R);
     MttkrpRoot<kR>(lv.data(), values.data(), record, a, order, rank, levels,
                    out->Row(t.ids[0][a]));
-  });
+  };
+  RunTasks(pool, num_threads, t.num_roots(), simd::Select(task));
 }
 
 /// h = prefix ⊛ row, or h = prefix for the null-row degenerate — computed
@@ -294,9 +296,9 @@ inline void LeafProduct(const double* prefix, const double* row, size_t rank,
                         double* h) {
   const size_t R = kR == 0 ? rank : kR;
   if (row != nullptr) {
-    for (size_t r = 0; r < R; ++r) h[r] = prefix[r] * row[r];
+    simd::MulTo(h, prefix, row, R);
   } else {
-    for (size_t r = 0; r < R; ++r) h[r] = prefix[r];
+    simd::Copy(h, prefix, R);
   }
 }
 
@@ -307,11 +309,11 @@ template <size_t kR>
 inline void RowSystemLeaf(double ystar, const double* h, size_t rank,
                           double* bdata, double* c) {
   const size_t R = kR == 0 ? rank : kR;
+  // c and each triangle row of B are independent accumulators: hoisting
+  // the c update out of the row loop changes no sum's order.
+  simd::MulAddIn(c, ystar, h, R);
   for (size_t r = 0; r < R; ++r) {
-    const double hr = h[r];
-    c[r] += ystar * hr;
-    double* brow = bdata + r * R;
-    for (size_t q = r; q < R; ++q) brow[q] += hr * h[q];
+    simd::MulAddIn(bdata + r * R + r, h[r], h + r, R - r);
   }
 }
 
@@ -332,14 +334,18 @@ void CsfRowSystemsImpl(const CsfTensor& csf, const std::vector<double>& values,
   const size_t order = csf.order();
   const std::vector<LevelView> lv = MakeLevelViews(t, views.data());
   const uint32_t* record = t.record.data();
-  RunTasks(pool, num_threads, t.num_roots(), [&](size_t a) {
+  auto task = [&](size_t a) {
     const size_t R = kR == 0 ? rank : kR;
     LevelBuffer buf;
     RankBuffer<kR> hbuf;
     double* levels = buf.get((order + 1) * R);
-    double* h = hbuf.get(R);
+    double* SOFIA_RESTRICT h = hbuf.get(R);
     double* base = levels;
-    for (size_t r = 0; r < R; ++r) base[r] = weights ? weights[r] : 1.0;
+    if (weights != nullptr) {
+      simd::Copy(base, weights, R);
+    } else {
+      simd::Fill(base, R, 1.0);
+    }
     const size_t row = t.ids[0][a];
     double* bdata = sys->b[row].data();
     double* c = sys->c[row].data();
@@ -350,7 +356,8 @@ void CsfRowSystemsImpl(const CsfTensor& csf, const std::vector<double>& values,
           RowSystemLeaf<kR>(values[record[leaf]], h, rank, bdata, c);
         });
     MirrorUpper<kR>(rank, bdata);
-  });
+  };
+  RunTasks(pool, num_threads, t.num_roots(), simd::Select(task));
 }
 
 template <size_t kR>
@@ -369,7 +376,7 @@ void CsfProximalRowUpdatesImpl(const CsfTensor& csf,
   // One task per output row (not per root node): rows without observations
   // still run the empty-system short-circuit of ProximalRowSolve, exactly
   // like the Coo kernel's one-task-per-slice partition.
-  RunTasks(pool, num_threads, u->rows(), [&](size_t row) {
+  auto task = [&](size_t row) {
     const size_t R = kR == 0 ? rank : kR;
     LevelBuffer buf;
     double* levels = buf.get((order + 1) * R);
@@ -385,7 +392,11 @@ void CsfProximalRowUpdatesImpl(const CsfTensor& csf,
     if (it != roots.end() && *it == row) {
       const size_t a = static_cast<size_t>(it - roots.begin());
       double* base = levels;
-      for (size_t r = 0; r < R; ++r) base[r] = weights ? weights[r] : 1.0;
+      if (weights != nullptr) {
+        simd::Copy(base, weights, R);
+      } else {
+        simd::Fill(base, R, 1.0);
+      }
       RootExcludedWalk<kR>(
           lv.data(), a, order, rank, base, levels,
           [&](size_t leaf, const double* prefix, const double* frow) {
@@ -396,7 +407,8 @@ void CsfProximalRowUpdatesImpl(const CsfTensor& csf,
     }
     ProximalRowSolve(b, c, previous.Row(row), mu, R, abuf.get(R),
                      rhsbuf.get(R), u->Row(row));
-  });
+  };
+  RunTasks(pool, num_threads, u->rows(), simd::Select(task));
 }
 
 template <size_t kR, bool kTrace>
@@ -410,14 +422,14 @@ void CsfModeGradientImpl(const CsfTensor& csf,
   const size_t order = csf.order();
   const std::vector<LevelView> lv = MakeLevelViews(t, views.data());
   const uint32_t* record = t.record.data();
-  RunTasks(pool, num_threads, t.num_roots(), [&](size_t a) {
+  auto task = [&](size_t a) {
     const size_t R = kR == 0 ? rank : kR;
     LevelBuffer buf;
     RankBuffer<kR> hbuf;
     double* levels = buf.get((order + 1) * R);
-    double* h = hbuf.get(R);
+    double* SOFIA_RESTRICT h = hbuf.get(R);
     double* base = levels;
-    for (size_t r = 0; r < R; ++r) base[r] = temporal_row[r];
+    simd::Copy(base, temporal_row, R);
     const size_t row = t.ids[0][a];
     double* grow = grad->Row(row);
     double tr = 0.0;
@@ -431,12 +443,11 @@ void CsfModeGradientImpl(const CsfTensor& csf,
           if constexpr (kTrace) {
             for (size_t r = 0; r < R; ++r) tr += h[r] * h[r];
           }
-          if (resid != 0.0) {
-            for (size_t r = 0; r < R; ++r) grow[r] += resid * h[r];
-          }
+          if (resid != 0.0) simd::MulAddIn(grow, resid, h, R);
         });
     if constexpr (kTrace) (*trace)[row] = tr;
-  });
+  };
+  RunTasks(pool, num_threads, t.num_roots(), simd::Select(task));
 }
 
 /// Slab-blocked full-product reduction over the mode-0 tree: each slab of
@@ -453,14 +464,14 @@ void RootSlabReduce(const CsfTensor& csf, const std::vector<FactorView>& views,
   const std::vector<LevelView> lv = MakeLevelViews(t, views.data());
   const uint32_t* record = t.record.data();
   const size_t num_slabs = (t.num_roots() + kRootSlab - 1) / kRootSlab;
-  RunTasks(pool, num_threads, num_slabs, [&](size_t slab) {
+  auto task = [&](size_t slab) {
     const size_t R = kR == 0 ? rank : kR;
     LevelBuffer buf;
     RankBuffer<kR> hbuf;
     double* levels = buf.get((order + 1) * R);
-    double* h = hbuf.get(R);
+    double* SOFIA_RESTRICT h = hbuf.get(R);
     double* base = levels;
-    for (size_t r = 0; r < R; ++r) base[r] = base_prefix[r];
+    simd::Copy(base, base_prefix, R);
     double* out = partials->data() + slab * partial_stride;
     const size_t begin = slab * kRootSlab;
     const size_t end = std::min(begin + kRootSlab, t.num_roots());
@@ -472,7 +483,8 @@ void RootSlabReduce(const CsfTensor& csf, const std::vector<FactorView>& views,
             leaf_fn(record[leaf], h, out);
           });
     }
-  });
+  };
+  RunTasks(pool, num_threads, num_slabs, simd::Select(task));
 }
 
 template <size_t kR>
@@ -487,12 +499,12 @@ void CsfKruskalGatherImpl(const CsfTensor& csf,
   const uint32_t* record = t.record.data();
   const size_t num_slabs = (t.num_roots() + kRootSlab - 1) / kRootSlab;
   // Slab tasks; every leaf owns its distinct out[record] slot.
-  RunTasks(pool, num_threads, num_slabs, [&](size_t slab) {
+  auto task = [&](size_t slab) {
     const size_t R = kR == 0 ? rank : kR;
     LevelBuffer buf;
     double* levels = buf.get((order + 1) * R);
     double* base = levels;
-    for (size_t r = 0; r < R; ++r) base[r] = temporal_row[r];
+    simd::Copy(base, temporal_row, R);
     const size_t begin = slab * kRootSlab;
     const size_t end = std::min(begin + kRootSlab, t.num_roots());
     double* outp = out->data();
@@ -505,7 +517,8 @@ void CsfKruskalGatherImpl(const CsfTensor& csf,
             outp[record[leaf]] = v;
           });
     }
-  });
+  };
+  RunTasks(pool, num_threads, num_slabs, simd::Select(task));
 }
 
 }  // namespace
@@ -617,12 +630,11 @@ NormalSystem CsfNormalSystem(const CsfTensor& csf,
         [&](uint32_t record, const double* h, double* out) {
           const size_t R = kR == 0 ? rank : kR;
           const double v = values[record];
-          double* c = out + R * R;
+          // c and each full row of B are independent accumulators:
+          // hoisting c out of the row loop changes no sum's order.
+          simd::MulAddIn(out + R * R, v, h, R);
           for (size_t r = 0; r < R; ++r) {
-            const double hr = h[r];
-            c[r] += v * hr;
-            double* brow = out + r * R;
-            for (size_t q = 0; q < R; ++q) brow[q] += hr * h[q];
+            simd::MulAddIn(out + r * R, h[r], h, R);
           }
         });
   });
@@ -742,9 +754,7 @@ StepGradients CsfStepGradients(const CsfTensor& csf,
           const double resid = residuals[record];
           // Independent accumulators: split loops, same sums, same order.
           for (size_t r = 0; r < R; ++r) out[R] += h[r] * h[r];
-          if (resid != 0.0) {
-            for (size_t r = 0; r < R; ++r) out[r] += resid * h[r];
-          }
+          if (resid != 0.0) simd::MulAddIn(out, resid, h, R);
         });
   });
   for (size_t slab = 0; slab < num_slabs; ++slab) {

@@ -1,39 +1,75 @@
 #include "tensor/csf_tensor.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+
 #include "util/check.hpp"
 
 namespace sofia {
 
+namespace csf {
+
+namespace {
+bool g_auto_leaf = false;
+double g_delta_max_churn = 0.25;
+std::atomic<size_t> g_full_builds{0};
+std::atomic<size_t> g_delta_builds{0};
+}  // namespace
+
+bool AutoLeaf() { return g_auto_leaf; }
+void SetAutoLeaf(bool enabled) { g_auto_leaf = enabled; }
+
+double DeltaMaxChurn() { return g_delta_max_churn; }
+void SetDeltaMaxChurn(double fraction) { g_delta_max_churn = fraction; }
+
+BuildStats GetBuildStats() {
+  return {g_full_builds.load(), g_delta_builds.load()};
+}
+void ResetBuildStats() {
+  g_full_builds.store(0);
+  g_delta_builds.store(0);
+}
+
+}  // namespace csf
+
 namespace {
 
-/// One linear pass over the mode-`mode` bucket permutation: the bucket sort
-/// is stable over ascending linear indices, and the linearization is
-/// column-major (mode 0 has stride 1), so within a bucket the records are
-/// sorted lexicographically by the remaining modes in *descending* mode
-/// index. Ordering the tree levels the same way makes the permutation
-/// exactly the depth-first leaf order of the tree — a new node opens at
-/// every level from the first coordinate that differs from the previous
-/// record's path, and every fiber's leaves are consecutive. (The leaf
-/// level is therefore the lowest-index non-root mode; streams whose
-/// stride-1 mode is long get the deepest fiber reuse.)
-CsfTree BuildTree(const CooList& coo, size_t mode) {
+/// The legacy level order of a tree rooted at `mode`: root first, then the
+/// remaining modes by descending index (the lexicographic significance
+/// order of the column-major linearization).
+std::vector<size_t> DefaultLevels(size_t order, size_t mode) {
+  std::vector<size_t> levels;
+  levels.reserve(order);
+  levels.push_back(mode);
+  for (size_t n = order; n-- > 0;) {
+    if (n != mode) levels.push_back(n);
+  }
+  return levels;
+}
+
+/// One linear pass over a depth-first leaf permutation (see the CsfTree
+/// doc): a new node opens at every level from the first coordinate that
+/// differs from the previous record's path, and every fiber's leaves are
+/// consecutive. `perm` must be sorted lexicographically by the level-order
+/// coordinates — the mode bucket already is for the default order; custom
+/// orders pass a re-sorted permutation.
+CsfTree BuildTreeFrom(const CooList& coo, std::vector<size_t> level_mode,
+                      const uint32_t* perm, size_t nnz) {
   const size_t order = coo.order();
   CsfTree tree;
-  tree.root_mode = mode;
-  tree.level_mode.reserve(order);
-  tree.level_mode.push_back(mode);
-  for (size_t n = order; n-- > 0;) {
-    if (n != mode) tree.level_mode.push_back(n);
-  }
+  tree.root_mode = level_mode[0];
+  tree.level_mode = std::move(level_mode);
 
   tree.ids.resize(order);
   tree.ptr.resize(order >= 1 ? order - 1 : 0);
-  const std::vector<uint32_t>& perm = coo.ModeOrder(mode);
-  tree.ids[order - 1].reserve(perm.size());
-  tree.record.reserve(perm.size());
+  tree.ids[order - 1].reserve(nnz);
+  tree.record.reserve(nnz);
 
   std::vector<uint32_t> open(order, 0);  // Coordinates of the open path.
-  for (size_t p = 0; p < perm.size(); ++p) {
+  for (size_t p = 0; p < nnz; ++p) {
     const uint32_t* c = coo.Coords(perm[p]);
     // First level whose coordinate leaves the open path (0 on the first
     // record: everything opens). Distinct records always differ somewhere,
@@ -61,20 +97,290 @@ CsfTree BuildTree(const CooList& coo, size_t mode) {
   return tree;
 }
 
+/// D(¬l) per mode l: the number of distinct projections of Ω onto the
+/// modes excluding l — exactly the number of length-l fibers, i.e. the
+/// leaf-parent count a tree pays when mode l is its leaf level,
+/// independent of how the internal levels are ordered.
+std::vector<size_t> DistinctFibersPerLeafMode(const CooList& coo) {
+  const size_t order = coo.order();
+  const Shape& shape = coo.shape();
+  std::vector<size_t> distinct(order, 0);
+  std::vector<size_t> keys(coo.nnz());
+  for (size_t l = 0; l < order; ++l) {
+    for (size_t k = 0; k < coo.nnz(); ++k) {
+      const uint32_t* c = coo.Coords(k);
+      size_t key = 0;
+      size_t stride = 1;
+      for (size_t n = 0; n < order; ++n) {
+        if (n == l) continue;
+        key += static_cast<size_t>(c[n]) * stride;
+        stride *= shape.dim(n);
+      }
+      keys[k] = key;
+    }
+    std::sort(keys.begin(), keys.end());
+    size_t count = 0;
+    for (size_t k = 0; k < keys.size(); ++k) {
+      if (k == 0 || keys[k] != keys[k - 1]) ++count;
+    }
+    distinct[l] = count;
+  }
+  return distinct;
+}
+
+/// Stable LSD counting sort of all records by the tree's level coordinates
+/// (most significant = level 0). O(N(|Ω| + max I_n)), deterministic.
+std::vector<uint32_t> LexPermutation(const CooList& coo,
+                                     const std::vector<size_t>& level_mode) {
+  const size_t order = coo.order();
+  std::vector<uint32_t> perm(coo.nnz());
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::vector<uint32_t> next(perm.size());
+  std::vector<size_t> count;
+  for (size_t l = order; l-- > 0;) {
+    const size_t mode = level_mode[l];
+    const size_t dim = coo.shape().dim(mode);
+    count.assign(dim + 1, 0);
+    for (uint32_t k : perm) ++count[coo.Coords(k)[mode] + 1];
+    for (size_t d = 0; d < dim; ++d) count[d + 1] += count[d];
+    for (uint32_t k : perm) next[count[coo.Coords(k)[mode]]++] = k;
+    perm.swap(next);
+  }
+  return perm;
+}
+
+CsfTree BuildTree(const CooList& coo, size_t mode, bool auto_leaf,
+                  const std::vector<size_t>& distinct_fibers) {
+  const size_t order = coo.order();
+  std::vector<size_t> levels = DefaultLevels(order, mode);
+  if (auto_leaf && order >= 3) {
+    // Leaf = the non-root mode with the fewest distinct parent fibers
+    // (ties to the smallest mode index). The legacy order's leaf is the
+    // smallest non-root mode; when the argmin lands there the custom sort
+    // is skipped and the tree is byte-identical to the legacy build.
+    size_t leaf = mode == 0 ? 1 : 0;
+    for (size_t l = 0; l < order; ++l) {
+      if (l != mode && distinct_fibers[l] < distinct_fibers[leaf]) leaf = l;
+    }
+    if (leaf != levels.back()) {
+      std::vector<size_t> custom;
+      custom.reserve(order);
+      custom.push_back(mode);
+      for (size_t n = order; n-- > 0;) {
+        if (n != mode && n != leaf) custom.push_back(n);
+      }
+      custom.push_back(leaf);
+      const std::vector<uint32_t> perm = LexPermutation(coo, custom);
+      return BuildTreeFrom(coo, std::move(custom), perm.data(), perm.size());
+    }
+  }
+  const std::vector<uint32_t>& perm = coo.ModeOrder(mode);
+  return BuildTreeFrom(coo, std::move(levels), perm.data(), perm.size());
+}
+
+constexpr uint32_t kRemoved = std::numeric_limits<uint32_t>::max();
+
+/// Patch one tree onto the new pattern: new-pattern roots in ascending
+/// order; unchanged roots span-copied from the old tree (records remapped
+/// via `old_to_new`), changed roots recompiled from the new bucket
+/// segment (re-sorted when the tree's level order is not the default).
+CsfTree PatchTree(const CsfTree& old_t, const CooList& coo,
+                  const std::vector<uint32_t>& old_to_new,
+                  const std::vector<char>& root_changed) {
+  const size_t order = coo.order();
+  const size_t mode = old_t.root_mode;
+  const bool custom_order =
+      old_t.level_mode != DefaultLevels(order, mode);
+
+  CsfTree t;
+  t.root_mode = mode;
+  t.level_mode = old_t.level_mode;
+  t.ids.resize(order);
+  t.ptr.resize(order >= 1 ? order - 1 : 0);
+  const std::vector<uint32_t>& perm = coo.ModeOrder(mode);
+  const std::vector<size_t>& sptr = coo.SlicePtr(mode);
+  t.ids[order - 1].reserve(perm.size());
+  t.record.reserve(perm.size());
+
+  std::vector<uint32_t> seg;  // Re-sort scratch for custom-order rebuilds.
+  std::vector<uint32_t> open(order, 0);
+  std::vector<size_t> lo(order), hi(order);
+  size_t a = 0;  // Old-root cursor; both root walks ascend.
+  const size_t old_roots = old_t.num_roots();
+  for (size_t s = 0; s + 1 < sptr.size(); ++s) {
+    if (sptr[s] == sptr[s + 1]) continue;  // Slice empty: no root.
+    if (!root_changed[s]) {
+      // Unchanged root: it must exist in the old tree with an identical
+      // subtree. Locate it, then copy whole per-level node spans.
+      while (a < old_roots && old_t.ids[0][a] < s) ++a;
+      SOFIA_CHECK(a < old_roots && old_t.ids[0][a] == s);
+      lo[0] = a;
+      hi[0] = a + 1;
+      for (size_t l = 0; l + 1 < order; ++l) {
+        lo[l + 1] = old_t.ptr[l][lo[l]];
+        hi[l + 1] = old_t.ptr[l][hi[l]];
+      }
+      for (size_t l = 0; l < order; ++l) {
+        if (l + 1 < order) {
+          // Rebase child offsets onto the new level-(l+1) span start
+          // (t.ids[l+1] has not been appended for this root yet).
+          const size_t base = t.ids[l + 1].size();
+          for (size_t v = lo[l]; v < hi[l]; ++v) {
+            t.ptr[l].push_back(old_t.ptr[l][v] - lo[l + 1] + base);
+          }
+        }
+        t.ids[l].insert(t.ids[l].end(), old_t.ids[l].begin() + lo[l],
+                        old_t.ids[l].begin() + hi[l]);
+      }
+      for (size_t v = lo[order - 1]; v < hi[order - 1]; ++v) {
+        t.record.push_back(old_to_new[old_t.record[v]]);
+      }
+      continue;
+    }
+    // Changed (or new) root: recompile from the new bucket segment, which
+    // is already in depth-first leaf order for default-order trees.
+    const uint32_t* recs = perm.data() + sptr[s];
+    const size_t nseg = sptr[s + 1] - sptr[s];
+    if (custom_order) {
+      seg.assign(recs, recs + nseg);
+      std::sort(seg.begin(), seg.end(), [&](uint32_t x, uint32_t y) {
+        const uint32_t* cx = coo.Coords(x);
+        const uint32_t* cy = coo.Coords(y);
+        for (size_t l = 1; l < order; ++l) {
+          const size_t n = t.level_mode[l];
+          if (cx[n] != cy[n]) return cx[n] < cy[n];
+        }
+        return false;
+      });
+      recs = seg.data();
+    }
+    for (size_t p = 0; p < nseg; ++p) {
+      const uint32_t* c = coo.Coords(recs[p]);
+      size_t split = 0;  // First record of the root opens every level.
+      if (p > 0) {
+        while (split + 1 < order && c[t.level_mode[split]] == open[split]) {
+          ++split;
+        }
+      }
+      for (size_t l = split; l < order; ++l) {
+        const uint32_t id = c[t.level_mode[l]];
+        if (l + 1 < order) t.ptr[l].push_back(t.ids[l + 1].size());
+        t.ids[l].push_back(id);
+        open[l] = id;
+      }
+      t.record.push_back(recs[p]);
+    }
+  }
+  for (size_t l = 0; l + 1 < order; ++l) {
+    t.ptr[l].push_back(t.ids[l + 1].size());
+  }
+  return t;
+}
+
+bool SortedStrict(const std::vector<size_t>& v) {
+  for (size_t k = 1; k < v.size(); ++k) {
+    if (v[k - 1] >= v[k]) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 CsfTensor CsfTensor::Build(const CooList& coo) {
+  return Build(coo, csf::AutoLeaf());
+}
+
+CsfTensor CsfTensor::Build(const CooList& coo, bool auto_leaf) {
   SOFIA_CHECK_GT(coo.order(), 0u);
   CsfTensor csf;
   csf.shape_ = coo.shape();
   csf.nnz_ = coo.nnz();
   csf.trees_.reserve(coo.order());
+  std::vector<size_t> distinct_fibers;
+  if (auto_leaf && coo.order() >= 3) {
+    distinct_fibers = DistinctFibersPerLeafMode(coo);
+  }
   for (size_t mode = 0; mode < coo.order(); ++mode) {
     SOFIA_CHECK(coo.has_mode_bucket(mode))
         << "CsfTensor::Build needs full mode buckets";
-    csf.trees_.push_back(BuildTree(coo, mode));
+    csf.trees_.push_back(BuildTree(coo, mode, auto_leaf, distinct_fibers));
   }
+  ++csf::g_full_builds;
   return csf;
+}
+
+bool CsfTensor::BuildDelta(const CsfTensor& previous,
+                           const CooList& previous_coo, const CooList& coo,
+                           double max_churn_fraction, CsfTensor* out) {
+  const size_t order = coo.order();
+  if (order == 0 || previous.order() != order) return false;
+  if (!(previous_coo.shape() == coo.shape())) return false;
+  if (previous.nnz() != previous_coo.nnz()) return false;
+  for (size_t n = 0; n < order; ++n) {
+    if (!coo.has_mode_bucket(n)) return false;
+  }
+  const std::vector<size_t>& oldlin = previous_coo.LinearIndices();
+  const std::vector<size_t>& newlin = coo.LinearIndices();
+  // Every CooList factory emits strictly ascending records; the merge walk
+  // and the span-copy identity both rely on it, so verify cheaply.
+  if (!SortedStrict(oldlin) || !SortedStrict(newlin)) return false;
+
+  // Merge walk: remap kept records, collect adds/removes per root mode.
+  std::vector<uint32_t> old_to_new(oldlin.size(), kRemoved);
+  std::vector<uint32_t> added;
+  size_t removed = 0;
+  {
+    size_t i = 0, j = 0;
+    while (i < oldlin.size() || j < newlin.size()) {
+      if (j == newlin.size() ||
+          (i < oldlin.size() && oldlin[i] < newlin[j])) {
+        ++removed;
+        ++i;
+      } else if (i == oldlin.size() || newlin[j] < oldlin[i]) {
+        added.push_back(static_cast<uint32_t>(j));
+        ++j;
+      } else {
+        old_to_new[i] = static_cast<uint32_t>(j);
+        ++i;
+        ++j;
+      }
+    }
+  }
+  const size_t churn = removed + added.size();
+  const size_t denom = std::max<size_t>(
+      1, std::max(oldlin.size(), newlin.size()));
+  if (static_cast<double>(churn) >
+      max_churn_fraction * static_cast<double>(denom)) {
+    return false;
+  }
+
+  // Per-mode changed-root flags: a root is touched iff any added or
+  // removed record lands in its slice.
+  std::vector<std::vector<char>> root_changed(order);
+  for (size_t n = 0; n < order; ++n) {
+    root_changed[n].assign(coo.shape().dim(n), 0);
+  }
+  for (size_t i = 0; i < old_to_new.size(); ++i) {
+    if (old_to_new[i] != kRemoved) continue;
+    const uint32_t* c = previous_coo.Coords(i);
+    for (size_t n = 0; n < order; ++n) root_changed[n][c[n]] = 1;
+  }
+  for (uint32_t j : added) {
+    const uint32_t* c = coo.Coords(j);
+    for (size_t n = 0; n < order; ++n) root_changed[n][c[n]] = 1;
+  }
+
+  CsfTensor next;
+  next.shape_ = coo.shape();
+  next.nnz_ = coo.nnz();
+  next.trees_.reserve(order);
+  for (size_t mode = 0; mode < order; ++mode) {
+    next.trees_.push_back(
+        PatchTree(previous.tree(mode), coo, old_to_new, root_changed[mode]));
+  }
+  *out = std::move(next);
+  ++csf::g_delta_builds;
+  return true;
 }
 
 const CsfTensor& EnsureCsf(const CooList& coo) { return *EnsureCsfShared(coo); }
@@ -84,6 +390,21 @@ std::shared_ptr<const CsfTensor> EnsureCsfShared(const CooList& coo) {
     coo.AttachCsf(std::make_shared<const CsfTensor>(CsfTensor::Build(coo)));
   }
   return coo.csf();
+}
+
+std::shared_ptr<const CsfTensor> EnsureCsfDelta(
+    const CooList& coo, const std::shared_ptr<const CooList>& previous) {
+  if (coo.csf() != nullptr) return coo.csf();
+  if (previous != nullptr && previous->csf() != nullptr) {
+    CsfTensor patched;
+    if (CsfTensor::BuildDelta(*previous->csf(), *previous, coo,
+                              csf::DeltaMaxChurn(), &patched)) {
+      coo.AttachCsf(
+          std::make_shared<const CsfTensor>(std::move(patched)));
+      return coo.csf();
+    }
+  }
+  return EnsureCsfShared(coo);
 }
 
 const CsfTensor* BindCsf(const std::shared_ptr<const CooList>& coo,
@@ -107,7 +428,16 @@ const CsfTensor* BindCsf(const std::shared_ptr<const CooList>& coo,
     return nullptr;
   }
   if (*cache == nullptr || *cache_source != coo) {
-    *cache = std::make_shared<const CsfTensor>(CsfTensor::Build(*coo));
+    // Pattern changed under a live cache: patch the cached trees forward
+    // when the churn allows, else recompile.
+    CsfTensor patched;
+    if (*cache != nullptr && *cache_source != nullptr &&
+        CsfTensor::BuildDelta(**cache, **cache_source, *coo,
+                              csf::DeltaMaxChurn(), &patched)) {
+      *cache = std::make_shared<const CsfTensor>(std::move(patched));
+    } else {
+      *cache = std::make_shared<const CsfTensor>(CsfTensor::Build(*coo));
+    }
     *cache_source = coo;
   }
   return cache->get();

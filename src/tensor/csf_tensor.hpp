@@ -29,15 +29,37 @@
 /// the CooList's existing mode buckets), reuse across steps and sweeps. The
 /// per-root-slab task partition of the kernels makes the trees the natural
 /// unit for multi-worker sharding (see ROADMAP).
+///
+/// Two build-time levers on top of the PR 5 layout:
+///  * *Incremental updates* (CsfTensor::BuildDelta): real streams mutate a
+///    small fraction of Ω per mask change (PR 5's delta telemetry), so the
+///    trees of the previous pattern are patched — root subtrees containing
+///    no added/removed record are span-copied with records remapped, only
+///    touched roots are recompiled — instead of rebuilt from scratch.
+///    Falls back to a full build past a churn-fraction threshold
+///    (csf::DeltaMaxChurn). A patched tensor is structurally identical to
+///    a fresh build of the new pattern, so downstream results are bitwise
+///    unchanged.
+///  * *Per-tree leaf-mode selection* (csf::SetAutoLeaf): by default every
+///    tree orders its non-root levels by descending mode index (the
+///    linearization significance order — builds are then one pass over the
+///    existing mode bucket). With auto-leaf on, each tree instead puts the
+///    mode with the fewest distinct parent fibers deepest, maximizing
+///    leaves per fiber and hence prefix reuse; such trees are built from a
+///    custom stable LSD counting-sort permutation. Kernels are level-order
+///    agnostic (they read `level_mode`), so this reorders products only
+///    within each record's Hadamard chain (≤1e-12 vs the default order).
 
 namespace sofia {
 
 /// One fiber tree, rooted at `root_mode`. Levels map to tensor modes via
-/// `level_mode`: root mode first, then the remaining modes by descending
-/// mode index — the lexicographic significance order of the column-major
-/// linearization, so the CooList's mode-bucket permutation is already the
-/// depth-first leaf order and building is one linear pass. For a tree of
-/// `order` levels:
+/// `level_mode`: root mode first, then (by default) the remaining modes by
+/// descending mode index — the lexicographic significance order of the
+/// column-major linearization, so the CooList's mode-bucket permutation is
+/// already the depth-first leaf order and building is one linear pass.
+/// Auto-leaf builds may end the list with a different leaf mode (see file
+/// comment); consumers must index factors via `level_mode`, never assume
+/// the default order. For a tree of `order` levels:
 ///  - `ids[l]` holds the coordinate (in mode level_mode[l]) of every node
 ///    at level l, in traversal order;
 ///  - `ptr[l]` (levels 0 .. order-2) holds ids[l].size() + 1 offsets into
@@ -54,6 +76,34 @@ struct CsfTree {
   size_t num_roots() const { return ids.empty() ? 0 : ids[0].size(); }
 };
 
+/// Process-wide knobs and telemetry of the CSF build layer. Like
+/// simd::SetEnabled these are configuration, not per-call state: flip them
+/// between runs (CLI --csf-leaf / --csf-churn), not while kernels execute.
+namespace csf {
+
+/// Per-tree leaf-mode selection for *new* full builds (default off: the
+/// legacy descending-mode order, which tests pin structurally). Patched
+/// tensors always keep their trees' existing level orders.
+bool AutoLeaf();
+void SetAutoLeaf(bool enabled);
+
+/// BuildDelta churn threshold: patch when |Ω_old Δ Ω_new| ≤ this fraction
+/// of max(|Ω_old|, |Ω_new|), else recompile (default 0.25 — past that the
+/// touched-root rebuilds approach the cost of a clean build).
+double DeltaMaxChurn();
+void SetDeltaMaxChurn(double fraction);
+
+/// Process-wide counters: full tree compilations vs incremental patches
+/// (the routing tests and stream telemetry read these).
+struct BuildStats {
+  size_t full_builds = 0;
+  size_t delta_builds = 0;
+};
+BuildStats GetBuildStats();
+void ResetBuildStats();
+
+}  // namespace csf
+
 /// Per-mode CSF trees over one observation pattern.
 class CsfTensor {
  public:
@@ -61,8 +111,28 @@ class CsfTensor {
 
   /// Build all order() trees from a CooList with full mode buckets —
   /// O(N |Ω|) total, no dense scan (each tree is one pass over the
-  /// corresponding bucket permutation).
+  /// corresponding bucket permutation; auto-leaf trees with a non-default
+  /// level order pay one O(N(|Ω| + max I_n)) LSD counting sort instead).
+  /// The one-argument flavor uses the process-wide csf::AutoLeaf() knob.
   static CsfTensor Build(const CooList& coo);
+  static CsfTensor Build(const CooList& coo, bool auto_leaf);
+
+  /// Incremental build: patch `previous`'s fiber trees (compiled over
+  /// `previous_coo`) into the pattern of `coo`. A merge walk of the two
+  /// sorted record lists classifies every entry; per tree, roots whose
+  /// subtree saw no added/removed record are span-copied (child offsets
+  /// rebased, leaf records remapped old→new), touched roots are recompiled
+  /// from the new pattern's bucket segment. Each tree keeps its existing
+  /// `level_mode`, and the result is structurally identical to a fresh
+  /// Build of `coo` with the same level orders. Returns false — leaving
+  /// `*out` untouched — when the shapes differ, `coo` lacks full mode
+  /// buckets, either record list is unsorted, or the churn fraction
+  /// exceeds `max_churn_fraction`; callers then fall back to Build. Cost
+  /// O(N(|Ω_old| + |Ω_new|)) worst-case but touched-root work only beyond
+  /// the merge walk and the untouched span copies.
+  static bool BuildDelta(const CsfTensor& previous,
+                         const CooList& previous_coo, const CooList& coo,
+                         double max_churn_fraction, CsfTensor* out);
 
   const Shape& shape() const { return shape_; }
   size_t order() const { return trees_.size(); }
@@ -87,13 +157,23 @@ const CsfTensor& EnsureCsf(const CooList& coo);
 /// Shared-pointer flavor of EnsureCsf for consumers that outlive the coo.
 std::shared_ptr<const CsfTensor> EnsureCsfShared(const CooList& coo);
 
+/// EnsureCsfShared that patches forward from the previous pattern's
+/// attached trees instead of recompiling, when `previous` carries a CSF
+/// attachment and the churn stays under csf::DeltaMaxChurn(). The stream
+/// runner's pattern cache calls this on every mask change; a null or
+/// tree-less `previous` (or a failed patch) degrades to the full build.
+std::shared_ptr<const CsfTensor> EnsureCsfDelta(
+    const CooList& coo, const std::shared_ptr<const CooList>& previous);
+
 /// Bind the CSF backend for a freshly bound pattern — the policy shared by
 /// SofiaModel::Step and ObservedSweep::BeginStep. Adopts the trees already
 /// attached to the pattern (the comparison runner's broadcast knob);
 /// otherwise, when `storage` is kCsf and the pattern carries full mode
 /// buckets, compiles a private copy into (*cache, *cache_source), keyed on
 /// shared_ptr identity so mask reuse and shared-pattern repeats skip the
-/// rebuild — deliberately *not* attached to the (possibly shared) CooList,
+/// rebuild; on a pattern change with a cached predecessor the private copy
+/// is patched forward via CsfTensor::BuildDelta when the churn allows —
+/// deliberately *not* attached to the (possibly shared) CooList,
 /// which would leak this consumer's storage choice into every other
 /// adopting method. Returns null for the COO backend, including
 /// bucket-less patterns, which the fiber build cannot compile.

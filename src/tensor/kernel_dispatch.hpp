@@ -56,10 +56,13 @@ void DispatchRank(size_t rank, Fn&& fn) {
 }
 
 /// Scratch R-vector: stack storage for fixed ranks, heap for dynamic.
+/// Fixed storage is 64-byte aligned so the AVX2 instantiations (see
+/// tensor/simd.hpp) load the rank block with aligned, cache-line-local
+/// accesses.
 template <size_t kR>
 struct RankBuffer {
   double* get(size_t) { return fixed; }
-  double fixed[kR];
+  alignas(64) double fixed[kR];
 };
 template <>
 struct RankBuffer<0> {
@@ -70,11 +73,11 @@ struct RankBuffer<0> {
   std::vector<double> dynamic;
 };
 
-/// Scratch R x R matrix, same storage policy.
+/// Scratch R x R matrix, same storage policy (and alignment).
 template <size_t kR>
 struct RankSquareBuffer {
   double* get(size_t) { return fixed; }
-  double fixed[kR * kR];
+  alignas(64) double fixed[kR * kR];
 };
 template <>
 struct RankSquareBuffer<0> {

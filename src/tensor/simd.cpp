@@ -1,0 +1,30 @@
+#include "tensor/simd.hpp"
+
+namespace sofia::simd {
+
+namespace {
+
+bool Detect() {
+#if SOFIA_SIMD_X86
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool& EnabledFlag() {
+  static bool enabled = Detect();
+  return enabled;
+}
+
+}  // namespace
+
+bool Available() { return Detect(); }
+
+bool Enabled() { return EnabledFlag(); }
+
+void SetEnabled(bool enabled) { EnabledFlag() = enabled && Available(); }
+
+const char* IsaName() { return Enabled() ? "avx2+fma" : "scalar"; }
+
+}  // namespace sofia::simd

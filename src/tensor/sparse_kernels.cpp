@@ -6,6 +6,7 @@
 #include "linalg/solve.hpp"
 #include "tensor/kernel_dispatch.hpp"
 #include "tensor/kruskal.hpp"
+#include "tensor/simd.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 
@@ -40,25 +41,26 @@ void CooMttkrpImpl(const CooList& coo, const std::vector<double>& values,
   // One task per mode slice: each task owns one output row, so no two
   // threads ever write the same accumulator and the per-row order is the
   // bucket order regardless of thread count.
-  RunTasks(pool, num_threads, out->rows(), [&](size_t slice) {
+  auto task = [&](size_t slice) {
     const size_t R = kR == 0 ? rank : kR;
     RankBuffer<kR> buf;
-    double* h = buf.get(R);
-    double* orow = out->Row(slice);
+    double* SOFIA_RESTRICT h = buf.get(R);
+    double* SOFIA_RESTRICT orow = out->Row(slice);
     for (size_t p = ptr[slice]; p < ptr[slice + 1]; ++p) {
       const size_t k = order[p];
       const double v = values[k];
       if (v == 0.0) continue;
       const uint32_t* idx = coo.Coords(k);
-      for (size_t r = 0; r < R; ++r) h[r] = v;
+      simd::Fill(h, R, v);
       for (size_t l = 0; l < num_modes; ++l) {
         if (l == mode) continue;
         const double* row = views[l].data + idx[l] * views[l].cols;
-        for (size_t r = 0; r < R; ++r) h[r] *= row[r];
+        simd::MulIn(h, row, R);
       }
-      for (size_t r = 0; r < R; ++r) orow[r] += h[r];
+      simd::AddIn(orow, h, R);
     }
-  });
+  };
+  RunTasks(pool, num_threads, out->rows(), simd::Select(task));
 }
 
 /// Accumulate one mode slice's normal equations into raw b/c buffers
@@ -72,8 +74,10 @@ void AccumulateSliceRowSystem(const CooList& coo,
                               const std::vector<double>& values,
                               const std::vector<FactorView>& views,
                               const double* weights, size_t mode,
-                              size_t slice, size_t rank, double* h,
-                              double* bdata, double* c) {
+                              size_t slice, size_t rank,
+                              double* SOFIA_RESTRICT h,
+                              double* SOFIA_RESTRICT bdata,
+                              double* SOFIA_RESTRICT c) {
   const std::vector<uint32_t>& order = coo.ModeOrder(mode);
   const std::vector<size_t>& ptr = coo.SlicePtr(mode);
   const size_t num_modes = views.size();
@@ -81,18 +85,22 @@ void AccumulateSliceRowSystem(const CooList& coo,
   for (size_t p = ptr[slice]; p < ptr[slice + 1]; ++p) {
     const size_t k = order[p];
     const uint32_t* idx = coo.Coords(k);
-    for (size_t r = 0; r < R; ++r) h[r] = weights ? weights[r] : 1.0;
+    if (weights != nullptr) {
+      simd::Copy(h, weights, R);
+    } else {
+      simd::Fill(h, R, 1.0);
+    }
     for (size_t l = 0; l < num_modes; ++l) {
       if (l == mode) continue;
       const double* row = views[l].data + idx[l] * views[l].cols;
-      for (size_t r = 0; r < R; ++r) h[r] *= row[r];
+      simd::MulIn(h, row, R);
     }
+    // c and each triangle row of B are independent accumulators: hoisting
+    // the c update out of the row loop changes no sum's order.
     const double ystar = values[k];
+    simd::MulAddIn(c, ystar, h, R);
     for (size_t r = 0; r < R; ++r) {
-      const double hr = h[r];
-      c[r] += ystar * hr;
-      double* brow = bdata + r * R;
-      for (size_t q = r; q < R; ++q) brow[q] += hr * h[q];
+      simd::MulAddIn(bdata + r * R + r, h[r], h + r, R - r);
     }
   }
   for (size_t r = 0; r < R; ++r) {
@@ -108,13 +116,14 @@ void CooRowSystemsImpl(const CooList& coo, const std::vector<double>& values,
                        const std::vector<FactorView>& views,
                        const double* weights, size_t mode, size_t num_threads,
                        ThreadPool* pool, size_t rank, RowSystems* sys) {
-  RunTasks(pool, num_threads, sys->b.size(), [&](size_t slice) {
+  auto task = [&](size_t slice) {
     const size_t R = kR == 0 ? rank : kR;
     RankBuffer<kR> buf;
     AccumulateSliceRowSystem<kR>(coo, values, views, weights, mode, slice,
                                  rank, buf.get(R), sys->b[slice].data(),
                                  sys->c[slice].data());
-  });
+  };
+  RunTasks(pool, num_threads, sys->b.size(), simd::Select(task));
 }
 
 /// Fused row-system accumulation + proximal solve of one mode. Per task
@@ -131,7 +140,7 @@ void CooProximalRowUpdatesImpl(const CooList& coo,
                                const Matrix& previous, double mu,
                                size_t num_threads, ThreadPool* pool,
                                size_t rank, Matrix* u) {
-  RunTasks(pool, num_threads, u->rows(), [&](size_t slice) {
+  auto task = [&](size_t slice) {
     const size_t R = kR == 0 ? rank : kR;
     RankBuffer<kR> hbuf, cbuf, rhsbuf;
     RankSquareBuffer<kR> bbuf, abuf;
@@ -141,16 +150,21 @@ void CooProximalRowUpdatesImpl(const CooList& coo,
     for (size_t r = 0; r < R; ++r) c[r] = 0.0;
     AccumulateSliceRowSystem<kR>(coo, values, views, weights, mode, slice,
                                  rank, hbuf.get(R), b, c);
+    // ProximalRowSolve is an out-of-line call: its arithmetic stays scalar
+    // under both instantiations; only the B/c accumulation vectorizes.
     ProximalRowSolve(b, c, previous.Row(slice), mu, R, abuf.get(R),
                      rhsbuf.get(R), u->Row(slice));
-  });
+  };
+  RunTasks(pool, num_threads, u->rows(), simd::Select(task));
 }
 
 /// Blocked accumulation of the slice-global temporal system: each block owns
 /// a packed [B | c] accumulator of R*R + R doubles, combined in block order
 /// by the caller. Per record the full R x R matrix is accumulated in the
 /// dense-scan order (c then each row of B), so a single-block run matches
-/// baselines/common.hpp's SolveTemporalRow accumulation bitwise.
+/// baselines/common.hpp's SolveTemporalRow accumulation bitwise. That pin
+/// is why this kernel stays scalar-only (no simd::Select): FMA contraction
+/// would break the bit-for-bit match.
 template <size_t kR>
 void CooNormalSystemImpl(const CooList& coo, const std::vector<double>& values,
                          const std::vector<FactorView>& views,
@@ -222,29 +236,33 @@ void CooKruskalGatherImpl(const CooList& coo,
                           std::vector<double>* out) {
   const size_t num_modes = views.size();
   const size_t num_blocks = (coo.nnz() + kReductionBlock - 1) / kReductionBlock;
-  RunTasks(pool, num_threads, num_blocks, [&](size_t block) {
+  auto task = [&](size_t block) {
     const size_t R = kR == 0 ? rank : kR;
     RankBuffer<kR> buf;
-    double* h = buf.get(R);
+    double* SOFIA_RESTRICT h = buf.get(R);
     const size_t begin = block * kReductionBlock;
     const size_t end = std::min(begin + kReductionBlock, coo.nnz());
     for (size_t k = begin; k < end; ++k) {
       const uint32_t* idx = coo.Coords(k);
-      for (size_t r = 0; r < R; ++r) h[r] = temporal_row[r];
+      simd::Copy(h, temporal_row, R);
       for (size_t l = 0; l < num_modes; ++l) {
         const double* row = views[l].data + idx[l] * views[l].cols;
-        for (size_t r = 0; r < R; ++r) h[r] *= row[r];
+        simd::MulIn(h, row, R);
       }
+      // The final fold is a reduction: scalar ascending, never vectorized.
       double v = 0.0;
       for (size_t r = 0; r < R; ++r) v += h[r];
       (*out)[k] = v;
     }
-  });
+  };
+  RunTasks(pool, num_threads, num_blocks, simd::Select(task));
 }
 
 /// KruskalSlice-order gather: chain = fold of the non-leading modes from
 /// highest to lowest (KhatriRaoChain's accumulation order), then
 /// u^(0) · (w ⊛ chain) — bit-for-bit the arithmetic of KruskalFromChain.
+/// Scalar-only (no simd::Select): the lazy StepResult pipeline pins this
+/// gather bitwise against the dense KruskalSlice chain.
 template <size_t kR>
 void CooKruskalSliceGatherImpl(const CooList& coo,
                                const std::vector<FactorView>& views,
@@ -291,29 +309,32 @@ void CooModeGradientImpl(const CooList& coo,
   const std::vector<uint32_t>& order = coo.ModeOrder(mode);
   const std::vector<size_t>& ptr = coo.SlicePtr(mode);
   const size_t num_modes = views.size();
-  RunTasks(pool, num_threads, grad->rows(), [&](size_t slice) {
+  auto task = [&](size_t slice) {
     const size_t R = kR == 0 ? rank : kR;
     RankBuffer<kR> buf;
-    double* h = buf.get(R);
-    double* grow = grad->Row(slice);
+    double* SOFIA_RESTRICT h = buf.get(R);
+    double* SOFIA_RESTRICT grow = grad->Row(slice);
     double tr = 0.0;
     for (size_t p = ptr[slice]; p < ptr[slice + 1]; ++p) {
       const size_t k = order[p];
       const uint32_t* idx = coo.Coords(k);
-      for (size_t r = 0; r < R; ++r) h[r] = temporal_row[r];
+      simd::Copy(h, temporal_row, R);
       for (size_t l = 0; l < num_modes; ++l) {
         if (l == mode) continue;
         const double* row = views[l].data + idx[l] * views[l].cols;
-        for (size_t r = 0; r < R; ++r) h[r] *= row[r];
+        simd::MulIn(h, row, R);
       }
       const double resid = residuals[k];
-      for (size_t r = 0; r < R; ++r) {
-        if constexpr (kTrace) tr += h[r] * h[r];
-        if (resid != 0.0) grow[r] += resid * h[r];
+      // Trace (scalar reduction) and gradient row are independent
+      // accumulators: split loops, same sums, same order.
+      if constexpr (kTrace) {
+        for (size_t r = 0; r < R; ++r) tr += h[r] * h[r];
       }
+      if (resid != 0.0) simd::MulAddIn(grow, resid, h, R);
     }
     if constexpr (kTrace) (*trace)[slice] = tr;
-  });
+  };
+  RunTasks(pool, num_threads, grad->rows(), simd::Select(task));
 }
 
 /// Temporal gradient + trace: fixed-size record blocks, each owning R + 1
@@ -328,27 +349,28 @@ void CooTemporalGradientImpl(const CooList& coo,
   const size_t num_modes = views.size();
   const size_t num_blocks = (coo.nnz() + kReductionBlock - 1) / kReductionBlock;
   std::vector<double> partial(num_blocks * (rank + 1), 0.0);
-  RunTasks(pool, num_threads, num_blocks, [&](size_t block) {
+  auto task = [&](size_t block) {
     const size_t R = kR == 0 ? rank : kR;
     RankBuffer<kR> buf;
-    double* full = buf.get(R);
-    double* out = partial.data() + block * (R + 1);
+    double* SOFIA_RESTRICT full = buf.get(R);
+    double* SOFIA_RESTRICT out = partial.data() + block * (R + 1);
     const size_t begin = block * kReductionBlock;
     const size_t end = std::min(begin + kReductionBlock, coo.nnz());
     for (size_t k = begin; k < end; ++k) {
       const uint32_t* idx = coo.Coords(k);
-      for (size_t r = 0; r < R; ++r) full[r] = 1.0;
+      simd::Fill(full, R, 1.0);
       for (size_t l = 0; l < num_modes; ++l) {
         const double* row = views[l].data + idx[l] * views[l].cols;
-        for (size_t r = 0; r < R; ++r) full[r] *= row[r];
+        simd::MulIn(full, row, R);
       }
       const double resid = residuals[k];
-      for (size_t r = 0; r < R; ++r) {
-        out[R] += full[r] * full[r];
-        if (resid != 0.0) out[r] += resid * full[r];
-      }
+      // out[R] (the trace) is a scalar reduction; out[0..R) are
+      // independent slots — split loops, same sums, same order.
+      for (size_t r = 0; r < R; ++r) out[R] += full[r] * full[r];
+      if (resid != 0.0) simd::MulAddIn(out, resid, full, R);
     }
-  });
+  };
+  RunTasks(pool, num_threads, num_blocks, simd::Select(task));
   for (size_t block = 0; block < num_blocks; ++block) {
     const double* out = partial.data() + block * (rank + 1);
     for (size_t r = 0; r < rank; ++r) (*temporal_grad)[r] += out[r];

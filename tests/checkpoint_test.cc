@@ -150,6 +150,7 @@ TEST(CheckpointTest, GuardRingWrapsAndRollbackRestoresNewestState) {
 
   StreamGuardOptions options;
   options.policy = GuardPolicy::kRollback;
+  options.checkpoint_every = 1;  // Per-step saves: rollback loses nothing.
   options.checkpoint_slots = 2;  // Force wraparound well within the run.
   // Disable the payload-scale watch so the huge slice reaches the health
   // layer (this test pins the rollback path, not input validation).

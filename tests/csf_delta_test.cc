@@ -1,0 +1,336 @@
+// The incremental-CSF subsystem (CsfTensor::BuildDelta) and the per-tree
+// auto-leaf builds:
+//  - a patched tensor is structurally IDENTICAL (EXPECT_EQ on every
+//    level_mode / ids / ptr / record array) to a fresh Build of the new
+//    pattern with the same level orders — for default-order trees, for
+//    auto-leaf custom-order trees, and when root slices appear, disappear,
+//    or the pattern goes to/from empty;
+//  - churn above the threshold makes BuildDelta refuse (returning false
+//    and leaving the output untouched) so callers fall back to Build;
+//  - the EnsureCsfDelta / BindCsf routing layers actually take the patch
+//    path on low-churn pattern changes and the full-build path otherwise,
+//    pinned through the csf::GetBuildStats counters;
+//  - auto-leaf trees give the same kernel results as default trees to
+//    ≤1e-12 (the level order only regroups each record's Hadamard chain).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "tensor/coo_list.hpp"
+#include "tensor/csf_kernels.hpp"
+#include "tensor/csf_tensor.hpp"
+#include "tensor/pattern_storage.hpp"
+#include "tensor/shape.hpp"
+#include "tensor/sparse_kernels.hpp"
+#include "util/rng.hpp"
+
+namespace sofia {
+namespace {
+
+/// Restores the process-wide auto-leaf knob on scope exit (csf_test pins
+/// the legacy tree structure, so the default must never leak).
+struct AutoLeafGuard {
+  bool prev = csf::AutoLeaf();
+  ~AutoLeafGuard() { csf::SetAutoLeaf(prev); }
+};
+
+std::vector<size_t> RandomSortedIndices(const Shape& shape, double density,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<size_t> idx;
+  for (size_t k = 0; k < shape.NumElements(); ++k) {
+    if (rng.Bernoulli(density)) idx.push_back(k);
+  }
+  return idx;
+}
+
+/// Mutate a sorted index set: drop every `drop_stride`-th entry and add the
+/// smallest `add` absent indices ≥ `add_from`. Returns a sorted set.
+std::vector<size_t> Mutate(const std::vector<size_t>& base, const Shape& shape,
+                           size_t drop_stride, size_t add, size_t add_from) {
+  std::vector<size_t> out;
+  for (size_t k = 0; k < base.size(); ++k) {
+    if (drop_stride == 0 || k % drop_stride != 0) out.push_back(base[k]);
+  }
+  for (size_t lin = add_from; add > 0 && lin < shape.NumElements(); ++lin) {
+    if (!std::binary_search(base.begin(), base.end(), lin)) {
+      out.push_back(lin);
+      --add;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void ExpectTreesEqual(const CsfTensor& a, const CsfTensor& b) {
+  ASSERT_EQ(a.order(), b.order());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (size_t mode = 0; mode < a.order(); ++mode) {
+    const CsfTree& ta = a.tree(mode);
+    const CsfTree& tb = b.tree(mode);
+    EXPECT_EQ(ta.root_mode, tb.root_mode) << "mode " << mode;
+    EXPECT_EQ(ta.level_mode, tb.level_mode) << "mode " << mode;
+    EXPECT_EQ(ta.ids, tb.ids) << "mode " << mode;
+    EXPECT_EQ(ta.ptr, tb.ptr) << "mode " << mode;
+    EXPECT_EQ(ta.record, tb.record) << "mode " << mode;
+  }
+}
+
+/// BuildDelta must produce the fresh build bit-for-bit; wraps the triple.
+void ExpectDeltaMatchesFresh(const std::vector<size_t>& old_idx,
+                             const std::vector<size_t>& new_idx,
+                             const Shape& shape, double max_churn) {
+  CooList old_coo = CooList::FromIndices(shape, old_idx);
+  CooList new_coo = CooList::FromIndices(shape, new_idx);
+  CsfTensor old_csf = CsfTensor::Build(old_coo);
+  CsfTensor patched;
+  ASSERT_TRUE(
+      CsfTensor::BuildDelta(old_csf, old_coo, new_coo, max_churn, &patched));
+  ExpectTreesEqual(patched, CsfTensor::Build(new_coo));
+}
+
+// ------------------------------------------------------ structural parity
+
+TEST(CsfDeltaTest, PatchedTreesMatchFreshBuildOnRandomMutations) {
+  for (const Shape& shape :
+       {Shape({6, 5, 4}), Shape({5, 4, 3, 2}), Shape({9, 1, 3})}) {
+    std::vector<size_t> base = RandomSortedIndices(shape, 0.4, 11);
+    if (base.size() < 8) continue;
+    // Drop ~1/16 of the records and add about as many fresh ones:
+    // bursty-outage churn, well under the default 0.25 threshold even on
+    // the tiny shapes.
+    std::vector<size_t> mutated = Mutate(base, shape, 16, base.size() / 16, 0);
+    ExpectDeltaMatchesFresh(base, mutated, shape, csf::DeltaMaxChurn());
+    // The reverse direction patches too (adds become removes).
+    ExpectDeltaMatchesFresh(mutated, base, shape, csf::DeltaMaxChurn());
+  }
+}
+
+TEST(CsfDeltaTest, RootSlicesAppearAndDisappear) {
+  // Shape (4,3,2), linear = i0 + 4 i1 + 12 i2. Old pattern populates only
+  // root slices i0 ∈ {0, 2} of mode 0; the new one empties i0 == 2 and
+  // opens the previously-empty i0 == 3 — every tree sees roots vanish,
+  // survive untouched, and appear.
+  Shape shape({4, 3, 2});
+  std::vector<size_t> old_idx;
+  for (size_t i2 = 0; i2 < 2; ++i2) {
+    for (size_t i1 = 0; i1 < 3; ++i1) {
+      for (size_t i0 : {size_t{0}, size_t{2}}) {
+        old_idx.push_back(i0 + 4 * i1 + 12 * i2);
+      }
+    }
+  }
+  std::sort(old_idx.begin(), old_idx.end());
+  std::vector<size_t> new_idx;
+  for (size_t lin : old_idx) {
+    if (lin % 4 != 2) new_idx.push_back(lin);  // Drop every i0 == 2 record.
+  }
+  new_idx.push_back(3 + 4 * 0 + 12 * 0);  // (3,0,0)
+  new_idx.push_back(3 + 4 * 2 + 12 * 1);  // (3,2,1)
+  std::sort(new_idx.begin(), new_idx.end());
+  ExpectDeltaMatchesFresh(old_idx, new_idx, shape, 1.0);
+}
+
+TEST(CsfDeltaTest, EmptyPatternsPatchBothWays) {
+  Shape shape({5, 4, 3});
+  std::vector<size_t> some = RandomSortedIndices(shape, 0.3, 21);
+  ASSERT_FALSE(some.empty());
+  // Everything added / everything removed is churn 1.0 — legal when the
+  // caller allows it, and the patched trees still match the fresh builds.
+  ExpectDeltaMatchesFresh({}, some, shape, 1.0);
+  ExpectDeltaMatchesFresh(some, {}, shape, 1.0);
+}
+
+// ------------------------------------------------------- churn threshold
+
+TEST(CsfDeltaTest, ChurnAboveThresholdRefusesToPatch) {
+  Shape shape({6, 5, 4});
+  std::vector<size_t> base = RandomSortedIndices(shape, 0.4, 31);
+  ASSERT_GE(base.size(), 10u);
+  // Drop every other record: churn = removed / max(old, new) ≥ 0.5.
+  std::vector<size_t> mutated = Mutate(base, shape, 2, 0, 0);
+  CooList old_coo = CooList::FromIndices(shape, base);
+  CooList new_coo = CooList::FromIndices(shape, mutated);
+  CsfTensor old_csf = CsfTensor::Build(old_coo);
+  CsfTensor out;
+  EXPECT_FALSE(CsfTensor::BuildDelta(old_csf, old_coo, new_coo,
+                                     csf::DeltaMaxChurn(), &out));
+  EXPECT_EQ(out.order(), 0u);  // Refusal leaves the output untouched.
+  // The same pair patches fine once the caller raises the ceiling.
+  ASSERT_TRUE(CsfTensor::BuildDelta(old_csf, old_coo, new_coo, 1.0, &out));
+  ExpectTreesEqual(out, CsfTensor::Build(new_coo));
+}
+
+TEST(CsfDeltaTest, ChurnKnobRoundTrips) {
+  double prev = csf::DeltaMaxChurn();
+  csf::SetDeltaMaxChurn(0.1);
+  EXPECT_DOUBLE_EQ(csf::DeltaMaxChurn(), 0.1);
+  csf::SetDeltaMaxChurn(prev);
+  EXPECT_DOUBLE_EQ(csf::DeltaMaxChurn(), prev);
+}
+
+// ----------------------------------------------------- auto-leaf builds
+
+/// Grid pattern on shape (2, 5, 12): i2 ∈ [0, 10) fully crossed with all
+/// (i0, i1). Distinct-fiber counts are exact — D(¬2) = 10 < D(¬1) ≈ 20 <
+/// D(¬0) ≈ 50 — so every tree's auto leaf choice is deterministic and
+/// stable under the small mutations below.
+std::vector<size_t> GridIndices() {
+  std::vector<size_t> idx;
+  for (size_t i2 = 0; i2 < 10; ++i2) {
+    for (size_t i1 = 0; i1 < 5; ++i1) {
+      for (size_t i0 = 0; i0 < 2; ++i0) {
+        idx.push_back(i0 + 2 * i1 + 10 * i2);
+      }
+    }
+  }
+  return idx;
+}
+
+TEST(CsfAutoLeafTest, AutoLeafTreesPickTheFewestFiberLeafPerTree) {
+  Shape shape({2, 5, 12});
+  CooList coo = CooList::FromIndices(shape, GridIndices());
+  CsfTensor t = CsfTensor::Build(coo, /*auto_leaf=*/true);
+  // Trees 0 and 1 put mode 2 deepest (10 distinct (i0,i1) parents beats
+  // both alternatives); tree 2 cannot use its own root and picks mode 1.
+  EXPECT_EQ(t.tree(0).level_mode, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(t.tree(1).level_mode, (std::vector<size_t>{1, 0, 2}));
+  EXPECT_EQ(t.tree(2).level_mode, (std::vector<size_t>{2, 0, 1}));
+  // The default build keeps the descending-mode legacy order.
+  CsfTensor d = CsfTensor::Build(coo, /*auto_leaf=*/false);
+  EXPECT_EQ(d.tree(0).level_mode, (std::vector<size_t>{0, 2, 1}));
+  EXPECT_EQ(d.tree(1).level_mode, (std::vector<size_t>{1, 2, 0}));
+  EXPECT_EQ(d.tree(2).level_mode, (std::vector<size_t>{2, 1, 0}));
+}
+
+TEST(CsfAutoLeafTest, AutoLeafKernelsMatchDefaultOrderKernels) {
+  Shape shape({2, 5, 12});
+  CooList coo = CooList::FromIndices(shape, GridIndices());
+  CsfTensor auto_t = CsfTensor::Build(coo, /*auto_leaf=*/true);
+  CsfTensor def_t = CsfTensor::Build(coo, /*auto_leaf=*/false);
+  Rng rng(41);
+  size_t rank = 4;
+  std::vector<Matrix> factors;
+  for (size_t n = 0; n < shape.order(); ++n) {
+    factors.push_back(Matrix::Random(shape.dim(n), rank, rng, -1.0, 1.0));
+  }
+  std::vector<double> values(coo.nnz());
+  for (double& v : values) v = rng.Uniform(-2.0, 2.0);
+  std::vector<double> temporal_row(rank);
+  for (double& w : temporal_row) w = rng.Uniform(-1.0, 1.0);
+
+  for (size_t mode = 0; mode < shape.order(); ++mode) {
+    Matrix a = CsfMttkrp(auto_t, values, factors, mode);
+    Matrix b = CsfMttkrp(def_t, values, factors, mode);
+    // Level order only regroups each record's Hadamard chain.
+    EXPECT_LE(a.MaxAbsDiff(b), 1e-12) << "mode " << mode;
+  }
+  StepGradients ga = CsfStepGradients(auto_t, values, factors, temporal_row);
+  StepGradients gb = CsfStepGradients(def_t, values, factors, temporal_row);
+  for (size_t n = 0; n < shape.order(); ++n) {
+    EXPECT_LE(ga.row_grads[n].MaxAbsDiff(gb.row_grads[n]), 1e-12);
+  }
+  for (size_t r = 0; r < rank; ++r) {
+    EXPECT_NEAR(ga.temporal_grad[r], gb.temporal_grad[r], 1e-12);
+  }
+  std::vector<double> ka = CsfKruskalGather(auto_t, factors, temporal_row);
+  std::vector<double> kb = CsfKruskalGather(def_t, factors, temporal_row);
+  ASSERT_EQ(ka.size(), kb.size());
+  for (size_t k = 0; k < ka.size(); ++k) {
+    EXPECT_NEAR(ka[k], kb[k], 1e-12) << "record " << k;
+  }
+}
+
+TEST(CsfAutoLeafTest, DeltaPreservesCustomLevelOrders) {
+  // BuildDelta keeps each tree's stored level order, so patching an
+  // auto-leaf tensor reproduces a fresh auto-leaf build of the new
+  // pattern (the grid's distinct-fiber ordering is stable under this
+  // mutation, so the fresh build picks the same leaves).
+  AutoLeafGuard guard;
+  csf::SetAutoLeaf(true);
+  Shape shape({2, 5, 12});
+  std::vector<size_t> base = GridIndices();
+  // Drop 4 grid records, add 6 in the previously-empty i2 ∈ {10, 11} band.
+  std::vector<size_t> mutated = Mutate(base, shape, 25, 6, 10 * 10);
+  ExpectDeltaMatchesFresh(base, mutated, shape, csf::DeltaMaxChurn());
+}
+
+// ------------------------------------------------------- routing + stats
+
+TEST(CsfDeltaRoutingTest, EnsureCsfDeltaPatchesForwardAndFallsBack) {
+  Shape shape({6, 5, 4});
+  std::vector<size_t> base = RandomSortedIndices(shape, 0.4, 51);
+  std::vector<size_t> low_churn = Mutate(base, shape, 10, 2, 0);
+  std::vector<size_t> high_churn = Mutate(base, shape, 2, 20, 0);
+
+  csf::ResetBuildStats();
+  auto a = std::make_shared<CooList>(CooList::FromIndices(shape, base));
+  std::shared_ptr<const CsfTensor> ta = EnsureCsfShared(*a);
+  EXPECT_EQ(csf::GetBuildStats().full_builds, 1u);
+  EXPECT_EQ(csf::GetBuildStats().delta_builds, 0u);
+
+  // Low churn: the new pattern's attachment is patched from `a`'s trees.
+  auto b = std::make_shared<CooList>(CooList::FromIndices(shape, low_churn));
+  std::shared_ptr<const CsfTensor> tb = EnsureCsfDelta(*b, a);
+  EXPECT_EQ(csf::GetBuildStats().full_builds, 1u);
+  EXPECT_EQ(csf::GetBuildStats().delta_builds, 1u);
+  EXPECT_EQ(b->csf().get(), tb.get());
+  ExpectTreesEqual(*tb, CsfTensor::Build(*b));
+
+  // Already attached: a second call is a no-op on the counters.
+  std::shared_ptr<const CsfTensor> tb2 = EnsureCsfDelta(*b, a);
+  EXPECT_EQ(tb2.get(), tb.get());
+  EXPECT_EQ(csf::GetBuildStats().delta_builds, 1u);
+
+  // High churn degrades to a full build; so does a null previous pattern.
+  csf::ResetBuildStats();
+  auto c = std::make_shared<CooList>(CooList::FromIndices(shape, high_churn));
+  EnsureCsfDelta(*c, a);
+  EXPECT_EQ(csf::GetBuildStats().full_builds, 1u);
+  EXPECT_EQ(csf::GetBuildStats().delta_builds, 0u);
+  auto d = std::make_shared<CooList>(CooList::FromIndices(shape, low_churn));
+  EnsureCsfDelta(*d, nullptr);
+  EXPECT_EQ(csf::GetBuildStats().full_builds, 2u);
+  EXPECT_EQ(csf::GetBuildStats().delta_builds, 0u);
+}
+
+TEST(CsfDeltaRoutingTest, BindCsfPatchesThePrivateCacheForward) {
+  Shape shape({6, 5, 4});
+  std::vector<size_t> base = RandomSortedIndices(shape, 0.4, 61);
+  std::vector<size_t> low_churn = Mutate(base, shape, 10, 2, 0);
+
+  auto a = std::make_shared<CooList>(CooList::FromIndices(shape, base));
+  auto b = std::make_shared<CooList>(CooList::FromIndices(shape, low_churn));
+  std::shared_ptr<const CsfTensor> cache;
+  std::shared_ptr<const CooList> source;
+
+  csf::ResetBuildStats();
+  const CsfTensor* t1 = BindCsf(a, PatternStorage::kCsf, &cache, &source);
+  ASSERT_NE(t1, nullptr);
+  EXPECT_EQ(csf::GetBuildStats().full_builds, 1u);
+  // Same pattern again: the private cache is keyed on pointer identity.
+  EXPECT_EQ(BindCsf(a, PatternStorage::kCsf, &cache, &source), t1);
+  EXPECT_EQ(csf::GetBuildStats().full_builds, 1u);
+  // New low-churn pattern: the cache is patched forward, not recompiled.
+  const CsfTensor* t2 = BindCsf(b, PatternStorage::kCsf, &cache, &source);
+  ASSERT_NE(t2, nullptr);
+  EXPECT_EQ(csf::GetBuildStats().full_builds, 1u);
+  EXPECT_EQ(csf::GetBuildStats().delta_builds, 1u);
+  ExpectTreesEqual(*t2, CsfTensor::Build(*b));
+  // The private copy never leaks onto the (possibly shared) CooList.
+  EXPECT_EQ(b->csf(), nullptr);
+  // The COO backend binds nothing.
+  std::shared_ptr<const CsfTensor> coo_cache;
+  std::shared_ptr<const CooList> coo_source;
+  EXPECT_EQ(BindCsf(a, PatternStorage::kCoo, &coo_cache, &coo_source),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace sofia

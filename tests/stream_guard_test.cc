@@ -288,8 +288,115 @@ TEST(StreamGuardTest, CleanStreamsPayOnlyTheValidationScan) {
   // Exactly one O(|omega|) validation pass per slice — init and stream.
   EXPECT_EQ(telemetry.validation_passes, steps);
   EXPECT_EQ(telemetry.steps + guarded.init_window(), steps);
-  // Every accepted step rotated a ring checkpoint.
-  EXPECT_EQ(telemetry.checkpoints_saved, telemetry.steps);
+  // Ring writes follow the default cadence: one checkpoint per
+  // checkpoint_every accepted steps, not one per step.
+  EXPECT_EQ(telemetry.checkpoints_saved,
+            telemetry.steps / StreamGuardOptions{}.checkpoint_every);
+}
+
+// ------------------------------------------- checkpoint ring + walk-back
+
+/// Checkpointable fake whose serialized state is a step counter, so a test
+/// can read exactly which checkpoint a rollback restored. Returns accurate
+/// estimates (probe NRE 0) until `poison` flips it to wildly wrong ones
+/// that trip the health watch.
+class VersionedFake : public StreamingMethod {
+ public:
+  std::string name() const override { return "versioned-fake"; }
+  StepResult StepLazy(const DenseTensor& y, const Mask& omega,
+                      std::shared_ptr<const CooList> pattern) override {
+    (void)pattern;
+    if (omega.CountObserved() > 0) ++version;
+    DenseTensor estimate = y;
+    if (poison) {
+      for (size_t k = 0; k < estimate.NumElements(); ++k) {
+        estimate[k] = 1e6;
+      }
+    }
+    return StepResult::Dense(std::move(estimate));
+  }
+  bool SupportsStateCheckpoint() const override { return true; }
+  void SaveState(std::ostream& out) const override { out << version; }
+  void RestoreState(std::istream& in) override {
+    in >> version;
+    restored.push_back(version);
+  }
+
+  size_t version = 0;            ///< Accepted data steps consumed.
+  bool poison = false;           ///< Return garbage estimates (health trip).
+  std::vector<size_t> restored;  ///< Version of every RestoreState, in order.
+};
+
+TEST(StreamGuardTest, RepeatedTripsWalkBackThroughStrictlyOlderCheckpoints) {
+  auto owned = std::make_unique<VersionedFake>();
+  VersionedFake* fake = owned.get();
+  StreamGuardOptions options;
+  options.policy = GuardPolicy::kRollback;
+  options.checkpoint_every = 1;  // One ring write per accepted step.
+  options.checkpoint_slots = 4;
+  StreamGuard guard(std::move(owned), options);
+
+  const Shape shape({3, 2});
+  DenseTensor y(shape, 1.0);
+  Mask full(shape, true);
+
+  // Six clean steps: ring holds versions {5, 6, 3, 4} in rotation order.
+  for (size_t t = 0; t < 6; ++t) guard.StepLazy(y, full);
+  ASSERT_EQ(guard.telemetry().checkpoints_saved, 6u);
+
+  // Five consecutive trips within one fault episode: the guard must walk
+  // newest -> older through the whole ring (6, 5, 4, 3), then fall through
+  // to the reinit snapshot (the pristine pre-first-step state, version 0) —
+  // never re-restoring the same possibly-poisoned slot twice.
+  fake->poison = true;
+  for (size_t trip = 0; trip < 5; ++trip) guard.StepLazy(y, full);
+  EXPECT_EQ(guard.telemetry().health_trips, 5u);
+  EXPECT_EQ(fake->restored, (std::vector<size_t>{6, 5, 4, 3, 0}));
+  EXPECT_EQ(guard.telemetry().rollbacks, 5u);
+  EXPECT_EQ(guard.telemetry().reinits, 0u);
+
+  // Recovery closes the episode; the next episode's walk-back restarts at
+  // the (fresh) newest checkpoint instead of resuming at depth 5.
+  fake->poison = false;
+  for (size_t t = 0; t < 2; ++t) guard.StepLazy(y, full);
+  EXPECT_EQ(guard.telemetry().recoveries, 1u);
+  const size_t saved_after_recovery = guard.telemetry().checkpoints_saved;
+  ASSERT_GT(saved_after_recovery, 6u);
+  fake->poison = true;
+  guard.StepLazy(y, full);
+  fake->poison = false;
+  ASSERT_EQ(fake->restored.size(), 6u);
+  // The newest post-recovery checkpoint: version 0 after the reinit fall-
+  // through, +2 accepted recovery steps.
+  EXPECT_EQ(fake->restored.back(), 2u);
+}
+
+TEST(StreamGuardTest, CheckpointCadenceBoundsRollbackLossAndCountsWraps) {
+  auto owned = std::make_unique<VersionedFake>();
+  VersionedFake* fake = owned.get();
+  StreamGuardOptions options;
+  options.policy = GuardPolicy::kRollback;
+  options.checkpoint_every = 3;
+  options.checkpoint_slots = 2;  // Force ring wraparound.
+  StreamGuard guard(std::move(owned), options);
+
+  const Shape shape({3, 2});
+  DenseTensor y(shape, 1.0);
+  Mask full(shape, true);
+
+  // 14 accepted steps at cadence 3: checkpoints after steps 3, 6, 9, 12 —
+  // telemetry counts all four ring writes even though only two slots exist.
+  for (size_t t = 0; t < 14; ++t) guard.StepLazy(y, full);
+  EXPECT_EQ(guard.telemetry().checkpoints_saved, 4u);
+
+  // A rollback restores the newest checkpoint (version 12): of the 14
+  // accepted steps, at most cadence - 1 = 2 are lost.
+  fake->poison = true;
+  guard.StepLazy(y, full);
+  fake->poison = false;
+  ASSERT_EQ(fake->restored.size(), 1u);
+  EXPECT_EQ(fake->restored.back(), 12u);
+  EXPECT_GE(fake->restored.back() + options.checkpoint_every - 1, 14u);
 }
 
 }  // namespace

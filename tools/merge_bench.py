@@ -29,6 +29,7 @@ KNOWN_ORDER = [
     "BENCH_pipeline.json",   # PR 4: lazy StepResult eval pipeline.
     "BENCH_csf.json",        # PR 5: CSF tensor-storage subsystem.
     "BENCH_robustness.json", # PR 6: StreamGuard fault-tolerance layer.
+    "BENCH_simd.json",       # PR 7: SIMD kernels + incremental CSF.
 ]
 
 
