@@ -22,6 +22,13 @@
 //                                    structured-outliers|garbage-slices|
 //                                    combined-stress]
 //                        [--guard=off|skip|rollback|reinit]
+//                        [--workers=0] [--pipeline-depth=1] [--window=1]
+//
+// --workers/--pipeline-depth/--window configure the sharded streaming
+// runtime behind the comparison (eval/stream_pipeline.hpp): persistent
+// slab-owning workers, ingest/compute overlap at depth >= 2, and batched
+// ingest. All three change wall-clock shape only — scores are bitwise
+// identical at every setting.
 //
 // --scenario replaces the plain element-wise corruption with one of the
 // adversarial stream scenarios from data/scenarios.hpp; --guard wraps both
@@ -141,6 +148,10 @@ int main(int argc, char** argv) {
   options.force_dense = flags.GetBool("force_dense", false);
   options.num_threads = num_threads;
   options.pattern_storage = storage;
+  options.workers = static_cast<size_t>(flags.GetInt("workers", 0));
+  options.pipeline_depth =
+      static_cast<size_t>(flags.GetInt("pipeline-depth", 1));
+  options.window = static_cast<size_t>(flags.GetInt("window", 1));
 
   StepResult::ResetMaterializations();
   std::vector<StreamingMethod*> methods = {sofia_runner.get(),

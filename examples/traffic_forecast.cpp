@@ -11,6 +11,12 @@
 //                         [--num_threads=0] [--use_sparse_kernels=true]
 //                         [--storage=coo|csf] [--simd=on|off]
 //                         [--csf-leaf=default|auto] [--csf-churn=0.25]
+//                         [--workers=0]
+//
+// --workers sizes SOFIA's internal sharded executor for the training
+// steps (util/shard_executor.hpp — each worker keeps a stable slab range
+// of the pattern's fiber trees across the whole prefix); it overrides
+// --num_threads for the SOFIA model when nonzero.
 
 #include <cstdio>
 
@@ -60,7 +66,8 @@ int main(int argc, char** argv) {
 
   // Train SOFIA on the corrupted prefix.
   SofiaConfig config = MakeExperimentConfig(traffic, sofia_stream);
-  config.num_threads = num_threads;
+  const size_t workers = static_cast<size_t>(flags.GetInt("workers", 0));
+  config.num_threads = workers != 0 ? workers : num_threads;
   config.use_sparse_kernels = use_sparse_kernels;
   config.pattern_storage = storage;
   const size_t window = config.InitWindow();

@@ -57,7 +57,7 @@ class BrstLite : public StreamingMethod {
   /// Advances the factors / ARD / noise state without building the
   /// output-only estimate handle — the forecast-protocol fast path.
   void Observe(const DenseTensor& y, const Mask& omega) override;
-  void AdoptWorkerPool(std::shared_ptr<ThreadPool> pool) override {
+  void AdoptWorkerPool(std::shared_ptr<WorkerPool> pool) override {
     sweep_.AdoptPool(std::move(pool));
   }
 

@@ -54,7 +54,7 @@ std::vector<Matrix> Unpack(const std::vector<double>& x, const Shape& shape,
 /// Observed-entry loss: 0.5 ||Ω ⊛ (Y - [[U]])||_F^2 over the COO records.
 double CooLoss(const CooList& coo, const std::vector<double>& values,
                const std::vector<Matrix>& factors, size_t num_threads,
-               ThreadPool* pool = nullptr) {
+               WorkerPool* pool = nullptr) {
   return 0.5 * CooResidualSquaredNorm(coo, values, factors, num_threads, pool);
 }
 
@@ -67,7 +67,7 @@ std::vector<Matrix> CooGradient(const CooList& coo,
                                 const std::vector<double>& values,
                                 const std::vector<Matrix>& factors,
                                 size_t num_threads,
-                                ThreadPool* pool = nullptr) {
+                                WorkerPool* pool = nullptr) {
   constexpr size_t kRecordsPerTask = 4096;
   constexpr size_t kMaxTasks = 16;
   const size_t rank = factors[0].cols();

@@ -45,14 +45,14 @@ const CooList& ObservedSweep::pattern() const {
   return *coo_;
 }
 
-ThreadPool* ObservedSweep::Pool() const {
+WorkerPool* ObservedSweep::Pool() const {
   if (external_pool_ != nullptr) {
     // A shared single-thread pool is equivalent to the serial path; skip
     // its dispatch entirely so adoption never slows serial methods down.
     return external_pool_->num_threads() > 1 ? external_pool_.get() : nullptr;
   }
   if (resolved_threads_ <= 1) return nullptr;
-  if (!pool_) pool_ = std::make_unique<ThreadPool>(resolved_threads_);
+  if (!pool_) pool_ = std::make_unique<ShardExecutor>(resolved_threads_);
   return pool_.get();
 }
 

@@ -14,6 +14,7 @@
 #include "tensor/sparse_kernels.hpp"
 #include "tensor/sparse_mask.hpp"
 #include "util/parallel.hpp"
+#include "util/shard_executor.hpp"
 
 /// \file observed_sweep.hpp
 /// \brief Shared observed-entry solver core for the streaming baselines.
@@ -34,7 +35,7 @@
 /// - shared patterns: comparison runners that drive several methods through
 ///   the same stream build each slice's CooList once (MakeSharedPattern) and
 ///   hand it to every method's BeginStep;
-/// - a lazy per-instance ThreadPool: all motifs partition work into units
+/// - a lazy per-instance ShardExecutor: all motifs partition work into units
 ///   owned by one thread (mode slices, fixed-size record blocks), so results
 ///   are bitwise identical for every `num_threads`.
 
@@ -100,7 +101,7 @@ class ObservedSweep {
   /// run instead of a lazily spawned pool per method). Kernel results are
   /// bitwise identical for every pool size, so adoption never changes a
   /// method's output. Pass nullptr to fall back to the internal pool.
-  void AdoptPool(std::shared_ptr<ThreadPool> pool) {
+  void AdoptPool(std::shared_ptr<WorkerPool> pool) {
     external_pool_ = std::move(pool);
   }
 
@@ -178,7 +179,7 @@ class ObservedSweep {
   /// The adopted pool when one was handed in; otherwise the lazily spawned
   /// internal pool, or nullptr (serial kernels) when a single thread is
   /// requested, so cheap baselines never pay for workers.
-  ThreadPool* Pool() const;
+  WorkerPool* Pool() const;
 
   ObservedSweepOptions options_;
   size_t resolved_threads_ = 1;
@@ -195,8 +196,8 @@ class ObservedSweep {
   SparseMask mask_;
   size_t pattern_builds_ = 0;
   size_t pattern_reuses_ = 0;
-  mutable std::unique_ptr<ThreadPool> pool_;
-  std::shared_ptr<ThreadPool> external_pool_;
+  mutable std::unique_ptr<ShardExecutor> pool_;
+  std::shared_ptr<WorkerPool> external_pool_;
   mutable std::vector<double> slice_gather_scratch_;
 };
 

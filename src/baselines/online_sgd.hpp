@@ -52,7 +52,7 @@ class OnlineSgd : public StreamingMethod {
   /// Advances the factors without building the estimate handle at all —
   /// the forecast-protocol fast path.
   void Observe(const DenseTensor& y, const Mask& omega) override;
-  void AdoptWorkerPool(std::shared_ptr<ThreadPool> pool) override {
+  void AdoptWorkerPool(std::shared_ptr<WorkerPool> pool) override {
     sweep_.AdoptPool(std::move(pool));
   }
 

@@ -58,7 +58,7 @@ class OrMstc : public StreamingMethod {
   /// re-solve exists purely for the returned estimate) — the
   /// forecast-protocol fast path.
   void Observe(const DenseTensor& y, const Mask& omega) override;
-  void AdoptWorkerPool(std::shared_ptr<ThreadPool> pool) override {
+  void AdoptWorkerPool(std::shared_ptr<WorkerPool> pool) override {
     sweep_.AdoptPool(std::move(pool));
   }
 

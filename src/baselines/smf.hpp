@@ -63,7 +63,7 @@ class Smf : public StreamingMethod {
   /// output-only estimate handle — the forecast-protocol fast path (what
   /// the Fig. 6 protocol actually drives).
   void Observe(const DenseTensor& y, const Mask& omega) override;
-  void AdoptWorkerPool(std::shared_ptr<ThreadPool> pool) override {
+  void AdoptWorkerPool(std::shared_ptr<WorkerPool> pool) override {
     sweep_.AdoptPool(std::move(pool));
   }
 

@@ -108,10 +108,12 @@ SofiaModel SofiaModel::Initialize(const std::vector<DenseTensor>& slices,
   return model;
 }
 
-ThreadPool* SofiaModel::StepPool() {
+WorkerPool* SofiaModel::StepPool() {
   if (external_pool_ != nullptr) return external_pool_.get();
   if (!pool_) {
-    pool_ = std::make_unique<ThreadPool>(
+    // ShardExecutor, not ThreadPool: standalone Step() loops then keep
+    // stable slab ownership (and arena scratch) across steps too.
+    pool_ = std::make_unique<ShardExecutor>(
         ResolveNumThreads(config_.num_threads));
   }
   return pool_.get();
@@ -207,7 +209,7 @@ void SofiaModel::AccumulateSparse(const DenseTensor& y, const Mask& omega,
                                   SofiaStepResult* result) {
   const double k_huber = config_.huber_k;
   const double ck = config_.biweight_ck;
-  ThreadPool* pool = StepPool();
+  WorkerPool* pool = StepPool();
   const CooList& coo = StepPattern(omega, std::move(pattern));
   const size_t nnz = coo.nnz();
   // CSF backend: shared patterns arrive pre-compiled when the comparison

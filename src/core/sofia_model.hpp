@@ -15,6 +15,7 @@
 #include "tensor/sparse_mask.hpp"
 #include "timeseries/holt_winters.hpp"
 #include "util/parallel.hpp"
+#include "util/shard_executor.hpp"
 
 /// \file sofia_model.hpp
 /// \brief The streaming SOFIA model: HW fitting (Section V-B), dynamic
@@ -169,7 +170,7 @@ class SofiaModel {
   /// Adopt an externally owned worker pool for the sparse Step kernels (one
   /// shared pool per comparison run). Bitwise-neutral; nullptr restores the
   /// internal pool.
-  void AdoptPool(std::shared_ptr<ThreadPool> pool) {
+  void AdoptPool(std::shared_ptr<WorkerPool> pool) {
     external_pool_ = std::move(pool);
   }
 
@@ -205,7 +206,7 @@ class SofiaModel {
   /// `shared` outright when given.
   const CooList& StepPattern(const Mask& omega,
                              std::shared_ptr<const CooList> shared);
-  ThreadPool* StepPool();
+  WorkerPool* StepPool();
 
   SofiaConfig config_;
   SofiaAblation ablation_;
@@ -239,8 +240,8 @@ class SofiaModel {
   std::shared_ptr<const CooList> step_csf_source_;
   size_t step_pattern_builds_ = 0;
   size_t step_pattern_reuses_ = 0;
-  std::unique_ptr<ThreadPool> pool_;
-  std::shared_ptr<ThreadPool> external_pool_;
+  std::unique_ptr<ShardExecutor> pool_;
+  std::shared_ptr<WorkerPool> external_pool_;
 };
 
 }  // namespace sofia

@@ -41,7 +41,7 @@ StepResult SofiaStream::ForecastLazy(size_t h) const {
                              model_->ForecastRow(h));
 }
 
-void SofiaStream::AdoptWorkerPool(std::shared_ptr<ThreadPool> pool) {
+void SofiaStream::AdoptWorkerPool(std::shared_ptr<WorkerPool> pool) {
   adopted_pool_ = std::move(pool);
   if (model_ != nullptr) model_->AdoptPool(adopted_pool_);
 }

@@ -46,7 +46,7 @@ class SofiaStream : public StreamingMethod {
   bool SupportsForecast() const override { return true; }
   StepResult ForecastLazy(size_t h) const override;
 
-  void AdoptWorkerPool(std::shared_ptr<ThreadPool> pool) override;
+  void AdoptWorkerPool(std::shared_ptr<WorkerPool> pool) override;
 
   /// Checkpointing delegates to SofiaModel::Serialize/Deserialize behind a
   /// model-present flag, so a pre-Initialize snapshot restores cleanly too.
@@ -62,7 +62,7 @@ class SofiaStream : public StreamingMethod {
   SofiaAblation ablation_;
   std::string name_;
   std::unique_ptr<SofiaModel> model_;
-  std::shared_ptr<ThreadPool> adopted_pool_;  ///< Applied to the model.
+  std::shared_ptr<WorkerPool> adopted_pool_;  ///< Applied to the model.
 };
 
 }  // namespace sofia

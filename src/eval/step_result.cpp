@@ -132,7 +132,7 @@ double StepResult::at(const std::vector<size_t>& indices) const {
 
 void StepResult::GatherAtInto(const CooList& pattern,
                               std::vector<double>* out,
-                              ThreadPool* pool) const {
+                              WorkerPool* pool) const {
   SOFIA_CHECK(valid()) << "StepResult carries no estimate";
   SOFIA_CHECK(pattern.shape() == shape_);
   if (dense_) {
@@ -170,14 +170,14 @@ void StepResult::GatherAtInto(const CooList& pattern,
 }
 
 std::vector<double> StepResult::GatherAt(const CooList& pattern,
-                                         ThreadPool* pool) const {
+                                         WorkerPool* pool) const {
   std::vector<double> out;
   GatherAtInto(pattern, &out, pool);
   return out;
 }
 
 std::vector<double> StepResult::GatherObserved(
-    const std::shared_ptr<const CooList>& pattern, ThreadPool* pool) const {
+    const std::shared_ptr<const CooList>& pattern, WorkerPool* pool) const {
   SOFIA_CHECK(pattern != nullptr);
   return GatherAt(*pattern, pool);
 }

@@ -85,16 +85,16 @@ class StepResult {
   /// the eval protocols score from. Bitwise identical to gathering from
   /// imputed(). An optional pool threads the Kruskal gathers.
   std::vector<double> GatherAt(const CooList& pattern,
-                               ThreadPool* pool = nullptr) const;
+                               WorkerPool* pool = nullptr) const;
   /// GatherAt into a caller-owned buffer (resized) — scratch reuse across
   /// steps for the protocol loops.
   void GatherAtInto(const CooList& pattern, std::vector<double>* out,
-                    ThreadPool* pool = nullptr) const;
+                    WorkerPool* pool = nullptr) const;
   /// Convenience overload for the shared per-step pattern handed around by
   /// the comparison runner.
   std::vector<double> GatherObserved(
       const std::shared_ptr<const CooList>& pattern,
-      ThreadPool* pool = nullptr) const;
+      WorkerPool* pool = nullptr) const;
 
   /// Largest |entry| across the handle's low-dimensional structure: the
   /// factor matrices and combination weights of a Kruskal view, or the

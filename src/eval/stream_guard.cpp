@@ -89,16 +89,49 @@ StreamGuard::StreamGuard(std::unique_ptr<StreamingMethod> inner,
   ring_.resize(options_.checkpoint_slots);
 }
 
+StreamGuard::~StreamGuard() {
+  // An in-flight aux-lane save reads inner_ and writes a ring slot; both
+  // die with this object, so land it first.
+  SyncCheckpoint();
+}
+
+void StreamGuard::AdoptWorkerPool(std::shared_ptr<WorkerPool> pool) {
+  SyncCheckpoint();  // A pool swap must not orphan an in-flight save.
+  adopted_pool_ = pool;
+  executor_ = dynamic_cast<ShardExecutor*>(pool.get());
+  inner_->AdoptWorkerPool(std::move(pool));
+}
+
 bool StreamGuard::CanCheckpoint() const {
   return inner_->SupportsStateCheckpoint() && options_.checkpoint_slots > 0;
 }
 
 void StreamGuard::SaveCheckpoint() {
-  SerializeInto(*inner_, &ring_[telemetry_.checkpoints_saved % ring_.size()]);
+  const size_t slot = telemetry_.checkpoints_saved % ring_.size();
   ++telemetry_.checkpoints_saved;
   // A fresh health-accepted checkpoint is the new best rollback target:
   // restart any in-episode walk-back from it.
   episode_rollback_depth_ = 0;
+  if (executor_ != nullptr) {
+    // Serialize on the executor's aux lane: the O(state) write overlaps the
+    // caller's scoring of this step and the next slice's ingest. The job
+    // only *reads* inner state, and every inner-state mutation first passes
+    // SyncCheckpoint(), so the serialized bytes match a synchronous save
+    // exactly (checkpoint_test.cc pins restore parity).
+    StreamingMethod* inner = inner_.get();
+    std::string* dst = &ring_[slot];
+    pending_ticket_ =
+        executor_->Submit([inner, dst] { SerializeInto(*inner, dst); });
+    return;
+  }
+  SerializeInto(*inner_, &ring_[slot]);
+}
+
+void StreamGuard::SyncCheckpoint() const {
+  if (executor_ != nullptr && pending_ticket_ != 0) {
+    executor_->Wait(pending_ticket_);
+    pending_ticket_ = 0;
+  }
 }
 
 void StreamGuard::CaptureReinitSnapshot() {
@@ -132,6 +165,7 @@ std::vector<DenseTensor> StreamGuard::Initialize(
       payload_window_.pop_front();
     }
   }
+  SyncCheckpoint();  // Initialize mutates inner state.
   std::vector<DenseTensor> completed = inner_->Initialize(slices, masks);
   if (!slices.empty()) expected_shape_ = slices.front().shape();
   if (CanCheckpoint()) CaptureReinitSnapshot();
@@ -148,6 +182,7 @@ void StreamGuard::BeginFault() {
 }
 
 bool StreamGuard::DegradeState() {
+  SyncCheckpoint();  // Restores mutate inner state and read ring slots.
   switch (options_.policy) {
     case GuardPolicy::kSkipSlice:
       ++telemetry_.skips;
@@ -245,6 +280,9 @@ void StreamGuard::AcceptStep(double probe_nre, double norm) {
 StepResult StreamGuard::StepLazy(const DenseTensor& y, const Mask& omega,
                                  std::shared_ptr<const CooList> pattern) {
   ++telemetry_.steps;
+  // Land the previous step's async checkpoint before anything below can
+  // mutate inner state (the inner step, clock advances, restores).
+  SyncCheckpoint();
   // Init-less methods: their pristine state is the kReinit target, captured
   // before the first slice can touch it.
   if (reinit_snapshot_.empty() && CanCheckpoint()) CaptureReinitSnapshot();

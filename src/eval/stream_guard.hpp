@@ -1,12 +1,14 @@
 #ifndef SOFIA_EVAL_STREAM_GUARD_H_
 #define SOFIA_EVAL_STREAM_GUARD_H_
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "eval/streaming_method.hpp"
+#include "util/shard_executor.hpp"
 
 /// \file stream_guard.hpp
 /// \brief Fault-tolerance wrapper for any StreamingMethod.
@@ -125,6 +127,8 @@ class StreamGuard : public StreamingMethod {
  public:
   explicit StreamGuard(std::unique_ptr<StreamingMethod> inner,
                        StreamGuardOptions options = {});
+  /// Waits for an in-flight async checkpoint before tearing down.
+  ~StreamGuard() override;
 
   std::string name() const override { return inner_->name() + "+guard"; }
   size_t init_window() const override { return inner_->init_window(); }
@@ -147,9 +151,11 @@ class StreamGuard : public StreamingMethod {
     return inner_->ForecastLazy(h);
   }
 
-  void AdoptWorkerPool(std::shared_ptr<ThreadPool> pool) override {
-    inner_->AdoptWorkerPool(std::move(pool));
-  }
+  /// Forwards the pool to the inner method and, when it is a ShardExecutor,
+  /// keeps a handle so ring-checkpoint serialization moves onto the
+  /// executor's aux lane: the O(state) write then overlaps the caller's
+  /// scoring and next-slice ingest instead of serializing with them.
+  void AdoptWorkerPool(std::shared_ptr<WorkerPool> pool) override;
 
   /// The guard itself checkpoints by delegating to the inner method (its
   /// own counters are telemetry, not model state).
@@ -157,9 +163,13 @@ class StreamGuard : public StreamingMethod {
     return inner_->SupportsStateCheckpoint();
   }
   void SaveState(std::ostream& out) const override {
+    SyncCheckpoint();
     inner_->SaveState(out);
   }
-  void RestoreState(std::istream& in) override { inner_->RestoreState(in); }
+  void RestoreState(std::istream& in) override {
+    SyncCheckpoint();
+    inner_->RestoreState(in);
+  }
 
   const GuardTelemetry& telemetry() const { return telemetry_; }
   const StreamingMethod& inner() const { return *inner_; }
@@ -167,8 +177,14 @@ class StreamGuard : public StreamingMethod {
  private:
   /// True when checkpoint/restore degradation is available.
   bool CanCheckpoint() const;
-  /// Serializes the inner state into the next ring slot.
+  /// Serializes the inner state into the next ring slot — asynchronously on
+  /// the adopted executor's aux lane when one is available.
   void SaveCheckpoint();
+  /// Blocks until the in-flight async checkpoint (if any) has landed.
+  /// Called before every inner-state mutation or read-back (next step,
+  /// restore, external SaveState, pool swap, destruction), which is what
+  /// keeps async saves bitwise identical to synchronous ones.
+  void SyncCheckpoint() const;
   /// Captures the snapshot kReinit restores (post-Initialize state, or the
   /// pristine pre-first-step state of init-less methods).
   void CaptureReinitSnapshot();
@@ -194,6 +210,11 @@ class StreamGuard : public StreamingMethod {
   std::unique_ptr<StreamingMethod> inner_;
   StreamGuardOptions options_;
   GuardTelemetry telemetry_;
+
+  // Async-checkpoint state: set when the adopted pool is a ShardExecutor.
+  std::shared_ptr<WorkerPool> adopted_pool_;
+  ShardExecutor* executor_ = nullptr;  ///< Non-owning view of adopted_pool_.
+  mutable uint64_t pending_ticket_ = 0;  ///< 0 = no save in flight.
 
   Shape expected_shape_;  ///< Slice shape locked in by the first valid slice.
 

@@ -1,0 +1,222 @@
+#include "eval/stream_pipeline.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "baselines/observed_sweep.hpp"
+#include "eval/run_helpers.hpp"
+#include "tensor/csf_tensor.hpp"
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace sofia {
+
+using eval_detail::AttachGuardTelemetry;
+using eval_detail::BuildEvalPattern;
+using eval_detail::FinalizeRunMetrics;
+using eval_detail::RunInitWindow;
+using eval_detail::ScoreScratch;
+using eval_detail::ScoreStep;
+
+StreamPipeline::StreamPipeline(const CorruptedStream& stream,
+                               const std::vector<DenseTensor>& truth,
+                               StreamEvalOptions options)
+    : stream_(stream), truth_(truth), options_(std::move(options)) {
+  SOFIA_CHECK_EQ(stream_.slices.size(), truth_.size());
+  if (options_.pipeline_depth == 0) options_.pipeline_depth = 1;
+  if (options_.window == 0) options_.window = 1;
+  const size_t workers = ResolveNumThreads(
+      options_.workers != 0 ? options_.workers : options_.num_threads);
+  ring_.resize(options_.pipeline_depth);
+  for (std::vector<SliceIngest>& slot : ring_) slot.resize(options_.window);
+  tickets_.assign(options_.pipeline_depth, 0);
+  executor_ = std::make_unique<ShardExecutor>(workers);
+}
+
+StreamPipeline::~StreamPipeline() {
+  // executor_ is declared last, so it is destroyed first — its destructor
+  // drains the aux lane while the ring and cache it references still exist.
+}
+
+size_t StreamPipeline::NumWindows(size_t limit) const {
+  return (limit + options_.window - 1) / options_.window;
+}
+
+void StreamPipeline::IngestWindow(size_t w, size_t limit) {
+  Stopwatch timer;
+  std::vector<SliceIngest>& slot = ring_[w % ring_.size()];
+  const size_t begin = w * options_.window;
+  const size_t end = std::min(begin + options_.window, limit);
+  for (size_t t = begin; t < end; ++t) {
+    SliceIngest& ingest = slot[t - begin];
+    const Mask& omega = stream_.masks[t];
+    if (!cache_mask_.valid() || !cache_mask_.Matches(omega)) {
+      std::shared_ptr<const CooList> previous = std::move(cache_pattern_);
+      cache_pattern_ = MakeSharedPattern(omega);
+      if (options_.pattern_storage == PatternStorage::kCsf) {
+        // Attach once (every method adopts it), patching the previous
+        // pattern's trees forward on low-churn mask changes instead of
+        // recompiling from scratch.
+        EnsureCsfDelta(*cache_pattern_, previous);
+      }
+      cache_eval_ = BuildEvalPattern(*cache_pattern_,
+                                     options_.max_eval_entries);
+      SparseMask next = SparseMask::FromCoo(*cache_pattern_);
+      // Rebuild telemetry: how far did the mask actually move? (The first
+      // build has no predecessor and logs no delta.)
+      if (cache_mask_.valid()) {
+        pattern_delta_sizes_.push_back(cache_mask_.DeltaSize(next));
+      }
+      cache_mask_ = std::move(next);
+      ++pattern_builds_;
+    } else {
+      ++pattern_reuses_;
+    }
+    ingest.pattern = cache_pattern_;
+    ingest.eval_pattern = cache_eval_;
+    cache_pattern_->GatherInto(truth_[t], &ingest.truth_observed);
+    cache_eval_->GatherInto(truth_[t], &ingest.truth_missing);
+  }
+  ++telemetry_.ingest_jobs;
+  telemetry_.ingest_seconds += timer.ElapsedSeconds();
+}
+
+void StreamPipeline::SubmitIngest(size_t w, size_t limit) {
+  tickets_[w % tickets_.size()] =
+      executor_->Submit([this, w, limit] { IngestWindow(w, limit); });
+}
+
+std::vector<MethodRunResult> StreamPipeline::Run(
+    const std::vector<StreamingMethod*>& methods, size_t limit) {
+  const size_t total =
+      limit == 0 ? truth_.size() : std::min(limit, truth_.size());
+  const size_t depth = options_.pipeline_depth;
+
+  // Fresh cache + telemetry per Run; the executor (and its warm arena)
+  // persists across calls.
+  cache_mask_ = SparseMask();
+  cache_pattern_.reset();
+  cache_eval_.reset();
+  pattern_builds_ = 0;
+  pattern_reuses_ = 0;
+  pattern_delta_sizes_.clear();
+  telemetry_ = PipelineTelemetry{};
+  telemetry_.workers = executor_->num_threads();
+  telemetry_.pipeline_depth = depth;
+  telemetry_.window = options_.window;
+  telemetry_.steps = total;
+  const uint64_t arena_base = executor_->arena()->growth_events();
+  uint64_t arena_after_first_window = arena_base;
+
+  // The executor is shared with every method (via the AdoptWorkerPool seam)
+  // and drives the scoring gathers; serial consumers ignore a 1-thread
+  // pool. Aliasing shared_ptr: the pipeline owns the executor, adoption is
+  // borrowed and revoked (AdoptWorkerPool(nullptr)) before Run returns.
+  std::shared_ptr<WorkerPool> adopted(executor_.get(),
+                                      [](WorkerPool*) {});
+  WorkerPool* gather_pool =
+      executor_->num_threads() > 1 ? executor_.get() : nullptr;
+
+  std::vector<MethodRunResult> out(methods.size());
+  std::vector<size_t> windows(methods.size(), 0);
+  std::vector<std::vector<DenseTensor>> completions(methods.size());
+  for (size_t m = 0; m < methods.size(); ++m) {
+    StreamingMethod* method = methods[m];
+    method->AdoptWorkerPool(adopted);
+    out[m].name = method->name();
+    const size_t window = method->init_window();
+    SOFIA_CHECK_LE(window, total);
+    windows[m] = window;
+    out[m].run.nre.reserve(total);
+    out[m].run.step_seconds.reserve(total - window);
+    completions[m] = RunInitWindow(method, stream_, window, &out[m].run);
+  }
+
+  const size_t num_windows = NumWindows(total);
+  if (depth > 1) {
+    for (size_t w = 0; w < std::min(depth - 1, num_windows); ++w) {
+      SubmitIngest(w, total);
+    }
+  }
+
+  ScoreScratch scratch;
+  for (size_t w = 0; w < num_windows; ++w) {
+    if (depth == 1) {
+      IngestWindow(w, total);
+    } else {
+      Stopwatch stall;
+      executor_->Wait(tickets_[w % depth]);
+      telemetry_.ingest_stall_seconds += stall.ElapsedSeconds();
+      // Keep the ring full: window w's slot frees up after this compute
+      // pass; w + depth - 1 is the furthest window the ring can hold.
+      if (w + depth - 1 < num_windows) SubmitIngest(w + depth - 1, total);
+    }
+    const std::vector<SliceIngest>& slot = ring_[w % ring_.size()];
+    const size_t begin = w * options_.window;
+    const size_t end = std::min(begin + options_.window, total);
+    for (size_t t = begin; t < end; ++t) {
+      const SliceIngest& ingest = slot[t - begin];
+      for (size_t m = 0; m < methods.size(); ++m) {
+        if (t < windows[m]) {
+          // Init-window slice: score the stored completion at the same
+          // entry sets (Dense handles are not lazy materializations).
+          StepResult completed =
+              StepResult::Dense(std::move(completions[m][t]));
+          ScoreStep(completed, *ingest.pattern, *ingest.eval_pattern,
+                    ingest.truth_observed, ingest.truth_missing, gather_pool,
+                    &scratch, &out[m].run);
+          continue;
+        }
+        StepResult estimate;
+        Stopwatch timer;
+        if (options_.force_dense) {
+          estimate = StepResult::Dense(
+              methods[m]->Step(stream_.slices[t], stream_.masks[t],
+                               ingest.pattern));
+        } else {
+          estimate = methods[m]->StepLazy(stream_.slices[t],
+                                          stream_.masks[t], ingest.pattern);
+        }
+        out[m].run.step_seconds.push_back(timer.ElapsedSeconds());
+        ScoreStep(estimate, *ingest.pattern, *ingest.eval_pattern,
+                  ingest.truth_observed, ingest.truth_missing, gather_pool,
+                  &scratch, &out[m].run);
+      }
+    }
+    if (w == 0) {
+      arena_after_first_window = executor_->arena()->growth_events();
+    }
+  }
+
+  // Land every in-flight aux job (tail ingest prefetches on an early
+  // limit, async guard checkpoints) before reading shared telemetry.
+  executor_->DrainAux();
+  telemetry_.arena_growth_total =
+      executor_->arena()->growth_events() - arena_base;
+  telemetry_.arena_growth_steady =
+      executor_->arena()->growth_events() - arena_after_first_window;
+
+  for (size_t m = 0; m < methods.size(); ++m) {
+    FinalizeRunMetrics(windows[m], &out[m].run);
+    // The pattern cache and runtime are shared, so every method reports
+    // the same rebuild + pipeline telemetry.
+    out[m].run.pattern_builds = pattern_builds_;
+    out[m].run.pattern_reuses = pattern_reuses_;
+    out[m].run.pattern_delta_sizes = pattern_delta_sizes_;
+    out[m].run.pipelined = true;
+    out[m].run.pipeline = telemetry_;
+    AttachGuardTelemetry(methods[m], &out[m].run);
+    methods[m]->AdoptWorkerPool(nullptr);
+  }
+  return out;
+}
+
+std::vector<MethodRunResult> RunStreamPipeline(
+    const std::vector<StreamingMethod*>& methods,
+    const CorruptedStream& stream, const std::vector<DenseTensor>& truth,
+    const StreamEvalOptions& options) {
+  StreamPipeline pipeline(stream, truth, options);
+  return pipeline.Run(methods);
+}
+
+}  // namespace sofia

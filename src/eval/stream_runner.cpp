@@ -3,20 +3,16 @@
 #include <memory>
 #include <utility>
 
-#include "baselines/observed_sweep.hpp"
 #include "eval/metrics.hpp"
-#include "tensor/csf_tensor.hpp"
-#include "tensor/sparse_mask.hpp"
+#include "eval/run_helpers.hpp"
+#include "eval/stream_pipeline.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
 namespace sofia {
 
-namespace {
+namespace eval_detail {
 
-/// Shared init-window phase of the imputation protocols: feed the first
-/// `window` slices to Initialize(), time it, and return the completions.
-/// Empty when window == 0.
 std::vector<DenseTensor> RunInitWindow(StreamingMethod* method,
                                        const CorruptedStream& stream,
                                        size_t window,
@@ -34,8 +30,6 @@ std::vector<DenseTensor> RunInitWindow(StreamingMethod* method,
   return completed;
 }
 
-/// Shared aggregate metrics: RAE over everything, RAE excluding the init
-/// window, mean per-step time.
 void FinalizeRunMetrics(size_t window, StreamRunResult* result) {
   result->rae = Mean(result->nre);
   result->rae_post_init = Mean(std::vector<double>(
@@ -43,8 +37,6 @@ void FinalizeRunMetrics(size_t window, StreamRunResult* result) {
   result->art_seconds = Mean(result->step_seconds);
 }
 
-/// Copies a StreamGuard's trip/recovery counters into the run result (a
-/// no-op for unguarded methods).
 void AttachGuardTelemetry(const StreamingMethod* method,
                           StreamRunResult* result) {
   if (const auto* guard = dynamic_cast<const StreamGuard*>(method)) {
@@ -53,11 +45,8 @@ void AttachGuardTelemetry(const StreamingMethod* method,
   }
 }
 
-/// Held-out eval pattern derived from the observed pattern: the missing
-/// entries, capped at `max_entries` by an evenly strided deterministic pick
-/// (0 = no cap). Missing entries are enumerated as the *gaps* between the
-/// observed pattern's sorted records, so the build costs O(|Ω| + picks) —
-/// never a dense index-space walk (the old dense-mask build was the last
+/// Missing entries are enumerated as the *gaps* between the observed
+/// pattern's sorted records (the old dense-mask build was the last
 /// O(volume) term of a mask-reuse step). Picks are missing-enumeration
 /// positions 0, stride, 2·stride, … with a ceil stride, identical to the
 /// dense walk it replaces. Bucket-less — only the gather kernels touch it.
@@ -98,23 +87,17 @@ std::shared_ptr<const CooList> BuildEvalPattern(const CooList& observed,
       observed.shape(), std::move(picks), /*with_mode_buckets=*/false));
 }
 
-/// Per-step scoring scratch shared across methods and steps.
-struct ScoreScratch {
-  std::vector<double> est_observed, est_missing;
-  std::vector<double> truth_observed, truth_missing;
-};
-
-/// Score one estimate handle at the observed + held-out patterns; appends
-/// the three NRE series entries.
 void ScoreStep(const StepResult& estimate, const CooList& observed,
-               const CooList& held_out, ThreadPool* pool,
+               const CooList& held_out,
+               const std::vector<double>& truth_observed,
+               const std::vector<double>& truth_missing, WorkerPool* pool,
                ScoreScratch* scratch, StreamRunResult* result) {
   estimate.GatherAtInto(observed, &scratch->est_observed, pool);
   estimate.GatherAtInto(held_out, &scratch->est_missing, pool);
   const GatheredError obs_err = AccumulateGatheredError(
-      scratch->est_observed, scratch->truth_observed);
+      scratch->est_observed, truth_observed);
   const GatheredError miss_err = AccumulateGatheredError(
-      scratch->est_missing, scratch->truth_missing);
+      scratch->est_missing, truth_missing);
   GatheredError total = obs_err;
   total += miss_err;
   result->observed_nre.push_back(GatheredNre(obs_err));
@@ -122,7 +105,12 @@ void ScoreStep(const StepResult& estimate, const CooList& observed,
   result->nre.push_back(GatheredNre(total));
 }
 
-}  // namespace
+}  // namespace eval_detail
+
+using eval_detail::AttachGuardTelemetry;
+using eval_detail::BuildEvalPattern;
+using eval_detail::FinalizeRunMetrics;
+using eval_detail::RunInitWindow;
 
 StreamRunResult RunImputation(StreamingMethod* method,
                               const CorruptedStream& stream,
@@ -157,108 +145,12 @@ std::vector<MethodRunResult> RunImputationComparison(
     const std::vector<StreamingMethod*>& methods,
     const CorruptedStream& stream, const std::vector<DenseTensor>& truth,
     const StreamEvalOptions& options) {
-  SOFIA_CHECK_EQ(stream.slices.size(), truth.size());
-  const size_t total = truth.size();
-
-  // One worker pool for the whole run: adopted by every method (instead of
-  // one lazily spawned pool each) and used for the scoring gathers. A
-  // 1-thread pool degrades to the serial path inside the consumers.
-  auto pool = std::make_shared<ThreadPool>(
-      ResolveNumThreads(options.num_threads));
-  ThreadPool* gather_pool = pool->num_threads() > 1 ? pool.get() : nullptr;
-
-  std::vector<MethodRunResult> out(methods.size());
-  std::vector<size_t> windows(methods.size(), 0);
-  std::vector<std::vector<DenseTensor>> completions(methods.size());
-  for (size_t m = 0; m < methods.size(); ++m) {
-    StreamingMethod* method = methods[m];
-    method->AdoptWorkerPool(pool);
-    out[m].name = method->name();
-    const size_t window = method->init_window();
-    SOFIA_CHECK_LE(window, total);
-    windows[m] = window;
-    out[m].run.nre.reserve(total);
-    out[m].run.step_seconds.reserve(total - window);
-    completions[m] = RunInitWindow(method, stream, window, &out[m].run);
-  }
-
-  // Shared step loop: per distinct consecutive mask, one observed CooList
-  // (with mode buckets, for the methods' kernels), its CSF compilation
-  // when the run's storage backend asks for one, and one held-out eval
-  // pattern (derived from the observed records, O(|Ω| + picks)) — the
-  // CooList compaction is the only O(volume) work of the loop, and only
-  // on mask change: the reuse cache is a SparseMask, so steady-state steps
-  // compare in O(|Ω_t|) (test-pinned via the telemetry below and
-  // Mask::deep_equality_scans). Truth values at both patterns are gathered
-  // once per step and shared across methods.
-  std::shared_ptr<const CooList> pattern;
-  std::shared_ptr<const CooList> eval_pattern;
-  SparseMask pattern_mask;
-  size_t pattern_builds = 0;
-  size_t pattern_reuses = 0;
-  std::vector<size_t> pattern_delta_sizes;
-  ScoreScratch scratch;
-  for (size_t t = 0; t < total; ++t) {
-    const Mask& omega = stream.masks[t];
-    if (!pattern_mask.valid() || !pattern_mask.Matches(omega)) {
-      std::shared_ptr<const CooList> previous = std::move(pattern);
-      pattern = MakeSharedPattern(omega);
-      if (options.pattern_storage == PatternStorage::kCsf) {
-        // Attach once (every method adopts it), patching the previous
-        // pattern's trees forward on low-churn mask changes instead of
-        // recompiling from scratch.
-        EnsureCsfDelta(*pattern, previous);
-      }
-      eval_pattern = BuildEvalPattern(*pattern, options.max_eval_entries);
-      SparseMask next = SparseMask::FromCoo(*pattern);
-      // Rebuild telemetry: how far did the mask actually move? (The first
-      // build has no predecessor and logs no delta.)
-      if (pattern_mask.valid()) {
-        pattern_delta_sizes.push_back(pattern_mask.DeltaSize(next));
-      }
-      pattern_mask = std::move(next);
-      ++pattern_builds;
-    } else {
-      ++pattern_reuses;
-    }
-    pattern->GatherInto(truth[t], &scratch.truth_observed);
-    eval_pattern->GatherInto(truth[t], &scratch.truth_missing);
-    for (size_t m = 0; m < methods.size(); ++m) {
-      if (t < windows[m]) {
-        // Init-window slice: score the stored completion at the same entry
-        // sets (Dense handles do not count as lazy materializations).
-        StepResult completed =
-            StepResult::Dense(std::move(completions[m][t]));
-        ScoreStep(completed, *pattern, *eval_pattern, gather_pool, &scratch,
-                  &out[m].run);
-        continue;
-      }
-      StepResult estimate;
-      Stopwatch timer;
-      if (options.force_dense) {
-        estimate =
-            StepResult::Dense(methods[m]->Step(stream.slices[t], omega,
-                                               pattern));
-      } else {
-        estimate = methods[m]->StepLazy(stream.slices[t], omega, pattern);
-      }
-      out[m].run.step_seconds.push_back(timer.ElapsedSeconds());
-      ScoreStep(estimate, *pattern, *eval_pattern, gather_pool, &scratch,
-                &out[m].run);
-    }
-  }
-
-  for (size_t m = 0; m < methods.size(); ++m) {
-    FinalizeRunMetrics(windows[m], &out[m].run);
-    // The pattern cache is shared, so every method reports the same
-    // rebuild telemetry.
-    out[m].run.pattern_builds = pattern_builds;
-    out[m].run.pattern_reuses = pattern_reuses;
-    out[m].run.pattern_delta_sizes = pattern_delta_sizes;
-    AttachGuardTelemetry(methods[m], &out[m].run);
-    methods[m]->AdoptWorkerPool(nullptr);
-  }
-  return out;
+  // The comparison protocol is now a configuration of the sharded
+  // streaming runtime: default knobs (workers = num_threads, depth 1,
+  // window 1) reproduce the former sequential loop exactly — same scores,
+  // same telemetry — while --workers/--pipeline-depth/--window open the
+  // persistent-shard and ingest-overlap paths.
+  return RunStreamPipeline(methods, stream, truth, options);
 }
 
 double RunForecast(StreamingMethod* method, const CorruptedStream& stream,

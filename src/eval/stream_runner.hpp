@@ -53,6 +53,47 @@ struct StreamEvalOptions {
   /// to the dense materialization). Method outputs agree with the kCoo run
   /// to floating-point reassociation (≤1e-12, tests/csf_test.cc).
   PatternStorage pattern_storage = PatternStorage::kCoo;
+
+  // Streaming-runtime knobs (eval/stream_pipeline.hpp). Scores are bitwise
+  // identical for every (workers, pipeline_depth, window) combination —
+  // these trade wall-clock shape only (tests/stream_pipeline_test.cc).
+  /// Workers of the persistent ShardExecutor driving kernels + gathers
+  /// (0 = fall back to num_threads). Each worker owns a stable contiguous
+  /// root-slab range of every CSF tree across the whole run.
+  size_t workers = 0;
+  /// Ingest ring depth: 1 runs slice ingest (pattern compare/build,
+  /// CSF delta, eval-pattern sampling, truth gathers) synchronously before
+  /// each compute window; 2+ runs it on the executor's aux lane up to
+  /// depth-1 windows ahead, overlapping window w+1's ingest with window w's
+  /// solves.
+  size_t pipeline_depth = 1;
+  /// Slices ingested per batch (the windowed mode): one ingest job covers
+  /// `window` consecutive slices, amortizing job dispatch and keeping the
+  /// mask-reuse cache hot across the batch. Compute stays per-slice.
+  size_t window = 1;
+};
+
+/// What the sharded pipeline did, beyond the per-method metrics: knob
+/// echo, ingest/compute overlap accounting, and the executor arena's
+/// allocation watch (identical for every method of a run).
+struct PipelineTelemetry {
+  size_t workers = 1;         ///< Executor threads (incl. the driver).
+  size_t pipeline_depth = 1;  ///< Ingest ring depth (1 = synchronous).
+  size_t window = 1;          ///< Slices per ingest batch.
+  size_t steps = 0;           ///< Slices driven through the pipeline.
+  size_t ingest_jobs = 0;     ///< Ingest batches executed.
+  /// Summed wall time inside ingest batches (on the aux thread at depth
+  /// >= 2). With overlap, most of it hides under compute:
+  /// hidden fraction = 1 - ingest_stall_seconds / ingest_seconds.
+  double ingest_seconds = 0.0;
+  /// Main-thread time blocked waiting for a not-yet-ingested window.
+  double ingest_stall_seconds = 0.0;
+  /// ScratchArena growth events over the whole run, and over the run
+  /// excluding the first compute window. A steady-state stream (stable
+  /// mask) holds arena_growth_steady == 0: every post-warm-up step runs
+  /// allocation-free through the kernel scratch (test-pinned).
+  uint64_t arena_growth_total = 0;
+  uint64_t arena_growth_steady = 0;
 };
 
 /// Per-run measurements.
@@ -88,6 +129,11 @@ struct StreamRunResult {
   // that simply saw zero trips.
   bool guarded = false;
   GuardTelemetry guard;
+
+  // Sharded-runtime telemetry, populated by the pipeline drivers
+  // (identical for every method of a run — the runtime is shared).
+  bool pipelined = false;
+  PipelineTelemetry pipeline;
 };
 
 /// Imputation protocol (Figs. 3-5), dense generation: run `method` over the

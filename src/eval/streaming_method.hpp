@@ -101,7 +101,7 @@ class StreamingMethod {
   /// Results are bitwise identical with or without it — the kernels'
   /// work units are owner-partitioned for every thread count. Default:
   /// ignore (dense-only methods have no kernel work to thread).
-  virtual void AdoptWorkerPool(std::shared_ptr<ThreadPool> pool) {
+  virtual void AdoptWorkerPool(std::shared_ptr<WorkerPool> pool) {
     (void)pool;
   }
 };

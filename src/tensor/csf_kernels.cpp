@@ -16,6 +16,7 @@ using kernel::FactorView;
 using kernel::MakeViews;
 using kernel::RankBuffer;
 using kernel::RankSquareBuffer;
+using kernel::ReduceScratch;
 
 /// Root nodes per task in the slab-blocked reductions (normal system,
 /// temporal gradient, gathers). Fixed — never derived from the thread
@@ -272,7 +273,7 @@ inline void RootExcludedWalk(const LevelView* lv, size_t a, size_t order,
 template <size_t kR>
 void CsfMttkrpImpl(const CsfTensor& csf, const std::vector<double>& values,
                    const std::vector<FactorView>& views, size_t mode,
-                   size_t num_threads, ThreadPool* pool, size_t rank,
+                   size_t num_threads, WorkerPool* pool, size_t rank,
                    Matrix* out) {
   const CsfTree& t = csf.tree(mode);
   const size_t order = csf.order();
@@ -329,7 +330,7 @@ template <size_t kR>
 void CsfRowSystemsImpl(const CsfTensor& csf, const std::vector<double>& values,
                        const std::vector<FactorView>& views,
                        const double* weights, size_t mode, size_t num_threads,
-                       ThreadPool* pool, size_t rank, RowSystems* sys) {
+                       WorkerPool* pool, size_t rank, RowSystems* sys) {
   const CsfTree& t = csf.tree(mode);
   const size_t order = csf.order();
   const std::vector<LevelView> lv = MakeLevelViews(t, views.data());
@@ -366,7 +367,7 @@ void CsfProximalRowUpdatesImpl(const CsfTensor& csf,
                                const std::vector<FactorView>& views,
                                const double* weights, size_t mode,
                                const Matrix& previous, double mu,
-                               size_t num_threads, ThreadPool* pool,
+                               size_t num_threads, WorkerPool* pool,
                                size_t rank, Matrix* u) {
   const CsfTree& t = csf.tree(mode);
   const size_t order = csf.order();
@@ -416,7 +417,7 @@ void CsfModeGradientImpl(const CsfTensor& csf,
                          const std::vector<double>& residuals,
                          const std::vector<FactorView>& views,
                          const double* temporal_row, size_t mode,
-                         size_t num_threads, ThreadPool* pool, size_t rank,
+                         size_t num_threads, WorkerPool* pool, size_t rank,
                          Matrix* grad, std::vector<double>* trace) {
   const CsfTree& t = csf.tree(mode);
   const size_t order = csf.order();
@@ -457,8 +458,8 @@ void CsfModeGradientImpl(const CsfTensor& csf,
 template <size_t kR, typename LeafFn>
 void RootSlabReduce(const CsfTensor& csf, const std::vector<FactorView>& views,
                     const double* base_prefix, size_t num_threads,
-                    ThreadPool* pool, size_t rank, size_t partial_stride,
-                    std::vector<double>* partials, const LeafFn& leaf_fn) {
+                    WorkerPool* pool, size_t rank, size_t partial_stride,
+                    double* partials, const LeafFn& leaf_fn) {
   const CsfTree& t = csf.tree(0);
   const size_t order = csf.order();
   const std::vector<LevelView> lv = MakeLevelViews(t, views.data());
@@ -472,7 +473,7 @@ void RootSlabReduce(const CsfTensor& csf, const std::vector<FactorView>& views,
     double* SOFIA_RESTRICT h = hbuf.get(R);
     double* base = levels;
     simd::Copy(base, base_prefix, R);
-    double* out = partials->data() + slab * partial_stride;
+    double* out = partials + slab * partial_stride;
     const size_t begin = slab * kRootSlab;
     const size_t end = std::min(begin + kRootSlab, t.num_roots());
     for (size_t a = begin; a < end; ++a) {
@@ -491,7 +492,7 @@ template <size_t kR>
 void CsfKruskalGatherImpl(const CsfTensor& csf,
                           const std::vector<FactorView>& views,
                           const double* temporal_row, size_t num_threads,
-                          ThreadPool* pool, size_t rank,
+                          WorkerPool* pool, size_t rank,
                           std::vector<double>* out) {
   const CsfTree& t = csf.tree(0);
   const size_t order = csf.order();
@@ -525,7 +526,7 @@ void CsfKruskalGatherImpl(const CsfTensor& csf,
 
 Matrix CsfMttkrp(const CsfTensor& csf, const std::vector<double>& values,
                  const std::vector<Matrix>& factors, size_t mode,
-                 size_t num_threads, ThreadPool* pool) {
+                 size_t num_threads, WorkerPool* pool) {
   SOFIA_CHECK_LT(mode, csf.order());
   SOFIA_CHECK_EQ(values.size(), csf.nnz());
   const size_t rank = factors.empty() ? 0 : factors[0].cols();
@@ -543,7 +544,7 @@ Matrix CsfMttkrp(const CsfTensor& csf, const std::vector<double>& values,
 RowSystems CsfRowSystems(const CsfTensor& csf,
                          const std::vector<double>& values,
                          const std::vector<Matrix>& factors, size_t mode,
-                         size_t num_threads, ThreadPool* pool) {
+                         size_t num_threads, WorkerPool* pool) {
   SOFIA_CHECK_LT(mode, csf.order());
   SOFIA_CHECK_EQ(values.size(), csf.nnz());
   const size_t rank = factors.empty() ? 0 : factors[0].cols();
@@ -566,7 +567,7 @@ RowSystems CsfWeightedRowSystems(const CsfTensor& csf,
                                  const std::vector<Matrix>& factors,
                                  const std::vector<double>& temporal_row,
                                  size_t mode, size_t num_threads,
-                                 ThreadPool* pool) {
+                                 WorkerPool* pool) {
   SOFIA_CHECK_LT(mode, csf.order());
   SOFIA_CHECK_EQ(values.size(), csf.nnz());
   const size_t rank = factors.empty() ? 0 : factors[0].cols();
@@ -590,7 +591,7 @@ void CsfProximalRowUpdates(const CsfTensor& csf,
                            const std::vector<Matrix>& factors,
                            const std::vector<double>& temporal_row,
                            size_t mode, const Matrix& previous, double mu,
-                           Matrix* u, size_t num_threads, ThreadPool* pool) {
+                           Matrix* u, size_t num_threads, WorkerPool* pool) {
   SOFIA_CHECK_LT(mode, csf.order());
   SOFIA_CHECK_EQ(values.size(), csf.nnz());
   const size_t rank = factors.empty() ? 0 : factors[0].cols();
@@ -612,7 +613,7 @@ void CsfProximalRowUpdates(const CsfTensor& csf,
 NormalSystem CsfNormalSystem(const CsfTensor& csf,
                              const std::vector<double>& values,
                              const std::vector<Matrix>& factors,
-                             size_t num_threads, ThreadPool* pool) {
+                             size_t num_threads, WorkerPool* pool) {
   SOFIA_CHECK_EQ(values.size(), csf.nnz());
   const size_t rank = factors.empty() ? 0 : factors[0].cols();
   CheckFactors(csf, factors, rank);
@@ -620,13 +621,13 @@ NormalSystem CsfNormalSystem(const CsfTensor& csf,
   const size_t num_slabs =
       (csf.tree(0).num_roots() + kRootSlab - 1) / kRootSlab;
   const size_t stride = rank * rank + rank;
-  std::vector<double> partials(num_slabs * stride, 0.0);
-  std::vector<double> ones(rank, 1.0);
+  ReduceScratch scratch(pool, num_slabs * stride, rank);
   const std::vector<FactorView> views = MakeViews(factors);
   DispatchRank(rank, [&](auto tag) {
     constexpr size_t kR = decltype(tag)::value;
     RootSlabReduce<kR>(
-        csf, views, ones.data(), num_threads, pool, rank, stride, &partials,
+        csf, views, scratch.ones, num_threads, pool, rank, stride,
+        scratch.partials,
         [&](uint32_t record, const double* h, double* out) {
           const size_t R = kR == 0 ? rank : kR;
           const double v = values[record];
@@ -643,7 +644,7 @@ NormalSystem CsfNormalSystem(const CsfTensor& csf,
   sys.b = Matrix(rank, rank);
   sys.c.assign(rank, 0.0);
   for (size_t slab = 0; slab < num_slabs; ++slab) {
-    const double* out = partials.data() + slab * stride;
+    const double* out = scratch.partials + slab * stride;
     double* bdata = sys.b.data();
     for (size_t e = 0; e < rank * rank; ++e) bdata[e] += out[e];
     for (size_t r = 0; r < rank; ++r) sys.c[r] += out[rank * rank + r];
@@ -655,7 +656,7 @@ ModeGradients CsfModeGradients(const CsfTensor& csf,
                                const std::vector<double>& residuals,
                                const std::vector<Matrix>& factors,
                                const std::vector<double>& temporal_row,
-                               size_t num_threads, ThreadPool* pool,
+                               size_t num_threads, WorkerPool* pool,
                                bool with_traces) {
   SOFIA_CHECK_EQ(residuals.size(), csf.nnz());
   const size_t rank = factors.empty() ? 0 : factors[0].cols();
@@ -690,7 +691,7 @@ ModeGradients CsfModeGradients(const CsfTensor& csf,
 std::vector<double> CsfKruskalGather(const CsfTensor& csf,
                                      const std::vector<Matrix>& factors,
                                      const std::vector<double>& temporal_row,
-                                     size_t num_threads, ThreadPool* pool) {
+                                     size_t num_threads, WorkerPool* pool) {
   std::vector<double> out;
   CsfKruskalGather(csf, factors, temporal_row, &out, num_threads, pool);
   return out;
@@ -699,7 +700,7 @@ std::vector<double> CsfKruskalGather(const CsfTensor& csf,
 void CsfKruskalGather(const CsfTensor& csf, const std::vector<Matrix>& factors,
                       const std::vector<double>& temporal_row,
                       std::vector<double>* out, size_t num_threads,
-                      ThreadPool* pool) {
+                      WorkerPool* pool) {
   const size_t rank = factors.empty() ? 0 : factors[0].cols();
   CheckFactors(csf, factors, rank);
   SOFIA_CHECK_EQ(temporal_row.size(), rank);
@@ -716,7 +717,7 @@ StepGradients CsfStepGradients(const CsfTensor& csf,
                                const std::vector<double>& residuals,
                                const std::vector<Matrix>& factors,
                                const std::vector<double>& temporal_row,
-                               size_t num_threads, ThreadPool* pool) {
+                               size_t num_threads, WorkerPool* pool) {
   SOFIA_CHECK_EQ(residuals.size(), csf.nnz());
   const size_t rank = factors.empty() ? 0 : factors[0].cols();
   CheckFactors(csf, factors, rank);
@@ -735,8 +736,7 @@ StepGradients CsfStepGradients(const CsfTensor& csf,
   const size_t num_slabs =
       (csf.tree(0).num_roots() + kRootSlab - 1) / kRootSlab;
   const size_t stride = rank + 1;
-  std::vector<double> partials(num_slabs * stride, 0.0);
-  std::vector<double> ones(rank, 1.0);
+  ReduceScratch scratch(pool, num_slabs * stride, rank);
   DispatchRank(rank, [&](auto tag) {
     constexpr size_t kR = decltype(tag)::value;
     for (size_t mode = 0; mode < factors.size(); ++mode) {
@@ -748,7 +748,8 @@ StepGradients CsfStepGradients(const CsfTensor& csf,
     // Temporal gradient + trace: full-product reduction over the mode-0
     // tree, slab partials combined in slab order below.
     RootSlabReduce<kR>(
-        csf, views, ones.data(), num_threads, pool, rank, stride, &partials,
+        csf, views, scratch.ones, num_threads, pool, rank, stride,
+        scratch.partials,
         [&](uint32_t record, const double* h, double* out) {
           const size_t R = kR == 0 ? rank : kR;
           const double resid = residuals[record];
@@ -758,7 +759,7 @@ StepGradients CsfStepGradients(const CsfTensor& csf,
         });
   });
   for (size_t slab = 0; slab < num_slabs; ++slab) {
-    const double* out = partials.data() + slab * stride;
+    const double* out = scratch.partials + slab * stride;
     for (size_t r = 0; r < rank; ++r) g.temporal_grad[r] += out[r];
     g.temporal_trace += out[rank];
   }

@@ -1,10 +1,12 @@
 #ifndef SOFIA_TENSOR_KERNEL_DISPATCH_H_
 #define SOFIA_TENSOR_KERNEL_DISPATCH_H_
 
+#include <algorithm>
 #include <type_traits>
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "util/shard_executor.hpp"
 
 /// \file kernel_dispatch.hpp
 /// \brief Implementation helpers shared by the observed-entry kernel
@@ -86,6 +88,35 @@ struct RankSquareBuffer<0> {
     return dynamic.data();
   }
   std::vector<double> dynamic;
+};
+
+/// Scratch behind the blocked reductions (CSF root slabs, COO record
+/// blocks): zeroed per-block partial accumulators plus an optional all-ones
+/// weight row. Arena-backed when the pool provides one (ShardExecutor) —
+/// the buffers then persist across calls and steps, so a steady-state
+/// stream step performs zero scratch allocations
+/// (ScratchArena::growth_events pins this). Call-local vector otherwise.
+/// The block boundaries and combine order never depend on which storage
+/// backs the scratch, so results are bitwise identical either way.
+struct ReduceScratch {
+  std::vector<double> local;
+  double* partials = nullptr;
+  double* ones = nullptr;
+
+  ReduceScratch(WorkerPool* pool, size_t partial_count, size_t ones_count) {
+    ScratchArena* arena = pool == nullptr ? nullptr : pool->arena();
+    if (arena != nullptr) {
+      partials = arena->Doubles(arena_slots::kReducePartials, partial_count);
+      if (ones_count > 0) {
+        ones = arena->RawDoubles(arena_slots::kReduceOnes, ones_count);
+      }
+    } else {
+      local.assign(partial_count + ones_count, 0.0);
+      partials = local.data();
+      if (ones_count > 0) ones = local.data() + partial_count;
+    }
+    if (ones_count > 0) std::fill(ones, ones + ones_count, 1.0);
+  }
 };
 
 }  // namespace kernel

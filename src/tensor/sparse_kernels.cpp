@@ -19,6 +19,7 @@ using kernel::FactorView;
 using kernel::MakeViews;
 using kernel::RankBuffer;
 using kernel::RankSquareBuffer;
+using kernel::ReduceScratch;
 using kernel::kReductionBlock;
 
 void CheckFactors(const CooList& coo, const std::vector<Matrix>& factors,
@@ -33,7 +34,7 @@ void CheckFactors(const CooList& coo, const std::vector<Matrix>& factors,
 template <size_t kR>
 void CooMttkrpImpl(const CooList& coo, const std::vector<double>& values,
                    const std::vector<FactorView>& views, size_t mode,
-                   size_t num_threads, ThreadPool* pool, size_t rank,
+                   size_t num_threads, WorkerPool* pool, size_t rank,
                    Matrix* out) {
   const std::vector<uint32_t>& order = coo.ModeOrder(mode);
   const std::vector<size_t>& ptr = coo.SlicePtr(mode);
@@ -115,7 +116,7 @@ template <size_t kR>
 void CooRowSystemsImpl(const CooList& coo, const std::vector<double>& values,
                        const std::vector<FactorView>& views,
                        const double* weights, size_t mode, size_t num_threads,
-                       ThreadPool* pool, size_t rank, RowSystems* sys) {
+                       WorkerPool* pool, size_t rank, RowSystems* sys) {
   auto task = [&](size_t slice) {
     const size_t R = kR == 0 ? rank : kR;
     RankBuffer<kR> buf;
@@ -138,7 +139,7 @@ void CooProximalRowUpdatesImpl(const CooList& coo,
                                const std::vector<FactorView>& views,
                                const double* weights, size_t mode,
                                const Matrix& previous, double mu,
-                               size_t num_threads, ThreadPool* pool,
+                               size_t num_threads, WorkerPool* pool,
                                size_t rank, Matrix* u) {
   auto task = [&](size_t slice) {
     const size_t R = kR == 0 ? rank : kR;
@@ -168,15 +169,15 @@ void CooProximalRowUpdatesImpl(const CooList& coo,
 template <size_t kR>
 void CooNormalSystemImpl(const CooList& coo, const std::vector<double>& values,
                          const std::vector<FactorView>& views,
-                         size_t num_threads, ThreadPool* pool, size_t rank,
-                         std::vector<double>* partial) {
+                         size_t num_threads, WorkerPool* pool, size_t rank,
+                         double* partial) {
   const size_t num_modes = views.size();
   const size_t num_blocks = (coo.nnz() + kReductionBlock - 1) / kReductionBlock;
   RunTasks(pool, num_threads, num_blocks, [&](size_t block) {
     const size_t R = kR == 0 ? rank : kR;
     RankBuffer<kR> buf;
     double* h = buf.get(R);
-    double* out = partial->data() + block * (R * R + R);  // [B rows | c].
+    double* out = partial + block * (R * R + R);  // [B rows | c].
     const size_t begin = block * kReductionBlock;
     const size_t end = std::min(begin + kReductionBlock, coo.nnz());
     for (size_t k = begin; k < end; ++k) {
@@ -202,10 +203,10 @@ template <size_t kR>
 void CooResidualBlocksImpl(const CooList& coo,
                            const std::vector<double>& values,
                            const std::vector<FactorView>& views,
-                           size_t num_threads, ThreadPool* pool, size_t rank,
-                           std::vector<double>* partial) {
+                           size_t num_threads, WorkerPool* pool, size_t rank,
+                           size_t num_blocks, double* partial) {
   const size_t num_modes = views.size();
-  RunTasks(pool, num_threads, partial->size(), [&](size_t block) {
+  RunTasks(pool, num_threads, num_blocks, [&](size_t block) {
     const size_t R = kR == 0 ? rank : kR;
     RankBuffer<kR> buf;
     double* prod = buf.get(R);
@@ -224,7 +225,7 @@ void CooResidualBlocksImpl(const CooList& coo,
       const double d = values[k] - recon;
       s += d * d;
     }
-    (*partial)[block] = s;
+    partial[block] = s;
   });
 }
 
@@ -232,7 +233,7 @@ template <size_t kR>
 void CooKruskalGatherImpl(const CooList& coo,
                           const std::vector<FactorView>& views,
                           const double* temporal_row, size_t num_threads,
-                          ThreadPool* pool, size_t rank,
+                          WorkerPool* pool, size_t rank,
                           std::vector<double>* out) {
   const size_t num_modes = views.size();
   const size_t num_blocks = (coo.nnz() + kReductionBlock - 1) / kReductionBlock;
@@ -267,7 +268,7 @@ template <size_t kR>
 void CooKruskalSliceGatherImpl(const CooList& coo,
                                const std::vector<FactorView>& views,
                                const double* temporal_row, size_t num_threads,
-                               ThreadPool* pool, size_t rank,
+                               WorkerPool* pool, size_t rank,
                                std::vector<double>* out) {
   const size_t num_modes = views.size();
   const size_t num_blocks = (coo.nnz() + kReductionBlock - 1) / kReductionBlock;
@@ -304,7 +305,7 @@ void CooModeGradientImpl(const CooList& coo,
                          const std::vector<double>& residuals,
                          const std::vector<FactorView>& views,
                          const double* temporal_row, size_t mode,
-                         size_t num_threads, ThreadPool* pool, size_t rank,
+                         size_t num_threads, WorkerPool* pool, size_t rank,
                          Matrix* grad, std::vector<double>* trace) {
   const std::vector<uint32_t>& order = coo.ModeOrder(mode);
   const std::vector<size_t>& ptr = coo.SlicePtr(mode);
@@ -343,17 +344,18 @@ template <size_t kR>
 void CooTemporalGradientImpl(const CooList& coo,
                              const std::vector<double>& residuals,
                              const std::vector<FactorView>& views,
-                             size_t num_threads, ThreadPool* pool, size_t rank,
+                             size_t num_threads, WorkerPool* pool, size_t rank,
                              std::vector<double>* temporal_grad,
                              double* temporal_trace) {
   const size_t num_modes = views.size();
   const size_t num_blocks = (coo.nnz() + kReductionBlock - 1) / kReductionBlock;
-  std::vector<double> partial(num_blocks * (rank + 1), 0.0);
+  ReduceScratch scratch(pool, num_blocks * (rank + 1), 0);
+  double* partial = scratch.partials;
   auto task = [&](size_t block) {
     const size_t R = kR == 0 ? rank : kR;
     RankBuffer<kR> buf;
     double* SOFIA_RESTRICT full = buf.get(R);
-    double* SOFIA_RESTRICT out = partial.data() + block * (R + 1);
+    double* SOFIA_RESTRICT out = partial + block * (R + 1);
     const size_t begin = block * kReductionBlock;
     const size_t end = std::min(begin + kReductionBlock, coo.nnz());
     for (size_t k = begin; k < end; ++k) {
@@ -372,7 +374,7 @@ void CooTemporalGradientImpl(const CooList& coo,
   };
   RunTasks(pool, num_threads, num_blocks, simd::Select(task));
   for (size_t block = 0; block < num_blocks; ++block) {
-    const double* out = partial.data() + block * (rank + 1);
+    const double* out = partial + block * (rank + 1);
     for (size_t r = 0; r < rank; ++r) (*temporal_grad)[r] += out[r];
     *temporal_trace += out[rank];
   }
@@ -382,7 +384,7 @@ void CooTemporalGradientImpl(const CooList& coo,
 
 Matrix CooMttkrp(const CooList& coo, const std::vector<double>& values,
                  const std::vector<Matrix>& factors, size_t mode,
-                 size_t num_threads, ThreadPool* pool) {
+                 size_t num_threads, WorkerPool* pool) {
   SOFIA_CHECK_LT(mode, coo.order());
   SOFIA_CHECK_EQ(values.size(), coo.nnz());
   SOFIA_CHECK(coo.has_mode_bucket(mode));
@@ -400,7 +402,7 @@ Matrix CooMttkrp(const CooList& coo, const std::vector<double>& values,
 
 RowSystems CooRowSystems(const CooList& coo, const std::vector<double>& values,
                          const std::vector<Matrix>& factors, size_t mode,
-                         size_t num_threads, ThreadPool* pool) {
+                         size_t num_threads, WorkerPool* pool) {
   SOFIA_CHECK_LT(mode, coo.order());
   SOFIA_CHECK_EQ(values.size(), coo.nnz());
   SOFIA_CHECK(coo.has_mode_bucket(mode));
@@ -424,7 +426,7 @@ RowSystems CooWeightedRowSystems(const CooList& coo,
                                  const std::vector<Matrix>& factors,
                                  const std::vector<double>& temporal_row,
                                  size_t mode, size_t num_threads,
-                                 ThreadPool* pool) {
+                                 WorkerPool* pool) {
   SOFIA_CHECK_LT(mode, coo.order());
   SOFIA_CHECK_EQ(values.size(), coo.nnz());
   SOFIA_CHECK(coo.has_mode_bucket(mode));
@@ -449,7 +451,7 @@ void CooProximalRowUpdates(const CooList& coo,
                            const std::vector<Matrix>& factors,
                            const std::vector<double>& temporal_row,
                            size_t mode, const Matrix& previous, double mu,
-                           Matrix* u, size_t num_threads, ThreadPool* pool) {
+                           Matrix* u, size_t num_threads, WorkerPool* pool) {
   SOFIA_CHECK_LT(mode, coo.order());
   SOFIA_CHECK_EQ(values.size(), coo.nnz());
   SOFIA_CHECK(coo.has_mode_bucket(mode));
@@ -472,24 +474,24 @@ void CooProximalRowUpdates(const CooList& coo,
 NormalSystem CooNormalSystem(const CooList& coo,
                              const std::vector<double>& values,
                              const std::vector<Matrix>& factors,
-                             size_t num_threads, ThreadPool* pool) {
+                             size_t num_threads, WorkerPool* pool) {
   SOFIA_CHECK_EQ(values.size(), coo.nnz());
   const size_t rank = factors.empty() ? 0 : factors[0].cols();
   CheckFactors(coo, factors, rank);
 
   const size_t num_blocks = (coo.nnz() + kReductionBlock - 1) / kReductionBlock;
-  std::vector<double> partial(num_blocks * (rank * rank + rank), 0.0);
+  ReduceScratch scratch(pool, num_blocks * (rank * rank + rank), 0);
   const std::vector<FactorView> views = MakeViews(factors);
   DispatchRank(rank, [&](auto tag) {
     CooNormalSystemImpl<decltype(tag)::value>(coo, values, views, num_threads,
-                                              pool, rank, &partial);
+                                              pool, rank, scratch.partials);
   });
 
   NormalSystem sys;
   sys.b = Matrix(rank, rank);
   sys.c.assign(rank, 0.0);
   for (size_t block = 0; block < num_blocks; ++block) {
-    const double* out = partial.data() + block * (rank * rank + rank);
+    const double* out = scratch.partials + block * (rank * rank + rank);
     double* bdata = sys.b.data();
     for (size_t e = 0; e < rank * rank; ++e) bdata[e] += out[e];
     for (size_t r = 0; r < rank; ++r) sys.c[r] += out[rank * rank + r];
@@ -501,7 +503,7 @@ ModeGradients CooModeGradients(const CooList& coo,
                                const std::vector<double>& residuals,
                                const std::vector<Matrix>& factors,
                                const std::vector<double>& temporal_row,
-                               size_t num_threads, ThreadPool* pool,
+                               size_t num_threads, WorkerPool* pool,
                                bool with_traces) {
   SOFIA_CHECK_EQ(residuals.size(), coo.nnz());
   const size_t rank = factors.empty() ? 0 : factors[0].cols();
@@ -537,7 +539,7 @@ ModeGradients CooModeGradients(const CooList& coo,
 double CooResidualSquaredNorm(const CooList& coo,
                               const std::vector<double>& values,
                               const std::vector<Matrix>& factors,
-                              size_t num_threads, ThreadPool* pool) {
+                              size_t num_threads, WorkerPool* pool) {
   SOFIA_CHECK_EQ(values.size(), coo.nnz());
   const size_t rank = factors.empty() ? 0 : factors[0].cols();
   CheckFactors(coo, factors, rank);
@@ -546,20 +548,23 @@ double CooResidualSquaredNorm(const CooList& coo,
   // order; both the block boundaries and the combine order are independent
   // of the thread count.
   const size_t num_blocks = (coo.nnz() + kReductionBlock - 1) / kReductionBlock;
-  std::vector<double> partial(num_blocks, 0.0);
+  ReduceScratch scratch(pool, num_blocks, 0);
   const std::vector<FactorView> views = MakeViews(factors);
   DispatchRank(rank, [&](auto tag) {
     CooResidualBlocksImpl<decltype(tag)::value>(
-        coo, values, views, num_threads, pool, rank, &partial);
+        coo, values, views, num_threads, pool, rank, num_blocks,
+        scratch.partials);
   });
   double total = 0.0;
-  for (double s : partial) total += s;
+  for (size_t block = 0; block < num_blocks; ++block) {
+    total += scratch.partials[block];
+  }
   return total;
 }
 
 double CooResidualNorm(const CooList& coo, const std::vector<double>& values,
                        const std::vector<Matrix>& factors, size_t num_threads,
-                       ThreadPool* pool) {
+                       WorkerPool* pool) {
   return std::sqrt(
       CooResidualSquaredNorm(coo, values, factors, num_threads, pool));
 }
@@ -567,7 +572,7 @@ double CooResidualNorm(const CooList& coo, const std::vector<double>& values,
 std::vector<double> CooKruskalGather(const CooList& coo,
                                      const std::vector<Matrix>& factors,
                                      const std::vector<double>& temporal_row,
-                                     size_t num_threads, ThreadPool* pool) {
+                                     size_t num_threads, WorkerPool* pool) {
   const size_t rank = factors.empty() ? 0 : factors[0].cols();
   CheckFactors(coo, factors, rank);
   SOFIA_CHECK_EQ(temporal_row.size(), rank);
@@ -584,7 +589,7 @@ std::vector<double> CooKruskalGather(const CooList& coo,
 std::vector<double> CooKruskalSliceGather(
     const CooList& coo, const std::vector<Matrix>& factors,
     const std::vector<double>& temporal_row, size_t num_threads,
-    ThreadPool* pool) {
+    WorkerPool* pool) {
   std::vector<double> out;
   CooKruskalSliceGather(coo, factors, temporal_row, &out, num_threads, pool);
   return out;
@@ -594,7 +599,7 @@ void CooKruskalSliceGather(const CooList& coo,
                            const std::vector<Matrix>& factors,
                            const std::vector<double>& temporal_row,
                            std::vector<double>* out, size_t num_threads,
-                           ThreadPool* pool) {
+                           WorkerPool* pool) {
   const size_t rank = factors.empty() ? 0 : factors[0].cols();
   CheckFactors(coo, factors, rank);
   SOFIA_CHECK_EQ(temporal_row.size(), rank);
@@ -611,7 +616,7 @@ StepGradients CooStepGradients(const CooList& coo,
                                const std::vector<double>& residuals,
                                const std::vector<Matrix>& factors,
                                const std::vector<double>& temporal_row,
-                               size_t num_threads, ThreadPool* pool) {
+                               size_t num_threads, WorkerPool* pool) {
   SOFIA_CHECK_EQ(residuals.size(), coo.nnz());
   const size_t rank = factors.empty() ? 0 : factors[0].cols();
   CheckFactors(coo, factors, rank);

@@ -60,14 +60,14 @@ struct ModeGradients {
 /// workers per call.
 Matrix CooMttkrp(const CooList& coo, const std::vector<double>& values,
                  const std::vector<Matrix>& factors, size_t mode,
-                 size_t num_threads = 1, ThreadPool* pool = nullptr);
+                 size_t num_threads = 1, WorkerPool* pool = nullptr);
 
 /// Accumulate the Theorem-1 row systems for `mode` from observed entries.
 /// The rank-1 updates touch only the upper triangle of each B and mirror it
 /// once per row at the end. Requires a CooList built with mode buckets.
 RowSystems CooRowSystems(const CooList& coo, const std::vector<double>& values,
                          const std::vector<Matrix>& factors, size_t mode,
-                         size_t num_threads = 1, ThreadPool* pool = nullptr);
+                         size_t num_threads = 1, WorkerPool* pool = nullptr);
 
 /// Accumulate the slice-global temporal normal equations from observed
 /// entries: h_k is the Hadamard product over *all* modes' factor rows at
@@ -80,7 +80,7 @@ RowSystems CooRowSystems(const CooList& coo, const std::vector<double>& values,
 NormalSystem CooNormalSystem(const CooList& coo,
                              const std::vector<double>& values,
                              const std::vector<Matrix>& factors,
-                             size_t num_threads = 1, ThreadPool* pool = nullptr);
+                             size_t num_threads = 1, WorkerPool* pool = nullptr);
 
 /// CooRowSystems with the temporal weight folded into the regressor:
 /// h = temporal_row ⊛ (⊛_{l != mode} u^(l)_{i_l}) — the per-row systems of
@@ -91,7 +91,7 @@ RowSystems CooWeightedRowSystems(const CooList& coo,
                                  const std::vector<Matrix>& factors,
                                  const std::vector<double>& temporal_row,
                                  size_t mode, size_t num_threads = 1,
-                                 ThreadPool* pool = nullptr);
+                                 WorkerPool* pool = nullptr);
 
 /// Fused CooWeightedRowSystems + proximal row solve: for every row i of
 /// `mode`, accumulate B_i = Σ h h^T and c_i = Σ vals h from the row's
@@ -109,7 +109,7 @@ void CooProximalRowUpdates(const CooList& coo,
                            const std::vector<double>& temporal_row,
                            size_t mode, const Matrix& previous, double mu,
                            Matrix* u, size_t num_threads = 1,
-                           ThreadPool* pool = nullptr);
+                           WorkerPool* pool = nullptr);
 
 /// Accumulate every mode's gradient rows and curvature traces from
 /// record-aligned residuals: grow[r] += residuals[k] * h_r and
@@ -124,7 +124,7 @@ ModeGradients CooModeGradients(const CooList& coo,
                                const std::vector<Matrix>& factors,
                                const std::vector<double>& temporal_row,
                                size_t num_threads = 1,
-                               ThreadPool* pool = nullptr,
+                               WorkerPool* pool = nullptr,
                                bool with_traces = true);
 
 /// ||Ω ⊛ (Y* - X̂)||_F^2 with X̂ = [[factors]], without materializing X̂.
@@ -133,12 +133,12 @@ double CooResidualSquaredNorm(const CooList& coo,
                               const std::vector<double>& values,
                               const std::vector<Matrix>& factors,
                               size_t num_threads = 1,
-                              ThreadPool* pool = nullptr);
+                              WorkerPool* pool = nullptr);
 
 /// sqrt(CooResidualSquaredNorm(...)).
 double CooResidualNorm(const CooList& coo, const std::vector<double>& values,
                        const std::vector<Matrix>& factors,
-                       size_t num_threads = 1, ThreadPool* pool = nullptr);
+                       size_t num_threads = 1, WorkerPool* pool = nullptr);
 
 /// Gather of the Kruskal slice [[{factors}; temporal_row]] at the observed
 /// entries: out[k] = sum_r temporal_row[r] * prod_l factors[l](i_l, r) for
@@ -149,7 +149,7 @@ std::vector<double> CooKruskalGather(const CooList& coo,
                                      const std::vector<Matrix>& factors,
                                      const std::vector<double>& temporal_row,
                                      size_t num_threads = 1,
-                                     ThreadPool* pool = nullptr);
+                                     WorkerPool* pool = nullptr);
 
 /// CooKruskalGather variant that replicates the KruskalSlice (Khatri-Rao
 /// chain) evaluation order bitwise: out[k] = Σ_r u^(0)_r (w_r ((u^(N-1) ⊛
@@ -160,7 +160,7 @@ std::vector<double> CooKruskalSliceGather(const CooList& coo,
                                           const std::vector<Matrix>& factors,
                                           const std::vector<double>& temporal_row,
                                           size_t num_threads = 1,
-                                          ThreadPool* pool = nullptr);
+                                          WorkerPool* pool = nullptr);
 
 /// CooKruskalSliceGather into a caller-owned buffer (resized to nnz): hot
 /// per-step consumers (OR-MSTC's slab loop, the lazy StepResult gathers of
@@ -170,7 +170,7 @@ void CooKruskalSliceGather(const CooList& coo,
                            const std::vector<Matrix>& factors,
                            const std::vector<double>& temporal_row,
                            std::vector<double>* out, size_t num_threads = 1,
-                           ThreadPool* pool = nullptr);
+                           WorkerPool* pool = nullptr);
 
 /// Everything the dynamic update (Algorithm 3 lines 7-9) accumulates over
 /// the observed entries of one incoming slice: per-row gradients of the
@@ -196,7 +196,7 @@ StepGradients CooStepGradients(const CooList& coo,
                                const std::vector<Matrix>& factors,
                                const std::vector<double>& temporal_row,
                                size_t num_threads = 1,
-                               ThreadPool* pool = nullptr);
+                               WorkerPool* pool = nullptr);
 
 /// Dense-scan reference for CooStepGradients (and the fallback selected by
 /// SofiaConfig::use_sparse_kernels = false): one pass over the full index

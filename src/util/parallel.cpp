@@ -1,5 +1,8 @@
 #include "util/parallel.hpp"
 
+#include <map>
+#include <memory>
+
 namespace sofia {
 
 size_t ResolveNumThreads(size_t requested) {
@@ -75,6 +78,37 @@ void ThreadPool::Run(size_t num_tasks, const std::function<void(size_t)>& fn) {
   fn_ = nullptr;
 }
 
+namespace {
+
+// Process-local cache of fallback pools, one per requested thread count.
+// A pool's Run is single-driver, so each cached pool carries a mutex: the
+// first ParallelFor caller of a given size drives the pool, a concurrent
+// caller of the same size falls back to a serial loop (identical results —
+// the task-ownership contract makes the outcome independent of the thread
+// count). Pools live until process exit; their worker threads are idle
+// (condition-variable parked) between calls.
+struct CachedPool {
+  std::mutex in_use;
+  ThreadPool pool;
+  explicit CachedPool(size_t n) : pool(n) {}
+};
+
+CachedPool* GetCachedPool(size_t num_threads) {
+  static std::mutex registry_mutex;
+  // Raw-pointer map: intentionally leaked so worker threads never race
+  // static destruction order at process exit.
+  static std::map<size_t, CachedPool*>* registry =
+      new std::map<size_t, CachedPool*>();
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  auto it = registry->find(num_threads);
+  if (it == registry->end()) {
+    it = registry->emplace(num_threads, new CachedPool(num_threads)).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
 void ParallelFor(size_t num_threads, size_t num_tasks,
                  const std::function<void(size_t)>& fn) {
   const size_t n = ResolveNumThreads(num_threads);
@@ -82,11 +116,18 @@ void ParallelFor(size_t num_threads, size_t num_tasks,
     for (size_t task = 0; task < num_tasks; ++task) fn(task);
     return;
   }
-  ThreadPool pool(n);
-  pool.Run(num_tasks, fn);
+  CachedPool* cached = GetCachedPool(n);
+  std::unique_lock<std::mutex> lock(cached->in_use, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // Pool of this size already driven by another thread (or a nested
+    // ParallelFor from inside a task): run serially rather than block.
+    for (size_t task = 0; task < num_tasks; ++task) fn(task);
+    return;
+  }
+  cached->pool.Run(num_tasks, fn);
 }
 
-void RunTasks(ThreadPool* pool, size_t num_threads, size_t num_tasks,
+void RunTasks(WorkerPool* pool, size_t num_threads, size_t num_tasks,
               const std::function<void(size_t)>& fn) {
   if (pool != nullptr) {
     pool->Run(num_tasks, fn);

@@ -10,40 +10,73 @@
 #include <vector>
 
 /// \file parallel.hpp
-/// \brief Small std::thread pool for the sparse kernel layer.
+/// \brief Worker-pool abstraction for the sparse kernel layer.
 ///
 /// The sparse kernels (see tensor/sparse_kernels.hpp) split work into tasks
 /// that write *disjoint* state keyed by task index (mode slices, fixed-size
-/// record blocks). Under that contract the results are bitwise identical for
-/// every thread count, because only the assignment of tasks to threads — not
-/// the per-task accumulation order — varies.
+/// record blocks, CSF root slabs). Under that contract the results are
+/// bitwise identical for every thread count and every task-to-thread
+/// assignment, because only the mapping of tasks to threads — not the
+/// per-task accumulation order — varies. Two pool implementations exploit
+/// that freedom differently:
+///
+///  - ThreadPool (here): tasks are claimed dynamically from a shared
+///    counter — best load balance for irregular one-shot batches;
+///  - ShardExecutor (util/shard_executor.hpp): tasks are assigned by a
+///    static contiguous partition that is identical on every Run — each
+///    worker re-touches the same task range (CSF root slabs) step after
+///    step, keeping its private-cache working set warm across a stream.
 
 namespace sofia {
+
+class ScratchArena;
 
 /// Resolve a `num_threads` knob: 0 means "use the hardware concurrency",
 /// anything else is clamped below by 1.
 size_t ResolveNumThreads(size_t requested);
 
-/// Fixed-size pool of worker threads executing indexed task batches.
+/// Abstract executor of indexed task batches — the seam every kernel and
+/// every StreamingMethod::AdoptWorkerPool site is written against.
 ///
 /// `Run(num_tasks, fn)` invokes `fn(task)` for every task in [0, num_tasks)
-/// and blocks until all tasks finish. Tasks are claimed dynamically from a
-/// shared counter; the calling thread participates, so a pool constructed
-/// with `num_threads = 1` spawns no workers and runs serially.
-class ThreadPool {
+/// and blocks until all tasks finish. `fn` must not throw and must only
+/// write state owned by its task index. Run is not reentrant: one batch at
+/// a time per pool instance, driven from one thread.
+class WorkerPool {
+ public:
+  virtual ~WorkerPool() = default;
+
+  /// Total number of executing threads (workers + the caller of Run).
+  virtual size_t num_threads() const = 0;
+
+  /// Run fn(0) .. fn(num_tasks - 1), blocking until every task returns.
+  virtual void Run(size_t num_tasks,
+                   const std::function<void(size_t)>& fn) = 0;
+
+  /// Reusable caller-side scratch storage, or nullptr when this pool offers
+  /// none (kernels then fall back to call-local vectors). Pools that return
+  /// an arena (ShardExecutor) make the kernels' blocked-reduction scratch
+  /// allocation-free in steady state: slot-keyed buffers grow monotonically
+  /// and are reused across calls and steps.
+  virtual ScratchArena* arena() { return nullptr; }
+};
+
+/// Fixed-size pool of worker threads executing indexed task batches with
+/// dynamic task claiming: tasks are taken from a shared atomic counter, so
+/// the task-to-thread assignment varies call to call (the results do not —
+/// see the file comment). The calling thread participates; a pool
+/// constructed with `num_threads = 1` spawns no workers and runs serially.
+class ThreadPool : public WorkerPool {
  public:
   explicit ThreadPool(size_t num_threads);
-  ~ThreadPool();
+  ~ThreadPool() override;
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Total number of executing threads (workers + the caller of Run).
-  size_t num_threads() const { return workers_.size() + 1; }
+  size_t num_threads() const override { return workers_.size() + 1; }
 
-  /// Run fn(0) .. fn(num_tasks - 1), blocking until every task returns.
-  /// `fn` must not throw and must only write state owned by its task index.
-  void Run(size_t num_tasks, const std::function<void(size_t)>& fn);
+  void Run(size_t num_tasks, const std::function<void(size_t)>& fn) override;
 
  private:
   void WorkerLoop();
@@ -63,16 +96,27 @@ class ThreadPool {
   size_t busy_workers_ = 0;
 };
 
-/// One-shot convenience: run fn(0) .. fn(num_tasks - 1) on an ephemeral pool
-/// of `ResolveNumThreads(num_threads)` threads. Serial (no threads spawned)
-/// when a single thread is requested or there is at most one task.
+/// One-shot convenience: run fn(0) .. fn(num_tasks - 1) on a lazily
+/// constructed, process-local cached pool of `ResolveNumThreads(num_threads)`
+/// threads. Serial (no pool touched) when a single thread is requested or
+/// there is at most one task.
+///
+/// The pool behind a given thread count is built on first use and cached
+/// for the life of the process — the previous implementation spawned (and
+/// joined) a fresh ephemeral pool of OS threads on *every call*, which
+/// dominated small-batch kernels whenever no long-lived pool had been
+/// adopted. Distinct thread counts cache distinct pools; a caller that
+/// finds its cached pool busy (a concurrent ParallelFor of the same size on
+/// another thread) runs the batch serially instead of blocking — bitwise
+/// identical either way, per the task-ownership contract.
 void ParallelFor(size_t num_threads, size_t num_tasks,
                  const std::function<void(size_t)>& fn);
 
-/// Run a task batch on `pool` if one is supplied, otherwise fall back to an
-/// ephemeral ParallelFor with `num_threads`. Lets kernels accept an optional
-/// long-lived pool without duplicating the dispatch at every call site.
-void RunTasks(ThreadPool* pool, size_t num_threads, size_t num_tasks,
+/// Run a task batch on `pool` if one is supplied, otherwise fall back to
+/// ParallelFor's cached process-local pool with `num_threads`. Lets kernels
+/// accept an optional long-lived pool without duplicating the dispatch at
+/// every call site.
+void RunTasks(WorkerPool* pool, size_t num_threads, size_t num_tasks,
               const std::function<void(size_t)>& fn);
 
 }  // namespace sofia

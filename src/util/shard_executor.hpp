@@ -1,0 +1,155 @@
+#ifndef SOFIA_UTIL_SHARD_EXECUTOR_H_
+#define SOFIA_UTIL_SHARD_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+/// \file shard_executor.hpp
+/// \brief Persistent sharded worker runtime with stable task ownership.
+///
+/// The streaming step loop calls the same kernels on the same CSF fiber
+/// trees hundreds of times. ThreadPool's dynamic task claiming re-rolls the
+/// task-to-thread mapping every call, so a worker's cache lines migrate
+/// between cores step to step. ShardExecutor instead assigns tasks by a
+/// *static contiguous block partition* that depends only on (num_tasks,
+/// num_threads): worker w always executes the same contiguous task range.
+/// Because kernel tasks are keyed to CSF root slabs, each worker re-touches
+/// the same slab range of every fiber tree across an entire stream — its
+/// private-cache working set stays warm. Results are bitwise identical to
+/// single-threaded execution at any worker count: task outputs are disjoint
+/// and slab partials are combined in slab order by the kernels themselves
+/// (see tensor/csf_kernels.cpp, RootSlabReduce).
+///
+/// On top of the sharded compute lane the executor adds:
+///  - per-slot ScratchArena buffers, so kernels' blocked-reduction scratch
+///    is allocation-free in steady state (growth is counter-pinned);
+///  - an auxiliary lane: a dedicated background thread running FIFO jobs
+///    (Submit/Wait tickets). The streaming pipeline uses it to overlap
+///    slice t+1's ingest (pattern + CSF-delta build) and StreamGuard's
+///    checkpoint serialization with slice t's compute.
+
+namespace sofia {
+
+/// Slot-keyed reusable scratch buffers. A slot identifies a *purpose*
+/// (e.g. "MTTKRP slab partials"); the buffer behind each slot grows
+/// monotonically and is reused across calls, so after warm-up a steady-state
+/// stream step performs zero scratch allocations. `growth_events()` counts
+/// every (re)allocation — tests pin it flat over steady-state windows.
+///
+/// Not thread-safe: each arena belongs to one thread (the executor keeps
+/// one for the Run caller).
+class ScratchArena {
+ public:
+  /// Buffer of at least `count` doubles behind `slot`, zero-filled on every
+  /// call (kernels accumulate into scratch and expect zeros, exactly like
+  /// the local vectors they replace).
+  double* Doubles(size_t slot, size_t count);
+
+  /// Same, but contents preserved (uninitialized where grown).
+  double* RawDoubles(size_t slot, size_t count);
+
+  uint64_t growth_events() const { return growth_events_; }
+
+ private:
+  std::vector<std::vector<double>> slots_;
+  uint64_t growth_events_ = 0;
+};
+
+/// Well-known arena slots used by the kernel layer (tensor/csf_kernels.cpp,
+/// tensor/sparse_kernels.cpp). New users take slots beyond kFirstFreeSlot.
+namespace arena_slots {
+constexpr size_t kReducePartials = 0;  // Blocked-reduction partial sums.
+constexpr size_t kReduceOnes = 1;      // All-ones weight vector.
+constexpr size_t kFirstFreeSlot = 8;
+}  // namespace arena_slots
+
+/// Persistent sharded executor. `ShardExecutor(n)` spawns n-1 worker
+/// threads; the Run caller acts as worker 0 and owns the first task block.
+///
+/// Partition: with T tasks and W threads, worker w executes the contiguous
+/// range [w*q + min(w, r), ...) of length q + (w < r), where q = T / W and
+/// r = T % W — the same mapping on every Run with the same (T, W), which is
+/// what makes slab ownership stable across stream steps.
+class ShardExecutor : public WorkerPool {
+ public:
+  explicit ShardExecutor(size_t num_threads);
+  ~ShardExecutor() override;
+
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  size_t num_threads() const override { return workers_.size() + 1; }
+
+  /// Execute fn(0) .. fn(num_tasks - 1) under the static block partition;
+  /// blocks until all tasks finish. Caller-driven, not reentrant.
+  void Run(size_t num_tasks, const std::function<void(size_t)>& fn) override;
+
+  /// Caller-thread arena (worker 0 / the Run driver).
+  ScratchArena* arena() override { return &caller_arena_; }
+
+  /// The static partition, exposed for tests and for callers that shard
+  /// data structures to match ownership: returns [begin, end) of worker w.
+  static std::pair<size_t, size_t> OwnedRange(size_t num_tasks,
+                                              size_t num_threads, size_t w);
+
+  // --- Auxiliary lane -----------------------------------------------------
+
+  /// Enqueue a background job on the aux thread (spawned lazily on first
+  /// Submit). Jobs run FIFO, one at a time, concurrently with Run batches.
+  /// Returns a ticket; Wait(ticket) blocks until that job has finished.
+  uint64_t Submit(std::function<void()> job);
+
+  /// Block until the job behind `ticket` (and all earlier jobs) completed.
+  /// A ticket from before the last drain is already satisfied.
+  void Wait(uint64_t ticket);
+
+  /// Wait for every submitted job. Called by the destructor.
+  void DrainAux();
+
+  /// Total Run batches executed (tests pin ownership stability per batch).
+  uint64_t runs() const { return runs_; }
+
+ private:
+  void WorkerLoop(size_t worker_index);
+  void RunOwnedBlock(size_t w);
+  void AuxLoop();
+
+  std::vector<std::thread> workers_;
+  ScratchArena caller_arena_;
+
+  // Compute-lane batch state (same protocol as ThreadPool, minus the
+  // claiming counter: each worker's range is fixed by the partition).
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  bool stop_ = false;
+  size_t generation_ = 0;
+  size_t num_tasks_ = 0;
+  const std::function<void(size_t)>* fn_ = nullptr;
+  size_t busy_workers_ = 0;
+  uint64_t runs_ = 0;
+
+  // Aux-lane state.
+  std::mutex aux_mutex_;
+  std::condition_variable aux_ready_;
+  std::condition_variable aux_done_;
+  std::thread aux_thread_;
+  bool aux_started_ = false;
+  bool aux_stop_ = false;
+  std::deque<std::function<void()>> aux_queue_;
+  uint64_t aux_submitted_ = 0;
+  uint64_t aux_completed_ = 0;
+};
+
+}  // namespace sofia
+
+#endif  // SOFIA_UTIL_SHARD_EXECUTOR_H_

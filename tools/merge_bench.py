@@ -30,6 +30,7 @@ KNOWN_ORDER = [
     "BENCH_csf.json",        # PR 5: CSF tensor-storage subsystem.
     "BENCH_robustness.json", # PR 6: StreamGuard fault-tolerance layer.
     "BENCH_simd.json",       # PR 7: SIMD kernels + incremental CSF.
+    "BENCH_runtime.json",    # PR 8: sharded pipelined streaming runtime.
 ]
 
 
