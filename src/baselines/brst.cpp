@@ -21,8 +21,8 @@ void BrstLite::RestoreState(std::istream& in) {
   state_io::ReadStateHeader(in, "brst-lite", 1);
   factors_ = state_io::ReadMatrixList(in);
   ard_precision_ = state_io::ReadVector(in);
-  SOFIA_CHECK(static_cast<bool>(in >> noise_var_))
-      << "corrupt brst-lite checkpoint";
+  state_io::Require(static_cast<bool>(in >> noise_var_),
+                    "corrupt brst-lite checkpoint");
 }
 
 StepResult BrstLite::StepLazy(const DenseTensor& y, const Mask& omega,

@@ -16,7 +16,9 @@ void Cphw::SaveState(std::ostream& out) const {
 void Cphw::RestoreState(std::istream& in) {
   state_io::ReadStateHeader(in, "cphw", 1);
   size_t steps = 0;
-  SOFIA_CHECK(static_cast<bool>(in >> steps)) << "corrupt cphw checkpoint";
+  state_io::Require(static_cast<bool>(in >> steps) &&
+                        steps <= (size_t{1} << 20),
+                    "corrupt cphw checkpoint");
   history_.clear();
   history_.reserve(steps);
   for (size_t t = 0; t < steps; ++t) {

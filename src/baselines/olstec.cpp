@@ -20,7 +20,8 @@ void Olstec::RestoreState(std::istream& in) {
   state_io::ReadStateHeader(in, "olstec", 1);
   factors_ = state_io::ReadMatrixList(in);
   size_t modes = 0;
-  SOFIA_CHECK(static_cast<bool>(in >> modes)) << "corrupt olstec checkpoint";
+  state_io::Require(static_cast<bool>(in >> modes) && modes <= 16,
+                    "corrupt olstec checkpoint");
   cov_.clear();
   cov_.reserve(modes);
   for (size_t n = 0; n < modes; ++n) {

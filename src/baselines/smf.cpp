@@ -25,8 +25,8 @@ void Smf::RestoreState(std::istream& in) {
   state_io::ReadStateHeader(in, "smf", 1);
   slice_shape_ = state_io::ReadShape(in);
   int has_loadings = 0;
-  SOFIA_CHECK(static_cast<bool>(in >> has_loadings))
-      << "corrupt smf checkpoint";
+  state_io::Require(static_cast<bool>(in >> has_loadings),
+                    "corrupt smf checkpoint");
   // A fresh shared_ptr (never reusing the old allocation) keeps any live
   // StepLazy/ForecastLazy handles pointing at their snapshot.
   loadings_ = has_loadings != 0
@@ -35,8 +35,14 @@ void Smf::RestoreState(std::istream& in) {
   level_ = state_io::ReadVector(in);
   trend_ = state_io::ReadVector(in);
   size_t seasons = 0;
-  SOFIA_CHECK(static_cast<bool>(in >> seasons >> season_pos_ >> steps_seen_))
-      << "corrupt smf checkpoint";
+  state_io::Require(
+      static_cast<bool>(in >> seasons >> season_pos_ >> steps_seen_),
+      "corrupt smf checkpoint");
+  // Cap before resize: a bit-flipped count must read as corruption, not an
+  // allocation. season_pos_ indexes season_, so it must stay in range too.
+  state_io::Require(seasons <= (size_t{1} << 20) &&
+                        (seasons == 0 || season_pos_ < seasons),
+                    "corrupt smf checkpoint");
   season_.resize(seasons);
   for (auto& s : season_) s = state_io::ReadVector(in);
 }

@@ -59,55 +59,72 @@ void SofiaModel::Serialize(std::ostream& out) const {
 SofiaModel SofiaModel::Deserialize(std::istream& in) {
   const int version = state_io::ReadStateHeader(in, "sofia-model", 2);
 
+  const char* what = "corrupt sofia-model checkpoint";
   SofiaModel model;
   int normalized = 0;
-  SOFIA_CHECK(static_cast<bool>(
-      in >> model.config_.rank >> model.config_.period >>
-      model.config_.init_seasons >> model.config_.lambda1 >>
-      model.config_.lambda2 >> model.config_.lambda3 >> model.config_.mu >>
-      model.config_.phi >> model.config_.factor_ridge >> normalized >>
-      model.config_.huber_k >> model.config_.biweight_ck));
+  state_io::Require(
+      static_cast<bool>(
+          in >> model.config_.rank >> model.config_.period >>
+          model.config_.init_seasons >> model.config_.lambda1 >>
+          model.config_.lambda2 >> model.config_.lambda3 >>
+          model.config_.mu >> model.config_.phi >>
+          model.config_.factor_ridge >> normalized >>
+          model.config_.huber_k >> model.config_.biweight_ck),
+      what);
   model.config_.normalized_step = normalized != 0;
   if (version >= 2) {
     int sparse = 1, reuse = 1;
-    SOFIA_CHECK(static_cast<bool>(in >> sparse >> reuse));
+    state_io::Require(static_cast<bool>(in >> sparse >> reuse), what);
     model.config_.use_sparse_kernels = sparse != 0;
     model.config_.reuse_step_pattern = reuse != 0;
   }  // v1 checkpoints keep the SofiaConfig defaults for the kernel knobs.
   int reject = 1, scale_first = 0, smooth = 1;
-  SOFIA_CHECK(static_cast<bool>(in >> reject >> scale_first >> smooth));
+  state_io::Require(static_cast<bool>(in >> reject >> scale_first >> smooth),
+                    what);
   model.ablation_.reject_outliers = reject != 0;
   model.ablation_.scale_before_reject = scale_first != 0;
   model.ablation_.temporal_smoothness = smooth != 0;
 
   size_t num_factors = 0;
-  SOFIA_CHECK(static_cast<bool>(in >> num_factors));
+  state_io::Require(
+      static_cast<bool>(in >> num_factors) && num_factors <= 16, what);
   for (size_t n = 0; n < num_factors; ++n) {
     model.factors_.push_back(state_io::ReadMatrix(in));
   }
 
   size_t num_params = 0;
-  SOFIA_CHECK(static_cast<bool>(in >> num_params));
+  state_io::Require(static_cast<bool>(in >> num_params) &&
+                        num_params <= state_io::kMaxStateElements,
+                    what);
   model.hw_params_.resize(num_params);
   for (HwParams& p : model.hw_params_) {
-    SOFIA_CHECK(static_cast<bool>(in >> p.alpha >> p.beta >> p.gamma));
+    state_io::Require(static_cast<bool>(in >> p.alpha >> p.beta >> p.gamma),
+                      what);
   }
   model.level_ = state_io::ReadVector(in);
   model.trend_ = state_io::ReadVector(in);
   size_t seasons = 0;
-  SOFIA_CHECK(static_cast<bool>(in >> seasons >> model.season_pos_));
+  state_io::Require(static_cast<bool>(in >> seasons >> model.season_pos_) &&
+                        seasons <= (size_t{1} << 20),
+                    what);
   model.season_.resize(seasons);
   for (auto& s : model.season_) s = state_io::ReadVector(in);
   size_t history = 0;
-  SOFIA_CHECK(static_cast<bool>(in >> history >> model.row_pos_));
+  state_io::Require(static_cast<bool>(in >> history >> model.row_pos_) &&
+                        history <= (size_t{1} << 20),
+                    what);
   model.row_history_.resize(history);
   for (auto& r : model.row_history_) r = state_io::ReadVector(in);
   model.last_row_ = state_io::ReadVector(in);
   model.sigma_ = state_io::ReadTensor(in);
 
-  SOFIA_CHECK_EQ(model.season_.size(), model.config_.period);
-  SOFIA_CHECK_EQ(model.row_history_.size(), model.config_.period);
-  SOFIA_CHECK_EQ(model.level_.size(), model.config_.rank);
+  // Cross-field consistency: a parseable checkpoint whose structures
+  // disagree is still corrupt (single flipped digit in a count).
+  state_io::Require(model.season_.size() == model.config_.period, what);
+  state_io::Require(model.row_history_.size() == model.config_.period, what);
+  state_io::Require(model.level_.size() == model.config_.rank, what);
+  state_io::Require(seasons == 0 || model.season_pos_ < seasons, what);
+  state_io::Require(history == 0 || model.row_pos_ < history, what);
   return model;
 }
 

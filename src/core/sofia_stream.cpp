@@ -55,8 +55,8 @@ void SofiaStream::SaveState(std::ostream& out) const {
 void SofiaStream::RestoreState(std::istream& in) {
   state_io::ReadStateHeader(in, "sofia-stream", 1);
   int has_model = 0;
-  SOFIA_CHECK(static_cast<bool>(in >> has_model))
-      << "corrupt sofia-stream checkpoint";
+  state_io::Require(static_cast<bool>(in >> has_model),
+                    "corrupt sofia-stream checkpoint");
   if (has_model == 0) {
     model_.reset();
     return;

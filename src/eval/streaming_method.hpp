@@ -93,7 +93,10 @@ class StreamingMethod {
   virtual void SaveState(std::ostream& out) const;
 
   /// Inverse of SaveState: replaces the method's mutable state with the
-  /// checkpoint's. SOFIA_CHECK-fails on malformed input.
+  /// checkpoint's. Throws state_io::StateError on malformed input
+  /// (truncated, bit-flipped, or wrong-method checkpoints) without
+  /// constructing partial state — the durability layer catches it to fall
+  /// back to an older checkpoint generation.
   virtual void RestoreState(std::istream& in);
 
   /// Adopt a shared worker pool for the observed-entry kernels (one pool

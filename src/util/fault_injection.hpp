@@ -1,0 +1,123 @@
+#ifndef SOFIA_UTIL_FAULT_INJECTION_H_
+#define SOFIA_UTIL_FAULT_INJECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file fault_injection.hpp
+/// \brief Deterministic fault-injection hooks under the durability layer.
+///
+/// Crash consistency cannot be tested by waiting for real crashes: the
+/// durable IO paths (util/durable_io, data/slice_format, eval/durable_guard)
+/// consult this hook layer at every IO site, and tests *arm* faults that
+/// fire on the k-th operation at a named site — the same plan always hits
+/// the same write, so every kill-and-recover run is reproducible from its
+/// arm list alone. Three fault kinds cover the crash matrix:
+///
+///  - kCrash: the process "dies" at the site — modeled as a thrown
+///    SimulatedCrash that the test catches where main() would have exited.
+///    Whatever the filesystem held at that instant is what recovery sees.
+///  - kTornWrite: the write persists only a prefix of its payload, then the
+///    process dies — the classic torn page / partial append.
+///  - kIoError: the operation reports failure (EIO/ENOSPC stand-in) without
+///    side effects; armed with a count, it fails that many consecutive
+///    operations and then lets the site succeed — exactly the transient
+///    window durable_io's retry/backoff must ride out.
+///
+/// Sites are plain string literals owned by the IO layer (e.g.
+/// "snapshot.write", "journal.append", "snapshot.rename"); per-site op
+/// counters double as test telemetry. The whole layer is a no-op (one
+/// relaxed atomic load) when nothing is armed, so production builds pay
+/// nothing for carrying the hooks.
+
+namespace sofia {
+namespace fault {
+
+/// Thrown at an armed kCrash/kTornWrite site. Deliberately NOT derived from
+/// std::exception: generic catch(const std::exception&) recovery code must
+/// not be able to swallow a simulated process death by accident.
+struct SimulatedCrash {
+  std::string site;  ///< The IO site that "died".
+};
+
+enum class FaultKind {
+  kCrash,      ///< Die at the site (before the op takes effect).
+  kTornWrite,  ///< Persist a prefix of the payload, then die.
+  kIoError,    ///< Fail the op cleanly (transient EIO/ENOSPC stand-in).
+};
+
+/// One armed fault. Fires on the (at+1)-th matching operation at `site`;
+/// kIoError affects `count` consecutive operations from there.
+struct FaultSpec {
+  std::string site;      ///< Exact site name; "" matches every site.
+  FaultKind kind = FaultKind::kCrash;
+  uint64_t at = 0;       ///< Zero-based index of the first affected op.
+  uint64_t count = 1;    ///< kIoError: consecutive failing ops.
+  double fraction = 0.5; ///< kTornWrite: fraction of the payload persisted.
+};
+
+/// What the IO layer must do for the current operation.
+struct Decision {
+  bool io_error = false;  ///< Report failure, move no data.
+  bool crash = false;     ///< Throw SimulatedCrash (after torn prefix, if any).
+  bool torn = false;      ///< Persist only `torn_bytes` of the payload.
+  size_t torn_bytes = 0;
+};
+
+/// Arms a fault. Multiple specs stack; each op consults all of them.
+void Arm(const FaultSpec& spec);
+
+/// Disarms everything and zeroes the per-site op counters.
+void Reset();
+
+/// True when at least one fault is armed (fast path check).
+bool Enabled();
+
+/// Consulted by the IO layer at each site, advancing that site's op
+/// counter. `payload_bytes` sizes torn writes. Never throws — the caller
+/// applies the decision (and throws SimulatedCrash itself via Crash()).
+Decision OnIo(const char* site, size_t payload_bytes);
+
+/// Throws SimulatedCrash{site}. The IO layer calls this when a Decision
+/// says crash, after persisting any torn prefix.
+[[noreturn]] void Crash(const char* site);
+
+/// Operations seen at `site` since the last Reset (test telemetry).
+uint64_t OpsAt(const std::string& site);
+
+/// Total faults injected (of any kind) since the last Reset.
+uint64_t InjectedCount();
+
+/// RAII: Reset() on construction and destruction, so a test's plan can
+/// never leak into the next test.
+class ScopedFaultPlan {
+ public:
+  ScopedFaultPlan() { Reset(); }
+  explicit ScopedFaultPlan(const FaultSpec& spec) {
+    Reset();
+    Arm(spec);
+  }
+  ~ScopedFaultPlan() { Reset(); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+// --- At-rest corruption helpers (bit rot / torn tails on disk) -----------
+
+/// Flips one bit of the byte at `offset` in `path`. Returns false when the
+/// file cannot be opened or is shorter than offset+1.
+bool FlipFileBit(const std::string& path, size_t offset, unsigned bit);
+
+/// Truncates `path` to `new_size` bytes (a torn tail at rest). Returns
+/// false on failure.
+bool TruncateFile(const std::string& path, size_t new_size);
+
+/// Size of `path` in bytes, or SIZE_MAX when it cannot be stat'ed.
+size_t FileSize(const std::string& path);
+
+}  // namespace fault
+}  // namespace sofia
+
+#endif  // SOFIA_UTIL_FAULT_INJECTION_H_

@@ -5,10 +5,28 @@
 #include <ostream>
 #include <string>
 
-#include "util/check.hpp"
-
 namespace sofia {
 namespace state_io {
+
+namespace {
+
+/// Reads one size field under the plausibility cap. A stream in a failed
+/// state, a negative number, or an implausibly huge count all throw — the
+/// caller never allocates from an untrusted size.
+size_t ReadCount(std::istream& in, const char* what, size_t cap) {
+  long long n = 0;
+  Require(static_cast<bool>(in >> n), what);
+  Require(n >= 0 && static_cast<unsigned long long>(n) <= cap, what);
+  return static_cast<size_t>(n);
+}
+
+double ReadDouble(std::istream& in, const char* what) {
+  double x = 0.0;
+  Require(static_cast<bool>(in >> x), what);
+  return x;
+}
+
+}  // namespace
 
 void BeginState(std::ostream& out, const char* tag, int version) {
   out << tag << " v" << version << '\n';
@@ -17,15 +35,21 @@ void BeginState(std::ostream& out, const char* tag, int version) {
 
 int ReadStateHeader(std::istream& in, const char* tag, int max_version) {
   std::string got_tag, got_version;
-  SOFIA_CHECK(static_cast<bool>(in >> got_tag >> got_version) &&
-              got_tag == tag)
-      << "not a " << tag << " checkpoint";
-  SOFIA_CHECK(got_version.size() >= 2 && got_version[0] == 'v')
-      << "malformed " << tag << " checkpoint version '" << got_version << "'";
+  if (!(in >> got_tag >> got_version) || got_tag != tag) {
+    throw StateError(std::string("not a ") + tag + " checkpoint");
+  }
+  if (got_version.size() < 2 || got_version[0] != 'v' ||
+      got_version.find_first_not_of("0123456789", 1) != std::string::npos ||
+      got_version.size() > 10) {
+    throw StateError(std::string("malformed ") + tag +
+                     " checkpoint version '" + got_version + "'");
+  }
   const int version = std::stoi(got_version.substr(1));
-  SOFIA_CHECK(version >= 1 && version <= max_version)
-      << tag << " checkpoint version " << version << " unsupported (max "
-      << max_version << ")";
+  if (version < 1 || version > max_version) {
+    throw StateError(std::string(tag) + " checkpoint version " +
+                     std::to_string(version) + " unsupported (max " +
+                     std::to_string(max_version) + ")");
+  }
   return version;
 }
 
@@ -36,12 +60,10 @@ void WriteVector(std::ostream& out, const std::vector<double>& v) {
 }
 
 std::vector<double> ReadVector(std::istream& in) {
-  size_t n = 0;
-  SOFIA_CHECK(static_cast<bool>(in >> n)) << "corrupt checkpoint (vector)";
+  const char* what = "corrupt checkpoint (vector)";
+  const size_t n = ReadCount(in, what, kMaxStateElements);
   std::vector<double> v(n);
-  for (double& x : v) {
-    SOFIA_CHECK(static_cast<bool>(in >> x)) << "corrupt checkpoint (vector)";
-  }
+  for (double& x : v) x = ReadDouble(in, what);
   return v;
 }
 
@@ -52,14 +74,12 @@ void WriteMatrix(std::ostream& out, const Matrix& m) {
 }
 
 Matrix ReadMatrix(std::istream& in) {
-  size_t rows = 0, cols = 0;
-  SOFIA_CHECK(static_cast<bool>(in >> rows >> cols))
-      << "corrupt checkpoint (matrix)";
+  const char* what = "corrupt checkpoint (matrix)";
+  const size_t rows = ReadCount(in, what, kMaxStateElements);
+  const size_t cols = ReadCount(in, what, kMaxStateElements);
+  Require(rows == 0 || cols <= kMaxStateElements / rows, what);
   Matrix m(rows, cols);
-  for (size_t k = 0; k < m.size(); ++k) {
-    SOFIA_CHECK(static_cast<bool>(in >> m.data()[k]))
-        << "corrupt checkpoint (matrix)";
-  }
+  for (size_t k = 0; k < m.size(); ++k) m.data()[k] = ReadDouble(in, what);
   return m;
 }
 
@@ -69,9 +89,8 @@ void WriteMatrixList(std::ostream& out, const std::vector<Matrix>& ms) {
 }
 
 std::vector<Matrix> ReadMatrixList(std::istream& in) {
-  size_t n = 0;
-  SOFIA_CHECK(static_cast<bool>(in >> n))
-      << "corrupt checkpoint (matrix list)";
+  const size_t n =
+      ReadCount(in, "corrupt checkpoint (matrix list)", /*cap=*/4096);
   std::vector<Matrix> ms;
   ms.reserve(n);
   for (size_t i = 0; i < n; ++i) ms.push_back(ReadMatrix(in));
@@ -86,17 +105,17 @@ void WriteTensor(std::ostream& out, const DenseTensor& t) {
 }
 
 DenseTensor ReadTensor(std::istream& in) {
-  size_t order = 0;
-  SOFIA_CHECK(static_cast<bool>(in >> order)) << "corrupt checkpoint (tensor)";
+  const char* what = "corrupt checkpoint (tensor)";
+  const size_t order = ReadCount(in, what, /*cap=*/16);
   std::vector<size_t> dims(order);
+  size_t volume = 1;
   for (size_t& d : dims) {
-    SOFIA_CHECK(static_cast<bool>(in >> d)) << "corrupt checkpoint (tensor)";
+    d = ReadCount(in, what, kMaxStateElements);
+    Require(d == 0 || volume <= kMaxStateElements / d, what);
+    volume *= d;
   }
   DenseTensor t((Shape(dims)));
-  for (size_t k = 0; k < t.NumElements(); ++k) {
-    SOFIA_CHECK(static_cast<bool>(in >> t[k]))
-        << "corrupt checkpoint (tensor)";
-  }
+  for (size_t k = 0; k < t.NumElements(); ++k) t[k] = ReadDouble(in, what);
   return t;
 }
 
@@ -107,11 +126,14 @@ void WriteShape(std::ostream& out, const Shape& shape) {
 }
 
 Shape ReadShape(std::istream& in) {
-  size_t order = 0;
-  SOFIA_CHECK(static_cast<bool>(in >> order)) << "corrupt checkpoint (shape)";
+  const char* what = "corrupt checkpoint (shape)";
+  const size_t order = ReadCount(in, what, /*cap=*/16);
   std::vector<size_t> dims(order);
+  size_t volume = 1;
   for (size_t& d : dims) {
-    SOFIA_CHECK(static_cast<bool>(in >> d)) << "corrupt checkpoint (shape)";
+    d = ReadCount(in, what, kMaxStateElements);
+    Require(d == 0 || volume <= kMaxStateElements / d, what);
+    volume *= d;
   }
   return Shape(dims);
 }
@@ -125,16 +147,14 @@ void WriteMask(std::ostream& out, const Mask& mask) {
 }
 
 Mask ReadMask(std::istream& in) {
+  const char* what = "corrupt checkpoint (mask)";
   const Shape shape = ReadShape(in);
-  size_t nnz = 0;
-  SOFIA_CHECK(static_cast<bool>(in >> nnz)) << "corrupt checkpoint (mask)";
+  const size_t nnz = ReadCount(in, what, shape.NumElements());
   Mask mask(shape, /*observed=*/false);
   for (size_t i = 0; i < nnz; ++i) {
-    size_t linear = 0;
-    SOFIA_CHECK(static_cast<bool>(in >> linear))
-        << "corrupt checkpoint (mask)";
-    SOFIA_CHECK(linear < shape.NumElements())
-        << "corrupt checkpoint (mask index out of range)";
+    const size_t linear = ReadCount(in, what, kMaxStateElements);
+    Require(linear < shape.NumElements(),
+            "corrupt checkpoint (mask index out of range)");
     mask.Set(linear, true);
   }
   return mask;

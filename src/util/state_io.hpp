@@ -3,6 +3,8 @@
 
 #include <istream>
 #include <ostream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -18,11 +20,38 @@
 /// All writers emit whitespace-separated fields; doubles round-trip via
 /// max_digits10 (the caller sets the stream precision once through
 /// BeginState), so a restored method continues the stream bit-for-bit.
-/// Readers SOFIA_CHECK-fail with the failing structure's name on truncated
-/// or malformed input instead of constructing partial state.
+///
+/// Readers throw StateError (never abort, never construct partial state) on
+/// truncated or malformed input. Checkpoints cross a disk boundary: a
+/// truncated file, a torn write, or a flipped bit is an *environment*
+/// fault the durability layer must recover from by falling back to an
+/// older generation — which it can only do if the parse failure surfaces
+/// as a catchable error rather than a process abort. Size fields are also
+/// plausibility-capped before any allocation, so a bit-flipped count reads
+/// as "corrupt checkpoint", not a multi-terabyte allocation.
 
 namespace sofia {
 namespace state_io {
+
+/// Thrown by every reader on malformed input. Deliberately a distinct type
+/// (not SOFIA_CHECK abort): restore-from-disk is a recoverable operation,
+/// and callers (StreamGuard, DurableGuard, recovery tools) catch this to
+/// fall back to an older checkpoint generation.
+class StateError : public std::runtime_error {
+ public:
+  explicit StateError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws StateError unless `ok`. The message should name the structure
+/// being parsed ("corrupt checkpoint (matrix)").
+inline void Require(bool ok, const char* what) {
+  if (!ok) throw StateError(what);
+}
+
+/// Plausibility cap applied to every size field before allocation:
+/// 2^28 doubles = 2 GiB, far above any real checkpoint and far below what
+/// a flipped high bit in a count would request.
+constexpr size_t kMaxStateElements = size_t{1} << 28;
 
 /// Writes the "<tag> v<version>" header and sets the stream precision so
 /// every following double survives the text roundtrip exactly.

@@ -29,6 +29,7 @@
 #include "data/synthetic.hpp"
 #include "eval/stream_guard.hpp"
 #include "tensor/coo_list.hpp"
+#include "util/state_io.hpp"
 
 namespace sofia {
 namespace {
@@ -135,12 +136,73 @@ TEST(CheckpointTest, RoundTripContinuesBitwiseForAllNineMethods) {
 }
 
 TEST(CheckpointTest, RestoreRejectsWrongMethodTag) {
+  // A recoverable error, not an abort: the durability layer catches
+  // StateError to fall back to an older checkpoint generation.
   OnlineSgd sgd(OnlineSgdOptions{.rank = 3});
   std::ostringstream snapshot;
   sgd.SaveState(snapshot);
   Mast mast(MastOptions{.rank = 3});
   std::istringstream in(snapshot.str());
-  EXPECT_DEATH(mast.RestoreState(in), "mast");
+  EXPECT_THROW(mast.RestoreState(in), state_io::StateError);
+}
+
+TEST(CheckpointTest, RestoreSurvivesTruncationAndBitFlipFuzz) {
+  // Corruption fuzz across all nine methods: every truncation and every
+  // single-character mutation of a valid checkpoint must either restore
+  // cleanly or throw StateError — never abort, crash, or allocate from a
+  // poisoned size field. (ASan runs this same loop in CI.)
+  const size_t steps = 20;
+  std::vector<DenseTensor> truth = MakeTruth(steps, 171);
+  CorruptedStream stream = Corrupt(truth, {20.0, 5.0, 2.0}, 172);
+
+  std::vector<std::unique_ptr<StreamingMethod>> originals = MakeAllMethods();
+  for (size_t m = 0; m < originals.size(); ++m) {
+    StreamingMethod* a = originals[m].get();
+    SCOPED_TRACE(a->name());
+    const size_t w = a->init_window();
+    if (w > 0) {
+      std::vector<DenseTensor> init_slices(stream.slices.begin(),
+                                           stream.slices.begin() + w);
+      std::vector<Mask> init_masks(stream.masks.begin(),
+                                   stream.masks.begin() + w);
+      a->Initialize(init_slices, init_masks);
+    }
+    DriveAndGather(a, stream, w, std::max<size_t>(w, 12) + 4);
+    std::ostringstream snapshot;
+    a->SaveState(snapshot);
+    const std::string bytes = snapshot.str();
+    ASSERT_FALSE(bytes.empty());
+
+    const auto restore_must_not_crash = [&](const std::string& corrupt) {
+      std::unique_ptr<StreamingMethod> fresh =
+          std::move(MakeAllMethods()[m]);
+      std::istringstream in(corrupt);
+      try {
+        fresh->RestoreState(in);
+      } catch (const state_io::StateError&) {
+        // Rejected cleanly — the expected outcome for most mutations.
+      }
+    };
+
+    // Truncations (torn writes at rest).
+    for (const double frac : {0.0, 0.1, 0.3, 0.5, 0.7, 0.9}) {
+      restore_must_not_crash(
+          bytes.substr(0, static_cast<size_t>(frac * bytes.size())));
+    }
+    restore_must_not_crash(bytes.substr(0, bytes.size() - 1));
+
+    // Single-character mutations (bit rot), spread across the buffer. '9'
+    // inflates digits (stressing the allocation caps); '#' breaks parses.
+    const size_t stride = std::max<size_t>(1, bytes.size() / 24);
+    for (size_t pos = 0; pos < bytes.size(); pos += stride) {
+      for (const char c : {'9', '#'}) {
+        if (bytes[pos] == c) continue;
+        std::string mutated = bytes;
+        mutated[pos] = c;
+        restore_must_not_crash(mutated);
+      }
+    }
+  }
 }
 
 TEST(CheckpointTest, GuardRingWrapsAndRollbackRestoresNewestState) {

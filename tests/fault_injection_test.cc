@@ -1,0 +1,115 @@
+// Deterministic fault-injection plumbing (util/fault_injection): armed
+// specs fire on exactly the k-th operation of a named site, IO-error
+// windows span `count` consecutive ops, torn writes size their persisted
+// prefix from the payload, and ScopedFaultPlan can never leak a plan into
+// the next test.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "util/fault_injection.hpp"
+
+namespace sofia {
+namespace fault {
+namespace {
+
+TEST(FaultInjectionTest, DisabledLayerDecidesNothing) {
+  ScopedFaultPlan plan;  // Reset; nothing armed.
+  EXPECT_FALSE(Enabled());
+  const Decision d = OnIo("any.site", 128);
+  EXPECT_FALSE(d.io_error);
+  EXPECT_FALSE(d.crash);
+  EXPECT_FALSE(d.torn);
+  // Unarmed fast path does not even count ops.
+  EXPECT_EQ(OpsAt("any.site"), 0u);
+}
+
+TEST(FaultInjectionTest, CrashFiresOnExactlyTheKthOp) {
+  ScopedFaultPlan plan(FaultSpec{"site.a", FaultKind::kCrash, /*at=*/2});
+  EXPECT_TRUE(Enabled());
+  EXPECT_FALSE(OnIo("site.a", 0).crash);  // op 0
+  EXPECT_FALSE(OnIo("site.b", 0).crash);  // other site: no match
+  EXPECT_FALSE(OnIo("site.a", 0).crash);  // op 1
+  EXPECT_TRUE(OnIo("site.a", 0).crash);   // op 2: fire
+  EXPECT_FALSE(OnIo("site.a", 0).crash);  // op 3: one-shot
+  EXPECT_EQ(OpsAt("site.a"), 4u);
+  EXPECT_EQ(OpsAt("site.b"), 1u);
+  EXPECT_EQ(InjectedCount(), 1u);
+}
+
+TEST(FaultInjectionTest, IoErrorWindowSpansCountOps) {
+  ScopedFaultPlan plan(
+      FaultSpec{"site.w", FaultKind::kIoError, /*at=*/1, /*count=*/3});
+  EXPECT_FALSE(OnIo("site.w", 0).io_error);  // op 0
+  EXPECT_TRUE(OnIo("site.w", 0).io_error);   // ops 1..3 fail
+  EXPECT_TRUE(OnIo("site.w", 0).io_error);
+  EXPECT_TRUE(OnIo("site.w", 0).io_error);
+  EXPECT_FALSE(OnIo("site.w", 0).io_error);  // transient window over
+}
+
+TEST(FaultInjectionTest, TornWriteSizesPrefixFromPayload) {
+  ScopedFaultPlan plan(FaultSpec{"site.t", FaultKind::kTornWrite, /*at=*/0,
+                                 /*count=*/1, /*fraction=*/0.25});
+  const Decision d = OnIo("site.t", 1000);
+  EXPECT_TRUE(d.crash);
+  EXPECT_TRUE(d.torn);
+  EXPECT_EQ(d.torn_bytes, 250u);
+}
+
+TEST(FaultInjectionTest, CrashThrowsSimulatedCrashWithSite) {
+  bool caught = false;
+  try {
+    Crash("the.site");
+  } catch (const SimulatedCrash& crash) {
+    caught = true;
+    EXPECT_EQ(crash.site, "the.site");
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(FaultInjectionTest, EmptySiteMatchesEverySite) {
+  ScopedFaultPlan plan(FaultSpec{"", FaultKind::kIoError, 0, /*count=*/100});
+  EXPECT_TRUE(OnIo("alpha", 0).io_error);
+  EXPECT_TRUE(OnIo("beta", 0).io_error);
+}
+
+TEST(FaultInjectionTest, ScopedPlanResetsOnDestruction) {
+  {
+    ScopedFaultPlan plan(FaultSpec{"leak.site", FaultKind::kCrash, 0});
+    EXPECT_TRUE(Enabled());
+  }
+  EXPECT_FALSE(Enabled());
+  EXPECT_EQ(OpsAt("leak.site"), 0u);
+}
+
+TEST(FaultInjectionTest, AtRestHelpersFlipAndTruncate) {
+  char tmpl[] = "/tmp/sofia_fault_XXXXXX";
+  const int fd = mkstemp(tmpl);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+  const std::string path = tmpl;
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "abcdefgh";
+  }
+  ASSERT_EQ(FileSize(path), 8u);
+  ASSERT_TRUE(FlipFileBit(path, 2, 0));  // 'c' ^ 1 = 'b'
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "abbdefgh");
+  }
+  ASSERT_TRUE(TruncateFile(path, 3));
+  EXPECT_EQ(FileSize(path), 3u);
+  EXPECT_FALSE(FlipFileBit(path, 10, 0));  // Past EOF.
+  EXPECT_EQ(FileSize("/nonexistent/nope"), SIZE_MAX);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace sofia

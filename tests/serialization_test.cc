@@ -4,6 +4,7 @@
 
 #include "core/sofia_model.hpp"
 #include "data/corruption.hpp"
+#include "util/state_io.hpp"
 #include "data/synthetic.hpp"
 #include "eval/metrics.hpp"
 
@@ -151,8 +152,10 @@ TEST(SerializationTest, KernelPathKnobsRoundTrip) {
 }
 
 TEST(SerializationTest, RejectsGarbageInput) {
+  // Garbage bytes throw state_io::StateError (the durability layer's
+  // snapshot fallback relies on this) — never abort, never a partial model.
   std::stringstream buffer("not a checkpoint at all");
-  EXPECT_DEATH(SofiaModel::Deserialize(buffer), "checkpoint|sofia-model");
+  EXPECT_THROW(SofiaModel::Deserialize(buffer), state_io::StateError);
 }
 
 }  // namespace

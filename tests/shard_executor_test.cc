@@ -10,9 +10,15 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "data/slice_format.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/mask.hpp"
 
 namespace sofia {
 namespace {
@@ -203,6 +209,48 @@ TEST(ShardExecutorTest, DestructionDrainsPendingAuxJobs) {
     // No Wait: the destructor must drain the queue, not abandon it.
   }
   EXPECT_EQ(completed.load(), 5);
+}
+
+TEST(ShardExecutorTest, DestructionDrainsPendingJournalAppendsToDisk) {
+  // The durability layer's shutdown-ordering contract: journal appends
+  // submitted to the aux lane and never Wait()ed on must still reach the
+  // file before the executor dies — a clean process exit loses nothing.
+  char tmpl[] = "/tmp/sofia_shardwal_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  ASSERT_NE(dir, nullptr);
+  const std::string path = std::string(dir) + "/wal-0.slices";
+
+  const Shape shape({2, 3});
+  constexpr size_t kRecords = 12;
+  {
+    slicefmt::SliceFileWriter writer;
+    ASSERT_TRUE(writer.Create(path, shape, 0));
+    ShardExecutor executor(3);
+    for (size_t step = 0; step < kRecords; ++step) {
+      executor.Submit([&writer, &shape, step] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        DenseTensor slice(shape);
+        for (size_t k = 0; k < slice.NumElements(); ++k) {
+          slice[k] = static_cast<double>(step * 100 + k);
+        }
+        writer.Append(step, slice, Mask(shape, /*observed=*/true));
+      });
+    }
+    // Executor destroyed first (drains the lane), THEN the writer closes:
+    // the ordering DurableGuard's member layout relies on.
+  }
+  slicefmt::SliceFileReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.Open(path, &error)) << error;
+  EXPECT_FALSE(reader.truncated());
+  ASSERT_EQ(reader.num_records(), kRecords);
+  for (size_t step = 0; step < kRecords; ++step) {
+    EXPECT_EQ(reader.record(step).step, step);  // FIFO lane: in order.
+    DenseTensor slice;
+    Mask mask;
+    reader.Decode(step, &slice, &mask);
+    EXPECT_EQ(slice[1], static_cast<double>(step * 100 + 1));
+  }
 }
 
 }  // namespace

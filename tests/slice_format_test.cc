@@ -1,0 +1,229 @@
+// Binary slice format (data/slice_format): bitwise roundtrips, valid-prefix
+// truncation at torn or bit-rotted records, canonical decode parity with
+// the CSV stream format, and torn-append behavior under injected faults —
+// the guarantees the write-ahead journal's replay correctness rests on.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/slice_format.hpp"
+#include "data/stream_io.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/mask.hpp"
+#include "util/fault_injection.hpp"
+#include "util/rng.hpp"
+
+namespace sofia {
+namespace slicefmt {
+namespace {
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/sofia_slicefmt_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir;
+}
+
+/// Small stream with awkward doubles (no short decimal representation)
+/// and ~30% missing entries.
+TensorStream MakeStream(size_t steps, uint64_t seed) {
+  TensorStream stream;
+  Rng rng(seed);
+  const Shape shape({3, 4});
+  for (size_t t = 0; t < steps; ++t) {
+    DenseTensor slice(shape);
+    Mask mask(shape, /*observed=*/true);
+    for (size_t k = 0; k < slice.NumElements(); ++k) {
+      slice[k] = (rng.Uniform() - 0.5) / 3.0;
+      if (rng.Uniform() < 0.3) {
+        mask.Set(k, false);
+        slice[k] = 0.0;  // Canonical form: unobserved entries are zero.
+      }
+    }
+    stream.slices.push_back(std::move(slice));
+    stream.masks.push_back(std::move(mask));
+  }
+  return stream;
+}
+
+void ExpectStreamsBitwiseEqual(const TensorStream& a, const TensorStream& b,
+                               size_t limit = SIZE_MAX) {
+  ASSERT_EQ(std::min(a.slices.size(), limit), b.slices.size());
+  for (size_t t = 0; t < b.slices.size(); ++t) {
+    ASSERT_EQ(a.slices[t].shape(), b.slices[t].shape());
+    for (size_t k = 0; k < a.slices[t].NumElements(); ++k) {
+      ASSERT_EQ(a.slices[t][k], b.slices[t][k])
+          << "slice " << t << " entry " << k;
+      ASSERT_EQ(a.masks[t].Get(k), b.masks[t].Get(k))
+          << "mask " << t << " entry " << k;
+    }
+  }
+}
+
+TEST(SliceFormatTest, RoundTripIsBitwiseExact) {
+  const std::string path = MakeTempDir() + "/stream.slices";
+  TensorStream stream = MakeStream(7, 11);
+  std::string error;
+  ASSERT_TRUE(WriteSliceFile(path, stream, /*sequence=*/42, &error)) << error;
+
+  SliceFileReader reader;
+  ASSERT_TRUE(reader.Open(path, &error)) << error;
+  EXPECT_EQ(reader.sequence(), 42u);
+  EXPECT_EQ(reader.num_records(), 7u);
+  EXPECT_FALSE(reader.truncated());
+  EXPECT_EQ(reader.slice_shape(), Shape({3, 4}));
+  for (size_t t = 0; t < reader.num_records(); ++t) {
+    EXPECT_EQ(reader.record(t).step, t);
+  }
+
+  TensorStream got;
+  ASSERT_TRUE(ReadSliceFile(path, &got, &error)) << error;
+  ExpectStreamsBitwiseEqual(stream, got);
+}
+
+TEST(SliceFormatTest, TornTailTruncatesToValidPrefix) {
+  const std::string path = MakeTempDir() + "/stream.slices";
+  TensorStream stream = MakeStream(6, 12);
+  ASSERT_TRUE(WriteSliceFile(path, stream, 0));
+  const size_t full = fault::FileSize(path);
+
+  // Chop the file at every byte boundary: the reader must expose only
+  // whole validated records and flag the dropped tail — never crash.
+  size_t last_records = 6;
+  for (size_t keep = full - 1; keep >= 8; keep -= 7) {
+    ASSERT_TRUE(fault::TruncateFile(path, keep));
+    SliceFileReader reader;
+    std::string error;
+    if (!reader.Open(path, &error)) {
+      // Header itself torn: fine, reported as an error, not a crash.
+      continue;
+    }
+    EXPECT_TRUE(reader.truncated());
+    EXPECT_LE(reader.num_records(), last_records);
+    last_records = reader.num_records();
+    TensorStream got;
+    ASSERT_TRUE(ReadSliceFile(path, &got, &error)) << error;
+    ExpectStreamsBitwiseEqual(stream, got, reader.num_records());
+  }
+}
+
+TEST(SliceFormatTest, BitRotDropsTheRecordAndEverythingAfter) {
+  const std::string dir = MakeTempDir();
+  TensorStream stream = MakeStream(5, 13);
+  const std::string clean = dir + "/clean.slices";
+  ASSERT_TRUE(WriteSliceFile(clean, stream, 0));
+  const size_t full = fault::FileSize(clean);
+
+  // Sample byte positions across the whole file; a flip in record k keeps
+  // records [0, k) replayable and drops the rest (header flips fail Open).
+  for (size_t offset = 1; offset < full; offset += 11) {
+    const std::string path = dir + "/rot.slices";
+    ASSERT_TRUE(WriteSliceFile(path, stream, 0));
+    ASSERT_TRUE(fault::FlipFileBit(path, offset, offset % 8));
+    SliceFileReader reader;
+    if (!reader.Open(path)) continue;  // Header flip.
+    if (reader.num_records() < stream.slices.size()) {
+      EXPECT_TRUE(reader.truncated()) << "flip at " << offset;
+    }
+    TensorStream got;
+    ASSERT_TRUE(ReadSliceFile(path, &got));
+    ExpectStreamsBitwiseEqual(stream, got, reader.num_records());
+  }
+}
+
+TEST(SliceFormatTest, TornAppendLeavesPriorRecordsReplayable) {
+  const std::string path = MakeTempDir() + "/journal.slices";
+  TensorStream stream = MakeStream(4, 14);
+  SliceFileWriter writer;
+  ASSERT_TRUE(writer.Create(path, stream.slices[0].shape(), 9));
+  ASSERT_TRUE(writer.Append(0, stream.slices[0], stream.masks[0]));
+  ASSERT_TRUE(writer.Append(1, stream.slices[1], stream.masks[1]));
+
+  // Ops are only counted while a plan is armed, so the next append is op 0
+  // at journal.append; tear it partway through.
+  fault::ScopedFaultPlan plan({"journal.append", fault::FaultKind::kTornWrite,
+                               /*at=*/0, 1, /*fraction=*/0.5});
+  bool crashed = false;
+  try {
+    writer.Append(2, stream.slices[2], stream.masks[2]);
+  } catch (const fault::SimulatedCrash& crash) {
+    crashed = true;
+    EXPECT_EQ(crash.site, "journal.append");
+  }
+  fault::Reset();
+  ASSERT_TRUE(crashed);
+
+  SliceFileReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.Open(path, &error)) << error;
+  EXPECT_EQ(reader.num_records(), 2u);  // The torn record 2 is dropped.
+  EXPECT_TRUE(reader.truncated());
+  EXPECT_EQ(reader.sequence(), 9u);
+  TensorStream got;
+  ASSERT_TRUE(ReadSliceFile(path, &got));
+  ExpectStreamsBitwiseEqual(stream, got, 2);
+}
+
+TEST(SliceFormatTest, CsvAndBinaryDecodeIdentically) {
+  // The CSV stream format writes doubles at precision 17, so both formats
+  // round-trip bitwise — slice_convert can translate either direction
+  // without changing a single entry.
+  const std::string dir = MakeTempDir();
+  TensorStream stream = MakeStream(5, 15);
+
+  std::ostringstream csv;
+  WriteStreamCsv(csv, stream);
+  std::istringstream csv_in(csv.str());
+  TensorStream from_csv = ReadStreamCsv(csv_in);
+
+  const std::string bin = dir + "/stream.slices";
+  ASSERT_TRUE(WriteSliceFile(bin, stream, 0));
+  TensorStream from_bin;
+  ASSERT_TRUE(ReadSliceFile(bin, &from_bin));
+
+  ExpectStreamsBitwiseEqual(from_csv, from_bin);
+}
+
+TEST(SliceFormatTest, TextBinaryTextRoundTripIsIdentity) {
+  // The tools/slice_convert contract: csv -> binary -> csv reproduces the
+  // text byte-for-byte (the CSV writer emits max_digits10 doubles, the
+  // binary format raw IEEE bytes — nothing rounds anywhere).
+  TensorStream stream = MakeStream(4, 16);
+  std::ostringstream original;
+  WriteStreamCsv(original, stream);
+
+  const std::string bin = MakeTempDir() + "/via.slices";
+  std::istringstream csv_in(original.str());
+  ASSERT_TRUE(WriteSliceFile(bin, ReadStreamCsv(csv_in), 0));
+  TensorStream back;
+  ASSERT_TRUE(ReadSliceFile(bin, &back));
+  std::ostringstream roundtripped;
+  WriteStreamCsv(roundtripped, back);
+  EXPECT_EQ(original.str(), roundtripped.str());
+}
+
+TEST(SliceFormatTest, RejectsGarbageAndEmptyFiles) {
+  const std::string dir = MakeTempDir();
+  const std::string path = dir + "/garbage.slices";
+  {
+    SliceFileWriter writer;
+    ASSERT_TRUE(writer.Create(path, Shape({2, 2}), 0));
+  }
+  ASSERT_TRUE(fault::FlipFileBit(path, 0, 4));  // Break the magic.
+  SliceFileReader reader;
+  std::string error;
+  EXPECT_FALSE(reader.Open(path, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos);
+  EXPECT_FALSE(reader.Open(dir + "/missing.slices", &error));
+
+  TensorStream empty;
+  EXPECT_FALSE(WriteSliceFile(dir + "/empty.slices", empty, 0, &error));
+}
+
+}  // namespace
+}  // namespace slicefmt
+}  // namespace sofia

@@ -31,6 +31,7 @@ KNOWN_ORDER = [
     "BENCH_robustness.json", # PR 6: StreamGuard fault-tolerance layer.
     "BENCH_simd.json",       # PR 7: SIMD kernels + incremental CSF.
     "BENCH_runtime.json",    # PR 8: sharded pipelined streaming runtime.
+    "BENCH_durability.json", # PR 9: crash-consistent durability layer.
 ]
 
 
