@@ -29,6 +29,7 @@
 #include "baselines/smf.hpp"
 #include "data/synthetic.hpp"
 #include "eval/streaming_method.hpp"
+#include "util/bench_json.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -200,8 +201,7 @@ int main(int argc, char** argv) {
                "single thread (bench_baselines "
                "--out=BENCH_baselines.json).\",\n",
                kRows, kCols, kRank, reps, steps);
-  std::fprintf(f, "  \"machine\": {\n    \"cpus\": %u\n  },\n",
-               std::thread::hardware_concurrency());
+  bench::WriteMachineBlock(f);
   std::fprintf(f, "  \"unit\": \"ns\",\n");
   std::fprintf(f, "  \"results\": {\n");
   size_t i = 0;

@@ -39,6 +39,7 @@
 #include "tensor/mask.hpp"
 #include "tensor/sparse_kernels.hpp"
 #include "tensor/sparse_mask.hpp"
+#include "util/bench_json.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -236,8 +237,7 @@ int main(int argc, char** argv) {
       "isolated pieces on one bound pattern. Best (min) wall time over "
       "%zu repetitions, single thread (bench_csf --out=BENCH_csf.json).\",\n",
       steps, d0, d1, d2, rank, reps);
-  std::fprintf(f, "  \"machine\": {\n    \"cpus\": %u\n  },\n",
-               std::thread::hardware_concurrency());
+  bench::WriteMachineBlock(f);
   std::fprintf(f, "  \"unit\": \"s\",\n");
   std::fprintf(f, "  \"results\": {\n");
   size_t i = 0;

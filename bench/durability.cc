@@ -38,6 +38,7 @@
 #include "data/corruption.hpp"
 #include "data/synthetic.hpp"
 #include "eval/durable_guard.hpp"
+#include "util/bench_json.hpp"
 #include "util/flags.hpp"
 #include "util/shard_executor.hpp"
 #include "util/stopwatch.hpp"
@@ -228,8 +229,7 @@ int main(int argc, char** argv) {
                "replay through real inner steps. Wall times are best of "
                "%zu (bench_durability --out=BENCH_durability.json).\",\n",
                steps, rows, cols, kRank, snapshot_every, reps);
-  std::fprintf(f, "  \"machine\": {\n    \"cpus\": %u\n  },\n",
-               std::thread::hardware_concurrency());
+  bench::WriteMachineBlock(f);
   std::fprintf(f, "  \"unit\": \"s\",\n");
   std::fprintf(f, "  \"results\": {\n");
   size_t i = 0;

@@ -48,6 +48,7 @@
 #include "eval/metrics.hpp"
 #include "eval/step_result.hpp"
 #include "eval/stream_runner.hpp"
+#include "util/bench_json.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -262,8 +263,7 @@ int main(int argc, char** argv) {
                "%zu repetitions, single thread (bench_pipeline "
                "--out=BENCH_pipeline.json).\",\n",
                steps, rows, cols, kRank, eval_cap, reps);
-  std::fprintf(f, "  \"machine\": {\n    \"cpus\": %u\n  },\n",
-               std::thread::hardware_concurrency());
+  bench::WriteMachineBlock(f);
   std::fprintf(f, "  \"unit\": \"s\",\n");
   std::fprintf(f, "  \"results\": {\n");
   size_t i = 0;

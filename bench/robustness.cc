@@ -39,6 +39,7 @@
 #include "data/synthetic.hpp"
 #include "eval/stream_guard.hpp"
 #include "eval/stream_runner.hpp"
+#include "util/bench_json.hpp"
 #include "util/flags.hpp"
 #include "util/stopwatch.hpp"
 
@@ -248,8 +249,7 @@ int main(int argc, char** argv) {
                "adds that cannot be turned off "
                "(bench_robustness --out=BENCH_robustness.json).\",\n",
                steps, rows, cols, kRank, reps);
-  std::fprintf(f, "  \"machine\": {\n    \"cpus\": %u\n  },\n",
-               std::thread::hardware_concurrency());
+  bench::WriteMachineBlock(f);
   std::fprintf(f, "  \"unit\": \"s\",\n");
   std::fprintf(f, "  \"results\": {\n");
   size_t i = 0;

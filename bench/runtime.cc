@@ -42,6 +42,7 @@
 #include "data/synthetic.hpp"
 #include "eval/stream_pipeline.hpp"
 #include "eval/stream_runner.hpp"
+#include "util/bench_json.hpp"
 #include "util/flags.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -270,8 +271,7 @@ int main(int argc, char** argv) {
                "dispatch and overlap rows are the real wins. "
                "(bench_runtime --out=BENCH_runtime.json)\",\n",
                steps, rows, cols, kRank, 100.0 * density, reps);
-  std::fprintf(f, "  \"machine\": {\n    \"cpus\": %u\n  },\n",
-               std::thread::hardware_concurrency());
+  bench::WriteMachineBlock(f);
   std::fprintf(f, "  \"unit\": \"steps_per_s | ms | us | fraction\",\n");
   std::fprintf(f, "  \"results\": {\n");
   size_t i = 0;

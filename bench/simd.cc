@@ -39,6 +39,7 @@
 #include "tensor/mask.hpp"
 #include "tensor/simd.hpp"
 #include "tensor/sparse_kernels.hpp"
+#include "util/bench_json.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -284,8 +285,7 @@ int main(int argc, char** argv) {
       "--out=BENCH_simd.json).\",\n",
       d0, d1, d2, density, simd::Available() ? "avx2+fma" : "scalar-only",
       changes, reps);
-  std::fprintf(f, "  \"machine\": {\n    \"cpus\": %u\n  },\n",
-               std::thread::hardware_concurrency());
+  bench::WriteMachineBlock(f);
   std::fprintf(f, "  \"unit\": \"s\",\n");
   std::fprintf(f, "  \"results\": {\n");
   size_t i = 0;

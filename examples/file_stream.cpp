@@ -16,6 +16,15 @@
 //                    [--workers=0] [--pipeline-depth=2] [--window=1]
 //                    [--state-dir=] [--snapshot-every=16] [--journal=on]
 //                    [--kill-at=-1]
+//                    [--trace-out=] [--metrics-out=] [--stats-every=0]
+//                    [--stats-out=] [--obs=1]
+//
+// The observability flags (src/obs/cli.hpp) work in every mode:
+// --trace-out writes a Chrome trace-event JSON (load it in
+// https://ui.perfetto.dev) with the driver, shard workers, and aux lane as
+// named tracks; --metrics-out appends the final registry snapshot as one
+// JSON line (feed it to tool_obs_report); --stats-every=N emits a
+// snapshot line every N steps while streaming.
 //
 // --guard wraps SOFIA in the StreamGuard fault-tolerance layer — real file
 // streams are exactly where NaN records and blackout slices show up (the
@@ -53,6 +62,8 @@
 #include "eval/experiment.hpp"
 #include "eval/stream_pipeline.hpp"
 #include "eval/stream_runner.hpp"
+#include "obs/cli.hpp"
+#include "obs/obs.hpp"
 #include "tensor/csf_tensor.hpp"
 #include "tensor/simd.hpp"
 #include "timeseries/period.hpp"
@@ -61,17 +72,20 @@
 int main(int argc, char** argv) {
   using namespace sofia;
   Flags flags(argc, argv);
+  const obs::ObsCliConfig obs_config = obs::SetupObsFromFlags(flags);
   const std::string path =
       flags.GetString("path", "/tmp/sofia_demo_stream.csv");
 
   // 1. Simulate "real" data on disk: a network-traffic-like stream with
   //    30% missing entries and 10% outliers.
+  uint64_t phase_start = obs::NowNs();
   Dataset traffic = MakeNetworkTraffic(DatasetScale::kSmall);
   traffic.slices.resize(7 * traffic.period);
   CorruptedStream corrupted = Corrupt(traffic.slices, {30.0, 10.0, 3.0}, 71);
   if (!WriteStreamCsvFile(path, TensorStream{corrupted.slices,
                                              corrupted.masks})) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    obs::FinishObs(obs_config);
     return 1;
   }
   std::printf("wrote %zu observed-entry records to %s\n",
@@ -81,11 +95,17 @@ int main(int argc, char** argv) {
                 return n;
               }(),
               path.c_str());
+  obs::TraceRecord("demo.write_csv", phase_start, obs::NowNs() - phase_start,
+                   0, nullptr);
+  phase_start = obs::NowNs();
 
   // 2. Load it back, as a real consumer would.
   TensorStream loaded = ReadStreamCsvFile(path);
   std::printf("loaded %zu slices of shape %s\n", loaded.slices.size(),
               loaded.slices[0].shape().ToString().c_str());
+  obs::TraceRecord("demo.load", phase_start, obs::NowNs() - phase_start, 0,
+                   nullptr);
+  phase_start = obs::NowNs();
 
   // 3. Detect the seasonal period from the per-step *median* of observed
   //    entries. The median shrugs off the injected outliers that would
@@ -112,6 +132,8 @@ int main(int argc, char** argv) {
                                        &has_data);
   std::printf("detected seasonal period m = %zu (generator used m = %zu)\n",
               period, traffic.period);
+  obs::TraceRecord("demo.detect_period", phase_start,
+                   obs::NowNs() - phase_start, 0, nullptr);
 
   // 4. Run SOFIA with the detected period.
   Dataset as_loaded = traffic;  // Ground truth for scoring only.
@@ -189,6 +211,7 @@ int main(int argc, char** argv) {
     if (!report.restored) {
       std::fprintf(stderr, "[durable] nothing usable in %s\n",
                    state_dir.c_str());
+      obs::FinishObs(obs_config);
       return 1;
     }
     std::printf("[durable] recovered: snapshot seq %llu @ step %llu + %zu "
@@ -207,6 +230,7 @@ int main(int argc, char** argv) {
                     ? "bitwise identical to the uninterrupted run"
                     : "DIVERGED — durability contract broken");
     std::remove(path.c_str());
+    obs::FinishObs(obs_config);
     return mismatches == 0 ? 0 : 1;
   }
 
@@ -258,5 +282,6 @@ int main(int argc, char** argv) {
               pipe.ingest_jobs, 100.0 * hidden,
               static_cast<unsigned long long>(pipe.arena_growth_steady));
   std::remove(path.c_str());
+  obs::FinishObs(obs_config);
   return 0;
 }

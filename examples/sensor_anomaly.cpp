@@ -9,6 +9,16 @@
 //
 // Usage: sensor_anomaly [--fault_rate=10] [--magnitude=5]
 //                       [--num_threads=0] [--use_sparse_kernels=true]
+//                       [--workers=0] [--storage=coo|csf] [--simd=on|off]
+//                       [--trace-out=FILE] [--metrics-out=FILE]
+//                       [--stats-every=N] [--obs=on|off]
+//
+// --workers sizes SOFIA's internal sharded executor (overrides
+// --num_threads when nonzero); --storage=csf routes the per-step pattern
+// through the compressed-sparse-fiber backend; --simd=off forces the
+// scalar kernel instantiations. Detection counts are identical across all
+// three knobs. --trace-out/--metrics-out capture an obs trace and metric
+// snapshots of the run (obs/cli.hpp).
 
 #include <cmath>
 #include <cstdio>
@@ -17,12 +27,16 @@
 #include "data/corruption.hpp"
 #include "data/dataset_sim.hpp"
 #include "eval/experiment.hpp"
+#include "obs/cli.hpp"
+#include "tensor/pattern_storage.hpp"
+#include "tensor/simd.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace sofia;
   Flags flags(argc, argv);
+  const obs::ObsCliConfig obs_config = obs::SetupObsFromFlags(flags);
   const double fault_rate = flags.GetDouble("fault_rate", 10.0);
   const double magnitude = flags.GetDouble("magnitude", 5.0);
 
@@ -37,6 +51,12 @@ int main(int argc, char** argv) {
       flags.GetInt("num_threads", static_cast<int64_t>(config.num_threads)));
   config.use_sparse_kernels =
       flags.GetBool("use_sparse_kernels", config.use_sparse_kernels);
+  const size_t workers = static_cast<size_t>(flags.GetInt("workers", 0));
+  if (workers != 0) config.num_threads = workers;
+  config.pattern_storage =
+      ParsePatternStorage(flags.GetString("storage", "coo"));
+  simd::SetEnabled(
+      flags.GetString("simd", simd::Enabled() ? "on" : "off") == "on");
   const size_t window = config.InitWindow();
   std::vector<DenseTensor> init_slices(stream.slices.begin(),
                                        stream.slices.begin() + window);
@@ -89,5 +109,6 @@ int main(int argc, char** argv) {
   std::printf("SOFIA detects faults as a side effect of robust streaming "
               "factorization — no labels, thresholds tuned only through "
               "the error-scale tensor (Eq. (22)).\n");
+  obs::FinishObs(obs_config);
   return 0;
 }

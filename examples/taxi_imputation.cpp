@@ -23,6 +23,8 @@
 //                                    combined-stress]
 //                        [--guard=off|skip|rollback|reinit]
 //                        [--workers=0] [--pipeline-depth=1] [--window=1]
+//                        [--trace-out=FILE] [--metrics-out=FILE]
+//                        [--stats-every=N] [--obs=on|off]
 //
 // --workers/--pipeline-depth/--window configure the sharded streaming
 // runtime behind the comparison (eval/stream_pipeline.hpp): persistent
@@ -48,6 +50,7 @@
 #include "eval/step_result.hpp"
 #include "eval/stream_guard.hpp"
 #include "eval/stream_runner.hpp"
+#include "obs/cli.hpp"
 #include "tensor/csf_tensor.hpp"
 #include "tensor/simd.hpp"
 #include "util/flags.hpp"
@@ -56,6 +59,9 @@
 int main(int argc, char** argv) {
   using namespace sofia;
   Flags flags(argc, argv);
+  // Observability: --trace-out= captures a Chrome-trace of the run,
+  // --metrics-out= appends registry snapshots as JSON lines (obs/cli.hpp).
+  const obs::ObsCliConfig obs_config = obs::SetupObsFromFlags(flags);
   CorruptionSetting setting;
   setting.missing_percent = flags.GetDouble("missing", 50.0);
   setting.outlier_percent = flags.GetDouble("outliers", 20.0);
@@ -205,5 +211,6 @@ int main(int argc, char** argv) {
   std::printf("\nSOFIA recovers the stream %0.1fx more accurately than the "
               "non-robust baseline.\n",
               sofia_rae > 0 ? sgd_rae / sofia_rae : 0.0);
+  obs::FinishObs(obs_config);
   return 0;
 }

@@ -16,6 +16,8 @@
 //                         [--storage=coo|csf] [--simd=on|off]
 //                         [--csf-leaf=default|auto] [--csf-churn=0.25]
 //                         [--workers=0]
+//                         [--trace-out=FILE] [--metrics-out=FILE]
+//                         [--stats-every=N] [--obs=on|off]
 //
 // --scenario replaces SOFIA's i.i.d. training corruption with one of the
 // structured failure modes of data/scenarios.hpp (sensor outage bursts,
@@ -44,6 +46,7 @@
 #include "data/scenarios.hpp"
 #include "eval/experiment.hpp"
 #include "eval/metrics.hpp"
+#include "obs/cli.hpp"
 #include "tensor/csf_tensor.hpp"
 #include "tensor/simd.hpp"
 #include "util/flags.hpp"
@@ -52,6 +55,9 @@
 int main(int argc, char** argv) {
   using namespace sofia;
   Flags flags(argc, argv);
+  // Observability: --trace-out= captures a Chrome-trace of the run,
+  // --metrics-out= appends registry snapshots as JSON lines (obs/cli.hpp).
+  const obs::ObsCliConfig obs_config = obs::SetupObsFromFlags(flags);
   const double missing = flags.GetDouble("missing", 30.0);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 3));
   const std::string scenario_name = flags.GetString("scenario", "clean");
@@ -189,5 +195,6 @@ int main(int argc, char** argv) {
   std::printf("SOFIA's outlier rejection keeps the seasonal model clean, so "
               "its forecasts hold up even with %.0f%% of the training data "
               "missing.\n", missing);
+  obs::FinishObs(obs_config);
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "linalg/solve.hpp"
+#include "obs/obs.hpp"
 #include "tensor/csf_kernels.hpp"
 #include "util/check.hpp"
 
@@ -16,6 +17,9 @@ std::shared_ptr<const CooList> MakeSharedPattern(const Mask& omega,
 
 void ObservedSweep::BeginStep(const DenseTensor& y, const Mask& omega,
                               std::shared_ptr<const CooList> shared) {
+  static obs::Counter* steps =
+      obs::Registry::Global().FindOrCreateCounter("baseline.sweep_steps");
+  steps->Add(1);
   SOFIA_CHECK(y.shape() == omega.shape());
   if (shared != nullptr) {
     SOFIA_CHECK(shared->shape() == omega.shape());

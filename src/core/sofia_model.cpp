@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "tensor/csf_kernels.hpp"
 #include "tensor/kruskal.hpp"
 #include "tensor/sparse_kernels.hpp"
@@ -270,6 +271,12 @@ SofiaStepResult SofiaModel::Step(const DenseTensor& y, const Mask& omega) {
 
 SofiaStepResult SofiaModel::Step(const DenseTensor& y, const Mask& omega,
                                  std::shared_ptr<const CooList> pattern) {
+  static obs::Counter* steps =
+      obs::Registry::Global().FindOrCreateCounter("sofia.steps");
+  static obs::Counter* step_us =
+      obs::Registry::Global().FindOrCreateCounter("time.sofia.step_us");
+  steps->Add(1);
+  obs::ObsSpan span("sofia.step", step_us);
   SOFIA_CHECK(y.shape() == omega.shape());
   SOFIA_CHECK(y.shape() == sigma_.shape());
   const size_t rank = config_.rank;

@@ -8,11 +8,46 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/fault_injection.hpp"
 #include "util/state_io.hpp"
 
 namespace sofia {
+
+namespace {
+
+/// Registry mirrors of DurabilityTelemetry (the struct stays as the
+/// per-run compatibility view).
+struct DurableMetrics {
+  obs::Counter* steps;
+  obs::Counter* journal_appends;
+  obs::Counter* journal_bytes;
+  obs::Counter* async_appends;
+  obs::Counter* journal_failures;
+  obs::Counter* snapshots_written;
+  obs::Counter* snapshot_failures;
+  obs::Counter* snapshot_time_us;
+  obs::Histogram* snapshot_us;
+};
+
+DurableMetrics& Dm() {
+  obs::Registry& r = obs::Registry::Global();
+  static DurableMetrics m{
+      r.FindOrCreateCounter("durable.steps"),
+      r.FindOrCreateCounter("durable.journal_appends"),
+      r.FindOrCreateCounter("durable.journal_bytes"),
+      r.FindOrCreateCounter("durable.async_appends"),
+      r.FindOrCreateCounter("durable.journal_failures"),
+      r.FindOrCreateCounter("durable.snapshots_written"),
+      r.FindOrCreateCounter("durable.snapshot_failures"),
+      r.FindOrCreateCounter("time.durable.snapshot_us"),
+      r.FindOrCreateHistogram("durable.snapshot_us"),
+  };
+  return m;
+}
+
+}  // namespace
 
 DurableGuard::DurableGuard(std::unique_ptr<StreamingMethod> inner,
                            DurableGuardOptions options)
@@ -83,6 +118,7 @@ void DurableGuard::MarkJournalLost() {
   std::lock_guard<std::mutex> lock(io_mutex_);
   journal_lost_ = true;
   ++telemetry_.journal_failures;
+  Dm().journal_failures->Add(1);
 }
 
 void DurableGuard::RotateJournalLocked(uint64_t seq) {
@@ -147,14 +183,27 @@ void DurableGuard::TakeSnapshot() {
     // Group-commit point: everything journaled so far becomes durable
     // before the snapshot that supersedes it lands.
     if (journal_.is_open()) journal_.Sync();
+    const bool measured = obs::Enabled() || obs::TraceActive();
+    const uint64_t start = measured ? obs::NowNs() : 0;
     const durable::IoStatus status = snapshots_.Write(seq, payload);
+    if (measured) {
+      const uint64_t dur = obs::NowNs() - start;
+      Dm().snapshot_time_us->Add(dur / 1000);
+      Dm().snapshot_us->Observe(static_cast<double>(dur) / 1e3);
+      if (obs::TraceActive()) {
+        obs::TraceRecord("durable.snapshot", start, dur, payload.size(),
+                         "bytes");
+      }
+    }
     const bool landed = status == durable::IoStatus::kOk;
     {
       std::lock_guard<std::mutex> lock(io_mutex_);
       if (landed) {
         ++telemetry_.snapshots_written;
+        Dm().snapshots_written->Add(1);
       } else {
         ++telemetry_.snapshot_failures;
+        Dm().snapshot_failures->Add(1);
       }
     }
     // Fail-soft: older generations remain, and the journal keeps
@@ -173,13 +222,19 @@ void DurableGuard::JournalSlice(const DenseTensor& decoded,
     std::lock_guard<std::mutex> lock(io_mutex_);
     if (journal_lost_) {
       ++telemetry_.journal_failures;
+      Dm().journal_failures->Add(1);
       return;
     }
   }
   slicefmt::EncodeRecord(step_, decoded, omega, &encode_buf_);
   ++telemetry_.journal_appends;
   telemetry_.journal_bytes += encode_buf_.size();
-  if (executor_ != nullptr) ++telemetry_.async_appends;
+  Dm().journal_appends->Add(1);
+  Dm().journal_bytes->Add(encode_buf_.size());
+  if (executor_ != nullptr) {
+    ++telemetry_.async_appends;
+    Dm().async_appends->Add(1);
+  }
   const bool sync_each = options_.sync_each_append;
   SubmitIo([this, bytes = encode_buf_, sync_each] {
     if (!journal_.is_open() || !journal_.AppendEncoded(bytes)) {
@@ -218,6 +273,7 @@ StepResult DurableGuard::StepLazy(const DenseTensor& y, const Mask& omega,
   StepResult result = inner_->StepLazy(decoded, omega, std::move(pattern));
   ++step_;
   ++telemetry_.steps;
+  Dm().steps->Add(1);
   if (options_.snapshot_every > 0 &&
       ++steps_since_snapshot_ >= options_.snapshot_every) {
     TakeSnapshot();
@@ -234,6 +290,7 @@ void DurableGuard::Observe(const DenseTensor& y, const Mask& omega) {
   inner_->Observe(decoded, omega);
   ++step_;
   ++telemetry_.steps;
+  Dm().steps->Add(1);
   if (options_.snapshot_every > 0 &&
       ++steps_since_snapshot_ >= options_.snapshot_every) {
     TakeSnapshot();

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "tensor/kruskal.hpp"
 #include "tensor/sparse_kernels.hpp"
 #include "util/check.hpp"
@@ -75,6 +76,9 @@ const DenseTensor& StepResult::imputed() const {
   SOFIA_CHECK(valid()) << "StepResult carries no estimate";
   if (!dense_) {
     g_materializations.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter* materializations =
+        obs::Registry::Global().FindOrCreateCounter("eval.materializations");
+    materializations->Add(1);
     switch (kind_) {
       case Kind::kKruskal:
         dense_ = KruskalSlice(factors_, row_);

@@ -6,12 +6,48 @@
 #include <utility>
 
 #include "eval/metrics.hpp"
+#include "obs/obs.hpp"
 #include "tensor/coo_list.hpp"
 #include "util/check.hpp"
 
 namespace sofia {
 
 namespace {
+
+/// Registry mirrors of GuardTelemetry (the struct stays as the per-run
+/// compatibility view; these accumulate process-wide for the stats
+/// emitter and obs_report).
+struct GuardMetrics {
+  obs::Counter* steps;
+  obs::Counter* validation_passes;
+  obs::Counter* input_trips;
+  obs::Counter* health_trips;
+  obs::Counter* skips;
+  obs::Counter* rollbacks;
+  obs::Counter* reinits;
+  obs::Counter* checkpoints;
+  obs::Counter* recoveries;
+  obs::Counter* checkpoint_time_us;
+  obs::Histogram* checkpoint_us;
+};
+
+GuardMetrics& Gm() {
+  obs::Registry& r = obs::Registry::Global();
+  static GuardMetrics m{
+      r.FindOrCreateCounter("guard.steps"),
+      r.FindOrCreateCounter("guard.validation_passes"),
+      r.FindOrCreateCounter("guard.input_trips"),
+      r.FindOrCreateCounter("guard.health_trips"),
+      r.FindOrCreateCounter("guard.skips"),
+      r.FindOrCreateCounter("guard.rollbacks"),
+      r.FindOrCreateCounter("guard.reinits"),
+      r.FindOrCreateCounter("guard.checkpoints"),
+      r.FindOrCreateCounter("guard.recoveries"),
+      r.FindOrCreateCounter("time.guard.checkpoint_us"),
+      r.FindOrCreateHistogram("guard.checkpoint_us"),
+  };
+  return m;
+}
 
 /// streambuf that appends straight into a caller-owned string. Checkpoint
 /// slots pass their ring string here so a save serializes in place and
@@ -38,12 +74,25 @@ class StringSink : public std::streambuf {
   std::string* out_;
 };
 
-/// Serializes `method` state into `slot`, reusing its capacity.
+/// Serializes `method` state into `slot`, reusing its capacity. Runs on
+/// the caller thread or the executor's aux lane — the timing lands in the
+/// same histogram either way, so checkpoint cost is visible even when it
+/// is hidden off the critical path.
 void SerializeInto(const StreamingMethod& method, std::string* slot) {
+  const bool measured = obs::Enabled() || obs::TraceActive();
+  const uint64_t start = measured ? obs::NowNs() : 0;
   slot->clear();
   StringSink sink(slot);
   std::ostream out(&sink);
   method.SaveState(out);
+  if (measured) {
+    const uint64_t dur = obs::NowNs() - start;
+    Gm().checkpoint_time_us->Add(dur / 1000);
+    Gm().checkpoint_us->Observe(static_cast<double>(dur) / 1e3);
+    if (obs::TraceActive()) {
+      obs::TraceRecord("guard.checkpoint", start, dur, slot->size(), "bytes");
+    }
+  }
 }
 
 double WindowMean(const std::deque<double>& window) {
@@ -109,6 +158,7 @@ bool StreamGuard::CanCheckpoint() const {
 void StreamGuard::SaveCheckpoint() {
   const size_t slot = telemetry_.checkpoints_saved % ring_.size();
   ++telemetry_.checkpoints_saved;
+  Gm().checkpoints->Add(1);
   // A fresh health-accepted checkpoint is the new best rollback target:
   // restart any in-episode walk-back from it.
   episode_rollback_depth_ = 0;
@@ -149,6 +199,7 @@ std::vector<DenseTensor> StreamGuard::Initialize(
         << name() << ": init slice " << t << " shape "
         << slices[t].shape().ToString() << " != mask shape";
     ++telemetry_.validation_passes;
+    Gm().validation_passes->Add(1);
     const DenseTensor& slice = slices[t];
     const Mask& mask = masks[t];
     double slice_max = 0.0;
@@ -186,6 +237,7 @@ bool StreamGuard::DegradeState() {
   switch (options_.policy) {
     case GuardPolicy::kSkipSlice:
       ++telemetry_.skips;
+      Gm().skips->Add(1);
       return false;
     case GuardPolicy::kRollback: {
       // Walk back through the ring across consecutive trips of one fault
@@ -203,6 +255,7 @@ bool StreamGuard::DegradeState() {
         std::istringstream in(ring_[slot]);
         inner_->RestoreState(in);
         ++telemetry_.rollbacks;
+        Gm().rollbacks->Add(1);
         // The restored state predates the steps accepted since that save.
         steps_since_checkpoint_ = 0;
         return true;  // The restored clock lags the stream by one slice.
@@ -217,12 +270,15 @@ bool StreamGuard::DegradeState() {
     inner_->RestoreState(in);
     if (options_.policy == GuardPolicy::kRollback) {
       ++telemetry_.rollbacks;
+      Gm().rollbacks->Add(1);
     } else {
       ++telemetry_.reinits;
+      Gm().reinits->Add(1);
     }
     return false;  // A reinit resets the phase; there is nothing to align.
   }
   ++telemetry_.skips;  // Nothing to restore: state keeps whatever it has.
+  Gm().skips->Add(1);
   return false;
 }
 
@@ -270,6 +326,7 @@ void StreamGuard::AcceptStep(double probe_nre, double norm) {
     if (probe_nre <= threshold) {
       in_fault_ = false;
       ++telemetry_.recoveries;
+      Gm().recoveries->Add(1);
       telemetry_.steps_to_recover.push_back(steps_since_fault_);
       steps_since_fault_ = 0;
       episode_rollback_depth_ = 0;  // The episode's walk-back is over.
@@ -280,6 +337,7 @@ void StreamGuard::AcceptStep(double probe_nre, double norm) {
 StepResult StreamGuard::StepLazy(const DenseTensor& y, const Mask& omega,
                                  std::shared_ptr<const CooList> pattern) {
   ++telemetry_.steps;
+  Gm().steps->Add(1);
   // Land the previous step's async checkpoint before anything below can
   // mutate inner state (the inner step, clock advances, restores).
   SyncCheckpoint();
@@ -294,8 +352,10 @@ StepResult StreamGuard::StepLazy(const DenseTensor& y, const Mask& omega,
       (pattern == nullptr || pattern->shape() == y.shape());
   if (!shape_ok) {
     ++telemetry_.input_trips;
+    Gm().input_trips->Add(1);
     BeginFault();
     ++telemetry_.skips;
+    Gm().skips->Add(1);
     StepResult degraded = DegradedEstimate(
         expected_shape_.order() != 0 ? expected_shape_ : y.shape());
     AdvanceInnerClock();  // Keep the inner phase aligned with the stream.
@@ -314,6 +374,7 @@ StepResult StreamGuard::StepLazy(const DenseTensor& y, const Mask& omega,
   // Doubles as the collection pass of the strided health probe, so the
   // probe values come for free.
   ++telemetry_.validation_passes;
+  Gm().validation_passes->Add(1);
   const size_t nnz = pattern->nnz();
   const size_t probe_cap = std::max<size_t>(1, options_.health_probe_entries);
   const size_t stride = std::max<size_t>(1, nnz / probe_cap);
@@ -342,9 +403,11 @@ StepResult StreamGuard::StepLazy(const DenseTensor& y, const Mask& omega,
       slice_max <= options_.payload_explosion_factor * payload_base;
   if (!finite || nnz == 0 || !payload_ok) {
     ++telemetry_.input_trips;
+    Gm().input_trips->Add(1);
     BeginFault();
     ++telemetry_.skips;  // Input never reached the inner method: state is
                          // clean, every policy degrades by skipping.
+    Gm().skips->Add(1);
     StepResult degraded = DegradedEstimate(y.shape());
     AdvanceInnerClock();  // Keep the inner phase aligned with the stream.
     return degraded;
@@ -367,6 +430,7 @@ StepResult StreamGuard::StepLazy(const DenseTensor& y, const Mask& omega,
   const double probe_nre = GatheredNre(probe);
   if (!Healthy(probe_nre, norm)) {
     ++telemetry_.health_trips;
+    Gm().health_trips->Add(1);
     BeginFault();
     const bool rolled_back = DegradeState();
     StepResult degraded = DegradedEstimate(y.shape());

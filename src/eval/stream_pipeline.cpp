@@ -5,6 +5,7 @@
 
 #include "baselines/observed_sweep.hpp"
 #include "eval/run_helpers.hpp"
+#include "obs/obs.hpp"
 #include "tensor/csf_tensor.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
@@ -17,6 +18,51 @@ using eval_detail::FinalizeRunMetrics;
 using eval_detail::RunInitWindow;
 using eval_detail::ScoreScratch;
 using eval_detail::ScoreStep;
+
+namespace {
+
+/// Registry handles for the pipeline stages, looked up once. The time.*
+/// counters partition the driver thread's wall clock: init + ingest +
+/// stall + compute + score must account for time.pipeline.wall_us
+/// (ingest_async runs on the aux lane and overlaps, so it is reported but
+/// not part of the driver identity — tools/obs_report pins the sum).
+struct PipelineMetrics {
+  obs::Counter* init_us;
+  obs::Counter* ingest_us;
+  obs::Counter* ingest_async_us;
+  obs::Counter* stall_us;
+  obs::Counter* compute_us;
+  obs::Counter* score_us;
+  obs::Counter* wall_us;
+  obs::Counter* steps;
+  obs::Counter* windows;
+  obs::Counter* pattern_builds;
+  obs::Counter* pattern_reuses;
+  obs::Histogram* step_latency_us;
+  obs::Gauge* arena_growth;
+};
+
+PipelineMetrics& Metrics() {
+  obs::Registry& r = obs::Registry::Global();
+  static PipelineMetrics m{
+      r.FindOrCreateCounter("time.pipeline.init_us"),
+      r.FindOrCreateCounter("time.pipeline.ingest_us"),
+      r.FindOrCreateCounter("time.pipeline.ingest_async_us"),
+      r.FindOrCreateCounter("time.pipeline.stall_us"),
+      r.FindOrCreateCounter("time.pipeline.compute_us"),
+      r.FindOrCreateCounter("time.pipeline.score_us"),
+      r.FindOrCreateCounter("time.pipeline.wall_us"),
+      r.FindOrCreateCounter("pipeline.steps"),
+      r.FindOrCreateCounter("pipeline.windows"),
+      r.FindOrCreateCounter("pipeline.pattern_builds"),
+      r.FindOrCreateCounter("pipeline.pattern_reuses"),
+      r.FindOrCreateHistogram("pipeline.step_latency_us"),
+      r.FindOrCreateGauge("pipeline.arena_growth_events"),
+  };
+  return m;
+}
+
+}  // namespace
 
 StreamPipeline::StreamPipeline(const CorruptedStream& stream,
                                const std::vector<DenseTensor>& truth,
@@ -82,12 +128,16 @@ void StreamPipeline::IngestWindow(size_t w, size_t limit) {
 }
 
 void StreamPipeline::SubmitIngest(size_t w, size_t limit) {
-  tickets_[w % tickets_.size()] =
-      executor_->Submit([this, w, limit] { IngestWindow(w, limit); });
+  tickets_[w % tickets_.size()] = executor_->Submit([this, w, limit] {
+    obs::ObsSpan span("pipeline.ingest_async", Metrics().ingest_async_us, w,
+                      "window");
+    IngestWindow(w, limit);
+  });
 }
 
 std::vector<MethodRunResult> StreamPipeline::Run(
     const std::vector<StreamingMethod*>& methods, size_t limit) {
+  obs::ObsSpan run_span("pipeline.run", Metrics().wall_us);
   const size_t total =
       limit == 0 ? truth_.size() : std::min(limit, truth_.size());
   const size_t depth = options_.pipeline_depth;
@@ -120,16 +170,20 @@ std::vector<MethodRunResult> StreamPipeline::Run(
   std::vector<MethodRunResult> out(methods.size());
   std::vector<size_t> windows(methods.size(), 0);
   std::vector<std::vector<DenseTensor>> completions(methods.size());
-  for (size_t m = 0; m < methods.size(); ++m) {
-    StreamingMethod* method = methods[m];
-    method->AdoptWorkerPool(adopted);
-    out[m].name = method->name();
-    const size_t window = method->init_window();
-    SOFIA_CHECK_LE(window, total);
-    windows[m] = window;
-    out[m].run.nre.reserve(total);
-    out[m].run.step_seconds.reserve(total - window);
-    completions[m] = RunInitWindow(method, stream_, window, &out[m].run);
+  {
+    obs::ObsSpan init_span("pipeline.init", Metrics().init_us,
+                           methods.size(), "methods");
+    for (size_t m = 0; m < methods.size(); ++m) {
+      StreamingMethod* method = methods[m];
+      method->AdoptWorkerPool(adopted);
+      out[m].name = method->name();
+      const size_t window = method->init_window();
+      SOFIA_CHECK_LE(window, total);
+      windows[m] = window;
+      out[m].run.nre.reserve(total);
+      out[m].run.step_seconds.reserve(total - window);
+      completions[m] = RunInitWindow(method, stream_, window, &out[m].run);
+    }
   }
 
   const size_t num_windows = NumWindows(total);
@@ -141,11 +195,18 @@ std::vector<MethodRunResult> StreamPipeline::Run(
 
   ScoreScratch scratch;
   for (size_t w = 0; w < num_windows; ++w) {
+    Metrics().windows->Add(1);
     if (depth == 1) {
+      obs::ObsSpan ingest_span("pipeline.ingest", Metrics().ingest_us, w,
+                               "window");
       IngestWindow(w, total);
     } else {
       Stopwatch stall;
-      executor_->Wait(tickets_[w % depth]);
+      {
+        obs::ObsSpan stall_span("pipeline.stall", Metrics().stall_us, w,
+                                "window");
+        executor_->Wait(tickets_[w % depth]);
+      }
       telemetry_.ingest_stall_seconds += stall.ElapsedSeconds();
       // Keep the ring full: window w's slot frees up after this compute
       // pass; w + depth - 1 is the furthest window the ring can hold.
@@ -162,6 +223,8 @@ std::vector<MethodRunResult> StreamPipeline::Run(
           // entry sets (Dense handles are not lazy materializations).
           StepResult completed =
               StepResult::Dense(std::move(completions[m][t]));
+          obs::ObsSpan score_span("pipeline.score", Metrics().score_us, t,
+                                  "slice");
           ScoreStep(completed, *ingest.pattern, *ingest.eval_pattern,
                     ingest.truth_observed, ingest.truth_missing, gather_pool,
                     &scratch, &out[m].run);
@@ -169,18 +232,30 @@ std::vector<MethodRunResult> StreamPipeline::Run(
         }
         StepResult estimate;
         Stopwatch timer;
-        if (options_.force_dense) {
-          estimate = StepResult::Dense(
-              methods[m]->Step(stream_.slices[t], stream_.masks[t],
-                               ingest.pattern));
-        } else {
-          estimate = methods[m]->StepLazy(stream_.slices[t],
-                                          stream_.masks[t], ingest.pattern);
+        {
+          obs::ObsSpan compute_span("pipeline.step.compute",
+                                    Metrics().compute_us, t, "slice");
+          if (options_.force_dense) {
+            estimate = StepResult::Dense(
+                methods[m]->Step(stream_.slices[t], stream_.masks[t],
+                                 ingest.pattern));
+          } else {
+            estimate = methods[m]->StepLazy(stream_.slices[t],
+                                            stream_.masks[t], ingest.pattern);
+          }
         }
-        out[m].run.step_seconds.push_back(timer.ElapsedSeconds());
-        ScoreStep(estimate, *ingest.pattern, *ingest.eval_pattern,
-                  ingest.truth_observed, ingest.truth_missing, gather_pool,
-                  &scratch, &out[m].run);
+        const double step_seconds = timer.ElapsedSeconds();
+        out[m].run.step_seconds.push_back(step_seconds);
+        Metrics().steps->Add(1);
+        Metrics().step_latency_us->Observe(step_seconds * 1e6);
+        {
+          obs::ObsSpan score_span("pipeline.score", Metrics().score_us, t,
+                                  "slice");
+          ScoreStep(estimate, *ingest.pattern, *ingest.eval_pattern,
+                    ingest.truth_observed, ingest.truth_missing, gather_pool,
+                    &scratch, &out[m].run);
+        }
+        obs::StatsTick();
       }
     }
     if (w == 0) {
@@ -190,11 +265,23 @@ std::vector<MethodRunResult> StreamPipeline::Run(
 
   // Land every in-flight aux job (tail ingest prefetches on an early
   // limit, async guard checkpoints) before reading shared telemetry.
-  executor_->DrainAux();
+  {
+    // Draining counts as stall: the driver is blocked on the aux lane
+    // (tail prefetches, async guard checkpoints).
+    obs::ObsSpan drain_span("pipeline.drain", Metrics().stall_us);
+    executor_->DrainAux();
+  }
   telemetry_.arena_growth_total =
       executor_->arena()->growth_events() - arena_base;
   telemetry_.arena_growth_steady =
       executor_->arena()->growth_events() - arena_after_first_window;
+
+  // Mirror the per-run pattern/arena telemetry onto the registry (the
+  // struct fields stay as the per-run compatibility view).
+  Metrics().pattern_builds->Add(pattern_builds_);
+  Metrics().pattern_reuses->Add(pattern_reuses_);
+  Metrics().arena_growth->Set(
+      static_cast<double>(executor_->arena()->growth_events()));
 
   for (size_t m = 0; m < methods.size(); ++m) {
     FinalizeRunMetrics(windows[m], &out[m].run);

@@ -6,6 +6,7 @@
 #include "eval/metrics.hpp"
 #include "eval/run_helpers.hpp"
 #include "eval/stream_pipeline.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
@@ -35,6 +36,15 @@ void FinalizeRunMetrics(size_t window, StreamRunResult* result) {
   result->rae_post_init = Mean(std::vector<double>(
       result->nre.begin() + static_cast<long>(window), result->nre.end()));
   result->art_seconds = Mean(result->step_seconds);
+  // Per-run latency percentiles from a private histogram (the registry's
+  // pipeline.step_latency_us accumulates across methods and runs, so it
+  // cannot serve per-run order statistics).
+  obs::Histogram latency;
+  for (const double seconds : result->step_seconds) {
+    latency.Observe(seconds * 1e6);
+  }
+  result->step_latency_p50_us = latency.Percentile(50.0);
+  result->step_latency_p99_us = latency.Percentile(99.0);
 }
 
 void AttachGuardTelemetry(const StreamingMethod* method,

@@ -111,6 +111,11 @@ struct StreamRunResult {
   double art_seconds = 0.0;          ///< Mean per-step time, init excluded.
   double init_seconds = 0.0;         ///< Wall time of the init phase.
   std::vector<double> step_seconds;  ///< Per-step wall times (post-init).
+  /// Step-latency order statistics over step_seconds, in microseconds,
+  /// read from an obs::Histogram (log-linear buckets, <= 12.5% relative
+  /// error). 0 when the run had no post-init steps or obs is disabled.
+  double step_latency_p50_us = 0.0;
+  double step_latency_p99_us = 0.0;
 
   // Pattern-rebuild telemetry of the comparison runner's shared per-mask
   // cache (identical for every method of a run — the cache is shared).

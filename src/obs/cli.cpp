@@ -1,0 +1,95 @@
+#include "obs/cli.hpp"
+
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
+
+namespace sofia {
+namespace obs {
+
+ObsCliConfig SetupObsFromFlags(const Flags& flags) {
+  ObsCliConfig config;
+  config.enabled = flags.GetBool("obs", true);
+  config.trace_out = flags.GetString("trace-out", "");
+  config.trace_capacity =
+      static_cast<size_t>(flags.GetInt("trace-capacity", 0));
+  config.trace_workers = flags.GetBool("trace-workers", true);
+  config.metrics_out = flags.GetString("metrics-out", "");
+  config.stats_out = flags.GetString("stats-out", "");
+  config.stats_every = static_cast<uint64_t>(flags.GetInt("stats-every", 0));
+#ifndef SOFIA_OBS_DISABLED
+  SetEnabled(config.enabled);
+  SetThreadName("driver");
+  if (!config.trace_out.empty()) {
+    TraceOptions options;
+    if (config.trace_capacity > 0) options.capacity = config.trace_capacity;
+    options.worker_spans = config.trace_workers;
+    if (!TraceStart(options)) {
+      std::fprintf(stderr, "obs: trace session already active; --trace-out=%s ignored\n",
+                   config.trace_out.c_str());
+      config.trace_out.clear();
+    }
+  }
+  // --stats-every without --stats-out falls back to the metrics file so a
+  // single flag gives live progress lines.
+  std::string stats_path =
+      !config.stats_out.empty() ? config.stats_out : config.metrics_out;
+  if (config.stats_every > 0 && !stats_path.empty()) {
+    ConfigureStats(stats_path, config.stats_every);
+  }
+#endif
+  return config;
+}
+
+void FinishObs(const ObsCliConfig& config) {
+#ifndef SOFIA_OBS_DISABLED
+  FlushStats();
+  if (!config.trace_out.empty()) {
+    size_t events = 0;
+    size_t dropped = 0;
+    if (TraceStopAndWrite(config.trace_out, &events, &dropped)) {
+      std::fprintf(stderr, "obs: wrote %zu trace events to %s", events,
+                   config.trace_out.c_str());
+      if (dropped > 0) {
+        std::fprintf(stderr, " (%zu dropped; raise --trace-capacity)", dropped);
+      }
+      std::fprintf(stderr, "\n");
+    } else {
+      std::fprintf(stderr, "obs: failed to write trace to %s\n",
+                   config.trace_out.c_str());
+    }
+  }
+  if (!config.metrics_out.empty()) {
+    std::FILE* f = std::fopen(config.metrics_out.c_str(), "a");
+    if (f != nullptr) {
+      std::string line;
+      AppendSnapshotLine(&line);
+      line.push_back('\n');
+      std::fwrite(line.data(), 1, line.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "obs: wrote metrics snapshot to %s\n",
+                   config.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "obs: failed to open %s\n",
+                   config.metrics_out.c_str());
+    }
+  }
+#else
+  (void)config;
+#endif
+}
+
+const char* ObsFlagsHelp() {
+  return "  --obs=0|1                 toggle metrics collection (default 1)\n"
+         "  --trace-out=FILE          write Chrome trace JSON (Perfetto)\n"
+         "  --trace-capacity=N        trace ring capacity in events\n"
+         "  --trace-workers=0|1       per-worker batch spans (default 1)\n"
+         "  --metrics-out=FILE        append final metrics snapshot (JSONL)\n"
+         "  --stats-out=FILE          periodic stats JSONL (default: metrics file)\n"
+         "  --stats-every=N           emit stats every N steps (0 = off)\n";
+}
+
+}  // namespace obs
+}  // namespace sofia

@@ -1,0 +1,45 @@
+#ifndef SOFIA_OBS_CLI_H_
+#define SOFIA_OBS_CLI_H_
+
+#include <string>
+
+#include "util/flags.hpp"
+
+/// \file cli.hpp
+/// \brief Shared `--trace-out= / --metrics-out= / --stats-every=` plumbing
+/// for the example binaries, so every CLI exposes the same observability
+/// knobs with one call at the top of main and one before exit.
+
+namespace sofia {
+namespace obs {
+
+/// Observability output configuration parsed from command-line flags.
+struct ObsCliConfig {
+  bool enabled = true;           ///< --obs=0 turns the hot-path metrics off.
+  std::string trace_out;         ///< --trace-out=FILE (Chrome trace JSON).
+  size_t trace_capacity = 0;     ///< --trace-capacity=N ring events.
+  bool trace_workers = true;     ///< --trace-workers=0 drops worker spans.
+  std::string metrics_out;       ///< --metrics-out=FILE (final JSONL line).
+  std::string stats_out;         ///< --stats-out=FILE (periodic JSONL).
+  uint64_t stats_every = 0;      ///< --stats-every=N steps between lines.
+};
+
+/// Parses the obs flags and applies them: toggles the registry, starts a
+/// trace session when --trace-out is given, and wires the periodic stats
+/// emitter. Returns the parsed config (pass it to FinishObs at exit).
+/// Also names the calling thread "driver" so its trace track reads well.
+ObsCliConfig SetupObsFromFlags(const Flags& flags);
+
+/// Flushes everything SetupObsFromFlags armed: writes the trace file,
+/// appends the final metrics snapshot line, and closes the stats sink.
+/// Prints one status line per artifact to stderr. Safe to call when
+/// nothing was configured (no-op), and under SOFIA_OBS_DISABLED.
+void FinishObs(const ObsCliConfig& config);
+
+/// One-line usage blurb for the shared flags, for --help texts.
+const char* ObsFlagsHelp();
+
+}  // namespace obs
+}  // namespace sofia
+
+#endif  // SOFIA_OBS_CLI_H_

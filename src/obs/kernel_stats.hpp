@@ -1,0 +1,44 @@
+#ifndef SOFIA_OBS_KERNEL_STATS_H_
+#define SOFIA_OBS_KERNEL_STATS_H_
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+/// \file kernel_stats.hpp
+/// \brief Per-kernel call/volume counters for the tensor kernel layer.
+///
+/// Each public kernel entry point holds one `static KernelStats` (the
+/// registry lookup runs once) and calls CountKernel per invocation:
+/// `kernel.<name>.calls`, `kernel.<name>.nnz` (entries touched), and
+/// `kernel.<name>.flop_estimate` (a nominal flops-per-entry model — a
+/// relative load measure across kernels, not a hardware counter).
+
+namespace sofia {
+namespace obs {
+
+struct KernelStats {
+  Counter* calls;
+  Counter* nnz;
+  Counter* flops;
+};
+
+inline KernelStats MakeKernelStats(const std::string& kernel) {
+  Registry& r = Registry::Global();
+  const std::string base = "kernel." + kernel;
+  return KernelStats{r.FindOrCreateCounter(base + ".calls"),
+                     r.FindOrCreateCounter(base + ".nnz"),
+                     r.FindOrCreateCounter(base + ".flop_estimate")};
+}
+
+inline void CountKernel(const KernelStats& stats, size_t nnz,
+                        size_t flops_per_entry) {
+  stats.calls->Add(1);
+  stats.nnz->Add(nnz);
+  stats.flops->Add(nnz * flops_per_entry);
+}
+
+}  // namespace obs
+}  // namespace sofia
+
+#endif  // SOFIA_OBS_KERNEL_STATS_H_

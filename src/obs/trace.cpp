@@ -1,0 +1,193 @@
+#include "obs/trace.hpp"
+
+#ifndef SOFIA_OBS_DISABLED
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace sofia {
+namespace obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  const char* arg_name;
+  uint64_t start_ns;
+  uint64_t dur_ns;
+  uint64_t arg;
+  uint32_t tid;
+};
+
+// Session state. The ring is preallocated at Start: recording reserves a
+// slot with one relaxed fetch_add, fills it with plain stores (slots are
+// distinct), then publishes via a release increment of g_committed; the
+// flusher acquire-reads g_committed until it matches the reservations, so
+// every flushed slot's contents happen-before the read.
+std::atomic<bool> g_active{false};
+bool g_worker_spans = false;  // Written before g_active, read after.
+std::vector<TraceEvent> g_ring;
+std::atomic<size_t> g_reserved{0};
+std::atomic<size_t> g_committed{0};
+std::atomic<size_t> g_dropped{0};
+
+std::atomic<uint32_t> g_next_tid{0};
+
+std::mutex& NamesMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+std::map<uint32_t, std::string>& ThreadNames() {
+  static std::map<uint32_t, std::string> names;
+  return names;
+}
+
+/// Minimal JSON string escaping (names are static strings we control, but
+/// thread names are caller data).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t NowNs() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+uint32_t CurrentThreadId() {
+  static thread_local const uint32_t tid =
+      g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void SetThreadName(const std::string& name) {
+  const uint32_t tid = CurrentThreadId();
+  std::lock_guard<std::mutex> lock(NamesMutex());
+  ThreadNames()[tid] = name;
+}
+
+bool TraceStart(const TraceOptions& options) {
+  if (g_active.load(std::memory_order_acquire)) return false;
+  g_ring.assign(std::max<size_t>(options.capacity, 1), TraceEvent{});
+  g_reserved.store(0, std::memory_order_relaxed);
+  g_committed.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+  g_worker_spans = options.worker_spans;
+  NowNs();  // Pin the epoch before the first span.
+  g_active.store(true, std::memory_order_release);
+  return true;
+}
+
+bool TraceActive() { return g_active.load(std::memory_order_relaxed); }
+
+bool TraceWorkerSpans() { return TraceActive() && g_worker_spans; }
+
+void TraceRecord(const char* name, uint64_t start_ns, uint64_t dur_ns,
+                 uint64_t arg, const char* arg_name) {
+  if (!TraceActive()) return;
+  const size_t slot = g_reserved.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= g_ring.size()) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent& event = g_ring[slot];
+  event.name = name;
+  event.arg_name = arg_name;
+  event.start_ns = start_ns;
+  event.dur_ns = dur_ns;
+  event.arg = arg;
+  event.tid = CurrentThreadId();
+  g_committed.fetch_add(1, std::memory_order_release);
+}
+
+namespace {
+size_t StopSession() {
+  g_active.store(false, std::memory_order_release);
+  // Writers that already reserved a slot finish their plain stores and
+  // bump g_committed; wait them out so the flush reads complete events.
+  const size_t filled =
+      std::min(g_reserved.load(std::memory_order_acquire), g_ring.size());
+  while (g_committed.load(std::memory_order_acquire) < filled) {
+  }
+  return filled;
+}
+}  // namespace
+
+void TraceAbort() {
+  if (!g_active.load(std::memory_order_acquire)) return;
+  StopSession();
+  g_ring.clear();
+  g_ring.shrink_to_fit();
+}
+
+bool TraceStopAndWrite(const std::string& path, size_t* events_out,
+                       size_t* dropped_out) {
+  if (!g_active.load(std::memory_order_acquire)) return false;
+  const size_t filled = StopSession();
+  if (events_out != nullptr) *events_out = filled;
+  if (dropped_out != nullptr) {
+    *dropped_out = g_dropped.load(std::memory_order_relaxed);
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n\"traceEvents\": [\n");
+  bool first = true;
+  {
+    std::lock_guard<std::mutex> lock(NamesMutex());
+    for (const auto& [tid, name] : ThreadNames()) {
+      std::fprintf(f,
+                   "%s{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+                   "\"tid\": %u, \"args\": {\"name\": \"%s\"}}",
+                   first ? "" : ",\n", tid, JsonEscape(name).c_str());
+      first = false;
+    }
+  }
+  for (size_t i = 0; i < filled; ++i) {
+    const TraceEvent& event = g_ring[i];
+    std::fprintf(f,
+                 "%s{\"name\": \"%s\", \"ph\": \"X\", \"pid\": 0, "
+                 "\"tid\": %u, \"ts\": %.3f, \"dur\": %.3f",
+                 first ? "" : ",\n", JsonEscape(event.name).c_str(),
+                 event.tid, static_cast<double>(event.start_ns) / 1000.0,
+                 static_cast<double>(event.dur_ns) / 1000.0);
+    first = false;
+    if (event.arg_name != nullptr) {
+      std::fprintf(f, ", \"args\": {\"%s\": %llu}", event.arg_name,
+                   static_cast<unsigned long long>(event.arg));
+    }
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "\n],\n\"displayTimeUnit\": \"ms\"\n}\n");
+  const bool ok = std::fclose(f) == 0;
+  g_ring.clear();
+  g_ring.shrink_to_fit();
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace sofia
+
+#endif  // SOFIA_OBS_DISABLED

@@ -1,5 +1,7 @@
 #include "tensor/csf_kernels.hpp"
 
+#include "obs/kernel_stats.hpp"
+
 #include <algorithm>
 
 #include "linalg/solve.hpp"
@@ -527,6 +529,8 @@ void CsfKruskalGatherImpl(const CsfTensor& csf,
 Matrix CsfMttkrp(const CsfTensor& csf, const std::vector<double>& values,
                  const std::vector<Matrix>& factors, size_t mode,
                  size_t num_threads, WorkerPool* pool) {
+  static const obs::KernelStats kStats = obs::MakeKernelStats("csf.mttkrp");
+  obs::CountKernel(kStats, csf.nnz(), 2 * (factors.empty() ? 0 : factors[0].cols()) * csf.order());
   SOFIA_CHECK_LT(mode, csf.order());
   SOFIA_CHECK_EQ(values.size(), csf.nnz());
   const size_t rank = factors.empty() ? 0 : factors[0].cols();
@@ -545,6 +549,8 @@ RowSystems CsfRowSystems(const CsfTensor& csf,
                          const std::vector<double>& values,
                          const std::vector<Matrix>& factors, size_t mode,
                          size_t num_threads, WorkerPool* pool) {
+  static const obs::KernelStats kStats = obs::MakeKernelStats("csf.row_systems");
+  obs::CountKernel(kStats, csf.nnz(), (factors.empty() ? 0 : factors[0].cols()) * (csf.order() + 2 * (factors.empty() ? 0 : factors[0].cols())));
   SOFIA_CHECK_LT(mode, csf.order());
   SOFIA_CHECK_EQ(values.size(), csf.nnz());
   const size_t rank = factors.empty() ? 0 : factors[0].cols();
@@ -614,6 +620,8 @@ NormalSystem CsfNormalSystem(const CsfTensor& csf,
                              const std::vector<double>& values,
                              const std::vector<Matrix>& factors,
                              size_t num_threads, WorkerPool* pool) {
+  static const obs::KernelStats kStats = obs::MakeKernelStats("csf.normal_system");
+  obs::CountKernel(kStats, csf.nnz(), (factors.empty() ? 0 : factors[0].cols()) * (2 + 2 * (factors.empty() ? 0 : factors[0].cols())));
   SOFIA_CHECK_EQ(values.size(), csf.nnz());
   const size_t rank = factors.empty() ? 0 : factors[0].cols();
   CheckFactors(csf, factors, rank);
@@ -701,6 +709,8 @@ void CsfKruskalGather(const CsfTensor& csf, const std::vector<Matrix>& factors,
                       const std::vector<double>& temporal_row,
                       std::vector<double>* out, size_t num_threads,
                       WorkerPool* pool) {
+  static const obs::KernelStats kStats = obs::MakeKernelStats("csf.kruskal_gather");
+  obs::CountKernel(kStats, csf.nnz(), 2 * (factors.empty() ? 0 : factors[0].cols()) * csf.order());
   const size_t rank = factors.empty() ? 0 : factors[0].cols();
   CheckFactors(csf, factors, rank);
   SOFIA_CHECK_EQ(temporal_row.size(), rank);
@@ -718,6 +728,8 @@ StepGradients CsfStepGradients(const CsfTensor& csf,
                                const std::vector<Matrix>& factors,
                                const std::vector<double>& temporal_row,
                                size_t num_threads, WorkerPool* pool) {
+  static const obs::KernelStats kStats = obs::MakeKernelStats("csf.step_gradients");
+  obs::CountKernel(kStats, csf.nnz(), 2 * (factors.empty() ? 0 : factors[0].cols()) * csf.order() * (csf.order() + 1));
   SOFIA_CHECK_EQ(residuals.size(), csf.nnz());
   const size_t rank = factors.empty() ? 0 : factors[0].cols();
   CheckFactors(csf, factors, rank);

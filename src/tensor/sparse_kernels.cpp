@@ -1,4 +1,5 @@
 #include "tensor/sparse_kernels.hpp"
+#include "obs/kernel_stats.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -385,6 +386,8 @@ void CooTemporalGradientImpl(const CooList& coo,
 Matrix CooMttkrp(const CooList& coo, const std::vector<double>& values,
                  const std::vector<Matrix>& factors, size_t mode,
                  size_t num_threads, WorkerPool* pool) {
+  static const obs::KernelStats kStats = obs::MakeKernelStats("coo.mttkrp");
+  obs::CountKernel(kStats, coo.nnz(), 2 * (factors.empty() ? 0 : factors[0].cols()) * coo.order());
   SOFIA_CHECK_LT(mode, coo.order());
   SOFIA_CHECK_EQ(values.size(), coo.nnz());
   SOFIA_CHECK(coo.has_mode_bucket(mode));
@@ -403,6 +406,8 @@ Matrix CooMttkrp(const CooList& coo, const std::vector<double>& values,
 RowSystems CooRowSystems(const CooList& coo, const std::vector<double>& values,
                          const std::vector<Matrix>& factors, size_t mode,
                          size_t num_threads, WorkerPool* pool) {
+  static const obs::KernelStats kStats = obs::MakeKernelStats("coo.row_systems");
+  obs::CountKernel(kStats, coo.nnz(), (factors.empty() ? 0 : factors[0].cols()) * (coo.order() + 2 * (factors.empty() ? 0 : factors[0].cols())));
   SOFIA_CHECK_LT(mode, coo.order());
   SOFIA_CHECK_EQ(values.size(), coo.nnz());
   SOFIA_CHECK(coo.has_mode_bucket(mode));
@@ -427,6 +432,8 @@ RowSystems CooWeightedRowSystems(const CooList& coo,
                                  const std::vector<double>& temporal_row,
                                  size_t mode, size_t num_threads,
                                  WorkerPool* pool) {
+  static const obs::KernelStats kStats = obs::MakeKernelStats("coo.weighted_row_systems");
+  obs::CountKernel(kStats, coo.nnz(), (factors.empty() ? 0 : factors[0].cols()) * (coo.order() + 2 * (factors.empty() ? 0 : factors[0].cols())));
   SOFIA_CHECK_LT(mode, coo.order());
   SOFIA_CHECK_EQ(values.size(), coo.nnz());
   SOFIA_CHECK(coo.has_mode_bucket(mode));
@@ -600,6 +607,8 @@ void CooKruskalSliceGather(const CooList& coo,
                            const std::vector<double>& temporal_row,
                            std::vector<double>* out, size_t num_threads,
                            WorkerPool* pool) {
+  static const obs::KernelStats kStats = obs::MakeKernelStats("coo.kruskal_gather");
+  obs::CountKernel(kStats, coo.nnz(), 2 * (factors.empty() ? 0 : factors[0].cols()) * coo.order());
   const size_t rank = factors.empty() ? 0 : factors[0].cols();
   CheckFactors(coo, factors, rank);
   SOFIA_CHECK_EQ(temporal_row.size(), rank);
@@ -617,6 +626,8 @@ StepGradients CooStepGradients(const CooList& coo,
                                const std::vector<Matrix>& factors,
                                const std::vector<double>& temporal_row,
                                size_t num_threads, WorkerPool* pool) {
+  static const obs::KernelStats kStats = obs::MakeKernelStats("coo.step_gradients");
+  obs::CountKernel(kStats, coo.nnz(), 2 * (factors.empty() ? 0 : factors[0].cols()) * coo.order() * (coo.order() + 1));
   SOFIA_CHECK_EQ(residuals.size(), coo.nnz());
   const size_t rank = factors.empty() ? 0 : factors[0].cols();
   CheckFactors(coo, factors, rank);

@@ -1,0 +1,18 @@
+#include "util/bench_json.hpp"
+
+#include <thread>
+
+#include "tensor/simd.hpp"
+
+namespace sofia {
+namespace bench {
+
+void WriteMachineBlock(std::FILE* f) {
+  std::fprintf(f,
+               "  \"machine\": {\n    \"cpus\": %u,\n    \"simd\": \"%s\"\n"
+               "  },\n",
+               std::thread::hardware_concurrency(), simd::IsaName());
+}
+
+}  // namespace bench
+}  // namespace sofia

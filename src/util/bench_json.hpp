@@ -1,0 +1,25 @@
+#ifndef SOFIA_UTIL_BENCH_JSON_H_
+#define SOFIA_UTIL_BENCH_JSON_H_
+
+#include <cstdio>
+
+/// \file bench_json.hpp
+/// \brief Shared fragments for the hand-rolled BENCH_*.json writers.
+///
+/// Every bench binary stamps the same machine block so numbers can be
+/// compared across hosts; one helper keeps the block identical (the seven
+/// copies it replaces had already started to drift in whitespace) and
+/// extends it with the SIMD level the kernels *actually dispatched* —
+/// cpus alone cannot explain an avx2-vs-scalar gap between two files.
+
+namespace sofia {
+namespace bench {
+
+/// Writes `"machine": { "cpus": N, "simd": "<IsaName()>" },\n` to `f`
+/// at the two-space indent the BENCH writers use.
+void WriteMachineBlock(std::FILE* f);
+
+}  // namespace bench
+}  // namespace sofia
+
+#endif  // SOFIA_UTIL_BENCH_JSON_H_

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/obs.hpp"
 #include "util/fault_injection.hpp"
 #include "util/rng.hpp"
 
@@ -117,9 +118,16 @@ bool SyncFd(int fd, const char* site) {
       fault::Crash(site);
     }
   }
+  static obs::Histogram* fsync_us =
+      obs::Registry::Global().FindOrCreateHistogram("durable.fsync_us");
+  const bool measured = obs::Enabled();
+  const uint64_t start = measured ? obs::NowNs() : 0;
   if (::fsync(fd) != 0 && errno != EINVAL && errno != ENOTSUP &&
       errno != EROFS) {
     return false;
+  }
+  if (measured) {
+    fsync_us->Observe(static_cast<double>(obs::NowNs() - start) / 1e3);
   }
   return true;
 }

@@ -245,8 +245,12 @@ TEST(StreamPipelineTest, OverlapTelemetryAccountsEveryIngestBatch) {
   const PipelineTelemetry& telemetry = results[0].run.pipeline;
   EXPECT_EQ(telemetry.ingest_jobs, (truth.size() + 2) / 3);
   EXPECT_GT(telemetry.ingest_seconds, 0.0);
-  // Stall time is bounded by total ingest time (overlap can only hide it).
-  EXPECT_LE(telemetry.ingest_stall_seconds, telemetry.ingest_seconds + 1e-9);
+  // Stall time is bounded by total ingest time (overlap can only hide it)
+  // plus a scheduler allowance: the driver's Wait also covers the latency
+  // of getting the aux thread scheduled at all, which on a loaded single
+  // core is timeslice-scale per ingest job, not nanoseconds.
+  EXPECT_LE(telemetry.ingest_stall_seconds,
+            telemetry.ingest_seconds + 0.020 * telemetry.ingest_jobs);
 }
 
 }  // namespace

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Proves the SOFIA_OBS_DISABLED build's "compiles to nothing" claim: the
+# metrics/trace/stats translation units must contribute zero strong text
+# symbols to the core archive (the JSON reader and report logic remain by
+# design — tools/obs_report reads artifacts from any build). Invoked by the
+# check-obs-disabled CMake target with the nested build's libsofia_core.a.
+set -eu
+archive="$1"
+if nm "$archive" | grep ' T ' | grep -E \
+    'TraceStart|TraceStopAndWrite|AppendSnapshotLine|ConfigureStats|FindOrCreateCounter|FindOrCreateHistogram'
+then
+  echo "obs symbols leaked into the disabled build: $archive" >&2
+  exit 1
+fi
+echo "obs disabled build: zero metrics/trace/stats symbols in $archive"

@@ -32,6 +32,7 @@ KNOWN_ORDER = [
     "BENCH_simd.json",       # PR 7: SIMD kernels + incremental CSF.
     "BENCH_runtime.json",    # PR 8: sharded pipelined streaming runtime.
     "BENCH_durability.json", # PR 9: crash-consistent durability layer.
+    "BENCH_obs.json",        # PR 10: unified observability subsystem.
 ]
 
 

@@ -1,0 +1,127 @@
+// obs_report: render and validate the observability artifacts the SOFIA
+// binaries emit (--metrics-out= JSONL snapshots, --trace-out= Chrome
+// traces).
+//
+// Usage: obs_report [--metrics=FILE] [--trace=FILE] [--check]
+//
+//   --metrics=FILE  metrics JSONL; the LAST line (the cumulative final
+//                   snapshot) is rendered as per-stage time-attribution,
+//                   histogram, and counter tables.
+//   --trace=FILE    Chrome trace-event JSON; summarized (events, tracks,
+//                   busiest-track coverage).
+//   --check         validate instead of render: metrics must carry the
+//                   registry sections and — when a pipeline ran — driver
+//                   stage sums within 10% of the pipeline wall clock;
+//                   traces must be well-formed with per-track monotonic
+//                   completion timestamps and >= 90% busiest-track span
+//                   coverage. Problems are listed and the exit status is
+//                   nonzero.
+//
+// The logic lives in src/obs/report.cpp (test-pinned); this is the thin
+// main.
+
+#include <cstdio>
+#include <string>
+
+#include "obs/json_lite.hpp"
+#include "obs/report.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using sofia::obs::CheckResult;
+using sofia::obs::JsonValue;
+
+void PrintProblems(const char* what, const CheckResult& result) {
+  std::fprintf(stderr, "%s: %zu problem%s\n", what, result.problems.size(),
+               result.problems.size() == 1 ? "" : "s");
+  for (const std::string& p : result.problems) {
+    std::fprintf(stderr, "  - %s\n", p.c_str());
+  }
+}
+
+// Loads + parses, returns false (with a stderr line) on any failure.
+bool LoadMetricsSnapshot(const std::string& path, JsonValue* out) {
+  std::string body, error;
+  if (!sofia::obs::ReadFileToString(path, &body, &error)) {
+    std::fprintf(stderr, "obs_report: %s\n", error.c_str());
+    return false;
+  }
+  if (!sofia::obs::ParseLastJsonLine(body, out, &error)) {
+    std::fprintf(stderr, "obs_report: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool LoadTrace(const std::string& path, JsonValue* out) {
+  std::string body, error;
+  if (!sofia::obs::ReadFileToString(path, &body, &error)) {
+    std::fprintf(stderr, "obs_report: %s\n", error.c_str());
+    return false;
+  }
+  if (!sofia::obs::ParseJson(body, out, &error)) {
+    std::fprintf(stderr, "obs_report: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sofia;
+  Flags flags(argc, argv);
+  const std::string metrics_path = flags.GetString("metrics", "");
+  const std::string trace_path = flags.GetString("trace", "");
+  const bool check = flags.GetBool("check", false);
+  if (metrics_path.empty() && trace_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: obs_report [--metrics=FILE] [--trace=FILE] "
+                 "[--check]\n");
+    return 2;
+  }
+
+  bool ok = true;
+  if (!metrics_path.empty()) {
+    obs::JsonValue snapshot;
+    if (!LoadMetricsSnapshot(metrics_path, &snapshot)) {
+      ok = false;
+    } else if (check) {
+      const obs::CheckResult result = obs::CheckMetricsSnapshot(snapshot);
+      if (result.ok) {
+        const obs::AttributionReport attribution =
+            obs::TimeAttribution(snapshot);
+        std::printf("metrics %s: ok (%zu time stages, driver coverage "
+                    "%.3f)\n",
+                    metrics_path.c_str(), attribution.rows.size(),
+                    attribution.driver_coverage);
+      } else {
+        PrintProblems(metrics_path.c_str(), result);
+        ok = false;
+      }
+    } else {
+      std::printf("%s", obs::RenderReport(snapshot).c_str());
+    }
+  }
+
+  if (!trace_path.empty()) {
+    obs::JsonValue trace;
+    if (!LoadTrace(trace_path, &trace)) {
+      ok = false;
+    } else {
+      obs::TraceStats stats;
+      const obs::CheckResult result = obs::CheckTrace(trace, &stats);
+      if (result.ok) {
+        std::printf("trace %s: ok (%zu events on %zu tracks; busiest "
+                    "'%s' span coverage %.3f)\n",
+                    trace_path.c_str(), stats.events, stats.tracks,
+                    stats.busiest_track.c_str(), stats.busiest_coverage);
+      } else {
+        PrintProblems(trace_path.c_str(), result);
+        ok = false;
+      }
+    }
+  }
+  return ok ? 0 : 1;
+}
